@@ -1,0 +1,45 @@
+"""E01 — Example 1: possible-world enumeration of the v-table R.
+
+Regenerates Mod(R) over growing domain slices and reports world counts
+(the paper lists a sample of the infinite Mod; we materialize finite
+restrictions, which grow as |slice|^3 here — three variables).
+"""
+
+import pytest
+
+from repro import Instance, VTable, Var
+
+
+def build_example1() -> VTable:
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return VTable([(1, 2, x), (3, x, y), (z, 4, 5)])
+
+
+@pytest.mark.parametrize("slice_size", [2, 4, 6])
+def test_mod_enumeration(benchmark, slice_size):
+    table = build_example1()
+    domain = list(range(1, slice_size + 1))
+    worlds = benchmark(lambda: table.mod_over(domain))
+    assert len(worlds) <= slice_size ** 3
+    assert all(len(instance) <= 3 for instance in worlds)
+
+
+def test_membership_of_listed_worlds(benchmark):
+    table = build_example1()
+    domain = [1, 2, 77, 89, 97]
+    listed = Instance([(1, 2, 77), (3, 77, 89), (97, 4, 5)])
+
+    def check():
+        return listed in table.mod_over(domain)
+
+    assert benchmark(check)
+
+
+def test_report_world_counts():
+    """The series EXPERIMENTS.md records for E01."""
+    table = build_example1()
+    print("\nE01: |Mod(R)| restricted to slices (3 variables => cubic):")
+    for slice_size in (2, 3, 4, 5):
+        worlds = table.mod_over(list(range(1, slice_size + 1)))
+        print(f"  |slice| = {slice_size}: {len(worlds)} worlds "
+              f"(valuations: {slice_size ** 3})")

@@ -1,0 +1,45 @@
+"""E07 — Example 5: the succinctness gap.
+
+A finite c-table with one row of m variables over domains of size n
+denotes n^m instances; the equivalent boolean c-table has n^m rows.
+The sweep reproduces the exponential separation (sizes and construction
+time) the paper's Example 5 asserts.
+"""
+
+import pytest
+
+from repro import CTable, Var
+from repro.completion.finite_completion import boolean_ctable_for
+
+
+def finite_one_row(m: int, n: int) -> CTable:
+    variables = [Var(f"x{index}") for index in range(m)]
+    return CTable(
+        [tuple(variables)],
+        domains={f"x{index}": range(n) for index in range(m)},
+    )
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (2, 3), (3, 2), (3, 3)])
+def test_boolean_equivalent_construction(benchmark, m, n):
+    table = finite_one_row(m, n)
+    target = table.mod()
+    boolean = benchmark(boolean_ctable_for, target)
+    assert len(boolean) == n ** m
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (3, 2)])
+def test_finite_ctable_mod(benchmark, m, n):
+    table = finite_one_row(m, n)
+    worlds = benchmark(table.mod)
+    assert len(worlds) == n ** m
+
+
+def test_report_separation():
+    print("\nE07: Example 5 — representation sizes (rows):")
+    print("   m  n | finite c-table | boolean c-table (= n^m)")
+    for m, n in [(1, 2), (2, 2), (2, 3), (3, 2), (3, 3), (2, 4)]:
+        table = finite_one_row(m, n)
+        boolean = boolean_ctable_for(table.mod())
+        print(f"   {m}  {n} | {len(table):14d} | {len(boolean):10d}")
+    print("  shape: boolean grows exponentially (n^m); finite stays 1 row")

@@ -1,0 +1,73 @@
+"""E08 — Theorem 4: the c-table algebra vs naive per-world evaluation.
+
+The paper's closure theorem means a query can be answered on the *table*
+(polynomial in table size) instead of on every possible world
+(exponential in the variable count).  The sweep measures both routes on
+the chain family and reports the speedup growing with |Mod|; the
+ablation compares the algebra with and without condition simplification.
+"""
+
+import pytest
+
+from repro import apply_query, apply_query_to_ctable, col_eq, proj, prod, rel, sel
+from repro.core.idatabase import IDatabase
+from conftest import chain_ctable
+
+
+QUERY = proj(
+    sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3]
+)
+
+
+def naive_answer(table, domain):
+    return IDatabase(
+        (apply_query(QUERY, world) for world in table.mod_over(domain)),
+        arity=2,
+    )
+
+
+@pytest.mark.parametrize("variables", [2, 3, 4])
+def test_ctable_algebra_route(benchmark, variables):
+    table = chain_ctable(variables)
+    answer = benchmark(apply_query_to_ctable, QUERY, table)
+    assert answer.arity == 2
+
+
+@pytest.mark.parametrize("variables", [2, 3, 4])
+def test_naive_possible_worlds_route(benchmark, variables):
+    table = chain_ctable(variables)
+    domain = table.witness_domain()
+    result = benchmark(naive_answer, table, domain)
+    assert result.arity == 2
+
+
+@pytest.mark.parametrize("simplify", [False, True])
+def test_simplification_ablation(benchmark, simplify):
+    table = chain_ctable(4)
+    answer = benchmark(apply_query_to_ctable, QUERY, table, simplify)
+    assert answer.arity == 2
+
+
+def test_report_speedup():
+    import time
+
+    print("\nE08: symbolic q̄(T) vs naive per-world evaluation:")
+    print("  vars | worlds | t(algebra) | t(naive)  | speedup")
+    for variables in (2, 3, 4, 5):
+        table = chain_ctable(variables)
+        domain = table.witness_domain()
+        start = time.perf_counter()
+        apply_query_to_ctable(QUERY, table)
+        algebra_time = time.perf_counter() - start
+        start = time.perf_counter()
+        worlds = naive_answer(table, domain)
+        naive_time = time.perf_counter() - start
+        world_count = len(table.mod_over(domain))
+        speedup = naive_time / algebra_time if algebra_time else float("inf")
+        print(
+            f"   {variables}   | {world_count:6d} | "
+            f"{algebra_time * 1000:8.2f}ms | {naive_time * 1000:8.2f}ms | "
+            f"{speedup:6.1f}x"
+        )
+    print("  shape: naive cost tracks |Mod| (exponential in vars); the")
+    print("  algebra touches only the table — the gap widens with vars.")

@@ -1,0 +1,86 @@
+"""E09 — Proposition 1: non-closure witnesses, refuted mechanically.
+
+Times the refutation machinery: the emptiness lemma, the exact ?-table
+decision, the connectivity lemma, and the bounded searchers.
+"""
+
+import pytest
+
+from repro import apply_query, col_eq, prod, rel, sel
+from repro.completion.separations import (
+    codd_representable,
+    connected_under_small_steps,
+    emptiness_varies,
+    orset_representable,
+    qtable_representable,
+)
+from repro.tables.orset import OrSetRow, OrSetTable, orset
+from repro.tables.qtable import QTable
+from repro.tables.rsets import RSetsTable, block
+from repro.logic.atoms import Var
+from repro.tables.vtable import VTable
+
+
+def selection_image():
+    table = VTable(
+        [(Var("a"), Var("b"))], domains={"a": [1, 2], "b": [1, 2]}
+    )
+    query = sel(rel("V", 2), col_eq(0, 1))
+    return table.mod().map_instances(
+        lambda instance: apply_query(query, instance)
+    )
+
+
+def join_image_qtable():
+    table = QTable([((1,), True), ((2,), True)])
+    query = prod(rel("V", 1), rel("V", 1))
+    return table.mod().map_instances(
+        lambda instance: apply_query(query, instance)
+    )
+
+
+def join_image_rsets():
+    table = RSetsTable([block((1,), (2,)), block((3,), (4,))])
+    query = prod(rel("V", 1), rel("V", 1))
+    return table.mod().map_instances(
+        lambda instance: apply_query(query, instance)
+    )
+
+
+def test_emptiness_lemma(benchmark):
+    image = selection_image()
+    assert benchmark(emptiness_varies, image)
+
+
+def test_codd_search_refutation(benchmark):
+    image = selection_image()
+    assert not benchmark(codd_representable, image)
+
+
+def test_qtable_exact_refutation(benchmark):
+    image = join_image_qtable()
+    assert not benchmark(qtable_representable, image)
+
+
+def test_connectivity_lemma_refutation(benchmark):
+    image = join_image_rsets()
+    assert not benchmark(connected_under_small_steps, image)
+
+
+def test_report_witnesses():
+    print("\nE09: Proposition 1 witnesses:")
+    print(f"  Codd/σ: image has ∅ and non-∅ worlds -> "
+          f"unrepresentable: {emptiness_varies(selection_image())}")
+    orset_image = OrSetTable(
+        [OrSetRow((orset(1, 2), orset(1, 2)))], allow_optional=False
+    ).mod().map_instances(
+        lambda instance: apply_query(
+            sel(rel("V", 2), col_eq(0, 1)), instance
+        )
+    )
+    print(f"  or-set/σ refuted by search: "
+          f"{not orset_representable(orset_image)}")
+    print(f"  ?-table/join refuted exactly: "
+          f"{not qtable_representable(join_image_qtable())}")
+    print(f"  Rsets/join refuted by connectivity lemma: "
+          f"{not connected_under_small_steps(join_image_rsets())}")

@@ -1,0 +1,59 @@
+"""E10 — Theorem 5: RA-completion of Codd tables and v-tables.
+
+Construction + verification cost for both completions on Example 2 and
+the chain family; reports the base-table and query sizes each fragment
+pays.
+"""
+
+import pytest
+
+from repro.completion.ra_completion import (
+    codd_spju_completion,
+    verify_ra_completion,
+    vtable_sp_completion,
+)
+from conftest import chain_ctable
+
+
+def test_codd_spju_construction(benchmark, example2_ctable):
+    base, query = benchmark(codd_spju_completion, example2_ctable)
+    assert base.is_codd_table()
+
+
+def test_codd_spju_verification(benchmark, example2_ctable):
+    completion = codd_spju_completion(example2_ctable)
+    assert benchmark(
+        verify_ra_completion, example2_ctable, completion
+    )
+
+
+def test_vtable_sp_construction(benchmark, example2_ctable):
+    base, query = benchmark(vtable_sp_completion, example2_ctable)
+    assert base.is_v_table()
+
+
+def test_vtable_sp_verification(benchmark, example2_ctable):
+    completion = vtable_sp_completion(example2_ctable)
+    assert benchmark(
+        verify_ra_completion, example2_ctable, completion
+    )
+
+
+@pytest.mark.parametrize("variables", [2, 3])
+def test_chain_family_sp(benchmark, variables):
+    table = chain_ctable(variables)
+    completion = vtable_sp_completion(table)
+    assert benchmark(verify_ra_completion, table, completion)
+
+
+def test_report_sizes(example2_ctable):
+    print("\nE10: completion costs on Example 2 (3 rows, 3 vars):")
+    codd, codd_query = codd_spju_completion(example2_ctable)
+    vtab, v_query = vtable_sp_completion(example2_ctable)
+    print(f"  Codd+SPJU: base arity {codd.arity}, query {codd_query.size()}"
+          " nodes (Theorem 1 compilation)")
+    print(f"  v-table+SP: base arity {vtab.arity} "
+          f"({vtab.arity - example2_ctable.arity} extra columns), "
+          f"query {v_query.size()} nodes (one selection)")
+    print("  shape: SP needs a wider table; SPJU needs a bigger query —")
+    print("  the fragments trade table width for operator power.")

@@ -1,0 +1,46 @@
+"""E12 — Theorem 7 / Corollary 1: general finite completion of ?-tables.
+
+Theorem 7's query grows with the base system's world count (one
+recognizer per world); the sweep shows that growth and the verification
+cost as the target scales.
+"""
+
+import pytest
+
+from repro.completion.finite_completion import (
+    general_finite_completion,
+    qtable_ra_completion,
+    verify_finite_completion,
+)
+from conftest import random_finite_idatabase
+
+
+@pytest.mark.parametrize("instances", [2, 4, 8])
+def test_construction(benchmark, instances):
+    target = random_finite_idatabase(seed=instances * 7,
+                                     instances=instances)
+    tables, query = benchmark(qtable_ra_completion, target)
+    assert query.arity == target.arity
+
+
+@pytest.mark.parametrize("instances", [2, 4])
+def test_verification(benchmark, instances):
+    target = random_finite_idatabase(seed=instances * 7,
+                                     instances=instances)
+    tables, query = qtable_ra_completion(target)
+    assert benchmark(verify_finite_completion, tables, query, target)
+
+
+def test_report_query_growth():
+    print("\nE12: Theorem 7 query size vs target instance count:")
+    for instances in (2, 3, 4, 6, 8):
+        target = random_finite_idatabase(seed=instances * 7,
+                                         instances=instances)
+        tables, query = qtable_ra_completion(target)
+        base = tables["V"]
+        print(
+            f"  targets = {instances}: ?-table rows = {len(base)}, "
+            f"base worlds = {len(base.mod())}, query nodes = {query.size()}"
+        )
+    print("  shape: one recognizer branch per base world — query size")
+    print("  linear in the world count, which is ≥ target count.")

@@ -1,0 +1,28 @@
+"""E13 — Proposition 4: q(N) = Z_k.
+
+Applying the query to every instance of the finite universe N is doubly
+exponential in |D|^k, so the sweep stays tiny by necessity — exactly the
+point of representation systems over materialized world sets.
+"""
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.universe import universe_size
+from repro.completion.zk import verify_prop4
+
+
+@pytest.mark.parametrize("domain_size,k", [(2, 1), (3, 1), (2, 2)])
+def test_prop4_verification(benchmark, domain_size, k):
+    domain = Domain(range(1, domain_size + 1))
+    assert benchmark(verify_prop4, domain, k)
+
+
+def test_report_universe_growth():
+    print("\nE13: Prop 4 check cost is |N| = 2^(|D|^k):")
+    for domain_size, k in [(2, 1), (3, 1), (4, 1), (2, 2)]:
+        domain = Domain(range(1, domain_size + 1))
+        size = universe_size(domain, k)
+        verified = verify_prop4(domain, k) if size <= 2 ** 9 else "(skipped)"
+        print(f"  |D|={domain_size}, k={k}: |N| = {size}, "
+              f"q(N) = Z_k: {verified}")

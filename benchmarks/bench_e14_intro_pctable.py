@@ -1,0 +1,75 @@
+"""E14 — the introduction's Alice/Bob/Theo probabilistic c-table.
+
+Regenerates the probability space the paper describes and times
+distribution materialization, tuple-probability queries, and query
+answering with answer distributions.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    CRow,
+    Const,
+    PCTable,
+    TOP,
+    Var,
+    answer_pctable,
+    col_eq_const,
+    disj,
+    eq,
+    proj,
+    rel,
+    sel,
+)
+
+
+def intro_table() -> PCTable:
+    x, t = Var("x"), Var("t")
+    return PCTable(
+        [
+            CRow((Const("Alice"), x), TOP),
+            CRow((Const("Bob"), x), disj(eq(x, "phys"), eq(x, "chem"))),
+            CRow((Const("Theo"), Const("math")), eq(t, 1)),
+        ],
+        {
+            "x": {
+                "math": Fraction(3, 10),
+                "phys": Fraction(3, 10),
+                "chem": Fraction(4, 10),
+            },
+            "t": {0: Fraction(15, 100), 1: Fraction(85, 100)},
+        },
+    )
+
+
+def test_mod_materialization(benchmark):
+    table = intro_table()
+    pdb = benchmark(table.mod)
+    assert len(pdb) == 6
+
+
+def test_tuple_probability(benchmark):
+    table = intro_table()
+    result = benchmark(table.tuple_probability, ("Bob", "chem"))
+    assert result == Fraction(4, 10)
+
+
+def test_query_answering(benchmark):
+    table = intro_table()
+    query = proj(sel(rel("V", 2), col_eq_const(1, "phys")), [0])
+    answer = benchmark(answer_pctable, query, table)
+    assert answer.arity == 1
+
+
+def test_report_distribution():
+    table = intro_table()
+    print("\nE14: the intro pc-table's probability space:")
+    for instance, weight in table.mod().items():
+        print(f"  {str(weight):7s}: {sorted(instance.rows)}")
+    print(f"  P[Theo math] = {table.tuple_probability(('Theo', 'math'))} "
+          "(paper: 0.85)")
+    print(f"  P[Bob=Alice's course | phys or chem] encoded: "
+          f"P[Bob phys] = {table.tuple_probability(('Bob', 'phys'))}, "
+          f"P[Bob chem] = {table.tuple_probability(('Bob', 'chem'))}")

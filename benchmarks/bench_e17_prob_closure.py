@@ -1,0 +1,59 @@
+"""E17 — Theorem 9: pc-tables are closed under RA.
+
+The two sides of the theorem are timed separately: the symbolic route
+(q̄ on the table, distributions untouched) and the image-space route
+(materialize the p-database, push it through q).  The shape matches E08
+with probabilities on top: symbolic stays table-sized.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import col_eq, proj, prod, rel, sel
+from repro.prob.closure import answer_pctable, image_pdatabase, verify_prob_closure
+from repro.prob.ptables import PQTable
+from conftest import random_pq_rows
+
+
+QUERY = proj(
+    sel(prod(rel("V", 1), rel("V", 1)), col_eq(0, 1)), [0]
+)
+
+
+def pctable_with(tuples: int):
+    return PQTable(
+        random_pq_rows(seed=tuples * 3, count=tuples)
+    ).to_pctable()
+
+
+@pytest.mark.parametrize("tuples", [4, 8, 12])
+def test_symbolic_route(benchmark, tuples):
+    table = pctable_with(tuples)
+    answer = benchmark(answer_pctable, QUERY, table)
+    assert answer.arity == 1
+
+
+@pytest.mark.parametrize("tuples", [4, 8])
+def test_image_space_route(benchmark, tuples):
+    table = pctable_with(tuples)
+    pdb = table.mod()
+    image = benchmark(image_pdatabase, QUERY, pdb)
+    assert image.arity == 1
+
+
+@pytest.mark.parametrize("tuples", [4, 8])
+def test_full_verification(benchmark, tuples):
+    table = pctable_with(tuples)
+    assert benchmark(verify_prob_closure, QUERY, table)
+
+
+def test_report_distribution_equality():
+    print("\nE17: Theorem 9 — distribution equality, exactly:")
+    for tuples in (4, 8, 10):
+        table = pctable_with(tuples)
+        symbolic = answer_pctable(QUERY, table).mod()
+        image = image_pdatabase(QUERY, table.mod())
+        print(f"  {tuples:2d} tuples: Mod(q̄(T)) == q(Mod(T)) as "
+              f"distributions: {symbolic == image} "
+              f"({len(symbolic)} answer worlds)")

@@ -1,0 +1,63 @@
+"""E19 — Section 3's expressiveness separations, exhaustively.
+
+Times the refutation searches behind the paper's separating examples:
+finite v-tables > or-set tables (= finite Codd) and Rsets > finite
+v-tables on specific targets.
+"""
+
+import pytest
+
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.logic.atoms import Var
+from repro.completion.separations import (
+    codd_representable,
+    rsets_representable,
+    vtable_representable,
+)
+from repro.tables.vtable import VTable
+
+
+def correlated_target() -> IDatabase:
+    """Mod of {(1,x),(x,1)} with dom(x) = {1,2}."""
+    return VTable(
+        [(1, Var("x")), (Var("x"), 1)], domains={"x": [1, 2]}
+    ).mod()
+
+
+def swap_target() -> IDatabase:
+    """{{(1,2)},{(2,1)}} — beyond finite v-tables."""
+    return IDatabase([Instance([(1, 2)]), Instance([(2, 1)])], arity=2)
+
+
+def test_codd_refutation_search(benchmark):
+    target = correlated_target()
+    assert not benchmark(codd_representable, target, 4)
+
+
+def test_vtable_positive_search(benchmark):
+    target = correlated_target()
+    assert benchmark(vtable_representable, target)
+
+
+def test_vtable_refutation_search(benchmark):
+    target = swap_target()
+    assert not benchmark(vtable_representable, target, 3, 2)
+
+
+def test_rsets_positive_search(benchmark):
+    target = swap_target()
+    assert benchmark(rsets_representable, target, 1)
+
+
+def test_report_hierarchy():
+    print("\nE19: the expressiveness hierarchy, witnessed:")
+    correlated = correlated_target()
+    swap = swap_target()
+    print("  target Mod{(1,x),(x,1)}: "
+          f"Codd/or-set = {codd_representable(correlated, 4)}, "
+          f"finite v-table = {vtable_representable(correlated)}")
+    print("  target {{(1,2)},{(2,1)}}: "
+          f"finite v-table = {vtable_representable(swap, 3, 2)}, "
+          f"Rsets = {rsets_representable(swap, 1)}")
+    print("  (boolean c-tables represent both — Theorem 3; see E06)")

@@ -1,0 +1,113 @@
+"""E20 — §9 extensions: provenance, dependent variables, possibility.
+
+Not a paper table — the paper's closing section proposes these
+directions and this reproduction implements them; the benchmark records
+their cost profile next to the core machinery they extend.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import apply_query, col_eq, col_ne, parse_query, proj, prod, rel, sel
+from repro.core.instance import Instance, relation
+from repro.provenance import (
+    ctable_lineage,
+    ctable_lineage_matches_provenance,
+    why_provenance,
+)
+from repro.prob.bayes import DependentPCTable, VariableNetwork
+from repro.prob.possibilistic import (
+    PossibilisticCTable,
+    verify_possibilistic_closure,
+)
+from repro.tables.ctable import CRow
+from repro.logic.atoms import Const, Var, eq
+from repro.logic.syntax import TOP
+
+
+DATA = relation(*[(i % 4, i % 3) for i in range(8)])
+QUERY = proj(sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3])
+
+
+def test_why_provenance(benchmark):
+    answers = apply_query(QUERY, DATA)
+    row = next(iter(answers))
+    provenance = benchmark(why_provenance, QUERY, DATA, row)
+    assert provenance
+
+
+def test_ctable_lineage(benchmark):
+    answers = apply_query(QUERY, DATA)
+    row = next(iter(answers))
+    lineage = benchmark(ctable_lineage, QUERY, DATA, row)
+    assert lineage.variables()
+
+
+def test_lineage_provenance_coincidence(benchmark):
+    answers = sorted(apply_query(QUERY, DATA))
+    row = answers[0]
+    assert benchmark(
+        ctable_lineage_matches_provenance, QUERY, DATA, row
+    )
+
+
+def chain_network(depth: int) -> VariableNetwork:
+    network = VariableNetwork().add_independent(
+        "v0", {0: Fraction(1, 2), 1: Fraction(1, 2)}
+    )
+    for index in range(1, depth):
+        network.add(
+            f"v{index}",
+            (f"v{index - 1}",),
+            {
+                (0,): {0: Fraction(3, 4), 1: Fraction(1, 4)},
+                (1,): {0: Fraction(1, 4), 1: Fraction(3, 4)},
+            },
+        )
+    return network
+
+
+@pytest.mark.parametrize("depth", [3, 6, 9])
+def test_dependent_pctable_mod(benchmark, depth):
+    rows = [
+        CRow((Const(index), Var(f"v{index}")), TOP) for index in range(depth)
+    ]
+    table = DependentPCTable(rows, chain_network(depth), arity=2)
+    pdb = benchmark(table.mod)
+    assert sum(weight for _, weight in pdb.items()) == 1
+
+
+def test_possibilistic_closure(benchmark):
+    table = PossibilisticCTable(
+        [
+            CRow((Var("x"),), TOP),
+            CRow((Var("y"),), eq(Var("x"), 1)),
+        ],
+        {
+            "x": {1: Fraction(1), 2: Fraction(1, 2)},
+            "y": {3: Fraction(1), 4: Fraction(1, 4)},
+        },
+    )
+    query = parse_query("pi[1](V)", {"V": 1})
+    assert benchmark(verify_possibilistic_closure, query, table)
+
+
+def test_report_extensions():
+    print("\nE20: §9 extensions — cross-checks:")
+    answers = sorted(apply_query(QUERY, DATA))
+    agree = all(
+        ctable_lineage_matches_provenance(QUERY, DATA, row)
+        for row in answers[:4]
+    )
+    print(f"  provenance ≡ q̄-condition on {min(4, len(answers))} answer "
+          f"tuples: {agree}")
+    depth = 6
+    rows = [
+        CRow((Const(index), Var(f"v{index}")), TOP) for index in range(depth)
+    ]
+    table = DependentPCTable(rows, chain_network(depth), arity=2)
+    total = sum(weight for _, weight in table.mod().items())
+    print(f"  dependent pc-table (Markov chain, depth {depth}): "
+          f"total probability = {total}")
+    print("  possibilistic closure: see benchmark (True)")

@@ -1,0 +1,82 @@
+"""Shared builders for the experiment benchmarks (E01–E19).
+
+Each ``bench_e*.py`` regenerates one paper artifact (example, theorem,
+or implied quantitative claim — see DESIGN.md's experiment index) and
+times the operations involved.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Shape expectations, not absolute numbers, are what the reproduction
+commits to; the ``report_*`` helpers print the series EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import CTable, Instance, IDatabase, TOP, Var, conj, disj, eq, ne
+from repro.tables.ctable import CRow
+from repro.logic.atoms import Const
+
+
+@pytest.fixture
+def example2_ctable() -> CTable:
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return CTable(
+        [
+            ((1, 2, x), TOP),
+            ((3, x, y), conj(eq(x, y), ne(z, 2))),
+            ((z, 4, 5), disj(ne(x, 1), ne(x, y))),
+        ]
+    )
+
+
+def chain_ctable(variables: int, arity: int = 2) -> CTable:
+    """A c-table whose rows chain conditions over *variables* variables.
+
+    Row i carries condition ``x_i = x_{i+1}`` (cyclically ``x_last ≠ x_0``),
+    giving non-trivial correlation at any size.
+    """
+    names = [Var(f"x{index}") for index in range(variables)]
+    rows = []
+    for index in range(variables):
+        nxt = names[(index + 1) % variables]
+        condition = (
+            eq(names[index], nxt) if index + 1 < variables else ne(
+                names[index], names[0]
+            )
+        )
+        values = tuple(
+            names[(index + offset) % variables] for offset in range(arity)
+        )
+        rows.append(CRow(values, condition))
+    return CTable(rows, arity=arity)
+
+
+def random_finite_idatabase(
+    seed: int, instances: int, arity: int = 2, values=(1, 2, 3)
+) -> IDatabase:
+    rng = random.Random(seed)
+    out = set()
+    while len(out) < instances:
+        rows = {
+            tuple(rng.choice(values) for _ in range(arity))
+            for _ in range(rng.randint(0, 3))
+        }
+        out.add(Instance(rows, arity=arity))
+    return IDatabase(out, arity=arity)
+
+
+def random_pq_rows(seed: int, count: int, arity: int = 1):
+    """Distinct tuples with random dyadic probabilities."""
+    rng = random.Random(seed)
+    rows = {}
+    value = 0
+    while len(rows) < count:
+        value += 1
+        rows[tuple([value] * arity)] = Fraction(rng.randint(1, 7), 8)
+    return rows

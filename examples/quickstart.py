@@ -1,0 +1,109 @@
+"""Quickstart: incomplete data, queries, and probabilities in ten minutes.
+
+Run with ``python examples/quickstart.py``.
+
+The scenario: a course-enrollment table where some facts are unknown.
+We model it as a c-table, query it with the relational algebra (closed:
+the answer is again a c-table), then attach probabilities and compute
+answer-tuple confidences — the full arc of Green & Tannen's paper.
+"""
+
+from fractions import Fraction
+
+from repro import (
+    CTable,
+    PCTable,
+    Var,
+    answer_pctable,
+    apply_query_to_ctable,
+    certain_answer_table,
+    col_eq_const,
+    conj,
+    disj,
+    eq,
+    ne,
+    possible_answer_table,
+    proj,
+    rel,
+    sel,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. An incomplete database as a c-table.
+    #
+    # We know Ann is enrolled in some course x; Bob is in the same
+    # course as Ann, but only if that course is db or ai; Carol takes
+    # logic unless Ann does too.
+    # ------------------------------------------------------------------
+    x = Var("x")
+    enrollment = CTable(
+        [
+            ("Ann", x),
+            (("Bob", x), disj(eq(x, "db"), eq(x, "ai"))),
+            (("Carol", "logic"), ne(x, "logic")),
+        ]
+    )
+    print("The c-table:")
+    print(enrollment.to_text())
+    print()
+
+    # Possible worlds over a slice of the (infinite) course domain.
+    domain = ["db", "ai", "logic"]
+    print(f"Possible worlds over {domain}:")
+    for world in sorted(map(repr, enrollment.mod_over(domain))):
+        print(" ", world)
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Query it: who is enrolled in db?  (Theorem 4: the c-table
+    #    algebra gives the answer as another c-table.)
+    # ------------------------------------------------------------------
+    V = rel("V", 2)
+    who_takes_db = proj(sel(V, col_eq_const(1, "db")), [0])
+    answer = apply_query_to_ctable(who_takes_db, enrollment)
+    print(f"q = {who_takes_db!r}")
+    print("Answer c-table (conditions are lineage!):")
+    print(answer.to_text())
+    print()
+
+    # Certain vs possible answers.
+    witness = enrollment.witness_domain()
+    print("certain:", certain_answer_table(who_takes_db, enrollment, witness))
+    print("possible:", possible_answer_table(who_takes_db, enrollment,
+                                             witness))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Attach probabilities: a probabilistic c-table (Definition 13).
+    # ------------------------------------------------------------------
+    probabilistic = PCTable(
+        enrollment.rows,
+        {
+            "x": {
+                "db": Fraction(1, 2),
+                "ai": Fraction(1, 4),
+                "logic": Fraction(1, 4),
+            }
+        },
+    )
+    print("P[Ann takes db]  =", probabilistic.tuple_probability(("Ann", "db")))
+    print("P[Bob enrolled in db] =",
+          probabilistic.tuple_probability(("Bob", "db")))
+    print("P[Carol takes logic]  =",
+          probabilistic.tuple_probability(("Carol", "logic")))
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Probabilistic query answering (Theorem 9): the answer to the
+    #    query is again a pc-table, with exact world probabilities.
+    # ------------------------------------------------------------------
+    answer_table = answer_pctable(who_takes_db, probabilistic)
+    print("Answer distribution for q:")
+    for instance, weight in answer_table.mod().items():
+        print(f"  {weight}: {instance!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Safe plans vs lineage: when do answers stay independent-tuple?
+
+Section 8 of the paper points at Dalvi–Suciu's result: a conjunctive
+query over a p-?-table admits extensional (operator-local) probability
+computation exactly when it is *hierarchical*; otherwise the answer
+carries genuinely correlated lineage and only the intensional route
+(c-table conditions → weighted model counting) is exact.
+
+This example shows both sides on a small social-network dataset.
+
+Run with ``python examples/safe_vs_unsafe.py``.
+"""
+
+from fractions import Fraction
+
+from repro.prob.extensional import (
+    ProbRelation,
+    atom,
+    cq,
+    cq_lineage,
+    is_hierarchical,
+    lineage_probability_cq,
+    safe_plan_probability,
+)
+
+
+def main() -> None:
+    half = Fraction(1, 2)
+    # Person(x): probabilistic entity resolution output.
+    person = ProbRelation(
+        "Person", {("ann",): Fraction(9, 10), ("bob",): Fraction(6, 10)}
+    )
+    # Follows(x, y): observed interactions with confidences.
+    follows = ProbRelation(
+        "Follows",
+        {
+            ("ann", "bob"): half,
+            ("ann", "cat"): Fraction(3, 4),
+            ("bob", "cat"): Fraction(1, 4),
+        },
+    )
+    # Verified(y): account verification flags from a noisy crawl.
+    verified = ProbRelation(
+        "Verified", {("bob",): Fraction(4, 5), ("cat",): Fraction(2, 5)}
+    )
+    relations = {"Person": person, "Follows": follows, "Verified": verified}
+
+    # ------------------------------------------------------------------
+    # A safe (hierarchical) query: does any resolved person follow
+    # someone?  at(x) ⊇ at(y) — nested, so a safe plan exists.
+    # ------------------------------------------------------------------
+    safe_query = cq(atom("Person", "x"), atom("Follows", "x", "y"))
+    print(f"q_safe = {safe_query!r}")
+    print("hierarchical:", is_hierarchical(safe_query))
+    extensional = safe_plan_probability(safe_query, relations)
+    exact = lineage_probability_cq(safe_query, relations)
+    print(f"safe-plan probability : {extensional}")
+    print(f"exact lineage answer  : {exact}")
+    assert extensional == exact
+    print("agreement: the extensional plan is exact here\n")
+
+    # ------------------------------------------------------------------
+    # The classic unsafe query: R(x), S(x,y), T(y) — someone resolved
+    # follows someone verified.  at(x) and at(y) overlap on Follows but
+    # neither contains the other: no safe plan exists.
+    # ------------------------------------------------------------------
+    unsafe_query = cq(
+        atom("Person", "x"), atom("Follows", "x", "y"), atom("Verified", "y")
+    )
+    print(f"q_unsafe = {unsafe_query!r}")
+    print("hierarchical:", is_hierarchical(unsafe_query))
+    try:
+        safe_plan_probability(unsafe_query, relations)
+    except Exception as error:
+        print(f"safe-plan evaluation refuses: {error}")
+    exact = lineage_probability_cq(unsafe_query, relations)
+    print(f"exact lineage answer  : {exact}")
+    lineage = cq_lineage(unsafe_query, relations)
+    print(f"lineage formula size  : {len(lineage.atoms())} tuple events")
+    print(
+        "\nThe lineage shares Verified(y) events across different x — the"
+        "\ncorrelation no operator-local rule can track.  pc-tables carry"
+        "\nexactly this lineage in their conditions, which is why the"
+        "\npaper's probabilistic c-tables are closed where p-?-tables"
+        "\nare not."
+    )
+
+
+if __name__ == "__main__":
+    main()

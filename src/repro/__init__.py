@@ -1,0 +1,184 @@
+"""repro — Models for Incomplete and Probabilistic Information.
+
+A from-scratch reproduction of Green & Tannen (EDBT 2006): c-tables and
+the weaker representation systems of Sarma et al., the c-table algebra,
+RA-/finite-completeness and algebraic completion, probability spaces
+over instances, and probabilistic c-tables with closed query answering.
+
+Quickstart::
+
+    from repro import CTable, Var, eq, rel, proj, apply_query_to_ctable
+
+    x = Var("x")
+    table = CTable([((1, x), eq(x, 2))])
+    answer = apply_query_to_ctable(proj(rel("V", 2), [1]), table)
+
+See ``examples/quickstart.py`` and the README for the full tour.
+"""
+
+from repro.errors import (
+    ArityError,
+    ConditionError,
+    DomainError,
+    FragmentError,
+    ProbabilityError,
+    QueryError,
+    ReproError,
+    TableError,
+    UnsupportedOperationError,
+    ValuationError,
+)
+from repro.core import Domain, IDatabase, InfiniteDomain, Instance, relation
+from repro.logic import (
+    BOTTOM,
+    TOP,
+    BoolVar,
+    Const,
+    Eq,
+    Formula,
+    Var,
+    conj,
+    disj,
+    eq,
+    evaluate,
+    ne,
+    neg,
+)
+from repro.algebra import (
+    ConstRel,
+    Query,
+    RelVar,
+    apply_query,
+    col_eq,
+    col_eq_const,
+    col_ne,
+    col_ne_const,
+    diff,
+    evaluate_query,
+    in_fragment,
+    intersect,
+    proj,
+    prod,
+    rel,
+    sel,
+    singleton,
+    union,
+)
+from repro.tables import (
+    BooleanCTable,
+    CRow,
+    CTable,
+    CoddTable,
+    OrSet,
+    OrSetRow,
+    OrSetTable,
+    QRow,
+    QTable,
+    RAPropTable,
+    RSetsTable,
+    RXorEquivTable,
+    VTable,
+    ctable_of,
+)
+from repro.algebra.parser import format_query, parse_query
+from repro.ctalgebra import apply_query_to_ctable, translate_query
+from repro.provenance import (
+    ctable_lineage,
+    ctable_lineage_matches_provenance,
+    lineage_formula,
+    why_provenance,
+)
+from repro.completion import (
+    boolean_ctable_for,
+    codd_spju_completion,
+    ctable_to_query,
+    general_finite_completion,
+    orset_pj_completion,
+    qtable_ra_completion,
+    verify_ra_definability,
+    vtable_sp_completion,
+    zk_table,
+)
+from repro.tables.normalize import normalize
+from repro.worlds import (
+    certain_answer,
+    certain_answer_symbolic,
+    certain_answer_table,
+    closure_holds,
+    ctables_equivalent,
+    lemma1_holds,
+    possible_answer,
+    possible_answer_symbolic,
+    possible_answer_table,
+)
+from repro.prob import (
+    BooleanPCTable,
+    DependentPCTable,
+    ConjunctiveQuery,
+    FiniteProbSpace,
+    PCTable,
+    PDatabase,
+    POrSetTable,
+    PQTable,
+    PossibilisticCTable,
+    PossibilisticDatabase,
+    ProbRelation,
+    VariableNetwork,
+    answer_pctable,
+    boolean_pctable_for,
+    is_hierarchical,
+    lineage_of,
+    safe_plan_probability,
+    tuple_probability_lineage,
+    tuple_probability_naive,
+    verify_possibilistic_closure,
+    verify_prob_closure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ArityError", "ConditionError", "DomainError", "FragmentError",
+    "ProbabilityError", "QueryError", "ReproError", "TableError",
+    "UnsupportedOperationError", "ValuationError",
+    # core
+    "Domain", "IDatabase", "InfiniteDomain", "Instance", "relation",
+    # logic
+    "BOTTOM", "TOP", "BoolVar", "Const", "Eq", "Formula", "Var",
+    "conj", "disj", "eq", "evaluate", "ne", "neg",
+    # algebra
+    "ConstRel", "Query", "RelVar", "apply_query", "col_eq", "col_eq_const",
+    "col_ne", "col_ne_const", "diff", "evaluate_query", "in_fragment",
+    "intersect", "proj", "prod", "rel", "sel", "singleton", "union",
+    # tables
+    "BooleanCTable", "CRow", "CTable", "CoddTable", "OrSet", "OrSetRow",
+    "OrSetTable", "QRow", "QTable", "RAPropTable", "RSetsTable",
+    "RXorEquivTable", "VTable", "ctable_of",
+    # c-table algebra
+    "apply_query_to_ctable", "translate_query",
+    # parser & provenance (§9 extensions)
+    "format_query", "parse_query", "ctable_lineage",
+    "ctable_lineage_matches_provenance", "lineage_formula",
+    "why_provenance",
+    # completion
+    "boolean_ctable_for", "codd_spju_completion", "ctable_to_query",
+    "general_finite_completion", "orset_pj_completion",
+    "qtable_ra_completion", "verify_ra_definability",
+    "vtable_sp_completion", "zk_table",
+    # worlds
+    "certain_answer", "certain_answer_symbolic",
+    "certain_answer_table", "closure_holds", "normalize",
+    "possible_answer_symbolic",
+    "ctables_equivalent", "lemma1_holds", "possible_answer",
+    "possible_answer_table",
+    # prob
+    "BooleanPCTable", "ConjunctiveQuery", "FiniteProbSpace", "PCTable",
+    "PDatabase", "POrSetTable", "PQTable", "ProbRelation",
+    "answer_pctable", "boolean_pctable_for", "is_hierarchical",
+    "lineage_of", "safe_plan_probability", "tuple_probability_lineage",
+    "tuple_probability_naive", "verify_prob_closure",
+    "DependentPCTable", "VariableNetwork", "PossibilisticCTable",
+    "PossibilisticDatabase", "verify_possibilistic_closure",
+    "__version__",
+]

@@ -1,0 +1,100 @@
+"""The (unnamed) relational algebra: AST, evaluation, fragments.
+
+The paper uses the unnamed perspective with positional columns.  This
+package defines the expression AST (:mod:`repro.algebra.ast`), the
+selection-predicate language shared with c-table conditions
+(:mod:`repro.algebra.predicates`), the evaluator over conventional
+instances (:mod:`repro.algebra.evaluate`), and the fragment
+classification (SP, PJ, SPJU, S⁺P, PU, S⁺PJ, RA) that the algebraic
+completion theorems quantify over (:mod:`repro.algebra.fragments`).
+"""
+
+from repro.algebra.ast import (
+    ConstRel,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    Query,
+    RelVar,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import (
+    col,
+    col_eq,
+    col_eq_const,
+    col_ne,
+    col_ne_const,
+    eval_predicate,
+    instantiate_predicate,
+    predicate_columns,
+    predicate_is_positive,
+)
+from repro.algebra.evaluate import apply_query, evaluate_query
+from repro.algebra.fragments import (
+    FRAGMENT_PJ,
+    FRAGMENT_PU,
+    FRAGMENT_RA,
+    FRAGMENT_SP,
+    FRAGMENT_SPJU,
+    FRAGMENT_SPLUS_P,
+    FRAGMENT_SPLUS_PJ,
+    Fragment,
+    classify,
+    in_fragment,
+)
+from repro.algebra.parser import format_query, parse_query
+from repro.algebra.builders import (
+    diff,
+    intersect,
+    proj,
+    prod,
+    rel,
+    sel,
+    singleton,
+    union,
+)
+
+__all__ = [
+    "ConstRel",
+    "Difference",
+    "FRAGMENT_PJ",
+    "FRAGMENT_PU",
+    "FRAGMENT_RA",
+    "FRAGMENT_SP",
+    "FRAGMENT_SPJU",
+    "FRAGMENT_SPLUS_P",
+    "FRAGMENT_SPLUS_PJ",
+    "Fragment",
+    "Intersection",
+    "Product",
+    "Project",
+    "Query",
+    "RelVar",
+    "Select",
+    "Union",
+    "apply_query",
+    "classify",
+    "col",
+    "col_eq",
+    "col_eq_const",
+    "col_ne",
+    "col_ne_const",
+    "diff",
+    "eval_predicate",
+    "format_query",
+    "evaluate_query",
+    "in_fragment",
+    "instantiate_predicate",
+    "parse_query",
+    "intersect",
+    "predicate_columns",
+    "predicate_is_positive",
+    "proj",
+    "prod",
+    "rel",
+    "sel",
+    "singleton",
+    "union",
+]

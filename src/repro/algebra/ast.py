@@ -1,0 +1,245 @@
+"""Relational-algebra expression AST (unnamed perspective).
+
+Operators follow the paper: projection ``π_ℓ``, selection ``σ_c``, cross
+product ``×``, union ``∪``, difference ``−``, intersection ``∩``, input
+relation names, and constant relations (the singletons ``{c}`` the
+Theorem 1 construction multiplies together).  Column lists may repeat and
+reorder indexes, exactly as ``π_{5,1,2}`` does in Example 4.
+
+Expressions are immutable and hashable.  Arity checking happens at
+construction where possible; expressions referencing input relation
+names resolve arity through the name's declared arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ArityError, QueryError
+from repro.core.instance import Instance
+from repro.logic.syntax import Formula
+from repro.algebra.predicates import check_predicate
+
+
+class Query:
+    """Base class of relational-algebra expressions."""
+
+    __slots__ = ()
+
+    @property
+    def arity(self) -> int:
+        """Return the output arity of the expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Query", ...]:
+        """Return the immediate sub-expressions."""
+        return ()
+
+    def walk(self) -> Iterator["Query"]:
+        """Yield every sub-expression including self (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def relation_names(self) -> Dict[str, int]:
+        """Return the input relation names used, with their arities."""
+        names: Dict[str, int] = {}
+        for node in self.walk():
+            if isinstance(node, RelVar):
+                existing = names.get(node.name)
+                if existing is not None and existing != node.rel_arity:
+                    raise ArityError(
+                        f"relation {node.name!r} used with arities "
+                        f"{existing} and {node.rel_arity}"
+                    )
+                names[node.name] = node.rel_arity
+        return names
+
+    def size(self) -> int:
+        """Return the number of operator nodes in the expression."""
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class RelVar(Query):
+    """An input relation name with a declared arity."""
+
+    name: str
+    rel_arity: int
+
+    __slots__ = ("name", "rel_arity")
+
+    def __post_init__(self) -> None:
+        if self.rel_arity < 0:
+            raise ArityError(f"arity must be non-negative, got {self.rel_arity}")
+
+    @property
+    def arity(self) -> int:
+        return self.rel_arity
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstRel(Query):
+    """A constant relation, e.g. the singleton ``{(1,)}``."""
+
+    instance: Instance
+
+    __slots__ = ("instance",)
+
+    @property
+    def arity(self) -> int:
+        return self.instance.arity
+
+    def __repr__(self) -> str:
+        rows = list(self.instance)
+        if len(rows) == 1 and len(rows[0]) == 1:
+            return f"{{{rows[0][0]!r}}}"
+        return repr(self.instance)
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    """Projection onto a list of (possibly repeated) column indexes."""
+
+    child: Query
+    columns: Tuple[int, ...]
+
+    __slots__ = ("child", "columns")
+
+    def __post_init__(self) -> None:
+        bad = [c for c in self.columns if c < 0 or c >= self.child.arity]
+        if bad:
+            raise QueryError(
+                f"projection columns {bad} out of range for arity "
+                f"{self.child.arity}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        cols = ",".join(str(c + 1) for c in self.columns)
+        return f"π[{cols}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Selection by a predicate over the child's columns."""
+
+    child: Query
+    predicate: Formula
+
+    __slots__ = ("child", "predicate")
+
+    def __post_init__(self) -> None:
+        check_predicate(self.predicate, self.child.arity)
+
+    @property
+    def arity(self) -> int:
+        return self.child.arity
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Product(Query):
+    """Cross product of two expressions."""
+
+    left: Query
+    right: Query
+
+    __slots__ = ("left", "right")
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+class _SameArityBinary(Query):
+    """Shared machinery for union/difference/intersection."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        left: Query = self.left  # type: ignore[attr-defined]
+        right: Query = self.right  # type: ignore[attr-defined]
+        if left.arity != right.arity:
+            raise ArityError(
+                f"arity mismatch: {left.arity} vs {right.arity} in "
+                f"{type(self).__name__}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity  # type: ignore[attr-defined]
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class Union(_SameArityBinary):
+    """Set union of two same-arity expressions."""
+
+    left: Query
+    right: Query
+
+    __slots__ = ("left", "right")
+
+    def __post_init__(self) -> None:
+        self._check()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(_SameArityBinary):
+    """Set difference of two same-arity expressions."""
+
+    left: Query
+    right: Query
+
+    __slots__ = ("left", "right")
+
+    def __post_init__(self) -> None:
+        self._check()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Intersection(_SameArityBinary):
+    """Set intersection of two same-arity expressions."""
+
+    left: Query
+    right: Query
+
+    __slots__ = ("left", "right")
+
+    def __post_init__(self) -> None:
+        self._check()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"

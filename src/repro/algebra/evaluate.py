@@ -1,0 +1,97 @@
+"""Evaluation of relational-algebra expressions over instances.
+
+This is the classical semantics ``q(I)`` the paper takes for granted:
+set-based, positional, over conventional finite instances.  It is the
+baseline the c-table algebra is verified against (Lemma 1: for every
+valuation, ``ν(q̄(T)) = q(ν(T))``) and the engine behind naive
+possible-worlds evaluation (benchmark E08's baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.core.instance import Instance
+from repro.algebra.ast import (
+    ConstRel,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    Query,
+    RelVar,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import eval_predicate
+
+
+def evaluate_query(query: Query, env: Mapping[str, Instance]) -> Instance:
+    """Evaluate *query* with input relations bound by *env*.
+
+    Raises :class:`~repro.errors.QueryError` when a referenced relation is
+    missing or bound at the wrong arity.
+    """
+    if isinstance(query, RelVar):
+        instance = env.get(query.name)
+        if instance is None:
+            raise QueryError(f"no relation bound for name {query.name!r}")
+        if instance.arity != query.rel_arity:
+            raise QueryError(
+                f"relation {query.name!r} bound at arity {instance.arity}, "
+                f"expected {query.rel_arity}"
+            )
+        return instance
+    if isinstance(query, ConstRel):
+        return query.instance
+    if isinstance(query, Project):
+        child = evaluate_query(query.child, env)
+        rows = {
+            tuple(row[index] for index in query.columns) for row in child.rows
+        }
+        return Instance(rows, arity=len(query.columns))
+    if isinstance(query, Select):
+        child = evaluate_query(query.child, env)
+        rows = {
+            row for row in child.rows if eval_predicate(query.predicate, row)
+        }
+        return Instance(rows, arity=child.arity)
+    if isinstance(query, Product):
+        return evaluate_query(query.left, env).cross(
+            evaluate_query(query.right, env)
+        )
+    if isinstance(query, Union):
+        return evaluate_query(query.left, env).union(
+            evaluate_query(query.right, env)
+        )
+    if isinstance(query, Difference):
+        return evaluate_query(query.left, env).difference(
+            evaluate_query(query.right, env)
+        )
+    if isinstance(query, Intersection):
+        return evaluate_query(query.left, env).intersection(
+            evaluate_query(query.right, env)
+        )
+    raise QueryError(f"unknown query node {query!r}")
+
+
+def apply_query(query: Query, instance: Instance) -> Instance:
+    """Evaluate a single-input query on *instance*.
+
+    The query must reference exactly one relation name (of matching
+    arity); constant-only queries are also accepted.
+    """
+    names = query.relation_names()
+    if len(names) > 1:
+        raise QueryError(
+            f"apply_query expects a single input relation, found {sorted(names)}"
+        )
+    if not names:
+        return evaluate_query(query, {})
+    (name, arity), = names.items()
+    if arity != instance.arity:
+        raise QueryError(
+            f"query expects arity {arity}, instance has arity {instance.arity}"
+        )
+    return evaluate_query(query, {name: instance})

@@ -1,0 +1,184 @@
+"""Relational-algebra fragments.
+
+The algebraic-completion theorems quantify over *fragments* of RA named
+by the operators they allow: the paper's SPJU, SP, PJ, S⁺P, PU and S⁺PJ.
+Reading the letters:
+
+- ``P`` — projection;
+- ``J`` — join.  In the unnamed algebra a (natural/equi)join is a cross
+  product followed by a *positive selection whose atoms equate columns*
+  (no constants, no negation) — exactly what the paper's Theorem 6
+  constructions use under the label PJ (e.g. ``π σ_{k+1=k+2} (S × T)``);
+- ``S⁺`` — positive selection: equalities over columns *and constants*,
+  combined with ∧/∨ but no negation (Theorem 6.4's ``σ_{2='i'}``);
+- ``S`` — full selection, negation allowed (Theorem 5.2's ``ψᵢ``);
+- ``U`` — union.  Difference and intersection appear only in full RA.
+
+Selection strength is therefore a four-level scale
+``none < join < positive < full``; :func:`classify` computes the profile
+of an expression and :func:`in_fragment` checks membership.  The
+completion constructions in :mod:`repro.completion` assert their outputs
+stay inside the fragment the corresponding theorem promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import (
+    ConstRel,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    Query,
+    RelVar,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import (
+    is_column_var,
+    predicate_is_positive,
+)
+from repro.logic.atoms import Eq
+from repro.logic.syntax import walk
+
+_SELECTION_LEVELS = {"none": 0, "join": 1, "positive": 2, "full": 3}
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """An RA fragment: which operators are permitted.
+
+    ``selection`` is one of ``"none"``, ``"join"``, ``"positive"``,
+    ``"full"`` (each level includes the previous).  Constant relations
+    and input relation names are always allowed — the paper's
+    constructions use singleton constants freely in every fragment
+    (e.g. Theorem 1's SPJU query).
+    """
+
+    name: str
+    selection: str = "none"
+    projection: bool = False
+    product: bool = False
+    union: bool = False
+    difference: bool = False
+    intersection: bool = False
+
+    def allows(self, other: "FragmentUse") -> bool:
+        """Return True when a usage profile fits inside this fragment."""
+        if _SELECTION_LEVELS[other.selection] > _SELECTION_LEVELS[self.selection]:
+            return False
+        if other.projection and not self.projection:
+            return False
+        if other.product and not self.product:
+            return False
+        if other.union and not self.union:
+            return False
+        if other.difference and not self.difference:
+            return False
+        if other.intersection and not self.intersection:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FragmentUse:
+    """The operator usage profile of a concrete expression."""
+
+    selection: str
+    projection: bool
+    product: bool
+    union: bool
+    difference: bool
+    intersection: bool
+
+
+FRAGMENT_SP = Fragment("SP", selection="full", projection=True)
+FRAGMENT_PJ = Fragment("PJ", selection="join", projection=True, product=True)
+FRAGMENT_PU = Fragment("PU", projection=True, union=True)
+FRAGMENT_SPJU = Fragment(
+    "SPJU", selection="full", projection=True, product=True, union=True
+)
+FRAGMENT_SPLUS_P = Fragment("S+P", selection="positive", projection=True)
+FRAGMENT_SPLUS_PJ = Fragment(
+    "S+PJ", selection="positive", projection=True, product=True
+)
+FRAGMENT_RA = Fragment(
+    "RA",
+    selection="full",
+    projection=True,
+    product=True,
+    union=True,
+    difference=True,
+    intersection=True,
+)
+
+NAMED_FRAGMENTS = {
+    fragment.name: fragment
+    for fragment in (
+        FRAGMENT_SP,
+        FRAGMENT_PJ,
+        FRAGMENT_PU,
+        FRAGMENT_SPJU,
+        FRAGMENT_SPLUS_P,
+        FRAGMENT_SPLUS_PJ,
+        FRAGMENT_RA,
+    )
+}
+
+
+def selection_level(predicate) -> str:
+    """Classify a selection predicate: 'none', 'join', 'positive' or 'full'.
+
+    'join' means positive with only column-to-column equality atoms;
+    'positive' allows constants in the equalities; 'full' allows
+    negation.
+    """
+    from repro.logic.syntax import Top
+
+    if isinstance(predicate, Top):
+        return "none"
+    if not predicate_is_positive(predicate):
+        return "full"
+    for node in walk(predicate):
+        if isinstance(node, Eq):
+            if not (is_column_var(node.left) and is_column_var(node.right)):
+                return "positive"
+    return "join"
+
+
+def classify(query: Query) -> FragmentUse:
+    """Compute the usage profile of *query*."""
+    selection = "none"
+    projection = product = union = difference = intersection = False
+    for node in query.walk():
+        if isinstance(node, Select):
+            level = selection_level(node.predicate)
+            if _SELECTION_LEVELS[level] > _SELECTION_LEVELS[selection]:
+                selection = level
+        elif isinstance(node, Project):
+            projection = True
+        elif isinstance(node, Product):
+            product = True
+        elif isinstance(node, Union):
+            union = True
+        elif isinstance(node, Difference):
+            difference = True
+        elif isinstance(node, Intersection):
+            intersection = True
+        elif not isinstance(node, (RelVar, ConstRel)):
+            raise TypeError(f"unknown query node {node!r}")
+    return FragmentUse(
+        selection=selection,
+        projection=projection,
+        product=product,
+        union=union,
+        difference=difference,
+        intersection=intersection,
+    )
+
+
+def in_fragment(query: Query, fragment: Fragment) -> bool:
+    """Return True when *query* uses only operators allowed by *fragment*."""
+    return fragment.allows(classify(query))

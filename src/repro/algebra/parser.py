@@ -1,0 +1,400 @@
+"""A small text parser for relational-algebra expressions.
+
+Accepts the paper's notation in ASCII form, so Example 4's query can be
+written almost verbatim::
+
+    parse_query(
+        "pi[1,2,3]({1} x {2} x V)"
+        " + pi[1,2,3](sigma[2=3 & 4!='2']({3} x V))"
+        " + pi[5,1,2](sigma[3!='1' | 3!=4]({4} x {5} x V))",
+        {"V": 3},
+    )
+
+Grammar (columns are 1-based, as in the paper; quoted or numeric
+literals are constants)::
+
+    query   := term (('+' | '-' | '&') term)*        union/difference/intersection
+    term    := factor ('x' factor)*                   cross product
+    factor  := 'pi' '[' cols ']' '(' query ')'
+             | 'sigma' '[' pred ']' '(' query ')'
+             | '{' literal (',' literal)* '}'         constant tuple
+             | NAME                                   input relation
+             | '(' query ')'
+    pred    := disj;  disj := conj ('|' conj)*;  conj := atom ('&' atom)*
+    atom    := operand ('=' | '!=') operand | '(' pred ')'
+    operand := column number | quoted/numeric literal
+
+Parsing is recursive descent over a hand-rolled tokenizer — no
+dependencies, precise error positions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.core.instance import Instance
+from repro.logic.atoms import Const
+from repro.logic.syntax import Formula, conj as conj_, disj as disj_, neg
+from repro.algebra.ast import (
+    ConstRel,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    Query,
+    RelVar,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import col
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+)
+  | (?P<string>'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>!=|[=\[\](){},+\-&|x])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"pi", "sigma", "x"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} at column {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "name" and value in _KEYWORDS:
+            kind = value
+        tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, relations: Mapping[str, int]) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._relations = dict(relations)
+
+    # -- token utilities ------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise QueryError(
+                f"expected {kind!r} at column {token.position}, "
+                f"found {token.text!r}"
+            )
+        return self._advance()
+
+    def _match(self, kind: str) -> Optional[_Token]:
+        if self._peek().kind == kind:
+            return self._advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Query:
+        query = self._query()
+        token = self._peek()
+        if token.kind != "eof":
+            raise QueryError(
+                f"trailing input at column {token.position}: {token.text!r}"
+            )
+        return query
+
+    def _query(self) -> Query:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text == "+":
+                self._advance()
+                left = Union(left, self._term())
+            elif token.kind == "op" and token.text == "-":
+                self._advance()
+                left = Difference(left, self._term())
+            elif token.kind == "op" and token.text == "&":
+                self._advance()
+                left = Intersection(left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Query:
+        left = self._factor()
+        while self._peek().kind == "x":
+            self._advance()
+            left = Product(left, self._factor())
+        return left
+
+    def _factor(self) -> Query:
+        token = self._peek()
+        if token.kind == "pi":
+            self._advance()
+            self._expect_op("[")
+            columns = self._column_list()
+            self._expect_op("]")
+            self._expect_op("(")
+            child = self._query()
+            self._expect_op(")")
+            return Project(child, columns)
+        if token.kind == "sigma":
+            self._advance()
+            self._expect_op("[")
+            predicate = self._predicate()
+            self._expect_op("]")
+            self._expect_op("(")
+            child = self._query()
+            self._expect_op(")")
+            return Select(child, predicate)
+        if token.kind == "op" and token.text == "{":
+            return self._constant()
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            child = self._query()
+            self._expect_op(")")
+            return child
+        if token.kind == "name":
+            self._advance()
+            arity = self._relations.get(token.text)
+            if arity is None:
+                raise QueryError(
+                    f"unknown relation {token.text!r} at column "
+                    f"{token.position}; declare its arity"
+                )
+            return RelVar(token.text, arity)
+        raise QueryError(
+            f"unexpected token {token.text!r} at column {token.position}"
+        )
+
+    def _expect_op(self, symbol: str) -> None:
+        token = self._peek()
+        if token.kind == "op" and token.text == symbol:
+            self._advance()
+            return
+        raise QueryError(
+            f"expected {symbol!r} at column {token.position}, "
+            f"found {token.text!r}"
+        )
+
+    def _column_list(self) -> Tuple[int, ...]:
+        columns = [self._column()]
+        while self._peek().kind == "op" and self._peek().text == ",":
+            self._advance()
+            columns.append(self._column())
+        return tuple(columns)
+
+    def _column(self) -> int:
+        token = self._expect("number")
+        index = int(token.text)
+        if index < 1:
+            raise QueryError(
+                f"columns are 1-based; got {index} at column {token.position}"
+            )
+        return index - 1
+
+    def _constant(self) -> ConstRel:
+        self._expect_op("{")
+        values = [self._literal()]
+        while self._peek().kind == "op" and self._peek().text == ",":
+            self._advance()
+            values.append(self._literal())
+        self._expect_op("}")
+        return ConstRel(Instance([tuple(values)]))
+
+    def _literal(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return int(token.text)
+        if token.kind == "string":
+            self._advance()
+            return token.text[1:-1]
+        raise QueryError(
+            f"expected a literal at column {token.position}, "
+            f"found {token.text!r}"
+        )
+
+    # -- predicates ---------------------------------------------------------
+    def _predicate(self) -> Formula:
+        return self._disjunction()
+
+    def _disjunction(self) -> Formula:
+        parts = [self._conjunction()]
+        while self._peek().kind == "op" and self._peek().text == "|":
+            self._advance()
+            parts.append(self._conjunction())
+        return disj_(*parts)
+
+    def _conjunction(self) -> Formula:
+        parts = [self._atom()]
+        while self._peek().kind == "op" and self._peek().text == "&":
+            self._advance()
+            parts.append(self._atom())
+        return conj_(*parts)
+
+    def _atom(self) -> Formula:
+        token = self._peek()
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            inner = self._predicate()
+            self._expect_op(")")
+            return inner
+        left = self._operand()
+        operator = self._peek()
+        if operator.kind == "op" and operator.text in ("=", "!="):
+            self._advance()
+        else:
+            raise QueryError(
+                f"expected '=' or '!=' at column {operator.position}"
+            )
+        right = self._operand()
+        from repro.logic.atoms import eq
+
+        atom = eq(left, right)
+        return neg(atom) if operator.text == "!=" else atom
+
+    def _operand(self):
+        token = self._peek()
+        if token.kind == "number":
+            # Bare numbers are column references (the paper's style);
+            # quote constants: sigma[4!='2'].
+            self._advance()
+            index = int(token.text)
+            if index < 1:
+                raise QueryError(
+                    f"columns are 1-based; got {index} at column "
+                    f"{token.position}"
+                )
+            return col(index - 1)
+        if token.kind == "string":
+            self._advance()
+            return Const(token.text[1:-1])
+        raise QueryError(
+            f"expected a column or quoted constant at column "
+            f"{token.position}, found {token.text!r}"
+        )
+
+
+def parse_query(text: str, relations: Mapping[str, int]) -> Query:
+    """Parse *text* into a :class:`~repro.algebra.ast.Query`.
+
+    *relations* declares the arity of each input relation name.  Columns
+    are 1-based (matching the paper); constants inside selection
+    predicates must be quoted (``sigma[4!='2']``) to distinguish them
+    from column references.
+    """
+    return _Parser(text, relations).parse()
+
+
+def format_query(query: Query) -> str:
+    """Render a query back into parseable text (inverse of the parser)."""
+    if isinstance(query, RelVar):
+        return query.name
+    if isinstance(query, ConstRel):
+        rows = list(query.instance)
+        if len(rows) != 1:
+            raise QueryError(
+                "only single-tuple constant relations have text syntax"
+            )
+        inner = ", ".join(_format_literal(value) for value in rows[0])
+        return f"{{{inner}}}"
+    if isinstance(query, Project):
+        columns = ",".join(str(index + 1) for index in query.columns)
+        return f"pi[{columns}]({format_query(query.child)})"
+    if isinstance(query, Select):
+        return (
+            f"sigma[{_format_predicate(query.predicate)}]"
+            f"({format_query(query.child)})"
+        )
+    if isinstance(query, Product):
+        return f"{_maybe_paren(query.left)} x {_maybe_paren(query.right)}"
+    if isinstance(query, Union):
+        return f"{format_query(query.left)} + {format_query(query.right)}"
+    if isinstance(query, Difference):
+        return f"{format_query(query.left)} - {_maybe_paren(query.right)}"
+    if isinstance(query, Intersection):
+        return f"{_maybe_paren(query.left)} & {_maybe_paren(query.right)}"
+    raise QueryError(f"cannot format query node {query!r}")
+
+
+def _maybe_paren(query: Query) -> str:
+    text = format_query(query)
+    if isinstance(query, (Union, Difference, Intersection)):
+        return f"({text})"
+    return text
+
+
+def _format_literal(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"'{value}'"
+
+
+def _format_predicate(predicate: Formula) -> str:
+    from repro.logic.atoms import Eq
+    from repro.logic.syntax import And, Bottom, Not, Or, Top
+    from repro.algebra.predicates import column_index, is_column_var
+
+    def term_text(term) -> str:
+        if is_column_var(term):
+            return str(column_index(term) + 1)
+        return _format_literal(term.value)
+
+    if isinstance(predicate, Top):
+        return "1=1"
+    if isinstance(predicate, Bottom):
+        return "1!=1"
+    if isinstance(predicate, Eq):
+        return f"{term_text(predicate.left)}={term_text(predicate.right)}"
+    if isinstance(predicate, Not) and isinstance(predicate.child, Eq):
+        child = predicate.child
+        return f"{term_text(child.left)}!={term_text(child.right)}"
+    if isinstance(predicate, And):
+        return " & ".join(
+            _format_atom_or_paren(child) for child in predicate.children
+        )
+    if isinstance(predicate, Or):
+        return " | ".join(
+            _format_atom_or_paren(child) for child in predicate.children
+        )
+    raise QueryError(f"cannot format predicate {predicate!r}")
+
+
+def _format_atom_or_paren(predicate: Formula) -> str:
+    from repro.logic.atoms import Eq
+    from repro.logic.syntax import Not
+
+    text = _format_predicate(predicate)
+    if isinstance(predicate, Eq) or (
+        isinstance(predicate, Not) and isinstance(predicate.child, Eq)
+    ):
+        return text
+    return f"({text})"

@@ -1,0 +1,64 @@
+"""Completion constructions: the paper's expressiveness theorems, executable.
+
+- :mod:`repro.completion.zk` — the minimal-information Codd tables
+  ``Z_k`` and Proposition 4's query with ``q(N) = Z_k``,
+- :mod:`repro.completion.ra_definable` — Theorem 1: compile any c-table
+  into an SPJU query over ``Z_k`` (RA-definability), and Theorem 2's
+  converse direction,
+- :mod:`repro.completion.ra_completion` — Theorem 5: RA-completion of
+  Codd tables (SPJU) and v-tables (SP),
+- :mod:`repro.completion.finite_completion` — Theorem 3 (boolean
+  c-tables are finitely complete), Theorem 6 (finite completions of
+  or-set tables, finite v-tables, Rsets, R⊕≡), Theorem 7 / Corollary 1
+  (general finite completion),
+- :mod:`repro.completion.separations` — bounded-exhaustive refutation
+  searchers proving the paper's separation examples and Proposition 1's
+  non-closure witnesses.
+"""
+
+from repro.completion.zk import prop4_query, zk_idatabase, zk_table
+from repro.completion.ra_definable import ctable_to_query, verify_ra_definability
+from repro.completion.ra_completion import (
+    codd_spju_completion,
+    vtable_sp_completion,
+)
+from repro.completion.finite_completion import (
+    boolean_ctable_for,
+    general_finite_completion,
+    orset_pj_completion,
+    qtable_ra_completion,
+    rsets_pu_completion,
+    rxoreq_spj_completion,
+    vtable_splus_p_completion,
+)
+from repro.completion.separations import (
+    codd_representable,
+    orset_representable,
+    qtable_representable,
+    rsets_representable,
+    rxoreq_representable,
+    vtable_representable,
+)
+
+__all__ = [
+    "boolean_ctable_for",
+    "codd_representable",
+    "codd_spju_completion",
+    "ctable_to_query",
+    "general_finite_completion",
+    "orset_pj_completion",
+    "orset_representable",
+    "prop4_query",
+    "qtable_ra_completion",
+    "qtable_representable",
+    "rsets_pu_completion",
+    "rsets_representable",
+    "rxoreq_spj_completion",
+    "rxoreq_representable",
+    "verify_ra_definability",
+    "vtable_representable",
+    "vtable_sp_completion",
+    "vtable_splus_p_completion",
+    "zk_idatabase",
+    "zk_table",
+]

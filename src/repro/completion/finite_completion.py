@@ -1,0 +1,450 @@
+"""Finite completeness: Theorems 3, 6, 7 and Corollary 1, executable.
+
+Every function takes an explicit finite incomplete database (an
+:class:`~repro.core.idatabase.IDatabase`) and produces tables plus a
+query in the fragment the corresponding theorem names, such that the
+query's image over the tables' possible worlds is exactly the target.
+
+Where the paper's proof uses a *pair* of tables "to simplify the
+presentation", we do the same: the completion returns a dict binding
+relation names to tables, and :func:`verify_finite_completion` evaluates
+the query over the product of their world sets (the paper notes all
+results reformulate smoothly for multi-relation schemas).
+
+Two places need small repairs the paper glosses over, both documented at
+the function level: surplus binary codes in the R⊕≡ construction are
+mapped to the last instance (as in Theorem 3), and R⊕≡ tuples are made
+mandatory with the duplicated-tuple ⊕ trick.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import UnsupportedOperationError
+from repro.core.instance import Instance
+from repro.core.idatabase import IDatabase
+from repro.logic.atoms import BoolVar
+from repro.logic.syntax import TOP, Formula, conj, disj, neg
+from repro.algebra.ast import ConstRel, Query
+from repro.algebra.builders import (
+    diff,
+    proj,
+    prod,
+    rel,
+    sel,
+    singleton,
+    union,
+)
+from repro.algebra.evaluate import evaluate_query
+from repro.algebra.fragments import (
+    FRAGMENT_PJ,
+    FRAGMENT_PU,
+    FRAGMENT_SPLUS_P,
+    FRAGMENT_SPLUS_PJ,
+    in_fragment,
+)
+from repro.algebra.predicates import col_eq, col_eq_const
+from repro.tables.base import Table
+from repro.tables.ctable import BooleanCTable, CRow, make_row
+from repro.tables.orset import OrSet, OrSetRow, OrSetTable
+from repro.tables.rsets import RSetsBlock, RSetsTable
+from repro.tables.rxoreq import Assertion, RXorEquivTable
+from repro.tables.qtable import QRow, QTable
+from repro.tables.vtable import VTable
+from repro.logic.atoms import Var
+
+
+def _sorted_instances(target: IDatabase) -> List[Instance]:
+    return sorted(target.instances, key=repr)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3: boolean c-tables are finitely complete
+# ----------------------------------------------------------------------
+
+def _code_condition(code: int, bits: int, prefix: str) -> Formula:
+    """The conjunction selecting binary *code* over *bits* variables."""
+    literals = []
+    for position in range(bits):
+        variable = BoolVar(f"{prefix}{position}")
+        if code >> position & 1:
+            literals.append(variable)
+        else:
+            literals.append(neg(variable))
+    return conj(*literals)
+
+
+def boolean_ctable_for(
+    target: IDatabase, prefix: str = "x"
+) -> BooleanCTable:
+    """Theorem 3's construction: any finite i-database as a boolean c-table.
+
+    With ``m`` instances and ``ℓ = ⌈lg m⌉`` boolean variables, instance
+    ``i < m`` is guarded by the code condition ``ϕᵢ``, and the last
+    instance absorbs all remaining codes ``ϕ_m ∨ … ∨ ϕ_{2^ℓ}``.
+    """
+    instances = _sorted_instances(target)
+    m = len(instances)
+    if m == 0:
+        raise UnsupportedOperationError(
+            "an incomplete database must contain at least one instance"
+        )
+    bits = max(0, math.ceil(math.log2(m))) if m > 1 else 0
+    rows: List[CRow] = []
+    for index, instance in enumerate(instances):
+        if index < m - 1:
+            condition = _code_condition(index, bits, prefix)
+        else:
+            condition = disj(
+                *(
+                    _code_condition(code, bits, prefix)
+                    for code in range(m - 1, 2 ** bits)
+                )
+            )
+        for row in instance:
+            rows.append(make_row(row, condition))
+    return BooleanCTable(rows, arity=target.arity)
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.1: or-set tables + PJ
+# ----------------------------------------------------------------------
+
+def orset_pj_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Theorem 6.1: (or-set tables S, T; PJ query) for any finite target.
+
+    ``S`` holds every instance's tuples tagged with the instance index;
+    ``T`` is one or-set cell choosing the index; the query equi-joins the
+    tag against the choice and projects the tag away.  The join is an
+    equality selection over a product — the ``J`` of the PJ fragment.
+    """
+    instances = _sorted_instances(target)
+    k = target.arity
+    s_rows = [
+        OrSetRow(tuple(row) + (index,), False)
+        for index, instance in enumerate(instances, start=1)
+        for row in instance
+    ]
+    s_table = OrSetTable(s_rows, arity=k + 1, allow_optional=False)
+    indexes = tuple(range(1, len(instances) + 1))
+    t_cell = indexes[0] if len(indexes) == 1 else OrSet(indexes)
+    t_table = OrSetTable([OrSetRow((t_cell,), False)], arity=1,
+                         allow_optional=False)
+    query = proj(
+        sel(prod(rel("S", k + 1), rel("T", 1)), col_eq(k, k + 1)),
+        list(range(k)),
+    )
+    assert in_fragment(query, FRAGMENT_PJ)
+    return {"S": s_table, "T": t_table}, query
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.2: finite v-tables + PJ, and + S⁺P
+# ----------------------------------------------------------------------
+
+def vtable_pj_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Theorem 6.2 (PJ case): finite v-tables are at least or-set tables."""
+    tables, query = orset_pj_completion(target)
+    from repro.tables.convert import orset_to_codd
+
+    converted = {
+        name: orset_to_codd(table, prefix=f"{name.lower()}v")
+        for name, table in tables.items()
+    }
+    return converted, query
+
+
+def vtable_splus_p_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Theorem 6.2 (S⁺P case): a single finite v-table suffices.
+
+    The v-table is the cross product of Case 1's S and T materialized as
+    a table: rows ``(t, i, x)`` with ``dom(x) = {1..n}``; the query is
+    the positive selection ``i = x`` followed by projection — no product
+    needed at query time.
+    """
+    instances = _sorted_instances(target)
+    k = target.arity
+    n = len(instances)
+    x = Var("w")
+    rows = [
+        make_row(tuple(row) + (index, x))
+        for index, instance in enumerate(instances, start=1)
+        for row in instance
+    ]
+    table = VTable(rows, arity=k + 2, domains={"w": range(1, n + 1)})
+    query = proj(
+        sel(rel("S", k + 2), col_eq(k, k + 1)),
+        list(range(k)),
+    )
+    assert in_fragment(query, FRAGMENT_SPLUS_P)
+    return {"S": table}, query
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.3: Rsets + PJ, and + PU
+# ----------------------------------------------------------------------
+
+def rsets_pj_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Theorem 6.3 (PJ case): Case 1's tables re-expressed as Rsets.
+
+    S's tagged tuples become singleton mandatory blocks; T's or-set cell
+    becomes one block of unary index tuples.
+    """
+    instances = _sorted_instances(target)
+    k = target.arity
+    s_blocks = [
+        RSetsBlock(frozenset({tuple(row) + (index,)}), False)
+        for index, instance in enumerate(instances, start=1)
+        for row in instance
+    ]
+    s_table = RSetsTable(s_blocks, arity=k + 1)
+    t_table = RSetsTable(
+        [
+            RSetsBlock(
+                frozenset((index,) for index in range(1, len(instances) + 1)),
+                False,
+            )
+        ],
+        arity=1,
+    )
+    query = proj(
+        sel(prod(rel("S", k + 1), rel("T", 1)), col_eq(k, k + 1)),
+        list(range(k)),
+    )
+    assert in_fragment(query, FRAGMENT_PJ)
+    return {"S": s_table, "T": t_table}, query
+
+
+def rsets_pu_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Theorem 6.3 (PU case): one wide block, one row per instance.
+
+    With ``m`` the largest instance cardinality, the table has arity
+    ``k·m`` and a single block holding, per instance, its tuples arranged
+    in a row (padded by repetition); the query unions the ``m``
+    projections.  The construction needs every instance non-empty unless
+    the target is ``{∅}`` (the paper implicitly assumes this; padding an
+    empty instance is impossible).
+    """
+    instances = _sorted_instances(target)
+    k = target.arity
+    m = max((len(instance) for instance in instances), default=0)
+    if m == 0:
+        # Target is {∅}: the empty Rsets table joined with an identity
+        # projection already denotes exactly the empty instance.
+        table = RSetsTable([], arity=k)
+        query = proj(rel("T", k), list(range(k)))
+        return {"T": table}, query
+    if any(len(instance) == 0 for instance in instances):
+        raise UnsupportedOperationError(
+            "the PU construction cannot express the empty instance "
+            "alongside non-empty ones (every world of the union of "
+            "projections of a chosen row is non-empty)"
+        )
+    block_rows = []
+    for instance in instances:
+        rows = sorted(instance.rows, key=repr)
+        padded = list(rows) + [rows[0]] * (m - len(rows))
+        flat: Tuple = tuple(value for row in padded for value in row)
+        block_rows.append(flat)
+    table = RSetsTable(
+        [RSetsBlock(frozenset(block_rows), False)], arity=k * m
+    )
+    branches = [
+        proj(rel("T", k * m), list(range(k * i, k * i + k)))
+        for i in range(m)
+    ]
+    query = union(*branches)
+    assert in_fragment(query, FRAGMENT_PU)
+    return {"T": table}, query
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.4: R⊕≡ + S⁺PJ
+# ----------------------------------------------------------------------
+
+def rxoreq_spj_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Theorem 6.4: (R⊕≡ tables S, T; S⁺PJ query).
+
+    ``S`` encodes ``m = ⌈lg n⌉`` independent bits as ⊕-constrained pairs
+    ``(0,j),(1,j)``; the sub-query ``q' = ∏ⱼ π₁(σ₂₌ⱼ(S))`` reads the
+    chosen code.  ``T`` holds each instance's tuples tagged with the
+    instance's binary code (surplus codes map to the last instance, as in
+    Theorem 3 — a detail the paper's sketch omits), made mandatory with
+    the duplicated-tuple ⊕ trick.  The main query joins tag columns
+    against the code columns.
+    """
+    instances = _sorted_instances(target)
+    k = target.arity
+    n = len(instances)
+    if n == 1:
+        tuples: List[Tuple] = []
+        assertions: List[Assertion] = []
+        for row in instances[0]:
+            position = len(tuples)
+            tuples.append(tuple(row))
+            tuples.append(tuple(row))
+            assertions.append(Assertion("xor", position, position + 1))
+        table = RXorEquivTable(tuples, assertions, arity=k)
+        query = proj(rel("T", k), list(range(k)))
+        return {"T": table}, query
+    bits = math.ceil(math.log2(n))
+    # S: one ⊕ pair per bit.
+    s_tuples: List[Tuple] = []
+    s_assertions: List[Assertion] = []
+    for bit in range(1, bits + 1):
+        position = len(s_tuples)
+        s_tuples.append((0, bit))
+        s_tuples.append((1, bit))
+        s_assertions.append(Assertion("xor", position, position + 1))
+    s_table = RXorEquivTable(s_tuples, s_assertions, arity=2)
+    # T: code-tagged tuples, mandatory via duplication.
+    t_tuples: List[Tuple] = []
+    t_assertions: List[Assertion] = []
+
+    def code_suffix(code: int) -> Tuple:
+        return tuple(code >> position & 1 for position in range(bits))
+
+    def add_instance(instance: Instance, code: int) -> None:
+        for row in instance:
+            position = len(t_tuples)
+            tagged = tuple(row) + code_suffix(code)
+            t_tuples.append(tagged)
+            t_tuples.append(tagged)
+            t_assertions.append(Assertion("xor", position, position + 1))
+
+    for index, instance in enumerate(instances[:-1]):
+        add_instance(instance, index)
+    for code in range(n - 1, 2 ** bits):
+        add_instance(instances[-1], code)
+    t_table = RXorEquivTable(t_tuples, t_assertions, arity=k + bits)
+    # q' reads the chosen bit vector from S.
+    bit_readers = [
+        proj(sel(rel("S", 2), col_eq_const(1, bit)), [0])
+        for bit in range(1, bits + 1)
+    ]
+    q_prime = prod(*bit_readers)
+    matches = conj(
+        *(col_eq(k + position, k + bits + position) for position in range(bits))
+    )
+    query = proj(
+        sel(prod(rel("T", k + bits), q_prime), matches), list(range(k))
+    )
+    assert in_fragment(query, FRAGMENT_SPLUS_PJ)
+    return {"S": s_table, "T": t_table}, query
+
+
+# ----------------------------------------------------------------------
+# Theorem 7 and Corollary 1: general finite completion
+# ----------------------------------------------------------------------
+
+def _zero_ary_true() -> ConstRel:
+    return ConstRel(Instance([()], arity=0))
+
+
+def _nonempty(expression: Query) -> Query:
+    """Arity-0 encoding of "expression is non-empty"."""
+    return proj(expression, [])
+
+
+def _empty(expression: Query) -> Query:
+    """Arity-0 encoding of "expression is empty"."""
+    return diff(_zero_ary_true(), _nonempty(expression))
+
+
+def _equals_instance(view: Query, instance: Instance) -> Query:
+    """Arity-0 query: true iff *view* evaluates exactly to *instance*."""
+    constant = ConstRel(instance)
+    if len(instance) == 0:
+        return _empty(view)
+    return prod(_empty(diff(view, constant)), _empty(diff(constant, view)))
+
+
+def general_finite_completion(
+    base_mod: IDatabase, target: IDatabase
+) -> Query:
+    """Theorem 7: an RA query mapping *base_mod*'s worlds onto *target*.
+
+    Requires ``|base_mod| ≥ |target|``.  Worlds ``J₁ … J_ℓ`` of the base
+    are matched by boolean sub-queries ``qᵢ(V)`` ("V = Jᵢ"), and world
+    ``Jᵢ`` is sent to target instance ``Iᵢ`` (for ``i < k``) or ``I_k``
+    (for ``i ≥ k``), via ``⋃ Iᵢ × qᵢ(V)``.
+    """
+    worlds = _sorted_instances(base_mod)
+    targets = _sorted_instances(target)
+    if len(worlds) < len(targets):
+        raise UnsupportedOperationError(
+            f"base system has {len(worlds)} worlds, fewer than the "
+            f"{len(targets)} target instances"
+        )
+    view = rel("V", base_mod.arity)
+    branches = []
+    for index, world in enumerate(worlds):
+        destination = targets[index] if index < len(targets) else targets[-1]
+        recognizer = _equals_instance(view, world)
+        if len(destination) == 0:
+            # ∅ × anything is ∅ — the branch contributes nothing, which
+            # is exactly right for an empty destination instance.
+            continue
+        branches.append(prod(ConstRel(destination), recognizer))
+    if not branches:
+        # Every destination is the empty instance of arity k: produce it.
+        k = target.arity
+        impossible = _empty(_zero_ary_true())  # constant-false, arity 0
+        filler = prod(ConstRel(Instance([tuple([0] * k)])), impossible)
+        return filler
+    return union(*branches)
+
+
+def qtable_ra_completion(
+    target: IDatabase,
+) -> Tuple[Dict[str, Table], Query]:
+    """Corollary 1: ?-tables closed under RA are finitely complete.
+
+    Builds a unary ?-table with ``⌈lg k⌉`` optional tuples (so its Mod
+    has at least ``k`` worlds) and applies Theorem 7.
+    """
+    needed = len(target.instances)
+    r = max(1, math.ceil(math.log2(needed))) if needed > 1 else 1
+    qtable = QTable(
+        [QRow((index,), True) for index in range(1, r + 1)], arity=1
+    )
+    query = general_finite_completion(qtable.mod(), target)
+    return {"V": qtable}, query
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+
+def verify_finite_completion(
+    tables: Mapping[str, Table],
+    query: Query,
+    target: IDatabase,
+) -> bool:
+    """Check that the query's image over the tables' worlds is *target*.
+
+    The incomplete database of a multi-table binding is the product of
+    the tables' world sets; the image is collected instance by instance.
+    """
+    names = sorted(tables)
+    world_lists = [list(tables[name].mod()) for name in names]
+    images = set()
+    for combo in itertools.product(*world_lists):
+        env = dict(zip(names, combo))
+        images.add(evaluate_query(query, env))
+    return IDatabase(images, arity=target.arity) == target

@@ -1,0 +1,129 @@
+"""Theorem 5: RA-completion of Codd tables and v-tables.
+
+Closing a representation system under a query-language fragment
+(Definition 8) yields tables ``(T, q)`` with ``Mod(T, q) = q(Mod(T))``.
+Theorem 5 shows:
+
+1. Codd tables closed under **SPJU** are RA-complete — a corollary of
+   Theorem 1, since ``Z_k`` is a Codd table
+   (:func:`codd_spju_completion`);
+2. v-tables closed under **SP** are RA-complete — the appendix
+   construction appends a tuple-identifier column and one column per
+   variable, so a single selection + projection recovers the c-table
+   semantics (:func:`vtable_sp_completion`).
+
+Both functions return ``(table, query)`` such that ``q̄(table)`` has the
+same Mod as the input c-table; ``verify_*`` helpers check it over
+witness domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.domain import Domain
+from repro.errors import UnsupportedOperationError
+from repro.logic.atoms import Const, Var
+from repro.logic.syntax import TOP, Formula, conj, disj
+from repro.algebra.ast import Query
+from repro.algebra.builders import proj, sel, rel
+from repro.algebra.fragments import FRAGMENT_SP, FRAGMENT_SPJU, in_fragment
+from repro.algebra.predicates import col, col_eq_const
+from repro.tables.codd import CoddTable
+from repro.tables.ctable import CRow, CTable
+from repro.tables.vtable import VTable
+from repro.completion.ra_definable import (
+    _condition_to_predicate,
+    ctable_to_query,
+)
+from repro.completion.zk import zk_table
+
+
+def codd_spju_completion(table: CTable) -> Tuple[CoddTable, Query]:
+    """Theorem 5.1: c-table → (Codd table, SPJU query).
+
+    Trivial corollary of Theorem 1: the Codd table is ``Z_k`` with one
+    column per variable of the input (named after them), and the query is
+    the Theorem 1 compilation.
+    """
+    variables = sorted(table.variables())
+    query, k = ctable_to_query(table, variables)
+    z = zk_table(k)
+    if variables:
+        z = z.rename_variables(
+            {f"z{index}": name for index, name in enumerate(variables)}
+        )
+    assert in_fragment(query, FRAGMENT_SPJU)
+    return z, query
+
+
+def vtable_sp_completion(table: CTable) -> Tuple[VTable, Query]:
+    """Theorem 5.2: c-table → (v-table, SP query).
+
+    For input arity ``n`` with tuples ``t₁ … t_m`` and variables
+    ``x₁ … x_p``, build a v-table of arity ``n + 1 + p`` whose row ``i``
+    is ``tᵢ`` followed by the identifier constant ``i`` and then
+    ``x₁ … x_p``; the query selects
+    ``⋁ᵢ (id = i ∧ ψᵢ)`` and projects to the first ``n`` columns, where
+    ``ψᵢ`` is ``ϕ_{tᵢ}`` over the trailing variable columns.
+
+    The identifier constants are chosen fresh (outside the table's
+    constants) so the selection can distinguish rows regardless of the
+    table's own values.
+    """
+    if table.global_condition != TOP:
+        raise UnsupportedOperationError(
+            "conjoin the global condition into each row before completing"
+        )
+    n = table.arity
+    variables = sorted(table.variables())
+    p = len(variables)
+    id_column = n
+    variable_column: Dict[str, int] = {
+        name: n + 1 + index for index, name in enumerate(variables)
+    }
+    # Fresh identifiers: integers not colliding with the table's constants.
+    taken = {value for value in table.constants() if isinstance(value, int)}
+    identifiers: List[int] = []
+    candidate = 0
+    while len(identifiers) < len(table.rows):
+        if candidate not in taken:
+            identifiers.append(candidate)
+        candidate += 1
+
+    rows = []
+    selectors = []
+    for row, identifier in zip(table.rows, identifiers):
+        extended = row.values + (Const(identifier),) + tuple(
+            Var(name) for name in variables
+        )
+        rows.append(CRow(extended))
+        psi = _condition_to_predicate(row.condition, variable_column)
+        selectors.append(conj(col_eq_const(id_column, identifier), psi))
+    vtable = VTable(rows, arity=n + 1 + p)
+    source = rel("S", n + 1 + p)
+    query = proj(sel(source, disj(*selectors)), list(range(n)))
+    assert in_fragment(query, FRAGMENT_SP)
+    return vtable, query
+
+
+def verify_ra_completion(
+    table: CTable,
+    completion: Tuple[CTable, Query],
+    domain: Optional[Domain] = None,
+) -> bool:
+    """Check that a completion pair reproduces ``Mod(table)``.
+
+    Evaluates ``q̄`` on the completion's base table and compares Mods
+    over a joint witness domain (or the caller's *domain*).
+    """
+    from repro.ctalgebra.translate import apply_query_to_ctable
+    from repro.worlds.compare import mod_equal_over, witness_domain_for
+
+    base, query = completion
+    translated = apply_query_to_ctable(query, base)
+    if domain is None:
+        domain = witness_domain_for(
+            table, translated, constants=sorted(table.constants(), key=repr)
+        )
+    return mod_equal_over(table, translated, domain)

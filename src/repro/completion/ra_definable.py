@@ -1,0 +1,167 @@
+"""Theorem 1: every c-table's semantics is RA-definable from ``Z_k``.
+
+Given a c-table ``T`` with variables ``x₁ … x_k``, the construction
+builds an SPJU query ``q`` with ``q(Mod(Z_k)) = Mod(T)``:
+
+for every tuple ``t`` with condition ``ϕ_t``, multiply out one factor per
+column — the singleton ``{c}`` for a constant entry, ``π_j(Z_k)`` for an
+entry holding variable ``x_j`` — plus one factor ``π_{i_j}(Z_k)`` per
+variable occurring in ``ϕ_t`` but not in ``t``; select by ``ψ_t`` (the
+condition with variables replaced by the columns now holding them), and
+project back to the first ``n`` columns.  Union over the tuples.
+
+Example 4 of the paper is this construction applied to Example 2's
+c-table; ``examples/paper_tour.py`` prints both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TableError, UnsupportedOperationError
+from repro.core.domain import Domain
+from repro.logic.atoms import BoolVar, Const, Eq, Term, Var, eq
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    neg,
+)
+from repro.algebra.ast import ConstRel, Query
+from repro.algebra.builders import proj, rel, sel, singleton, union
+from repro.algebra.fragments import FRAGMENT_SPJU, in_fragment
+from repro.algebra.predicates import col
+from repro.tables.ctable import CRow, CTable
+from repro.completion.zk import zk_table
+
+
+def _condition_to_predicate(
+    condition: Formula, variable_column: Dict[str, int]
+) -> Formula:
+    """Rewrite a condition into a selection predicate via column indexes."""
+    if isinstance(condition, (Top, Bottom)):
+        return condition
+    if isinstance(condition, Eq):
+        def to_term(term: Term) -> Term:
+            if isinstance(term, Var):
+                return col(variable_column[term.name])
+            return term
+
+        return eq(to_term(condition.left), to_term(condition.right))
+    if isinstance(condition, BoolVar):
+        raise UnsupportedOperationError(
+            "Theorem 1 applies to equality conditions; boolean c-tables "
+            "are covered by the finite-completeness construction"
+        )
+    if isinstance(condition, Not):
+        return neg(_condition_to_predicate(condition.child, variable_column))
+    if isinstance(condition, And):
+        return conj(
+            *(
+                _condition_to_predicate(child, variable_column)
+                for child in condition.children
+            )
+        )
+    if isinstance(condition, Or):
+        return disj(
+            *(
+                _condition_to_predicate(child, variable_column)
+                for child in condition.children
+            )
+        )
+    raise TableError(f"unexpected condition node {condition!r}")
+
+
+def ctable_to_query(
+    table: CTable, variable_order: Optional[Sequence[str]] = None
+) -> Tuple[Query, int]:
+    """Compile *table* into ``(q, k)`` with ``q(Mod(Z_k)) = Mod(T)``.
+
+    ``k`` is the number of variables; *variable_order* fixes which
+    variable each ``Z_k`` column carries (sorted names by default).  The
+    resulting query lies in the SPJU fragment, as Theorem 1 promises.
+    """
+    if table.global_condition != Top():
+        raise UnsupportedOperationError(
+            "the Theorem 1 construction handles tables without a global "
+            "condition (conjoin it into each row first)"
+        )
+    variables = (
+        list(variable_order)
+        if variable_order is not None
+        else sorted(table.variables())
+    )
+    if set(variables) != set(table.variables()):
+        raise TableError("variable_order must enumerate the table's variables")
+    position_of = {name: index for index, name in enumerate(variables)}
+    k = max(1, len(variables))
+    z = rel("Z", k)
+    n = table.arity
+
+    branches: List[Query] = []
+    for row in table.rows:
+        factors: List[Query] = []
+        variable_column: Dict[str, int] = {}
+        for term in row.values:
+            if isinstance(term, Const):
+                factors.append(singleton(term.value))
+            else:
+                variable_column.setdefault(term.name, len(factors))
+                factors.append(proj(z, [position_of[term.name]]))
+        extra = sorted(
+            row.condition.variables() - set(variable_column),
+        )
+        for name in extra:
+            variable_column[name] = len(factors)
+            factors.append(proj(z, [position_of[name]]))
+        from repro.algebra.builders import prod
+
+        body = prod(*factors) if factors else singleton()
+        predicate = _condition_to_predicate(row.condition, variable_column)
+        branches.append(proj(sel(body, predicate), list(range(n))))
+    if not branches:
+        # An empty c-table denotes the single empty instance: the empty
+        # query (difference-free) is the constant empty relation, which
+        # SPJU can produce as a never-satisfied selection over Z.
+        from repro.logic.syntax import BOTTOM
+
+        empty = proj(sel(z, BOTTOM), [0] * n if n else [])
+        return empty, k
+    query = union(*branches)
+    assert in_fragment(query, FRAGMENT_SPJU)
+    return query, k
+
+
+def verify_ra_definability(
+    table: CTable, domain: Optional[Domain] = None
+) -> bool:
+    """Check ``q(Mod(Z_k)) = Mod(T)`` (over a witness slice by default).
+
+    The check follows the paper's proof route: by Theorem 4 it suffices
+    that ``q̄(Z_k)`` and ``T`` have the same Mod, which we compare over a
+    joint witness domain.
+    """
+    from repro.worlds.compare import mod_equal_over, witness_domain_for
+
+    variables = sorted(table.variables())
+    query, k = ctable_to_query(table, variables)
+    z = zk_table(k)
+    # Name Z's variables after the table's own, so both sides range over
+    # the same valuation space.
+    if variables:
+        z = z.rename_variables(
+            {f"z{index}": name for index, name in enumerate(variables)}
+        )
+    from repro.ctalgebra.translate import apply_query_to_ctable
+
+    translated = apply_query_to_ctable(query, z)
+    if domain is None:
+        domain = witness_domain_for(
+            table, translated, constants=sorted(table.constants(), key=repr)
+        )
+    return mod_equal_over(table, translated, domain)

@@ -1,0 +1,374 @@
+"""Bounded-exhaustive representability searchers (separations, Prop. 1).
+
+The paper states several *negative* facts: some incomplete database is
+representable in one system but in no table of a weaker system
+(Section 3's separating examples), and various systems are not closed
+under selection or join (Proposition 1).  Such facts are refutations
+over an infinite syntactic space; this module makes them checkable by
+exhaustive search over a *sound finite candidate space*:
+
+- every value used by a candidate table must already occur, at the same
+  column, in some world of the target (a cell alternative outside the
+  target's column values would be chosen in some world, producing a
+  tuple no target world has);
+- a row type whose cells offer ``c`` concrete tuples never needs
+  multiplicity above ``c`` (any family of worlds produced with more
+  copies is already produced with ``c``, since at most ``c`` distinct
+  tuples can come out of the type);
+- row counts are bounded by the caller; the defaults cover the paper's
+  examples with room to spare (the searchers are used on targets whose
+  worlds have at most a handful of tuples).
+
+Soundness scope: the multiplicity and value caps above make the or-set
+(= finite Codd) and v-table searches refutation-sound for the paper's
+separating examples; for Rsets and R⊕≡ the searchers decide
+representability *within the given size bounds* (the general negative
+claims are [29]'s).  Two genuinely unbounded refutation lemmas
+complement them:
+
+- :func:`qtable_representable` — an *exact* decision procedure (?-table
+  models form the full boolean lattice between the certain and possible
+  tuples),
+- :func:`emptiness_varies` — a non-empty v-table/Codd-table/or-set-table
+  always denotes non-empty worlds, so an image containing both ``∅`` and
+  a non-empty world is unrepresentable (the infinite-domain Prop. 1
+  arguments),
+- :func:`connected_under_small_steps` — or-set and Rsets models are
+  images of product choice spaces, hence connected under ≤2-tuple
+  symmetric-difference steps; disconnected targets are unrepresentable
+  by any table of those systems.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.tables.orset import OrSet, OrSetRow, OrSetTable
+from repro.tables.rsets import RSetsBlock, RSetsTable
+from repro.tables.rxoreq import Assertion, RXorEquivTable
+from repro.tables.vtable import VTable
+from repro.tables.ctable import make_row
+from repro.logic.atoms import Var
+
+
+# ----------------------------------------------------------------------
+# Exact decision: ?-tables
+# ----------------------------------------------------------------------
+
+def qtable_representable(target: IDatabase) -> bool:
+    """Decide exactly whether a ?-table represents *target*.
+
+    ``Mod`` of a ?-table is the full boolean lattice between its
+    mandatory set ``M`` and ``M ∪ O``; *target* is representable iff it
+    has that shape, i.e. iff it contains every ``M ∪ S`` for
+    ``S ⊆ possible − certain``.
+    """
+    certain = target.certain_tuples()
+    optional = target.possible_tuples() - certain
+    if len(target) != 2 ** len(optional):
+        return False
+    # Counting suffices: every world lies between M and M ∪ O, and there
+    # are exactly 2^|O| such sets, so equality of counts forces equality
+    # of families.  (Worlds are distinct by construction of IDatabase.)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma for infinite-domain refutations
+# ----------------------------------------------------------------------
+
+def emptiness_varies(target: IDatabase) -> bool:
+    """True when *target* contains both the empty and a non-empty world.
+
+    Tables without optional parts (v-tables, Codd tables, plain or-set
+    tables) denote the empty world iff they have no rows — in which case
+    they denote *only* the empty world.  Hence a target for which this
+    function returns True is representable by none of those systems,
+    over finite or infinite domains alike.  This is the engine of the
+    Proposition 1 selection counterexamples.
+    """
+    has_empty = any(len(instance) == 0 for instance in target)
+    has_nonempty = any(len(instance) > 0 for instance in target)
+    return has_empty and has_nonempty
+
+
+def connected_under_small_steps(target: IDatabase) -> bool:
+    """The choice-space connectivity lemma for product-shaped systems.
+
+    Or-set tables and Rsets tables denote images of a *product* choice
+    space (one independent coordinate per or-set cell / block).  Changing
+    a single coordinate removes at most one tuple from the world and adds
+    at most one, so any two worlds are linked by a chain of worlds whose
+    consecutive symmetric differences have size ≤ 2.  A target whose
+    "|Δ| ≤ 2" graph is disconnected is therefore representable by *no*
+    or-set table and no Rsets table — a sound, complete-as-refutation,
+    cheap test that the bounded searches cannot provide.
+    """
+    worlds = list(target.instances)
+    if len(worlds) <= 1:
+        return True
+    adjacency = {index: set() for index in range(len(worlds))}
+    for i in range(len(worlds)):
+        for j in range(i + 1, len(worlds)):
+            delta = worlds[i].rows ^ worlds[j].rows
+            if len(delta) <= 2:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(worlds)
+
+
+# ----------------------------------------------------------------------
+# Candidate-space helpers
+# ----------------------------------------------------------------------
+
+def _column_values(target: IDatabase) -> List[List]:
+    """Values occurring at each column across all worlds, sorted."""
+    columns: List[set] = [set() for _ in range(target.arity)]
+    for instance in target:
+        for row in instance:
+            for index, value in enumerate(row):
+                columns[index].add(value)
+    return [sorted(values, key=repr) for values in columns]
+
+
+def _nonempty_subsets(values: Sequence) -> Iterator[Tuple]:
+    for size in range(1, len(values) + 1):
+        yield from itertools.combinations(values, size)
+
+
+def _multisets_up_to(items: Sequence, max_total: int, caps: Sequence[int]):
+    """Yield multisets over *items* with per-item caps and total bound.
+
+    Iterative (explicit stack) so huge item lists fail by taking time,
+    not by blowing the recursion limit.
+    """
+    stack: List[Tuple[int, int, Tuple[int, ...]]] = [(0, max_total, ())]
+    while stack:
+        position, remaining, chosen = stack.pop()
+        if position == len(items):
+            yield chosen
+            continue
+        for count in range(min(caps[position], remaining), -1, -1):
+            stack.append((position + 1, remaining - count, chosen + (count,)))
+
+
+# ----------------------------------------------------------------------
+# Or-set tables (= finite Codd tables)
+# ----------------------------------------------------------------------
+
+def orset_representable(
+    target: IDatabase, max_rows: Optional[int] = None
+) -> bool:
+    """Search for a plain or-set table with ``Mod = target``.
+
+    Candidate rows combine, per column, a constant or an or-set over the
+    target's column values.  ``max_rows`` defaults to the largest world
+    size plus one (every row yields a tuple in every world, so a
+    representing table with more rows than that must collide heavily;
+    the default is ample for the paper's small separations — callers can
+    raise it for extra assurance).
+    """
+    if len(target) == 1:
+        return True  # the single instance itself is an or-set table
+    if emptiness_varies(target):
+        return False
+    if not connected_under_small_steps(target):
+        return False  # sound refutation regardless of table size
+    columns = _column_values(target)
+    if any(not values for values in columns) and target.arity > 0:
+        # Some column never carries a value: only the empty world exists,
+        # which the len(target) == 1 case already covered.
+        return len(target) == 1
+    max_rows = max_rows if max_rows is not None else target.max_cardinality() + 1
+    row_types: List[Tuple] = []
+    for combo in itertools.product(
+        *[list(_nonempty_subsets(values)) for values in columns]
+    ):
+        cells = tuple(
+            subset[0] if len(subset) == 1 else OrSet(subset) for subset in combo
+        )
+        row_types.append(cells)
+    caps = [
+        max(
+            1,
+            min(
+                max_rows,
+                _row_choice_count(cells),
+            ),
+        )
+        for cells in row_types
+    ]
+    for counts in _multisets_up_to(row_types, max_rows, caps):
+        if sum(counts) == 0:
+            continue
+        rows = []
+        for cells, count in zip(row_types, counts):
+            rows.extend([OrSetRow(cells, False)] * count)
+        if not rows:
+            continue
+        table = OrSetTable(rows, arity=target.arity, allow_optional=False)
+        if table.mod() == target:
+            return True
+    return False
+
+
+def _row_choice_count(cells: Tuple) -> int:
+    count = 1
+    for cell in cells:
+        if isinstance(cell, OrSet):
+            count *= len(cell)
+    return count
+
+
+def codd_representable(
+    target: IDatabase, max_rows: Optional[int] = None
+) -> bool:
+    """Search for a finite-domain Codd table with ``Mod = target``.
+
+    Codd tables and or-set tables are equivalent (Section 3), so this
+    delegates to :func:`orset_representable`.
+    """
+    return orset_representable(target, max_rows)
+
+
+# ----------------------------------------------------------------------
+# Finite v-tables
+# ----------------------------------------------------------------------
+
+def vtable_representable(
+    target: IDatabase,
+    max_rows: int = 3,
+    max_vars: int = 2,
+) -> bool:
+    """Search for a finite v-table with ``Mod = target``.
+
+    Cells range over the target's column values and ``max_vars``
+    canonical variables; each variable's domain ranges over non-empty
+    subsets of the target's full value set.  Variable names are
+    canonical (first occurrence order), cutting the symmetric candidates.
+    """
+    if len(target) == 1:
+        return True
+    if emptiness_varies(target):
+        return False
+    columns = _column_values(target)
+    all_values = sorted({v for column in columns for v in column}, key=repr)
+    variables = [Var(f"v{index}") for index in range(max_vars)]
+    cell_pool: List = []
+    for index in range(target.arity):
+        cell_pool.append(list(columns[index]) + list(variables))
+    row_types = list(itertools.product(*cell_pool)) if target.arity else [()]
+    for row_count in range(1, max_rows + 1):
+        for rows in itertools.combinations_with_replacement(
+            row_types, row_count
+        ):
+            used = []
+            for row in rows:
+                for cell in row:
+                    if isinstance(cell, Var) and cell.name not in used:
+                        used.append(cell.name)
+            if not _canonical_variable_order(used):
+                continue
+            domain_choices = [
+                list(_nonempty_subsets(all_values)) for _ in used
+            ]
+            for assignment in itertools.product(*domain_choices):
+                domains = dict(zip(used, assignment))
+                table = VTable(
+                    [make_row(row) for row in rows],
+                    arity=target.arity,
+                    domains=domains,
+                )
+                if table.mod() == target:
+                    return True
+    return False
+
+
+def _canonical_variable_order(used: List[str]) -> bool:
+    """True when variables appear in canonical first-use order v0, v1, …"""
+    return used == [f"v{index}" for index in range(len(used))]
+
+
+# ----------------------------------------------------------------------
+# Rsets
+# ----------------------------------------------------------------------
+
+def rsets_representable(
+    target: IDatabase, max_blocks: int = 3
+) -> bool:
+    """Search for an Rsets table with ``Mod = target``.
+
+    Blocks range over non-empty subsets of the target's possible tuples,
+    each optionally '?'-labeled; multisets of up to *max_blocks* blocks
+    are tried (block duplication beyond 2 copies is rarely useful at
+    these sizes, and the per-type cap keeps the search finite).
+    """
+    possible = sorted(target.possible_tuples(), key=repr)
+    if len(target) == 1 and target.max_cardinality() == 0:
+        return True  # the empty Rsets table denotes {∅}
+    if not connected_under_small_steps(target):
+        return False  # sound refutation regardless of table size
+    if target.max_cardinality() > max_blocks:
+        return False  # every block contributes at most one tuple per world
+    block_types: List[RSetsBlock] = []
+    for subset in _nonempty_subsets(possible):
+        block_types.append(RSetsBlock(frozenset(subset), False))
+        block_types.append(RSetsBlock(frozenset(subset), True))
+    caps = [max_blocks] * len(block_types)
+    for counts in _multisets_up_to(block_types, max_blocks, caps):
+        blocks: List[RSetsBlock] = []
+        for block_type, count in zip(block_types, counts):
+            blocks.extend([block_type] * count)
+        if not blocks:
+            continue
+        table = RSetsTable(blocks, arity=target.arity)
+        if table.mod() == target:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# R⊕≡
+# ----------------------------------------------------------------------
+
+def rxoreq_representable(
+    target: IDatabase, max_tuples: int = 4
+) -> bool:
+    """Search for an R⊕≡ table with ``Mod = target``.
+
+    Position multisets range over the target's possible tuples; every
+    assignment of {none, ⊕, ≡} to position pairs is tried.
+    """
+    possible = sorted(target.possible_tuples(), key=repr)
+    if not possible:
+        return len(target) == 1
+    for count in range(0, max_tuples + 1):
+        for tuples in itertools.combinations_with_replacement(
+            possible, count
+        ):
+            pairs = list(itertools.combinations(range(count), 2))
+            for kinds in itertools.product(
+                (None, "xor", "iff"), repeat=len(pairs)
+            ):
+                assertions = [
+                    Assertion(kind, left, right)
+                    for (left, right), kind in zip(pairs, kinds)
+                    if kind is not None
+                ]
+                table = RXorEquivTable(
+                    tuples, assertions, arity=target.arity
+                )
+                if table.mod() == target:
+                    return True
+    return False

@@ -1,0 +1,81 @@
+"""The tables ``Z_k`` and Proposition 4.
+
+``Z_k`` is the Codd table with a single row of ``k`` distinct variables;
+``Mod(Z_k) = { {t} | t ∈ D^k }`` is the set of all one-tuple relations
+of arity ``k`` — the minimal-information databases c-tables can express
+(Section 3).  Proposition 4 exhibits an RA query ``q`` with
+``q(N) = Z_k``: the incomplete databases representable by c-tables are
+thus RA-definable even from the absolute zero-information database.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.domain import Domain
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.core.universe import all_instances
+from repro.logic.atoms import Var
+from repro.logic.syntax import disj
+from repro.algebra.ast import Query
+from repro.algebra.builders import diff, proj, prod, rel, sel, union
+from repro.algebra.predicates import col_ne
+from repro.tables.codd import CoddTable
+from repro.tables.ctable import CRow
+
+
+def zk_table(k: int, prefix: str = "z") -> CoddTable:
+    """Return ``Z_k``: one row of *k* distinct fresh variables."""
+    row = CRow(tuple(Var(f"{prefix}{index}") for index in range(k)))
+    return CoddTable([row])
+
+
+def zk_idatabase(domain: Domain, k: int) -> IDatabase:
+    """Return ``Mod(Z_k)`` restricted to a finite *domain* slice."""
+    return zk_table(k).mod_over(domain)
+
+
+def prop4_query(k: int, witness: Sequence) -> Query:
+    """Return Proposition 4's query ``q`` with ``q(N) = Z_k``.
+
+    Following the paper's proof:
+
+        q'(V) := V − π_ℓ(σ_{ℓ≠r}(V × V))     -- V if |V| = 1 else ∅
+        q(V)  := q'(V) ∪ ({t} − π_ℓ({t} × q'(V)))
+
+    where ``t`` is an arbitrarily chosen *witness* tuple from ``D^k``:
+    singleton inputs pass through; every other input is replaced by the
+    fixed singleton ``{t}``, so the image over all of ``N`` is exactly
+    the one-tuple relations.
+    """
+    V = rel("V", k)
+    first_half = list(range(k))
+    not_all_equal = disj(
+        *(col_ne(index, k + index) for index in range(k))
+    )
+    q_prime = diff(V, proj(sel(prod(V, V), not_all_equal), first_half))
+    from repro.algebra.ast import ConstRel
+
+    t_rel = ConstRel(Instance([tuple(witness)]))
+    fallback = diff(
+        t_rel, proj(prod(t_rel, q_prime), first_half)
+    )
+    return union(q_prime, fallback)
+
+
+def verify_prop4(domain: Domain, k: int) -> bool:
+    """Check ``q(N) = Z_k`` over a finite *domain* slice.
+
+    Applies the query to every instance in ``N`` (so keep
+    ``|domain|^k`` small) and compares the image against ``Mod(Z_k)``.
+    """
+    from repro.algebra.evaluate import apply_query
+
+    witness = tuple(domain.values[0] for _ in range(k))
+    query = prop4_query(k, witness)
+    image = IDatabase(
+        (apply_query(query, instance) for instance in all_instances(domain, k)),
+        arity=k,
+    )
+    return image == zk_idatabase(domain, k)

@@ -1,0 +1,26 @@
+"""Relational substrate: domains, instances, incomplete databases.
+
+The paper fixes a countably infinite domain ``D`` and works with finite
+``n``-ary relations over it; an *incomplete database* is a set of such
+instances.  This package provides those objects plus the universe ``N``
+of all instances over finite domain slices (needed by Proposition 4 and
+the probabilistic Section 6, which assumes ``D`` finite).
+"""
+
+from repro.core.domain import Domain, InfiniteDomain, domain_of_values
+from repro.core.instance import Instance, check_tuple, relation
+from repro.core.idatabase import IDatabase
+from repro.core.universe import all_instances, all_tuples, universe_size
+
+__all__ = [
+    "Domain",
+    "IDatabase",
+    "InfiniteDomain",
+    "Instance",
+    "all_instances",
+    "all_tuples",
+    "check_tuple",
+    "domain_of_values",
+    "relation",
+    "universe_size",
+]

@@ -1,0 +1,140 @@
+"""Domains of values.
+
+The paper uses a fixed countably infinite domain ``D`` for the
+incompleteness results and a finite ``D`` for the probabilistic ones
+(Section 6's finiteness assumption).  We model both:
+
+- :class:`Domain` — an explicit finite domain, e.g. ``Domain(range(5))``;
+  supports membership, iteration, and sizing.  Used directly for
+  finite-domain tables, ?-tables, or-set tables, and everything
+  probabilistic.
+- :class:`InfiniteDomain` — the countably infinite domain, supporting
+  membership (everything hashable belongs) and the generation of finite
+  *witness slices* used to decide infinite-domain questions via the
+  small-model property (see :mod:`repro.logic.equality_sat`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Sequence
+
+from repro.errors import DomainError
+
+
+class Domain:
+    """An explicit finite domain of hashable values.
+
+    Values are kept in first-seen order with duplicates removed, so
+    iteration is deterministic — important for reproducible possible-world
+    enumeration.
+    """
+
+    def __init__(self, values: Iterable[Hashable]) -> None:
+        seen = set()
+        ordered: List[Hashable] = []
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                ordered.append(value)
+        if not ordered:
+            raise DomainError("a finite domain must contain at least one value")
+        self._values: List[Hashable] = ordered
+        self._set = seen
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._set
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._set == other._set
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._set))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:6])
+        suffix = ", ..." if len(self._values) > 6 else ""
+        return f"Domain({{{preview}{suffix}}})"
+
+    @property
+    def values(self) -> List[Hashable]:
+        """Return the domain's values in deterministic order (a copy)."""
+        return list(self._values)
+
+    def union(self, other: "Domain") -> "Domain":
+        """Return the union of two finite domains."""
+        return Domain(list(self._values) + list(other._values))
+
+    def restrict(self, size: int) -> "Domain":
+        """Return the sub-domain of the first *size* values."""
+        if size < 1 or size > len(self._values):
+            raise DomainError(
+                f"cannot restrict a domain of size {len(self._values)} to {size}"
+            )
+        return Domain(self._values[:size])
+
+
+class InfiniteDomain:
+    """The countably infinite domain ``D`` of the paper.
+
+    Membership is universal over hashable values.  Finite questions are
+    answered through witness slices: :meth:`slice` returns a finite
+    :class:`Domain` of the requested size whose values are canonical
+    integers, optionally extended with caller-supplied constants (witness
+    slices must contain every constant mentioned by the tables and
+    queries under study — see DESIGN.md, Substitutions).
+    """
+
+    def __contains__(self, value: Hashable) -> bool:
+        try:
+            hash(value)
+        except TypeError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return "InfiniteDomain()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InfiniteDomain)
+
+    def __hash__(self) -> int:
+        return hash(InfiniteDomain)
+
+    def slice(
+        self, size: int, constants: Sequence[Hashable] = ()
+    ) -> Domain:
+        """Return a finite witness slice of at least *size* fresh values.
+
+        The slice contains the given *constants* plus consecutive integers
+        chosen to avoid colliding with integer constants.
+        """
+        if size < 0:
+            raise DomainError("witness slice size must be non-negative")
+        values: List[Hashable] = list(constants)
+        taken = {value for value in values if isinstance(value, int)}
+        candidate = 0
+        fresh: List[Hashable] = []
+        while len(fresh) < size:
+            if candidate not in taken:
+                fresh.append(candidate)
+            candidate += 1
+        values.extend(fresh)
+        if not values:
+            raise DomainError("witness slice would be empty")
+        return Domain(values)
+
+
+def domain_of_values(*value_groups: Iterable[Hashable]) -> Domain:
+    """Build the smallest finite domain covering every given value group."""
+    collected: List[Hashable] = []
+    for group in value_groups:
+        collected.extend(group)
+    return Domain(collected)

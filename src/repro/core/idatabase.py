@@ -1,0 +1,138 @@
+"""Incomplete databases: sets of possible instances (Definition 1).
+
+An :class:`IDatabase` materializes a *finite* set of possible worlds.
+Incomplete databases over an infinite domain are generally infinite sets;
+those are handled semantically through representation systems and witness
+slices (:mod:`repro.worlds.compare`), while this class is the concrete
+object used for finite systems, for Mod over finite domains, and for the
+outcome sets of probabilistic databases.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional
+
+from repro.errors import ArityError
+from repro.core.instance import Instance
+
+
+class IDatabase:
+    """A finite set of same-arity possible instances.
+
+    Immutable and hashable; supports the set operations the completeness
+    and closure proofs need, plus certain/possible tuple queries
+    (re-exported with more context in :mod:`repro.worlds.answers`).
+    """
+
+    __slots__ = ("_instances", "_arity")
+
+    def __init__(
+        self, instances: Iterable[Instance], arity: Optional[int] = None
+    ) -> None:
+        frozen = frozenset(instances)
+        if frozen:
+            arities = {instance.arity for instance in frozen}
+            if len(arities) != 1:
+                raise ArityError(
+                    f"mixed arities in incomplete database: {sorted(arities)}"
+                )
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise ArityError(
+                    f"declared arity {arity} does not match instances of "
+                    f"arity {inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise ArityError("empty incomplete database needs an explicit arity")
+        self._instances: FrozenSet[Instance] = frozen
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        """Return the shared arity of all possible instances."""
+        return self._arity
+
+    @property
+    def instances(self) -> FrozenSet[Instance]:
+        """Return the underlying frozenset of instances."""
+        return self._instances
+
+    def __contains__(self, instance: Instance) -> bool:
+        return instance in self._instances
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(sorted(self._instances, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IDatabase):
+            return NotImplemented
+        return self._arity == other._arity and self._instances == other._instances
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._instances))
+
+    def __repr__(self) -> str:
+        if len(self._instances) <= 4:
+            body = ", ".join(repr(instance) for instance in self)
+        else:
+            first = ", ".join(repr(instance) for instance in list(self)[:3])
+            body = f"{first}, ... {len(self._instances)} instances"
+        return f"IDatabase[{self._arity}]{{{body}}}"
+
+    # ------------------------------------------------------------------
+    # Information-content queries
+    # ------------------------------------------------------------------
+    def certain_tuples(self) -> FrozenSet:
+        """Return the tuples present in *every* possible instance."""
+        iterator = iter(self._instances)
+        first = next(iterator, None)
+        if first is None:
+            return frozenset()
+        certain = set(first.rows)
+        for instance in iterator:
+            certain &= instance.rows
+        return frozenset(certain)
+
+    def possible_tuples(self) -> FrozenSet:
+        """Return the tuples present in *some* possible instance."""
+        possible = set()
+        for instance in self._instances:
+            possible |= instance.rows
+        return frozenset(possible)
+
+    def is_complete_information(self) -> bool:
+        """True when the database is a single conventional instance."""
+        return len(self._instances) == 1
+
+    def max_cardinality(self) -> int:
+        """Return the size of the largest possible instance."""
+        return max((len(instance) for instance in self._instances), default=0)
+
+    def values(self) -> FrozenSet:
+        """Return the combined active domain of all instances."""
+        out = set()
+        for instance in self._instances:
+            out |= instance.values()
+        return frozenset(out)
+
+    def map_instances(self, transform) -> "IDatabase":
+        """Return the image of the database under an instance transform.
+
+        This is the incompleteness analogue of Definition 10's image
+        space: ``q(I) = { q(I) | I ∈ I }``.
+        """
+        return IDatabase(
+            (transform(instance) for instance in self._instances),
+        )
+
+    def union_worlds(self, other: "IDatabase") -> "IDatabase":
+        """Return the set union of the two world-sets (not per-world union)."""
+        if self._arity != other._arity:
+            raise ArityError(
+                f"arity mismatch: {self._arity} vs {other._arity}"
+            )
+        return IDatabase(self._instances | other._instances, arity=self._arity)

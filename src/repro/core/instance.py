@@ -1,0 +1,136 @@
+"""Conventional relational instances.
+
+An :class:`Instance` is a finite ``n``-ary relation over the domain: an
+immutable, hashable set of equal-length tuples.  Hashability matters
+because incomplete databases are *sets of instances* and probabilistic
+databases assign probabilities to instances, so instances serve as
+dictionary keys throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import ArityError
+
+Row = Tuple[Hashable, ...]
+
+
+class Instance:
+    """A finite relation: an immutable set of same-arity tuples.
+
+    The arity of an empty relation is ambiguous from its contents, so it
+    must be supplied explicitly when no tuples are given.
+    """
+
+    __slots__ = ("_rows", "_arity")
+
+    def __init__(
+        self, rows: Iterable[Iterable[Hashable]] = (), arity: Optional[int] = None
+    ) -> None:
+        frozen = frozenset(tuple(row) for row in rows)
+        if frozen:
+            arities = {len(row) for row in frozen}
+            if len(arities) != 1:
+                raise ArityError(f"mixed arities in instance: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise ArityError(
+                    f"declared arity {arity} does not match tuples of arity {inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise ArityError("empty instance needs an explicit arity")
+        if arity < 0:
+            raise ArityError(f"arity must be non-negative, got {arity}")
+        self._rows: FrozenSet[Row] = frozen
+        self._arity = arity
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Return the relation's arity."""
+        return self._arity
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """Return the underlying frozenset of tuples."""
+        return self._rows
+
+    def __contains__(self, row: Iterable[Hashable]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(row) for row in self)
+        return f"Instance[{self._arity}]{{{body}}}"
+
+    # ------------------------------------------------------------------
+    # Set operations (used by the RA evaluator)
+    # ------------------------------------------------------------------
+    def _check_same_arity(self, other: "Instance") -> None:
+        if self._arity != other._arity:
+            raise ArityError(
+                f"arity mismatch: {self._arity} vs {other._arity}"
+            )
+
+    def union(self, other: "Instance") -> "Instance":
+        """Return the set union of two same-arity instances."""
+        self._check_same_arity(other)
+        return Instance(self._rows | other._rows, arity=self._arity)
+
+    def difference(self, other: "Instance") -> "Instance":
+        """Return the set difference of two same-arity instances."""
+        self._check_same_arity(other)
+        return Instance(self._rows - other._rows, arity=self._arity)
+
+    def intersection(self, other: "Instance") -> "Instance":
+        """Return the set intersection of two same-arity instances."""
+        self._check_same_arity(other)
+        return Instance(self._rows & other._rows, arity=self._arity)
+
+    def cross(self, other: "Instance") -> "Instance":
+        """Return the cross product (tuple concatenation)."""
+        rows = {
+            left + right for left in self._rows for right in other._rows
+        }
+        return Instance(rows, arity=self._arity + other._arity)
+
+    def is_subset(self, other: "Instance") -> bool:
+        """Return True when every tuple of self belongs to *other*."""
+        self._check_same_arity(other)
+        return self._rows <= other._rows
+
+    def values(self) -> FrozenSet[Hashable]:
+        """Return the active domain: every value occurring in some tuple."""
+        return frozenset(value for row in self._rows for value in row)
+
+
+def check_tuple(row: Iterable[Hashable], arity: int) -> Row:
+    """Validate a single tuple against *arity* and return it normalized."""
+    normalized = tuple(row)
+    if len(normalized) != arity:
+        raise ArityError(
+            f"tuple {normalized!r} has arity {len(normalized)}, expected {arity}"
+        )
+    return normalized
+
+
+def relation(*rows: Iterable[Hashable], arity: Optional[int] = None) -> Instance:
+    """Convenience constructor: ``relation((1, 2), (3, 4))``."""
+    return Instance(rows, arity=arity)

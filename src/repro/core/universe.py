@@ -1,0 +1,72 @@
+"""The universe ``N`` of all instances over a finite domain.
+
+Over an infinite domain, ``N := { I ⊆ D^n | I finite }`` is infinite —
+the zero-information database the paper shows c-tables *cannot*
+represent.  Over a finite domain (the probabilistic Section 6, and
+Proposition 4's finite checks) it is genuinely finite, with
+``2^(|D|^n)`` members, and this module enumerates it lazily.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List
+
+from repro.errors import DomainError
+from repro.core.domain import Domain
+from repro.core.instance import Instance, Row
+from repro.core.idatabase import IDatabase
+
+
+def all_tuples(domain: Domain, arity: int) -> List[Row]:
+    """Return every *arity*-tuple over *domain* in deterministic order."""
+    if arity < 0:
+        raise DomainError(f"arity must be non-negative, got {arity}")
+    return [tuple(combo) for combo in itertools.product(domain.values, repeat=arity)]
+
+
+def universe_size(domain: Domain, arity: int) -> int:
+    """Return ``|N| = 2^(|D|^arity)`` without materializing it."""
+    return 2 ** (len(domain) ** arity)
+
+
+def all_instances(domain: Domain, arity: int) -> Iterator[Instance]:
+    """Yield every instance over *domain* with the given *arity*.
+
+    The empty instance comes first, then instances in order of increasing
+    subset bitmask over the deterministic tuple order — the iteration is
+    fully reproducible.
+
+    Beware of scale: the count is doubly exponential in practice; callers
+    keep ``|D|^arity`` small (Proposition 4's check uses slices like
+    ``|D| = 3, arity = 1``).
+    """
+    tuples = all_tuples(domain, arity)
+    for mask in range(2 ** len(tuples)):
+        rows = [row for index, row in enumerate(tuples) if mask >> index & 1]
+        yield Instance(rows, arity=arity)
+
+
+def universe(domain: Domain, arity: int) -> IDatabase:
+    """Return ``N`` over the finite *domain* as an incomplete database.
+
+    This is the "zero information" i-database of Section 2, materialized
+    for a finite slice.
+    """
+    return IDatabase(all_instances(domain, arity), arity=arity)
+
+
+def instances_up_to_cardinality(
+    domain: Domain, arity: int, max_cardinality: int
+) -> Iterator[Instance]:
+    """Yield every instance with at most *max_cardinality* tuples.
+
+    The paper notes the "minimal information" databases representable by
+    c-tables are exactly those of all instances of cardinality up to m
+    (Codd tables with m rows); this generator materializes them for
+    finite slices.
+    """
+    tuples = all_tuples(domain, arity)
+    for size in range(min(max_cardinality, len(tuples)) + 1):
+        for combo in itertools.combinations(tuples, size):
+            yield Instance(combo, arity=arity)

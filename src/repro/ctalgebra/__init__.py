@@ -1,0 +1,32 @@
+"""The c-table algebra: Theorem 4's lifted relational operators.
+
+[20] defines, for each relational-algebra operation ``u``, an operation
+``ū`` on c-tables such that for every valuation ν,
+
+    ν(q̄(T)) = q(ν(T))                        (Lemma 1)
+
+and therefore ``Mod(q̄(T)) = q(Mod(T))`` — c-tables are closed under the
+relational algebra.  :mod:`repro.ctalgebra.lifted` implements the
+operators; :mod:`repro.ctalgebra.translate` implements ``q ↦ q̄``.
+"""
+
+from repro.ctalgebra.lifted import (
+    difference_bar,
+    intersection_bar,
+    product_bar,
+    project_bar,
+    select_bar,
+    union_bar,
+)
+from repro.ctalgebra.translate import apply_query_to_ctable, translate_query
+
+__all__ = [
+    "apply_query_to_ctable",
+    "difference_bar",
+    "intersection_bar",
+    "product_bar",
+    "project_bar",
+    "select_bar",
+    "translate_query",
+    "union_bar",
+]

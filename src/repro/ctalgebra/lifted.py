@@ -1,0 +1,171 @@
+"""Lifted relational operators on c-tables (proof of Theorem 4).
+
+Each operator mirrors its classical counterpart but manipulates rows
+symbolically and composes conditions:
+
+- projection merges rows with syntactically equal projected tuples,
+  disjoining their conditions (the paper's ``π̄``),
+- selection conjoins the instantiated predicate ``c(t)`` — a formula
+  over constants and variables, not a truth value (``σ̄``),
+- product and union are structural (``×̄``, ``∪̄``),
+- difference and intersection (handled "similarly", per the paper)
+  compare tuples symbolically: the term-wise equality of two rows is
+  itself a condition, so ``T₁ −̄ T₂`` keeps row ``t₁`` under
+  ``ϕ_{t₁} ∧ ⋀_{t₂∈T₂} ¬(ϕ_{t₂} ∧ (t₁ = t₂))``.
+
+All operators preserve finite variable domains and global conditions
+(both tables' globals are conjoined), and every operator satisfies
+Lemma 1, which the property tests check against random valuations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ArityError, TableError
+from repro.logic.atoms import Term, eq
+from repro.logic.syntax import Formula, conj, disj, neg
+from repro.algebra.predicates import check_predicate, instantiate_predicate
+from repro.tables.ctable import CRow, CTable
+
+
+def _merge_domains(left: CTable, right: CTable) -> Optional[Dict[str, tuple]]:
+    """Merge the finite domains of two operand tables.
+
+    Shared variables must agree exactly.  A table with variables but no
+    domains is an infinite-domain table: combining it with a finite-domain
+    one has no well-defined domain story, so we reject it (the ``q̄``
+    translation never produces the situation).
+    """
+    left_infinite = left.domains is None and left.variables()
+    right_infinite = right.domains is None and right.variables()
+    if (left_infinite and right.domains is not None) or (
+        right_infinite and left.domains is not None
+    ):
+        raise TableError(
+            "cannot combine an infinite-domain c-table with a finite-domain one"
+        )
+    if left.domains is None and right.domains is None:
+        return None
+    merged: Dict[str, tuple] = dict(left.domains or {})
+    for name, values in (right.domains or {}).items():
+        existing = merged.get(name)
+        if existing is not None and tuple(existing) != tuple(values):
+            raise TableError(
+                f"variable {name!r} has conflicting domains in the operands"
+            )
+        merged[name] = tuple(values)
+    return merged
+
+
+def _combine(left: CTable, right: CTable, rows, arity: int) -> CTable:
+    return CTable(
+        rows,
+        arity=arity,
+        domains=_merge_domains(left, right),
+        global_condition=conj(left.global_condition, right.global_condition),
+    )
+
+
+def project_bar(table: CTable, columns: Sequence[int]) -> CTable:
+    """``π̄_ℓ``: project rows, merging equal term-tuples by disjunction."""
+    columns = tuple(columns)
+    bad = [c for c in columns if c < 0 or c >= table.arity]
+    if bad:
+        raise ArityError(
+            f"projection columns {bad} out of range for arity {table.arity}"
+        )
+    grouped: Dict[Tuple[Term, ...], list] = {}
+    order: list = []
+    for row in table.rows:
+        projected = tuple(row.values[index] for index in columns)
+        if projected not in grouped:
+            grouped[projected] = []
+            order.append(projected)
+        grouped[projected].append(row.condition)
+    rows = [
+        CRow(projected, disj(*grouped[projected])) for projected in order
+    ]
+    return CTable(
+        rows,
+        arity=len(columns),
+        domains=table.domains,
+        global_condition=table.global_condition,
+    )
+
+
+def select_bar(table: CTable, predicate: Formula) -> CTable:
+    """``σ̄_c``: conjoin the symbolically instantiated predicate."""
+    check_predicate(predicate, table.arity)
+    rows = [
+        CRow(row.values, conj(row.condition,
+                              instantiate_predicate(predicate, row.values)))
+        for row in table.rows
+    ]
+    return CTable(
+        rows,
+        arity=table.arity,
+        domains=table.domains,
+        global_condition=table.global_condition,
+    )
+
+
+def product_bar(left: CTable, right: CTable) -> CTable:
+    """``×̄``: concatenate tuples, conjoin conditions.
+
+    Shared variables are *not* renamed: a self-join of a c-table with
+    itself must use the same valuation on both sides (Lemma 1 quantifies
+    over a single ν).
+    """
+    rows = [
+        CRow(l.values + r.values, conj(l.condition, r.condition))
+        for l in left.rows
+        for r in right.rows
+    ]
+    return _combine(left, right, rows, left.arity + right.arity)
+
+
+def union_bar(left: CTable, right: CTable) -> CTable:
+    """``∪̄``: the union of the two row sets."""
+    if left.arity != right.arity:
+        raise ArityError(f"arity mismatch: {left.arity} vs {right.arity}")
+    return _combine(left, right, left.rows + right.rows, left.arity)
+
+
+def _rows_equal_condition(first: CRow, second: CRow) -> Formula:
+    """The condition under which two symbolic rows denote the same tuple."""
+    return conj(
+        *(eq(a, b) for a, b in zip(first.values, second.values))
+    )
+
+
+def difference_bar(left: CTable, right: CTable) -> CTable:
+    """``−̄``: keep ``t₁`` unless some ``t₂`` is present and equal to it."""
+    if left.arity != right.arity:
+        raise ArityError(f"arity mismatch: {left.arity} vs {right.arity}")
+    rows = []
+    for l in left.rows:
+        absent_in_right = conj(
+            *(
+                neg(conj(r.condition, _rows_equal_condition(l, r)))
+                for r in right.rows
+            )
+        )
+        rows.append(CRow(l.values, conj(l.condition, absent_in_right)))
+    return _combine(left, right, rows, left.arity)
+
+
+def intersection_bar(left: CTable, right: CTable) -> CTable:
+    """``∩̄``: keep ``t₁`` when some ``t₂`` is present and equal to it."""
+    if left.arity != right.arity:
+        raise ArityError(f"arity mismatch: {left.arity} vs {right.arity}")
+    rows = []
+    for l in left.rows:
+        present_in_right = disj(
+            *(
+                conj(r.condition, _rows_equal_condition(l, r))
+                for r in right.rows
+            )
+        )
+        rows.append(CRow(l.values, conj(l.condition, present_in_right)))
+    return _combine(left, right, rows, left.arity)

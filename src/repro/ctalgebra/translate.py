@@ -1,0 +1,107 @@
+"""The translation ``q ↦ q̄`` from RA queries to c-table programs.
+
+Replacing each operator ``u`` of a relational-algebra expression by its
+lifted counterpart ``ū`` gives the c-table algebra expression ``q̄`` with
+``Mod(q̄(T)) = q(Mod(T))`` (Theorem 4).  :func:`apply_query_to_ctable`
+performs the replacement and evaluation in one recursive pass.
+
+Constant relations become variable-free c-tables; the input relation
+name(s) resolve to caller-supplied c-tables.  The optional
+``simplify_conditions`` flag runs the condition simplifier at every
+operator — benchmark E08 ablates its effect on condition growth.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import QueryError
+from repro.algebra.ast import (
+    ConstRel,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    Query,
+    RelVar,
+    Select,
+    Union,
+)
+from repro.tables.ctable import CRow, CTable, make_row
+from repro.ctalgebra.lifted import (
+    difference_bar,
+    intersection_bar,
+    product_bar,
+    project_bar,
+    select_bar,
+    union_bar,
+)
+
+
+def constant_ctable(node: ConstRel) -> CTable:
+    """Embed a constant relation as a variable-free c-table."""
+    rows = [make_row(row) for row in node.instance]
+    return CTable(rows, arity=node.instance.arity)
+
+
+def translate_query(
+    query: Query,
+    tables: Mapping[str, CTable],
+    simplify_conditions: bool = False,
+) -> CTable:
+    """Evaluate ``q̄`` on c-table inputs bound by name.
+
+    The result is a c-table representing ``q(Mod(T))``; its domains and
+    global condition are inherited from the inputs.
+    """
+    def recurse(node: Query) -> CTable:
+        if isinstance(node, RelVar):
+            table = tables.get(node.name)
+            if table is None:
+                raise QueryError(f"no c-table bound for name {node.name!r}")
+            if table.arity != node.rel_arity:
+                raise QueryError(
+                    f"c-table {node.name!r} has arity {table.arity}, "
+                    f"query expects {node.rel_arity}"
+                )
+            return table
+        if isinstance(node, ConstRel):
+            return constant_ctable(node)
+        if isinstance(node, Project):
+            result = project_bar(recurse(node.child), node.columns)
+        elif isinstance(node, Select):
+            result = select_bar(recurse(node.child), node.predicate)
+        elif isinstance(node, Product):
+            result = product_bar(recurse(node.left), recurse(node.right))
+        elif isinstance(node, Union):
+            result = union_bar(recurse(node.left), recurse(node.right))
+        elif isinstance(node, Difference):
+            result = difference_bar(recurse(node.left), recurse(node.right))
+        elif isinstance(node, Intersection):
+            result = intersection_bar(recurse(node.left), recurse(node.right))
+        else:
+            raise QueryError(f"unknown query node {node!r}")
+        if simplify_conditions:
+            result = result.simplified()
+        return result
+
+    return recurse(query)
+
+
+def apply_query_to_ctable(
+    query: Query, table: CTable, simplify_conditions: bool = False
+) -> CTable:
+    """Evaluate ``q̄(T)`` for a single-input query.
+
+    Every relation name in *query* (there is normally one) binds to the
+    same *table*, mirroring the paper's single-relation schemas.
+    """
+    names = query.relation_names()
+    for name, arity in names.items():
+        if arity != table.arity:
+            raise QueryError(
+                f"query input {name!r} has arity {arity}, c-table has "
+                f"arity {table.arity}"
+            )
+    bindings = {name: table for name in names}
+    return translate_query(query, bindings, simplify_conditions)

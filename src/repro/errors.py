@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ArityError(ReproError):
+    """A tuple, table, or query was used with an incompatible arity."""
+
+
+class DomainError(ReproError):
+    """A value lies outside the active domain, or a domain is misused."""
+
+
+class ConditionError(ReproError):
+    """A condition formula is malformed or used in an unsupported way."""
+
+
+class ValuationError(ReproError):
+    """A valuation does not cover the variables it is applied to."""
+
+
+class QueryError(ReproError):
+    """A relational-algebra expression is malformed."""
+
+
+class FragmentError(QueryError):
+    """A query does not belong to the relational-algebra fragment required."""
+
+
+class TableError(ReproError):
+    """A representation-system table is malformed."""
+
+
+class ProbabilityError(ReproError):
+    """Probability values are malformed (negative, or do not sum to one)."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The requested operation is not supported by this representation system.
+
+    Raised, for instance, when asking a system that is provably not closed
+    under an operation to represent the result exactly (Proposition 1).
+    """

@@ -1,0 +1,263 @@
+"""JSON serialization for conditions, c-tables and pc-tables.
+
+The paper's motivating systems (Orchestra, SHARQ) ship representation
+tables between sites, which needs a wire format.  This module provides
+a stable JSON encoding for the core objects:
+
+- terms and condition formulas (:func:`formula_to_json` /
+  :func:`formula_from_json`),
+- c-tables with domains and global conditions (:func:`ctable_to_json` /
+  :func:`ctable_from_json`),
+- pc-tables with their distributions (:func:`pctable_to_json` /
+  :func:`pctable_from_json`) — probabilities travel as exact
+  numerator/denominator pairs, never floats.
+
+Only JSON-representable constants (strings, ints, bools, floats, None)
+are supported; anything else raises at encode time rather than
+producing an unreadable document.  Round-tripping is identity on all
+supported tables (property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, Hashable, List
+
+from repro.errors import ReproError
+from repro.logic.atoms import BoolVar, Const, Eq, Term, Var
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    neg,
+)
+from repro.tables.ctable import BooleanCTable, CRow, CTable
+
+
+class SerializationError(ReproError):
+    """A value or structure has no JSON representation (or vice versa)."""
+
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_scalar(value: Hashable):
+    if not isinstance(value, _JSON_SCALARS):
+        raise SerializationError(
+            f"constant {value!r} of type {type(value).__name__} has no "
+            "JSON representation"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Terms and formulas
+# ----------------------------------------------------------------------
+
+def term_to_json(term: Term) -> Dict[str, Any]:
+    """Encode a Var/Const term."""
+    if isinstance(term, Var):
+        return {"var": term.name}
+    if isinstance(term, Const):
+        return {"const": _check_scalar(term.value)}
+    raise SerializationError(f"unknown term {term!r}")
+
+
+def term_from_json(data: Dict[str, Any]) -> Term:
+    """Decode a term."""
+    if "var" in data:
+        return Var(data["var"])
+    if "const" in data:
+        return Const(data["const"])
+    raise SerializationError(f"not a term: {data!r}")
+
+
+def formula_to_json(formula: Formula) -> Any:
+    """Encode a condition formula."""
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Eq):
+        return {
+            "eq": [term_to_json(formula.left), term_to_json(formula.right)]
+        }
+    if isinstance(formula, BoolVar):
+        return {"bool": formula.name}
+    if isinstance(formula, Not):
+        return {"not": formula_to_json(formula.child)}
+    if isinstance(formula, And):
+        return {"and": [formula_to_json(c) for c in formula.children]}
+    if isinstance(formula, Or):
+        return {"or": [formula_to_json(c) for c in formula.children]}
+    raise SerializationError(f"unknown formula node {formula!r}")
+
+
+def formula_from_json(data: Any) -> Formula:
+    """Decode a condition formula (re-normalizing via smart constructors)."""
+    if data is True:
+        return TOP
+    if data is False:
+        return BOTTOM
+    if not isinstance(data, dict):
+        raise SerializationError(f"not a formula: {data!r}")
+    if "eq" in data:
+        left, right = data["eq"]
+        from repro.logic.atoms import eq as eq_
+
+        return eq_(term_from_json(left), term_from_json(right))
+    if "bool" in data:
+        return BoolVar(data["bool"])
+    if "not" in data:
+        return neg(formula_from_json(data["not"]))
+    if "and" in data:
+        return conj(*(formula_from_json(c) for c in data["and"]))
+    if "or" in data:
+        return disj(*(formula_from_json(c) for c in data["or"]))
+    raise SerializationError(f"not a formula: {data!r}")
+
+
+# ----------------------------------------------------------------------
+# c-tables
+# ----------------------------------------------------------------------
+
+def ctable_to_json(table: CTable) -> Dict[str, Any]:
+    """Encode a c-table (plain, finite-domain, or boolean)."""
+    payload: Dict[str, Any] = {
+        "kind": "boolean-c-table" if isinstance(table, BooleanCTable)
+        else "c-table",
+        "arity": table.arity,
+        "rows": [
+            {
+                "values": [term_to_json(term) for term in row.values],
+                "condition": formula_to_json(row.condition),
+            }
+            for row in table.rows
+        ],
+    }
+    if table.global_condition != TOP:
+        payload["global"] = formula_to_json(table.global_condition)
+    if not isinstance(table, BooleanCTable) and table.domains is not None:
+        payload["domains"] = {
+            name: [_check_scalar(value) for value in values]
+            for name, values in table.domains.items()
+        }
+    return payload
+
+
+def ctable_from_json(data: Dict[str, Any]) -> CTable:
+    """Decode a c-table."""
+    rows = [
+        CRow(
+            tuple(term_from_json(term) for term in row["values"]),
+            formula_from_json(row.get("condition", True)),
+        )
+        for row in data.get("rows", [])
+    ]
+    global_condition = formula_from_json(data.get("global", True))
+    kind = data.get("kind", "c-table")
+    if kind == "boolean-c-table":
+        return BooleanCTable(
+            rows, arity=data["arity"], global_condition=global_condition
+        )
+    if kind != "c-table":
+        raise SerializationError(f"unknown table kind {kind!r}")
+    domains = data.get("domains")
+    if domains is not None:
+        domains = {name: tuple(values) for name, values in domains.items()}
+    return CTable(
+        rows,
+        arity=data["arity"],
+        domains=domains,
+        global_condition=global_condition,
+    )
+
+
+# ----------------------------------------------------------------------
+# pc-tables
+# ----------------------------------------------------------------------
+
+def _fraction_to_json(value: Fraction) -> List[int]:
+    value = Fraction(value)
+    return [value.numerator, value.denominator]
+
+
+def _fraction_from_json(data: Any) -> Fraction:
+    if isinstance(data, list) and len(data) == 2:
+        return Fraction(data[0], data[1])
+    raise SerializationError(f"not a fraction pair: {data!r}")
+
+
+def pctable_to_json(pctable) -> Dict[str, Any]:
+    """Encode a pc-table (or boolean pc-table) with exact probabilities."""
+    from repro.prob.pctable import BooleanPCTable, PCTable
+
+    if not isinstance(pctable, PCTable):
+        raise SerializationError(f"not a pc-table: {pctable!r}")
+    return {
+        "kind": "boolean-pc-table"
+        if isinstance(pctable, BooleanPCTable)
+        else "pc-table",
+        "table": ctable_to_json(pctable.table.without_domains()),
+        "distributions": {
+            name: [
+                [_check_scalar(value), _fraction_to_json(weight)]
+                for value, weight in distribution.items()
+            ]
+            for name, distribution in pctable.distributions.items()
+        },
+    }
+
+
+def pctable_from_json(data: Dict[str, Any]):
+    """Decode a pc-table."""
+    from repro.prob.pctable import BooleanPCTable, PCTable
+
+    table = ctable_from_json(data["table"])
+    distributions = {
+        name: {
+            value: _fraction_from_json(weight)
+            for value, weight in pairs
+        }
+        for name, pairs in data.get("distributions", {}).items()
+    }
+    if data.get("kind") == "boolean-pc-table":
+        if not isinstance(table, BooleanCTable):
+            table = BooleanCTable(
+                table.rows,
+                arity=table.arity,
+                global_condition=table.global_condition,
+            )
+        return BooleanPCTable(table, distributions)
+    return PCTable(table, distributions)
+
+
+# ----------------------------------------------------------------------
+# Strings / files
+# ----------------------------------------------------------------------
+
+def dumps(table, indent: int = None) -> str:
+    """Serialize a (p)c-table to a JSON string."""
+    from repro.prob.pctable import PCTable
+
+    if isinstance(table, PCTable):
+        return json.dumps(pctable_to_json(table), indent=indent)
+    if isinstance(table, CTable):
+        return json.dumps(ctable_to_json(table), indent=indent)
+    raise SerializationError(f"no JSON encoding for {type(table).__name__}")
+
+
+def loads(text: str):
+    """Deserialize a (p)c-table from a JSON string."""
+    data = json.loads(text)
+    if data.get("kind", "").endswith("pc-table"):
+        return pctable_from_json(data)
+    return ctable_from_json(data)

@@ -1,0 +1,92 @@
+"""Boolean and equality logic substrate.
+
+c-table conditions (Imieliński–Lipski) are boolean combinations of
+equalities between variables and constants; boolean c-tables use
+propositional variables instead.  This package provides everything the
+rest of the library needs to manipulate such conditions:
+
+- :mod:`repro.logic.syntax` / :mod:`repro.logic.atoms` — immutable formula
+  ASTs with smart constructors,
+- :mod:`repro.logic.evaluation` — total and partial evaluation under
+  valuations,
+- :mod:`repro.logic.simplify` — negation normal form and algebraic
+  simplification,
+- :mod:`repro.logic.cnf` — clause-form conversion,
+- :mod:`repro.logic.sat` — a DPLL SAT solver,
+- :mod:`repro.logic.models` — satisfying-valuation enumeration over
+  finite variable domains,
+- :mod:`repro.logic.equality_sat` — small-model-property decision
+  procedures for equality logic over an infinite domain,
+- :mod:`repro.logic.bdd` — ordered binary decision diagrams with
+  weighted model counting,
+- :mod:`repro.logic.counting` — Shannon-expansion probability
+  computation for formulas over multi-valued distributed variables.
+"""
+
+from repro.logic.atoms import BoolVar, Const, Eq, Term, Var, eq, ne
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    neg,
+    BOTTOM,
+    TOP,
+)
+from repro.logic.evaluation import evaluate, partial_evaluate, substitute
+from repro.logic.simplify import nnf, simplify
+from repro.logic.sat import Solver, is_satisfiable_clauses, solve_clauses
+from repro.logic.models import enumerate_models, count_models
+from repro.logic.equality_sat import (
+    constants_of,
+    equivalent_infinite,
+    is_satisfiable_finite,
+    is_satisfiable_infinite,
+    is_valid_infinite,
+    witness_domain,
+)
+from repro.logic.bdd import Bdd
+from repro.logic.counting import probability
+
+__all__ = [
+    "And",
+    "Bdd",
+    "BoolVar",
+    "Bottom",
+    "BOTTOM",
+    "Const",
+    "Eq",
+    "Formula",
+    "Not",
+    "Or",
+    "Solver",
+    "Term",
+    "Top",
+    "TOP",
+    "Var",
+    "conj",
+    "constants_of",
+    "count_models",
+    "disj",
+    "enumerate_models",
+    "eq",
+    "equivalent_infinite",
+    "evaluate",
+    "is_satisfiable_clauses",
+    "is_satisfiable_finite",
+    "is_satisfiable_infinite",
+    "is_valid_infinite",
+    "ne",
+    "neg",
+    "nnf",
+    "partial_evaluate",
+    "probability",
+    "simplify",
+    "solve_clauses",
+    "substitute",
+    "witness_domain",
+]

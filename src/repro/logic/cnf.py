@@ -1,0 +1,166 @@
+"""Clause-form (CNF) conversion for condition formulas.
+
+Two converters are provided:
+
+- :func:`to_cnf_clauses` — the classical distributive conversion, exact
+  but potentially exponential; suitable for the small conditions produced
+  by hand-written c-tables.
+- :func:`tseitin_clauses` — the linear-size Tseitin transformation, which
+  introduces fresh definition variables.  Equisatisfiable rather than
+  equivalent, which is all the SAT interface needs.
+
+Both emit clauses over *integer literals*: each atom is mapped to a
+positive integer through an :class:`AtomMap`; a negative literal is the
+negation of the corresponding atom.  This is the interface expected by
+:mod:`repro.logic.sat`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import ConditionError
+from repro.logic.simplify import nnf
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    is_atom,
+)
+
+Clause = FrozenSet[int]
+
+
+class AtomMap:
+    """A bijection between atoms and positive integer SAT variables."""
+
+    def __init__(self) -> None:
+        self._by_atom: Dict[Formula, int] = {}
+        self._by_index: Dict[int, Formula] = {}
+
+    def index_of(self, atom: Formula) -> int:
+        """Return the SAT variable for *atom*, allocating one if new."""
+        index = self._by_atom.get(atom)
+        if index is None:
+            index = len(self._by_atom) + 1
+            self._by_atom[atom] = index
+            self._by_index[index] = atom
+        return index
+
+    def atom_of(self, index: int) -> Formula:
+        """Return the atom registered under SAT variable *index*."""
+        return self._by_index[index]
+
+    def fresh(self) -> int:
+        """Allocate a definition variable not tied to any atom."""
+        index = len(self._by_atom) + 1
+        # Reserve the slot with a unique placeholder so numbering advances.
+        placeholder = ("__tseitin__", index)
+        self._by_atom[placeholder] = index  # type: ignore[index]
+        return index
+
+    def __len__(self) -> int:
+        return len(self._by_atom)
+
+    def atoms(self) -> List[Formula]:
+        """Return all registered genuine atoms (placeholders excluded)."""
+        return [atom for atom in self._by_atom if isinstance(atom, Formula)]
+
+
+def _literal(formula: Formula, atom_map: AtomMap) -> int:
+    if isinstance(formula, Not):
+        if not is_atom(formula.child):
+            raise ConditionError("negation above non-atom in NNF literal")
+        return -atom_map.index_of(formula.child)
+    if is_atom(formula):
+        return atom_map.index_of(formula)
+    raise ConditionError(f"not a literal: {formula!r}")
+
+
+def to_cnf_clauses(
+    formula: Formula, atom_map: AtomMap | None = None
+) -> Tuple[List[Clause], AtomMap]:
+    """Convert *formula* to an equivalent clause list by distribution.
+
+    Returns the clause list and the atom map.  ``true`` becomes the empty
+    clause list; ``false`` becomes a single empty clause.
+    """
+    atom_map = atom_map if atom_map is not None else AtomMap()
+    normal = nnf(formula)
+    clause_sets = _cnf(normal, atom_map)
+    return clause_sets, atom_map
+
+
+def _cnf(formula: Formula, atom_map: AtomMap) -> List[Clause]:
+    if isinstance(formula, Top):
+        return []
+    if isinstance(formula, Bottom):
+        return [frozenset()]
+    if is_atom(formula) or isinstance(formula, Not):
+        return [frozenset({_literal(formula, atom_map)})]
+    if isinstance(formula, And):
+        clauses: List[Clause] = []
+        for child in formula.children:
+            clauses.extend(_cnf(child, atom_map))
+        return clauses
+    if isinstance(formula, Or):
+        # Distribute: cross product of the children's clause lists.
+        product: List[Clause] = [frozenset()]
+        for child in formula.children:
+            child_clauses = _cnf(child, atom_map)
+            product = [
+                existing | addition
+                for existing in product
+                for addition in child_clauses
+            ]
+            if not product:
+                return []
+        return product
+    raise ConditionError(f"cannot convert {formula!r} to CNF")
+
+
+def tseitin_clauses(
+    formula: Formula, atom_map: AtomMap | None = None
+) -> Tuple[List[Clause], AtomMap, int]:
+    """Convert *formula* to equisatisfiable clauses via Tseitin encoding.
+
+    Returns ``(clauses, atom_map, root_literal)``; the clause list asserts
+    the root literal, so satisfiability of the clauses coincides with
+    satisfiability of the formula's boolean skeleton.
+    """
+    atom_map = atom_map if atom_map is not None else AtomMap()
+    clauses: List[Clause] = []
+    root = _tseitin(nnf(formula), atom_map, clauses)
+    clauses.append(frozenset({root}))
+    return clauses, atom_map, root
+
+
+def _tseitin(formula: Formula, atom_map: AtomMap, clauses: List[Clause]) -> int:
+    if isinstance(formula, Top):
+        fresh = atom_map.fresh()
+        clauses.append(frozenset({fresh}))
+        return fresh
+    if isinstance(formula, Bottom):
+        fresh = atom_map.fresh()
+        clauses.append(frozenset({-fresh}))
+        return fresh
+    if is_atom(formula) or isinstance(formula, Not):
+        return _literal(formula, atom_map)
+    child_literals = [
+        _tseitin(child, atom_map, clauses) for child in formula.children
+    ]
+    definition = atom_map.fresh()
+    if isinstance(formula, And):
+        # definition <-> AND(children)
+        for literal in child_literals:
+            clauses.append(frozenset({-definition, literal}))
+        clauses.append(frozenset({definition, *(-lit for lit in child_literals)}))
+        return definition
+    # Or
+    for literal in child_literals:
+        clauses.append(frozenset({-literal, definition}))
+    clauses.append(frozenset({-definition, *child_literals}))
+    return definition

@@ -1,0 +1,267 @@
+"""Decision procedures for equality logic over an infinite domain.
+
+c-tables in the paper range over a countably infinite domain ``D``, so
+"is this condition satisfiable?" cannot be answered by enumerating ``D``.
+Equality logic enjoys a *small-model property*: a boolean combination of
+equalities over variables ``V`` and constants ``C`` is satisfiable over
+an infinite domain if and only if it is satisfiable over any finite
+domain containing ``C`` plus ``|V|`` extra fresh values.  (Each variable
+need only choose between being equal to one of the constants, or equal to
+some other variable's fresh value, or fresh itself.)
+
+This module implements that reduction (:func:`witness_domain`) and on top
+of it satisfiability, validity, implication and equivalence tests, which
+power the semantic comparisons in :mod:`repro.worlds.compare` and the
+infinite-domain theorems (E04, E05, E10 in DESIGN.md).
+
+Two engines are provided and cross-checked in the tests: direct pruned
+enumeration over the witness domain (:func:`is_satisfiable_finite`), and
+a SAT-based engine that solves the boolean skeleton and checks the
+induced equality constraints for consistency with a union-find
+(:func:`is_satisfiable_skeleton`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.logic.atoms import BoolVar, Const, Eq
+from repro.logic.cnf import AtomMap, tseitin_clauses
+from repro.logic.models import is_satisfiable_over
+from repro.logic.sat import Solver
+from repro.logic.syntax import Formula, conj, neg, walk
+
+
+def constants_of(formula: Formula) -> FrozenSet[Hashable]:
+    """Return the set of constant values mentioned by equality atoms."""
+    values = set()
+    for node in walk(formula):
+        if isinstance(node, Eq):
+            for term in (node.left, node.right):
+                if isinstance(term, Const):
+                    values.add(term.value)
+    return frozenset(values)
+
+
+class _FreshValue:
+    """A domain value guaranteed distinct from every user constant.
+
+    Instances compare equal only to themselves, so they can never collide
+    with paper-level constants such as small integers or strings.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"•{self.label}"
+
+
+def fresh_values(count: int) -> List[_FreshValue]:
+    """Return *count* pairwise-distinct fresh domain values."""
+    return [_FreshValue(index) for index in range(count)]
+
+
+def witness_domain(formula: Formula, extra: int = 0) -> List[Hashable]:
+    """Return a finite domain sufficient to decide *formula* over infinite D.
+
+    The domain consists of the formula's constants plus one fresh value
+    per domain variable, plus *extra* additional fresh values (callers
+    comparing several formulas at once pass the combined requirement).
+    """
+    constants = sorted(constants_of(formula), key=repr)
+    variable_count = sum(
+        1 for name in formula.variables() if not _is_boolean_name(formula, name)
+    )
+    fresh = fresh_values(variable_count + extra)
+    return list(constants) + list(fresh)
+
+
+def _is_boolean_name(formula: Formula, name: str) -> bool:
+    return any(
+        isinstance(node, BoolVar) and node.name == name for node in walk(formula)
+    )
+
+
+def _split_variables(formula: Formula) -> Tuple[List[str], List[str]]:
+    """Split the formula's variables into (domain variables, boolean vars)."""
+    booleans = {
+        node.name for node in walk(formula) if isinstance(node, BoolVar)
+    }
+    domain_vars = sorted(formula.variables() - booleans)
+    return domain_vars, sorted(booleans)
+
+
+def is_satisfiable_finite(
+    formula: Formula, domain: Sequence[Hashable]
+) -> bool:
+    """Decide satisfiability of *formula* with domain vars ranging over *domain*."""
+    domain_vars, boolean_vars = _split_variables(formula)
+    domains: Dict[str, Sequence[Hashable]] = {
+        name: list(domain) for name in domain_vars
+    }
+    domains.update({name: (False, True) for name in boolean_vars})
+    if not domains:
+        # Ground formula: partial evaluation decides it outright.
+        from repro.logic.evaluation import partial_evaluate
+        from repro.logic.syntax import TOP
+
+        return partial_evaluate(formula, {}) is TOP
+    return is_satisfiable_over(formula, domains)
+
+
+def is_satisfiable_infinite(formula: Formula) -> bool:
+    """Decide satisfiability of *formula* over the countably infinite domain."""
+    return is_satisfiable_finite(formula, witness_domain(formula))
+
+
+def is_valid_infinite(formula: Formula) -> bool:
+    """Decide validity (truth under every valuation) over the infinite domain.
+
+    Note the witness domain must be computed for the *negation*, whose
+    satisfiability is being tested.
+    """
+    negated = neg(formula)
+    return not is_satisfiable_finite(negated, witness_domain(negated))
+
+
+def implies_infinite(antecedent: Formula, consequent: Formula) -> bool:
+    """Decide whether *antecedent* entails *consequent* over infinite D."""
+    counterexample = conj(antecedent, neg(consequent))
+    return not is_satisfiable_finite(
+        counterexample, witness_domain(counterexample)
+    )
+
+
+def equivalent_infinite(left: Formula, right: Formula) -> bool:
+    """Decide logical equivalence of two conditions over infinite D."""
+    return implies_infinite(left, right) and implies_infinite(right, left)
+
+
+def is_satisfiable_skeleton(formula: Formula) -> bool:
+    """SAT-based satisfiability via boolean skeleton + congruence check.
+
+    The formula's boolean skeleton (atoms as opaque propositions) is
+    solved by DPLL; each propositional model induces equality/disequality
+    constraints that are checked for consistency by union-find.  Models
+    are enumerated until a theory-consistent one is found.  This engine is
+    independent of the enumeration engine and the two are cross-validated
+    by property tests.
+    """
+    clauses, atom_map, _ = tseitin_clauses(formula)
+    solver = Solver()
+    for assignment in solver.enumerate(clauses):
+        if _theory_consistent(assignment, atom_map):
+            return True
+    return False
+
+
+def _theory_consistent(assignment: Dict[int, bool], atom_map: AtomMap) -> bool:
+    """Check equality/disequality constraints induced by a SAT model."""
+    parent: Dict[Hashable, Hashable] = {}
+
+    def find(item: Hashable) -> Hashable:
+        parent.setdefault(item, item)
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(left: Hashable, right: Hashable) -> None:
+        parent[find(left)] = find(right)
+
+    def key(term) -> Hashable:
+        if isinstance(term, Const):
+            return ("const", term.value)
+        return ("var", term.name)
+
+    disequalities = []
+    for atom in atom_map.atoms():
+        if not isinstance(atom, Eq):
+            continue
+        index = atom_map.index_of(atom)
+        if index not in assignment:
+            continue
+        if assignment[index]:
+            union(key(atom.left), key(atom.right))
+        else:
+            disequalities.append((key(atom.left), key(atom.right)))
+    # Distinct constants must stay in distinct classes.
+    constant_roots: Dict[Hashable, Hashable] = {}
+    for item in list(parent):
+        if isinstance(item, tuple) and item[0] == "const":
+            root = find(item)
+            if root in constant_roots and constant_roots[root] != item:
+                return False
+            constant_roots[root] = item
+    return all(find(left) != find(right) for left, right in disequalities)
+
+
+def equivalence_classes(
+    valuation_pairs: Sequence[Tuple[str, Hashable]]
+) -> List[FrozenSet[str]]:
+    """Group variable names by equal assigned value (a testing helper)."""
+    groups: Dict[Hashable, set] = {}
+    for name, value in valuation_pairs:
+        groups.setdefault(value, set()).add(name)
+    return [frozenset(group) for group in groups.values()]
+
+
+def all_partitions(items: Sequence[str]):
+    """Yield every partition of *items* into non-empty blocks.
+
+    Used by exhaustive separation proofs (benchmark E19): valuations over
+    an infinite domain matter only through the partition they induce on
+    variables plus their agreement with constants.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in all_partitions(rest):
+        for index in range(len(partition)):
+            updated = [list(block) for block in partition]
+            updated[index].append(first)
+            yield [frozenset(block) for block in updated]
+        yield [frozenset({first})] + [frozenset(block) for block in partition]
+
+
+def satisfying_partition_count(formula: Formula) -> int:
+    """Count variable partitions consistent with *formula* (diagnostics).
+
+    Each partition is realized by assigning a shared fresh value per
+    block; the count is a domain-independent measure of how constrained a
+    condition is.
+    """
+    domain_vars, boolean_vars = _split_variables(formula)
+    count = 0
+    constants = sorted(constants_of(formula), key=repr)
+    for partition in all_partitions(domain_vars):
+        block_values = fresh_values(len(partition))
+        valuation: Dict[str, Hashable] = {}
+        for block, value in zip(partition, block_values):
+            for name in block:
+                valuation[name] = value
+        # Blocks may alternatively collapse onto constants; enumerate the
+        # choice of "block -> fresh or block -> constant" assignments.
+        choices = [[value] + list(constants) for value in block_values]
+        for combo in itertools.product(*choices):
+            if len(set(combo)) != len(combo):
+                continue
+            candidate = {}
+            for block, value in zip(partition, combo):
+                for name in block:
+                    candidate[name] = value
+            for booleans in itertools.product(
+                (False, True), repeat=len(boolean_vars)
+            ):
+                candidate.update(dict(zip(boolean_vars, booleans)))
+                from repro.logic.evaluation import evaluate
+
+                if evaluate(formula, candidate):
+                    count += 1
+    return count

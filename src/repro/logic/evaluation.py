@@ -1,0 +1,142 @@
+"""Evaluation and substitution for condition formulas.
+
+A *valuation* maps variable names to values: domain values for
+:class:`~repro.logic.atoms.Var` occurrences and booleans for
+:class:`~repro.logic.atoms.BoolVar` atoms.  The paper's semantics of a
+c-table applies a valuation to every tuple and keeps the tuple when its
+condition evaluates to true; :func:`evaluate` is exactly that test.
+
+:func:`partial_evaluate` substitutes only the variables a valuation
+covers and folds what becomes decidable, which is the workhorse behind
+pruned model enumeration and Shannon-expansion probability computation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.errors import ValuationError
+from repro.logic.atoms import BoolVar, Const, Eq, Term, Var
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    neg,
+)
+
+Valuation = Mapping[str, Hashable]
+
+
+def _term_value(term: Term, valuation: Valuation, strict: bool):
+    if isinstance(term, Const):
+        return True, term.value
+    if term.name in valuation:
+        return True, valuation[term.name]
+    if strict:
+        raise ValuationError(f"valuation does not cover variable {term.name!r}")
+    return False, None
+
+
+def evaluate(formula: Formula, valuation: Valuation) -> bool:
+    """Evaluate *formula* to a boolean under a total *valuation*.
+
+    Raises :class:`~repro.errors.ValuationError` if the valuation misses a
+    variable that the formula actually needs (short-circuiting may let
+    incomplete valuations succeed, matching logical intuition: ``true | x``
+    is true regardless of ``x``).
+    """
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Eq):
+        _, left = _term_value(formula.left, valuation, strict=True)
+        _, right = _term_value(formula.right, valuation, strict=True)
+        return left == right
+    if isinstance(formula, BoolVar):
+        if formula.name not in valuation:
+            raise ValuationError(
+                f"valuation does not cover boolean variable {formula.name!r}"
+            )
+        return bool(valuation[formula.name])
+    if isinstance(formula, Not):
+        return not evaluate(formula.child, valuation)
+    if isinstance(formula, And):
+        return all(evaluate(child, valuation) for child in formula.children)
+    if isinstance(formula, Or):
+        return any(evaluate(child, valuation) for child in formula.children)
+    raise ValuationError(f"cannot evaluate unknown formula node {formula!r}")
+
+
+def partial_evaluate(formula: Formula, valuation: Valuation) -> Formula:
+    """Substitute the covered variables of *formula* and fold constants.
+
+    The result contains no variable bound by *valuation*; if every
+    variable was covered the result is ``TOP`` or ``BOTTOM``.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Eq):
+        left_known, left = _term_value(formula.left, valuation, strict=False)
+        right_known, right = _term_value(formula.right, valuation, strict=False)
+        if left_known and right_known:
+            return TOP if left == right else BOTTOM
+        from repro.logic.atoms import eq
+
+        new_left = Const(left) if left_known else formula.left
+        new_right = Const(right) if right_known else formula.right
+        return eq(new_left, new_right)
+    if isinstance(formula, BoolVar):
+        if formula.name in valuation:
+            return TOP if valuation[formula.name] else BOTTOM
+        return formula
+    if isinstance(formula, Not):
+        return neg(partial_evaluate(formula.child, valuation))
+    if isinstance(formula, And):
+        return conj(*(partial_evaluate(child, valuation) for child in formula.children))
+    if isinstance(formula, Or):
+        return disj(*(partial_evaluate(child, valuation) for child in formula.children))
+    raise ValuationError(f"cannot evaluate unknown formula node {formula!r}")
+
+
+def substitute(formula: Formula, mapping: Mapping[str, Term]) -> Formula:
+    """Replace variables by *terms* (not values) throughout *formula*.
+
+    Used by query translation, where a selection predicate over column
+    indexes is instantiated with the terms of a symbolic tuple.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Eq):
+        from repro.logic.atoms import eq
+
+        left = mapping.get(formula.left.name, formula.left) if isinstance(
+            formula.left, Var
+        ) else formula.left
+        right = mapping.get(formula.right.name, formula.right) if isinstance(
+            formula.right, Var
+        ) else formula.right
+        return eq(left, right)
+    if isinstance(formula, BoolVar):
+        replacement = mapping.get(formula.name)
+        if replacement is None:
+            return formula
+        if isinstance(replacement, Formula):
+            return replacement
+        raise ValuationError(
+            f"boolean variable {formula.name!r} must be replaced by a formula"
+        )
+    if isinstance(formula, Not):
+        return neg(substitute(formula.child, mapping))
+    if isinstance(formula, And):
+        return conj(*(substitute(child, mapping) for child in formula.children))
+    if isinstance(formula, Or):
+        return disj(*(substitute(child, mapping) for child in formula.children))
+    raise ValuationError(f"cannot substitute in unknown formula node {formula!r}")

@@ -1,0 +1,112 @@
+"""Satisfying-valuation enumeration over finite variable domains.
+
+Finite-domain c-tables (Definition 6 of the paper) pair each variable
+with a finite ``dom(x) ⊂ D``; their possible-world semantics enumerates
+all valuations.  :func:`enumerate_models` generates exactly the
+valuations satisfying a condition, pruning assignments whose partial
+evaluation already folds to ``false``; :func:`enumerate_valuations`
+generates all of them regardless of any condition.
+
+Boolean variables are just variables whose domain is ``(False, True)``,
+so boolean c-tables reuse the same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import DomainError
+from repro.logic.evaluation import partial_evaluate
+from repro.logic.syntax import BOTTOM, TOP, Formula
+
+VariableDomains = Mapping[str, Sequence[Hashable]]
+
+
+def check_domains(domains: VariableDomains) -> None:
+    """Validate that every variable has a non-empty finite domain."""
+    for name, values in domains.items():
+        if len(values) == 0:
+            raise DomainError(f"variable {name!r} has an empty domain")
+
+
+def enumerate_valuations(
+    domains: VariableDomains,
+) -> Iterator[Dict[str, Hashable]]:
+    """Yield every valuation of the given variable *domains*.
+
+    The iteration order is the lexicographic product order over the
+    variables sorted by name, making enumeration deterministic.
+    """
+    check_domains(domains)
+    names = sorted(domains)
+    values = [list(domains[name]) for name in names]
+
+    def recurse(position: int, current: Dict[str, Hashable]):
+        if position == len(names):
+            yield dict(current)
+            return
+        name = names[position]
+        for value in values[position]:
+            current[name] = value
+            yield from recurse(position + 1, current)
+        del current[name]
+
+    yield from recurse(0, {})
+
+
+def enumerate_models(
+    formula: Formula, domains: VariableDomains
+) -> Iterator[Dict[str, Hashable]]:
+    """Yield the valuations of *domains* satisfying *formula*.
+
+    Variables mentioned by the formula but absent from *domains* raise
+    :class:`~repro.errors.DomainError`.  Assignment proceeds variable by
+    variable with partial evaluation, so unsatisfiable branches are cut
+    without expanding the remaining product.
+    """
+    check_domains(domains)
+    missing = formula.variables() - set(domains)
+    if missing:
+        raise DomainError(
+            f"formula mentions variables without domains: {sorted(missing)}"
+        )
+    names = sorted(domains)
+
+    def recurse(position: int, current: Dict[str, Hashable], remaining: Formula):
+        if remaining is BOTTOM:
+            return
+        if position == len(names):
+            if remaining is TOP:
+                yield dict(current)
+            return
+        name = names[position]
+        for value in domains[name]:
+            current[name] = value
+            narrowed = partial_evaluate(remaining, {name: value})
+            yield from recurse(position + 1, current, narrowed)
+        del current[name]
+
+    yield from recurse(0, {}, partial_evaluate(formula, {}))
+
+
+def count_models(formula: Formula, domains: VariableDomains) -> int:
+    """Count the satisfying valuations of *formula* over *domains*."""
+    return sum(1 for _ in enumerate_models(formula, domains))
+
+
+def is_satisfiable_over(formula: Formula, domains: VariableDomains) -> bool:
+    """Return True when some valuation over *domains* satisfies *formula*."""
+    return next(enumerate_models(formula, domains), None) is not None
+
+
+def domain_product_size(domains: VariableDomains) -> int:
+    """Return the number of valuations of *domains* (the product size)."""
+    size = 1
+    for values in domains.values():
+        size *= len(values)
+    return size
+
+
+def boolean_domains(names: Sequence[str]) -> Dict[str, Tuple[bool, bool]]:
+    """Return the two-valued domain map for boolean variables *names*."""
+    return {name: (False, True) for name in names}

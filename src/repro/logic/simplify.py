@@ -1,0 +1,105 @@
+"""Negation normal form and algebraic simplification of conditions.
+
+The smart constructors in :mod:`repro.logic.syntax` already perform the
+cheap normalizations; this module adds the recursive passes used when
+condition size matters (the c-table algebra composes conditions at every
+operator, so projection-heavy query plans benefit from periodic
+simplification; benchmark E08 measures the effect).
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import BoolVar, Eq
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    is_atom,
+    neg,
+)
+
+
+def nnf(formula: Formula) -> Formula:
+    """Rewrite *formula* into negation normal form.
+
+    Negations are pushed down to the atoms using De Morgan's laws; the
+    result contains ``Not`` only directly above atoms.
+    """
+    if isinstance(formula, (Top, Bottom)) or is_atom(formula):
+        return formula
+    if isinstance(formula, And):
+        return conj(*(nnf(child) for child in formula.children))
+    if isinstance(formula, Or):
+        return disj(*(nnf(child) for child in formula.children))
+    # formula is a negation: dispatch on what is underneath.
+    child = formula.child
+    if is_atom(child):
+        return formula
+    if isinstance(child, Not):
+        return nnf(child.child)
+    if isinstance(child, And):
+        return disj(*(nnf(neg(grand)) for grand in child.children))
+    if isinstance(child, Or):
+        return conj(*(nnf(neg(grand)) for grand in child.children))
+    return neg(nnf(child))
+
+
+def simplify(formula: Formula) -> Formula:
+    """Recursively simplify *formula*.
+
+    Converts to NNF, then applies absorption (``a & (a | b) -> a`` and its
+    dual) and re-runs the smart constructors bottom-up so that folds
+    cascade.  This is a heuristic size reduction, not a canonical form;
+    equivalence checking belongs to :mod:`repro.logic.equality_sat`.
+    """
+    return _absorb(nnf(formula))
+
+
+def _absorb(formula: Formula) -> Formula:
+    if isinstance(formula, (Top, Bottom)) or is_atom(formula):
+        return formula
+    if isinstance(formula, Not):
+        return neg(_absorb(formula.child))
+    children = [_absorb(child) for child in formula.children]
+    if isinstance(formula, And):
+        # a & (a | b)  ->  a: drop any disjunction containing another child.
+        kept = []
+        child_set = set(children)
+        for child in children:
+            if isinstance(child, Or) and any(
+                grand in child_set for grand in child.children
+            ):
+                continue
+            kept.append(child)
+        return conj(*kept)
+    # Or: a | (a & b) -> a.
+    kept = []
+    child_set = set(children)
+    for child in children:
+        if isinstance(child, And) and any(
+            grand in child_set for grand in child.children
+        ):
+            continue
+        kept.append(child)
+    return disj(*kept)
+
+
+def formula_size(formula: Formula) -> int:
+    """Return the node count of *formula* (atoms, constants, connectives)."""
+    if isinstance(formula, (Top, Bottom)) or is_atom(formula):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.child)
+    return 1 + sum(formula_size(child) for child in formula.children)
+
+
+def is_boolean_skeleton_literal(formula: Formula) -> bool:
+    """Return True for an atom or a negated atom (an NNF literal)."""
+    if isinstance(formula, (Eq, BoolVar)):
+        return True
+    return isinstance(formula, Not) and isinstance(formula.child, (Eq, BoolVar))

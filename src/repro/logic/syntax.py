@@ -1,0 +1,215 @@
+"""Immutable formula ASTs for c-table conditions.
+
+The grammar is the classical propositional one, over an open-ended set of
+atoms (equality atoms and boolean variables live in
+:mod:`repro.logic.atoms`)::
+
+    phi ::= true | false | atom | NOT phi | AND(phi...) | OR(phi...)
+
+Formulas are immutable, hashable values.  The smart constructors
+:func:`conj`, :func:`disj` and :func:`neg` perform the cheap, always-safe
+normalizations (flattening nested connectives, folding ``true``/``false``,
+deduplicating children, and double-negation elimination) so that formulas
+built by the c-table algebra stay small without a separate rewrite pass.
+
+Deliberately *not* done here: anything requiring satisfiability reasoning.
+That lives in :mod:`repro.logic.simplify` and
+:mod:`repro.logic.equality_sat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+
+class Formula:
+    """Base class of all condition formulas.
+
+    Subclasses are frozen dataclasses, so formulas compare and hash
+    structurally; two syntactically identical conditions are a single
+    dictionary key.  Python operators are overloaded for readability:
+    ``a & b``, ``a | b`` and ``~a`` build conjunction, disjunction and
+    negation through the smart constructors.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+    def atoms(self) -> FrozenSet["Formula"]:
+        """Return the set of atoms occurring in this formula."""
+        out = set()
+        for node in walk(self):
+            if is_atom(node):
+                out.add(node)
+        return frozenset(out)
+
+    def variables(self) -> FrozenSet[str]:
+        """Return the names of all variables occurring in this formula."""
+        out: set = set()
+        for node in walk(self):
+            collect = getattr(node, "_variables", None)
+            if collect is not None:
+                out.update(collect())
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The always-true condition (the paper's unconditioned tuples)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The always-false condition (tuples that never appear)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation of a sub-formula."""
+
+    child: Formula
+
+    __slots__ = ("child",)
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}" if is_atom(self.child) else f"~({self.child!r})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction over a non-empty tuple of children.
+
+    Construct through :func:`conj`; the raw constructor performs no
+    normalization and is reserved for internal use.
+    """
+
+    children: Tuple[Formula, ...]
+
+    __slots__ = ("children",)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction over a non-empty tuple of children.
+
+    Construct through :func:`disj`.
+    """
+
+    children: Tuple[Formula, ...]
+
+    __slots__ = ("children",)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(c) for c in self.children) + ")"
+
+
+def is_atom(formula: Formula) -> bool:
+    """Return True when *formula* is an atom (not a connective/constant)."""
+    return not isinstance(formula, (Top, Bottom, Not, And, Or))
+
+
+def walk(formula: Formula) -> Iterator[Formula]:
+    """Yield every sub-formula of *formula*, including itself (pre-order)."""
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Not):
+            stack.append(node.child)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+
+
+def _flatten(kind: type, formulas: Iterable[Formula]) -> Iterator[Formula]:
+    for formula in formulas:
+        if isinstance(formula, kind):
+            yield from formula.children
+        else:
+            yield formula
+
+
+def conj(*formulas: Formula) -> Formula:
+    """Build the conjunction of *formulas* with light normalization.
+
+    Flattens nested conjunctions, drops ``true``, short-circuits on
+    ``false``, deduplicates syntactically equal children, and detects the
+    shallow contradiction ``phi & ~phi``.  An empty conjunction is ``true``.
+    """
+    seen: list = []
+    seen_set: set = set()
+    for formula in _flatten(And, formulas):
+        if isinstance(formula, Bottom):
+            return BOTTOM
+        if isinstance(formula, Top) or formula in seen_set:
+            continue
+        seen.append(formula)
+        seen_set.add(formula)
+    for formula in seen:
+        if neg(formula) in seen_set:
+            return BOTTOM
+    if not seen:
+        return TOP
+    if len(seen) == 1:
+        return seen[0]
+    return And(tuple(seen))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """Build the disjunction of *formulas* with light normalization.
+
+    Dual of :func:`conj`; an empty disjunction is ``false``.
+    """
+    seen: list = []
+    seen_set: set = set()
+    for formula in _flatten(Or, formulas):
+        if isinstance(formula, Top):
+            return TOP
+        if isinstance(formula, Bottom) or formula in seen_set:
+            continue
+        seen.append(formula)
+        seen_set.add(formula)
+    for formula in seen:
+        if neg(formula) in seen_set:
+            return TOP
+    if not seen:
+        return BOTTOM
+    if len(seen) == 1:
+        return seen[0]
+    return Or(tuple(seen))
+
+
+def neg(formula: Formula) -> Formula:
+    """Negate *formula*, eliminating double negation and constants."""
+    if isinstance(formula, Top):
+        return BOTTOM
+    if isinstance(formula, Bottom):
+        return TOP
+    if isinstance(formula, Not):
+        return formula.child
+    return Not(formula)

@@ -1,0 +1,51 @@
+"""Theorem 9: pc-tables are closed under the relational algebra.
+
+Query answering on a pc-table is *the same* c-table algebra of
+Theorem 4 applied to the underlying table — the distributions ride
+along untouched.  The image space ``q(Mod(T))`` (Definition 11) then
+coincides with ``Mod(q̄(T))``: the outcomes agree by Theorem 4, and the
+probabilities agree by Lemma 1 (each valuation carries its weight to
+the same place on both sides).
+
+:func:`verify_prob_closure` checks the distribution equality exactly,
+instance by instance, with Fraction arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import Query
+from repro.algebra.evaluate import apply_query
+from repro.ctalgebra.translate import apply_query_to_ctable
+from repro.prob.pctable import BooleanPCTable, PCTable
+from repro.prob.pdatabase import PDatabase
+
+
+def answer_pctable(
+    query: Query, pctable: PCTable, simplify_conditions: bool = False
+) -> PCTable:
+    """Return the pc-table representing ``q(Mod(T))``.
+
+    This is the paper's solution to the query-answering problem of
+    [15, 22, 34]: translate ``q`` to ``q̄``, apply it to the underlying
+    c-table, and keep the variable distributions.
+    """
+    answered = apply_query_to_ctable(
+        query, pctable.table, simplify_conditions=simplify_conditions
+    )
+    # Drop domains: the PCTable constructor re-derives them from the
+    # distributions' supports (answer tables keep all input variables).
+    return PCTable(
+        answered.without_domains(), pctable.distributions
+    )
+
+
+def image_pdatabase(query: Query, pdb: PDatabase) -> PDatabase:
+    """The image space of *pdb* under *query* (Definition 11's RHS)."""
+    return pdb.map_instances(lambda instance: apply_query(query, instance))
+
+
+def verify_prob_closure(query: Query, pctable: PCTable) -> bool:
+    """Check Theorem 9 on one (query, pc-table) pair, exactly."""
+    via_algebra = answer_pctable(query, pctable).mod()
+    via_image = image_pdatabase(query, pctable.mod())
+    return via_algebra == via_image

@@ -1,0 +1,63 @@
+"""Theorem 8: boolean pc-tables are complete.
+
+Any probabilistic database — any finite distribution over instances —
+is ``Mod`` of a boolean pc-table.  The construction chains the
+instances: with non-zero-probability instances ``I₁ … I_k`` of
+probabilities ``p₁ … p_k``, instance ``Iᵢ`` (``i < k``) is guarded by
+``¬x₁ ∧ … ∧ ¬x_{i−1} ∧ xᵢ`` and ``I_k`` by ``¬x₁ ∧ … ∧ ¬x_{k−1}``, with
+
+    P[xᵢ = true] = pᵢ / (1 − Σ_{j<i} pⱼ),
+
+so the guards fire with exactly the right probabilities.  (The paper
+notes this was independently observed in [30].)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.errors import ProbabilityError
+from repro.logic.atoms import BoolVar
+from repro.logic.counting import bernoulli
+from repro.logic.syntax import conj, neg
+from repro.tables.ctable import CRow, make_row
+from repro.prob.pctable import BooleanPCTable
+from repro.prob.pdatabase import PDatabase
+
+
+def boolean_pctable_for(
+    pdb: PDatabase, prefix: str = "x"
+) -> BooleanPCTable:
+    """Theorem 8's construction: *pdb* as a boolean pc-table."""
+    items = list(pdb.items())  # deterministic (sorted) order, positive mass
+    if not items:
+        raise ProbabilityError("a probabilistic database cannot be empty")
+    k = len(items)
+    rows: List[CRow] = []
+    distributions = {}
+    cumulative = Fraction(0)
+    for index, (instance, weight) in enumerate(items):
+        earlier_off = [neg(BoolVar(f"{prefix}{j}")) for j in range(index)]
+        if index < k - 1:
+            guard = conj(*earlier_off, BoolVar(f"{prefix}{index}"))
+            remaining = 1 - cumulative
+            if remaining <= 0:
+                raise ProbabilityError(
+                    "probabilities exhausted before the last instance"
+                )
+            distributions[f"{prefix}{index}"] = bernoulli(weight / remaining)
+            cumulative += weight
+        else:
+            guard = conj(*earlier_off)
+        for row in instance:
+            rows.append(make_row(row, guard))
+    if k == 1 and not rows:
+        # A point mass on the empty instance: no rows, no variables.
+        return BooleanPCTable([], {}, arity=pdb.arity)
+    return BooleanPCTable(rows, distributions, arity=pdb.arity)
+
+
+def verify_prob_completeness(pdb: PDatabase) -> bool:
+    """Check the construction round-trips: ``Mod(construction) = pdb``."""
+    return boolean_pctable_for(pdb).mod() == pdb

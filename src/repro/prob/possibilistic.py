@@ -1,0 +1,278 @@
+"""Possibilistic databases (§9 future work).
+
+The paper closes: "it would be interesting to investigate possibilistic
+models [19] for databases, perhaps following again, as we did here, the
+parallel with incompleteness."  This module follows exactly that
+parallel:
+
+- a **possibilistic database** assigns each instance a *possibility*
+  degree in [0, 1] with max = 1 (normalization), instead of
+  probabilities summing to 1;
+- the incompleteness skeleton is the set of instances with positive
+  possibility — forgetting degrees recovers an i-database, just as
+  forgetting probabilities does in the probabilistic case;
+- a **possibilistic c-table** attaches to every variable a possibility
+  distribution over its domain; a valuation's possibility is the *min*
+  of its choices (the standard non-interactive combination), and an
+  instance's possibility is the *max* over valuations producing it —
+  the (max, min) image-space construction;
+- query answering is closed for the same reason as Theorem 9: ``q̄``
+  preserves per-valuation outcomes, and the (max, min) aggregation
+  rides along (:func:`verify_possibilistic_closure` checks it);
+- tuple-level measures: **possibility** Π[t ∈ q(I)] and **necessity**
+  N[t] = 1 − Π[t ∉ q(I)], the possibilistic analogues of tuple
+  probability, with certain answers = tuples of necessity 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Iterator, Mapping, Tuple
+
+from repro.errors import ProbabilityError
+from repro.core.instance import Instance, Row
+from repro.core.idatabase import IDatabase
+
+# A possibility distribution maps outcomes to degrees in [0, 1], max 1.
+PossibilityDistribution = Mapping[Hashable, Fraction]
+
+
+def check_possibility_distribution(
+    name: str, distribution: PossibilityDistribution
+) -> None:
+    """Validate degrees in [0, 1] with at least one fully possible value."""
+    if not distribution:
+        raise ProbabilityError(f"variable {name!r} has an empty distribution")
+    top = Fraction(0)
+    for value, degree in distribution.items():
+        degree = Fraction(degree)
+        if not 0 <= degree <= 1:
+            raise ProbabilityError(
+                f"possibility degree {degree} for {name!r}={value!r} "
+                "outside [0, 1]"
+            )
+        top = max(top, degree)
+    if top != 1:
+        raise ProbabilityError(
+            f"possibility distribution for {name!r} is subnormal "
+            f"(max degree {top}, expected 1)"
+        )
+
+
+class PossibilisticDatabase:
+    """A normalized possibility assignment over same-arity instances."""
+
+    __slots__ = ("_degrees", "_arity")
+
+    def __init__(
+        self, degrees: Mapping[Instance, Fraction], arity: int = None
+    ) -> None:
+        normalized: Dict[Instance, Fraction] = {}
+        top = Fraction(0)
+        for instance, degree in degrees.items():
+            degree = Fraction(degree)
+            if not 0 <= degree <= 1:
+                raise ProbabilityError(
+                    f"possibility degree {degree} outside [0, 1]"
+                )
+            if degree > 0:
+                normalized[instance] = max(
+                    normalized.get(instance, Fraction(0)), degree
+                )
+                top = max(top, degree)
+        if top != 1:
+            raise ProbabilityError(
+                f"possibilistic database is subnormal (max degree {top})"
+            )
+        arities = {instance.arity for instance in normalized}
+        if len(arities) > 1:
+            raise ProbabilityError(f"mixed arities: {sorted(arities)}")
+        if arities:
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise ProbabilityError(
+                    f"declared arity {arity} != instances' {inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise ProbabilityError("empty possibilistic database needs arity")
+        self._degrees = normalized
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def possibility_of(self, instance: Instance) -> Fraction:
+        """Return Π[I = instance] (0 off the support)."""
+        return self._degrees.get(instance, Fraction(0))
+
+    def items(self) -> Iterator[Tuple[Instance, Fraction]]:
+        """Yield (instance, degree) in deterministic order."""
+        for instance in sorted(self._degrees, key=repr):
+            yield instance, self._degrees[instance]
+
+    def __len__(self) -> int:
+        return len(self._degrees)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PossibilisticDatabase):
+            return NotImplemented
+        return self._arity == other._arity and self._degrees == other._degrees
+
+    def __hash__(self) -> int:
+        return hash((self._arity, frozenset(self._degrees.items())))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{d}: {i!r}" for i, d in self.items())
+        return f"PossibilisticDatabase[{self._arity}]{{{body}}}"
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def event_possibility(self, event) -> Fraction:
+        """Π[event] = max degree over instances satisfying it."""
+        return max(
+            (degree for instance, degree in self._degrees.items()
+             if event(instance)),
+            default=Fraction(0),
+        )
+
+    def event_necessity(self, event) -> Fraction:
+        """N[event] = 1 − Π[not event]."""
+        return 1 - self.event_possibility(
+            lambda instance: not event(instance)
+        )
+
+    def tuple_possibility(self, row: Row) -> Fraction:
+        """Π[row ∈ I]."""
+        row = tuple(row)
+        return self.event_possibility(lambda instance: row in instance)
+
+    def tuple_necessity(self, row: Row) -> Fraction:
+        """N[row ∈ I]; equals 1 exactly for certain tuples."""
+        row = tuple(row)
+        return self.event_necessity(lambda instance: row in instance)
+
+    def incompleteness_skeleton(self) -> IDatabase:
+        """Forget degrees: the possible instances."""
+        return IDatabase(self._degrees, arity=self._arity)
+
+    def map_instances(self, transform) -> "PossibilisticDatabase":
+        """(max, ·) image: degrees combine by max on collisions."""
+        out: Dict[Instance, Fraction] = {}
+        for instance, degree in self._degrees.items():
+            image = transform(instance)
+            out[image] = max(out.get(image, Fraction(0)), degree)
+        return PossibilisticDatabase(out, arity=None)
+
+
+class PossibilisticCTable:
+    """A c-table with per-variable possibility distributions.
+
+    The possibilistic counterpart of Definition 13: the product space
+    becomes the (min) combination of per-variable degrees, and ``Mod``
+    the (max) image under ``ν(T)``.
+    """
+
+    __slots__ = ("_table", "_distributions")
+
+    def __init__(self, table_or_rows, distributions, arity=None) -> None:
+        from repro.tables.ctable import CTable
+
+        if isinstance(table_or_rows, CTable):
+            table = table_or_rows
+        else:
+            table = CTable(table_or_rows, arity=arity)
+        normalized = {
+            name: {value: Fraction(degree)
+                   for value, degree in distribution.items()}
+            for name, distribution in distributions.items()
+        }
+        for name, distribution in normalized.items():
+            check_possibility_distribution(name, distribution)
+        missing = table.variables() - set(normalized)
+        if missing:
+            raise ProbabilityError(
+                f"no distributions for variables {sorted(missing)}"
+            )
+        supports = {
+            name: tuple(
+                value
+                for value, degree in normalized[name].items()
+                if degree > 0
+            )
+            for name in table.variables()
+        }
+        self._table = table.with_domains(supports) if supports else table
+        self._distributions = normalized
+
+    @property
+    def table(self):
+        """Return the underlying c-table."""
+        return self._table
+
+    @property
+    def arity(self) -> int:
+        return self._table.arity
+
+    def distributions(self):
+        """Return the per-variable possibility distributions (a copy)."""
+        return {name: dict(distribution)
+                for name, distribution in self._distributions.items()}
+
+    def valuation_possibilities(
+        self,
+    ) -> Iterator[Tuple[Dict[str, Hashable], Fraction]]:
+        """Yield (valuation, min-combined degree) for positive degrees."""
+        for valuation in self._table.valuations():
+            degree = Fraction(1)
+            for name, value in valuation.items():
+                degree = min(degree, self._distributions[name][value])
+            if degree > 0:
+                yield valuation, degree
+
+    def mod(self) -> PossibilisticDatabase:
+        """The (max, min) image space."""
+        degrees: Dict[Instance, Fraction] = {}
+        for valuation, degree in self.valuation_possibilities():
+            instance = self._table.apply_valuation(valuation)
+            degrees[instance] = max(
+                degrees.get(instance, Fraction(0)), degree
+            )
+        return PossibilisticDatabase(degrees, arity=self.arity)
+
+    def answer(self, query) -> "PossibilisticCTable":
+        """Closure: q̄ on the table, distributions unchanged."""
+        from repro.ctalgebra.translate import apply_query_to_ctable
+
+        answered = apply_query_to_ctable(query, self._table)
+        return PossibilisticCTable(
+            answered.without_domains(), self._distributions
+        )
+
+    def tuple_possibility(self, row: Row) -> Fraction:
+        """Π[row ∈ I] directly from valuations (no Mod materialization)."""
+        row = tuple(row)
+        best = Fraction(0)
+        for valuation, degree in self.valuation_possibilities():
+            if row in self._table.apply_valuation(valuation).rows:
+                best = max(best, degree)
+        return best
+
+
+def verify_possibilistic_closure(query, table: PossibilisticCTable) -> bool:
+    """The possibilistic Theorem 9: Mod(q̄(T)) = q(Mod(T)) with (max, min).
+
+    The right-hand side maps the (already max-collapsed) instance
+    degrees through q; the left evaluates q̄ symbolically.  Equality
+    holds because ``ν(q̄(T)) = q(ν(T))`` per valuation (Lemma 1) and max
+    is insensitive to the order of collapsing.
+    """
+    from repro.algebra.evaluate import apply_query
+
+    symbolic = table.answer(query).mod()
+    image = table.mod().map_instances(
+        lambda instance: apply_query(query, instance)
+    )
+    return symbolic == image

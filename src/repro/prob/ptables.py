@@ -1,0 +1,311 @@
+"""p-?-tables and p-or-set-tables (Section 7).
+
+Probabilistic counterparts of ?-tables and or-set tables:
+
+- a **p-?-table** assigns every tuple an independent probability of
+  membership (tuples not listed have probability 0).  Its semantics is
+  given two equivalent ways, both implemented and cross-checked:
+  the direct formula ``P[I] = ∏_{t∈I} p_t · ∏_{t∉I} (1 − p_t)`` and the
+  paper's product-space construction
+  ``P := ∏_t B_t`` imaged through "the set of true tuples"
+  (Proposition 2 / Proposition 3);
+- a **p-or-set-table** (the paper's simplification of ProbView [22])
+  replaces each or-set by a finite probability distribution over its
+  alternatives; rows are mandatory, and cells choose independently.
+
+Both convert to probabilistic c-tables (:meth:`PQTable.to_pctable`,
+:meth:`POrSetTable.to_pctable`) — the paper's observation that they are
+restricted boolean pc-tables / probabilistic Codd tables, which is how
+query answering is solved for them (Section 8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ProbabilityError, TableError
+from repro.core.instance import Instance, Row
+from repro.logic.atoms import BoolVar, Const, Var
+from repro.logic.counting import bernoulli
+from repro.logic.syntax import TOP
+from repro.prob.pdatabase import PDatabase
+from repro.prob.space import FiniteProbSpace, product_space
+
+
+class PQTable:
+    """A p-?-table: independent tuple probabilities."""
+
+    __slots__ = ("_rows", "_arity")
+
+    def __init__(
+        self,
+        rows: Mapping[Row, Fraction],
+        arity: Optional[int] = None,
+    ) -> None:
+        normalized: Dict[Row, Fraction] = {}
+        for row, weight in rows.items():
+            weight = Fraction(weight)
+            if not 0 <= weight <= 1:
+                raise ProbabilityError(
+                    f"tuple probability {weight} outside [0, 1] for {row!r}"
+                )
+            if weight > 0:
+                normalized[tuple(row)] = weight
+        if normalized:
+            arities = {len(row) for row in normalized}
+            if len(arities) != 1:
+                raise TableError(f"mixed tuple arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match tuples of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty p-?-table needs an explicit arity")
+        self._rows = normalized
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> Dict[Row, Fraction]:
+        """Return the tuple → probability map (a copy)."""
+        return dict(self._rows)
+
+    def tuple_probability(self, row: Row) -> Fraction:
+        """Return ``p_t`` (0 for unlisted tuples)."""
+        return self._rows.get(tuple(row), Fraction(0))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PQTable):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, frozenset(self._rows.items())))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{row!r}: {weight}" for row, weight in sorted(
+                self._rows.items(), key=lambda item: repr(item[0])
+            )
+        )
+        return f"PQTable[{self._arity}]{{{parts}}}"
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def mod_direct(self) -> PDatabase:
+        """Semantics via the closed-form world probability.
+
+        ``P[I] = ∏_{t∈I} p_t · ∏_{t ∈ rows − I} (1 − p_t)`` over subsets
+        ``I`` of the listed tuples (any other instance has probability 0).
+        """
+        rows = sorted(self._rows, key=repr)
+        weights: Dict[Instance, Fraction] = {}
+        for bits in itertools.product((False, True), repeat=len(rows)):
+            weight = Fraction(1)
+            chosen: List[Row] = []
+            for row, include in zip(rows, bits):
+                probability = self._rows[row]
+                if include:
+                    weight *= probability
+                    chosen.append(row)
+                else:
+                    weight *= 1 - probability
+            if weight > 0:
+                instance = Instance(chosen, arity=self._arity)
+                weights[instance] = weights.get(instance, Fraction(0)) + weight
+        return PDatabase(weights, arity=self._arity)
+
+    def mod_product_space(self) -> PDatabase:
+        """Semantics via the paper's product-of-Bernoullis construction.
+
+        Builds ``P = ∏_t B_t`` (outcomes are predicates on the listed
+        tuples) and images it through "the set of tuples mapped to true"
+        — the proof object of Proposition 2.
+        """
+        rows = sorted(self._rows, key=repr)
+        spaces = [
+            FiniteProbSpace(
+                {True: self._rows[row], False: 1 - self._rows[row]}
+            )
+            for row in rows
+        ]
+        product = product_space(*spaces)
+
+        def to_instance(outcome: Tuple[bool, ...]) -> Instance:
+            return Instance(
+                [row for row, include in zip(rows, outcome) if include],
+                arity=self._arity,
+            )
+
+        space = product.map(to_instance)
+        return PDatabase(
+            {instance: weight for instance, weight in space.items()},
+            arity=self._arity,
+        )
+
+    def mod(self) -> PDatabase:
+        """The p-database this table represents (direct formula)."""
+        return self.mod_direct()
+
+    def to_pctable(self, prefix: str = "b"):
+        """Rewrite as the equivalent restricted boolean pc-table."""
+        from repro.tables.ctable import CRow
+        from repro.prob.pctable import BooleanPCTable
+
+        rows = []
+        distributions = {}
+        for index, row in enumerate(sorted(self._rows, key=repr)):
+            name = f"{prefix}{index}"
+            rows.append(
+                CRow(tuple(Const(v) for v in row), BoolVar(name))
+            )
+            distributions[name] = bernoulli(self._rows[row])
+        return BooleanPCTable(rows, distributions, arity=self._arity)
+
+
+CellDistribution = Mapping[Hashable, Fraction]
+
+
+class POrSetTable:
+    """A p-or-set-table: cells are constants or value distributions."""
+
+    __slots__ = ("_rows", "_arity")
+
+    def __init__(
+        self,
+        rows: Iterable[Tuple],
+        arity: Optional[int] = None,
+    ) -> None:
+        normalized: List[Tuple] = []
+        for row in rows:
+            cells = []
+            for cell in row:
+                if isinstance(cell, dict):
+                    distribution = {
+                        value: Fraction(weight) for value, weight in cell.items()
+                    }
+                    total = sum(distribution.values(), Fraction(0))
+                    if total != 1:
+                        raise ProbabilityError(
+                            f"cell distribution sums to {total}, expected 1"
+                        )
+                    if any(weight < 0 for weight in distribution.values()):
+                        raise ProbabilityError("negative cell probability")
+                    cells.append(
+                        tuple(sorted(distribution.items(), key=lambda i: repr(i[0])))
+                    )
+                else:
+                    cells.append(cell)
+            normalized.append(tuple(cells))
+        if normalized:
+            arities = {len(row) for row in normalized}
+            if len(arities) != 1:
+                raise TableError(f"mixed row arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match rows of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty p-or-set-table needs an explicit arity")
+        self._rows = tuple(normalized)
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> Tuple[Tuple, ...]:
+        """Return the normalized rows (distributions as sorted tuples)."""
+        return self._rows
+
+    @staticmethod
+    def _is_distribution(cell) -> bool:
+        return (
+            isinstance(cell, tuple)
+            and cell
+            and all(
+                isinstance(entry, tuple) and len(entry) == 2
+                for entry in cell
+            )
+            and all(isinstance(entry[1], Fraction) for entry in cell)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, POrSetTable):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows))
+
+    def __repr__(self) -> str:
+        return f"POrSetTable[{self._arity}]{self._rows!r}"
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def mod(self) -> PDatabase:
+        """Choose each distributed cell independently; image the product."""
+        choices_per_cell: List[List[Tuple[Hashable, Fraction]]] = []
+        positions: List[Tuple[int, int]] = []
+        for row_index, row in enumerate(self._rows):
+            for column, cell in enumerate(row):
+                if self._is_distribution(cell):
+                    choices_per_cell.append(list(cell))
+                    positions.append((row_index, column))
+        weights: Dict[Instance, Fraction] = {}
+        for combo in itertools.product(*choices_per_cell):
+            weight = Fraction(1)
+            for _, cell_weight in combo:
+                weight *= cell_weight
+            if weight == 0:
+                continue
+            concrete: List[List[Hashable]] = [
+                list(row) for row in self._rows
+            ]
+            for (row_index, column), (value, _) in zip(positions, combo):
+                concrete[row_index][column] = value
+            instance = Instance([tuple(row) for row in concrete],
+                                arity=self._arity)
+            weights[instance] = weights.get(instance, Fraction(0)) + weight
+        return PDatabase(weights, arity=self._arity)
+
+    def to_pctable(self, prefix: str = "x"):
+        """Rewrite as the equivalent probabilistic Codd table (pc-table)."""
+        from repro.tables.ctable import CRow
+        from repro.prob.pctable import PCTable
+
+        counter = 0
+        rows = []
+        distributions: Dict[str, Dict[Hashable, Fraction]] = {}
+        for row in self._rows:
+            values = []
+            for cell in row:
+                if self._is_distribution(cell):
+                    name = f"{prefix}{counter}"
+                    counter += 1
+                    distributions[name] = dict(cell)
+                    values.append(Var(name))
+                else:
+                    values.append(Const(cell))
+            rows.append(CRow(tuple(values), TOP))
+        return PCTable(rows, distributions, arity=self._arity)

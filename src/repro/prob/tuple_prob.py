@@ -1,0 +1,86 @@
+"""The tuple-probability problem: three solvers, one answer.
+
+"What is the probability that tuple ``t`` occurs in the answer to
+``q``?" — the question attacked independently by Fuhr–Rölleke [15],
+Zimányi [34] and ProbView [22] (Section 7, "Query answering").  With
+pc-tables the paper's answer is structural: compute ``q̄(T)``, read off
+the *condition* under which ``t`` appears (its lineage, as Section 9
+remarks), and compute that condition's probability.
+
+Three evaluation routes, cross-checked by the tests and raced in
+benchmark E18:
+
+- :func:`tuple_probability_naive` — materialize the whole p-database
+  ``q(Mod(T))`` and sum over worlds containing ``t`` (exponential in the
+  number of variables, the baseline);
+- :func:`tuple_probability_lineage` — Shannon expansion of the lineage
+  formula with memoization (:mod:`repro.logic.counting`);
+- :func:`tuple_probability_bdd` — for boolean pc-tables, compile the
+  lineage to an OBDD and evaluate in one bottom-up pass.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.errors import ProbabilityError
+from repro.core.instance import Row
+from repro.logic.atoms import is_boolean_condition
+from repro.logic.bdd import Bdd
+from repro.logic.syntax import Formula
+from repro.algebra.ast import Query
+from repro.prob.closure import answer_pctable, image_pdatabase
+from repro.prob.pctable import BooleanPCTable, PCTable
+
+
+def lineage_of(query: Query, pctable: PCTable, row: Row) -> Formula:
+    """Return the lineage of *row* in ``q(T)``: its membership condition.
+
+    The condition decorating ``t`` in ``q̄(T)`` is the tuple's lineage
+    a.k.a. why-provenance (the paper's Section 9 observation); this
+    function materializes it as a formula over the table's variables.
+    """
+    return answer_pctable(query, pctable).membership_condition(row)
+
+
+def tuple_probability_naive(
+    query: Query, pctable: PCTable, row: Row
+) -> Fraction:
+    """P[t ∈ q(I)] by enumerating the answer p-database's worlds."""
+    row = tuple(row)
+    answer_distribution = image_pdatabase(query, pctable.mod())
+    return answer_distribution.tuple_probability(row)
+
+
+def tuple_probability_lineage(
+    query: Query, pctable: PCTable, row: Row
+) -> Fraction:
+    """P[t ∈ q(I)] by Shannon counting of the lineage formula."""
+    lineage = lineage_of(query, pctable, row)
+    from repro.logic.counting import probability
+
+    return probability(lineage, pctable.distributions)
+
+
+def tuple_probability_bdd(
+    query: Query,
+    pctable: BooleanPCTable,
+    row: Row,
+    order: Optional[Sequence[str]] = None,
+) -> Fraction:
+    """P[t ∈ q(I)] by OBDD compilation of the lineage (boolean tables).
+
+    *order* fixes the BDD variable order (sorted names by default);
+    benchmark E18 compares orders.
+    """
+    lineage = lineage_of(query, pctable, row)
+    if not is_boolean_condition(lineage):
+        raise ProbabilityError(
+            "BDD evaluation requires a boolean lineage; general pc-tables "
+            "use tuple_probability_lineage"
+        )
+    names = sorted(pctable.variables()) if order is None else list(order)
+    manager = Bdd(names)
+    node = manager.from_formula(lineage)
+    return manager.probability(node, pctable.weights())

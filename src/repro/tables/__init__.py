@@ -1,0 +1,76 @@
+"""Representation systems for incomplete information.
+
+Tables are finite syntactic objects; ``Mod(T)`` maps each table to the
+incomplete database it denotes (Definition 2).  Implemented systems:
+
+========================  =============================  ==================
+System                    Paper source                   Module
+========================  =============================  ==================
+Codd tables               [20], Section 2                :mod:`repro.tables.codd`
+v-tables                  [20], Example 1                :mod:`repro.tables.vtable`
+c-tables                  [20], Example 2                :mod:`repro.tables.ctable`
+finite-domain variants    Definition 6                   same modules
+boolean c-tables          Theorem 3                      :mod:`repro.tables.ctable`
+?-tables                  [29] (``R?``)                  :mod:`repro.tables.qtable`
+or-set tables             [29] (``RA``)                  :mod:`repro.tables.orset`
+or-set-?-tables           [29] (``RA?``), Example 3      :mod:`repro.tables.orset`
+Rsets                     Definition 14                  :mod:`repro.tables.rsets`
+R⊕≡                       Definition 15                  :mod:`repro.tables.rxoreq`
+RAprop                    Definition 16                  :mod:`repro.tables.raprop`
+========================  =============================  ==================
+
+The closed-world assumption is used throughout, following the paper
+(footnote 3).
+"""
+
+from repro.tables.base import Table
+from repro.tables.ctable import BooleanCTable, CRow, CTable
+from repro.tables.vtable import VTable
+from repro.tables.codd import CoddTable
+from repro.tables.qtable import QRow, QTable
+from repro.tables.orset import OrSet, OrSetRow, OrSetTable
+from repro.tables.rsets import RSetsBlock, RSetsTable
+from repro.tables.rxoreq import RXorEquivTable
+from repro.tables.raprop import RAPropTable
+from repro.tables.normalize import (
+    drop_unsatisfiable_rows,
+    merge_duplicate_rows,
+    normalize,
+)
+from repro.tables.convert import (
+    boolean_ctable_to_qtable,
+    codd_to_orset,
+    ctable_of,
+    orset_to_codd,
+    qtable_to_boolean_ctable,
+    qtable_to_rxoreq,
+    orset_to_raprop,
+)
+
+__all__ = [
+    "BooleanCTable",
+    "CRow",
+    "CTable",
+    "CoddTable",
+    "OrSet",
+    "OrSetRow",
+    "OrSetTable",
+    "QRow",
+    "QTable",
+    "RAPropTable",
+    "RSetsBlock",
+    "RSetsTable",
+    "RXorEquivTable",
+    "Table",
+    "VTable",
+    "boolean_ctable_to_qtable",
+    "codd_to_orset",
+    "drop_unsatisfiable_rows",
+    "merge_duplicate_rows",
+    "normalize",
+    "ctable_of",
+    "orset_to_codd",
+    "orset_to_raprop",
+    "qtable_to_boolean_ctable",
+    "qtable_to_rxoreq",
+]

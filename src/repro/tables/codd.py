@@ -1,0 +1,67 @@
+"""Codd tables: v-tables whose variables are pairwise distinct.
+
+Codd tables "correspond roughly to the current use of nulls in SQL"
+(Section 2): every variable occurrence is an independent unknown.  The
+class validates distinctness on top of :class:`~repro.tables.vtable.VTable`.
+
+The module also provides :func:`fresh_codd_table`, which builds a Codd
+table of a given shape with automatically named variables — the ``Z_k``
+construction of Section 3 uses it with one row.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import TableError
+from repro.logic.atoms import Const, Var
+from repro.tables.ctable import CRow
+from repro.tables.vtable import VTable
+
+
+class CoddTable(VTable):
+    """A Codd table; every variable occurs exactly once."""
+
+    __slots__ = ()
+
+    system_name = "Codd table"
+
+    def _validate(self) -> None:
+        super()._validate()
+        seen = set()
+        for row in self._rows:
+            for term in row.values:
+                if isinstance(term, Var):
+                    if term.name in seen:
+                        raise TableError(
+                            f"variable {term.name!r} repeats; Codd tables "
+                            "require all variables distinct"
+                        )
+                    seen.add(term.name)
+
+
+def fresh_codd_table(
+    shape: Sequence[Sequence[Optional[Hashable]]],
+    domains: Optional[Mapping[str, Iterable[Hashable]]] = None,
+    prefix: str = "x",
+) -> CoddTable:
+    """Build a Codd table from a shape with ``None`` marking nulls.
+
+    Each ``None`` cell becomes a fresh variable ``{prefix}{counter}``.
+    ``fresh_codd_table([[1, None], [None, 4]])`` is the table
+
+        1  x0
+        x1 4
+    """
+    counter = 0
+    rows = []
+    for row in shape:
+        values = []
+        for cell in row:
+            if cell is None:
+                values.append(Var(f"{prefix}{counter}"))
+                counter += 1
+            else:
+                values.append(Const(cell))
+        rows.append(CRow(tuple(values)))
+    return CoddTable(rows, domains=domains)

@@ -1,0 +1,320 @@
+"""Conversions between representation systems.
+
+Three kinds of conversion live here:
+
+1. The paper's *exact equivalences*: or-set tables ↔ finite-domain Codd
+   tables (Section 3), ?-tables ↔ the restricted boolean c-tables whose
+   conditions are ``true`` or a single private variable.
+2. *Embeddings into c-tables*: :func:`ctable_of` maps every finite
+   system (?-tables, or-set(-?), Rsets, R⊕≡, RA_prop) to a finite-domain
+   c-table with the same ``Mod``, witnessing that finite-domain c-tables
+   subsume the entire [29] hierarchy.  Presence of a row is encoded by a
+   0/1-valued variable and an equality condition; cross-row constraints
+   (R⊕≡, RA_prop) use the global-condition extension.
+3. Small *structural* conversions used by completions and tests
+   (?-table → R⊕≡ via the duplicated-tuple trick, or-set → RA_prop).
+
+Every conversion is verified Mod-preserving by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TableError
+from repro.logic.atoms import BoolVar, Const, Var, eq
+from repro.logic.syntax import TOP, Formula, conj, disj, walk
+from repro.tables.codd import CoddTable
+from repro.tables.ctable import BooleanCTable, CRow, CTable
+from repro.tables.orset import OrSet, OrSetRow, OrSetTable
+from repro.tables.qtable import QRow, QTable
+from repro.tables.raprop import RAPropTable, presence_var
+from repro.tables.rsets import RSetsTable
+from repro.tables.rxoreq import Assertion, RXorEquivTable
+
+
+# ----------------------------------------------------------------------
+# Exact equivalences from the paper
+# ----------------------------------------------------------------------
+
+def orset_to_codd(table: OrSetTable, prefix: str = "x") -> CoddTable:
+    """Or-set table → finite-domain Codd table (Section 3's equivalence).
+
+    Each or-set cell becomes a fresh variable whose ``dom`` is the
+    or-set's contents.  Rows labeled '?' have no Codd counterpart, so the
+    input must be a plain or-set table.
+    """
+    if table.has_optional_rows():
+        raise TableError(
+            "or-set-?-tables are not expressible as Codd tables; "
+            "use ctable_of for the c-table embedding"
+        )
+    counter = 0
+    domains: Dict[str, tuple] = {}
+    rows = []
+    for row in table.rows:
+        values = []
+        for cell in row.cells:
+            if isinstance(cell, OrSet):
+                name = f"{prefix}{counter}"
+                counter += 1
+                domains[name] = tuple(cell.alternatives)
+                values.append(Var(name))
+            else:
+                values.append(Const(cell))
+        rows.append(CRow(tuple(values)))
+    return CoddTable(rows, arity=table.arity, domains=domains)
+
+
+def codd_to_orset(table: CoddTable) -> OrSetTable:
+    """Finite-domain Codd table → or-set table (the converse direction)."""
+    if table.domains is None:
+        raise TableError(
+            "only finite-domain Codd tables convert to or-set tables"
+        )
+    domains = table.domains
+    rows = []
+    for row in table.rows:
+        cells = []
+        for term in row.values:
+            if isinstance(term, Var):
+                alternatives = domains[term.name]
+                if len(alternatives) == 1:
+                    cells.append(alternatives[0])
+                else:
+                    cells.append(OrSet(tuple(alternatives)))
+            else:
+                cells.append(term.value)
+        rows.append(OrSetRow(tuple(cells), False))
+    return OrSetTable(rows, arity=table.arity, allow_optional=False)
+
+
+def qtable_to_boolean_ctable(table: QTable, prefix: str = "b") -> BooleanCTable:
+    """?-table → boolean c-table in the restricted fragment.
+
+    Mandatory rows keep condition ``true``; each optional row gets a
+    private boolean variable, matching the paper's remark that this
+    fragment of boolean c-tables "is equivalent to ?-tables".
+    """
+    counter = 0
+    rows = []
+    for row in table.rows:
+        if row.optional:
+            condition: Formula = BoolVar(f"{prefix}{counter}")
+            counter += 1
+        else:
+            condition = TOP
+        rows.append(CRow(tuple(Const(v) for v in row.values), condition))
+    return BooleanCTable(rows, arity=table.arity)
+
+
+def boolean_ctable_to_qtable(table: BooleanCTable) -> QTable:
+    """Restricted boolean c-table → ?-table.
+
+    Admissible conditions are ``true`` or a single boolean variable that
+    appears in no other condition; anything richer raises, since general
+    boolean c-tables are strictly more expressive than ?-tables.
+    """
+    if table.global_condition != TOP:
+        raise TableError("global conditions have no ?-table counterpart")
+    usage: Dict[str, int] = {}
+    for row in table.rows:
+        for name in row.condition.variables():
+            usage[name] = usage.get(name, 0) + 1
+    rows = []
+    for row in table.rows:
+        condition = row.condition
+        values = tuple(term.value for term in row.values)  # type: ignore[union-attr]
+        if condition == TOP:
+            rows.append(QRow(values, False))
+        elif isinstance(condition, BoolVar) and usage[condition.name] == 1:
+            rows.append(QRow(values, True))
+        else:
+            raise TableError(
+                f"condition {condition!r} is outside the ?-table fragment "
+                "(must be true, or a variable private to one row)"
+            )
+    return QTable(rows, arity=table.arity)
+
+
+# ----------------------------------------------------------------------
+# Structural conversions used by completions
+# ----------------------------------------------------------------------
+
+def qtable_to_rxoreq(table: QTable) -> RXorEquivTable:
+    """?-table → R⊕≡ using the duplicated-tuple trick for mandatory rows.
+
+    Optional tuples are unconstrained positions.  A mandatory tuple ``t``
+    appears at two positions related by ``⊕``: exactly one copy is
+    present, so the *set* world always contains ``t``.
+    """
+    tuples = []
+    assertions = []
+    for row in table.rows:
+        if row.optional:
+            tuples.append(row.values)
+        else:
+            first = len(tuples)
+            tuples.append(row.values)
+            tuples.append(row.values)
+            assertions.append(Assertion("xor", first, first + 1))
+    return RXorEquivTable(tuples, assertions, arity=table.arity)
+
+
+def orset_to_raprop(table: OrSetTable) -> RAPropTable:
+    """Or-set(-?) table → RA_prop: presence formula forces mandatory rows."""
+    rows = [OrSetRow(row.cells, False) for row in table.rows]
+    mandatory = [
+        presence_var(index)
+        for index, row in enumerate(table.rows)
+        if not row.optional
+    ]
+    return RAPropTable(rows, conj(*mandatory), arity=table.arity)
+
+
+# ----------------------------------------------------------------------
+# Universal embedding into finite-domain c-tables
+# ----------------------------------------------------------------------
+
+def _bool_formula_to_equalities(formula: Formula, rename: Dict[str, Var]) -> Formula:
+    """Replace each BoolVar by the equality ``p = 1`` over a 0/1 variable."""
+    from repro.logic.syntax import And, Bottom, Not, Or, Top, neg
+
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, BoolVar):
+        return eq(rename[formula.name], Const(1))
+    if isinstance(formula, Not):
+        return neg(_bool_formula_to_equalities(formula.child, rename))
+    if isinstance(formula, And):
+        return conj(
+            *(_bool_formula_to_equalities(c, rename) for c in formula.children)
+        )
+    if isinstance(formula, Or):
+        return disj(
+            *(_bool_formula_to_equalities(c, rename) for c in formula.children)
+        )
+    raise TableError(f"unexpected atom in boolean formula: {formula!r}")
+
+
+def ctable_of(table) -> CTable:
+    """Embed any finite representation system into a finite-domain c-table.
+
+    The result has the same ``Mod`` as the input (verified in the tests)
+    and uses only equality conditions over 0/1- or index-valued variables,
+    plus the global-condition extension for R⊕≡ / RA_prop constraints.
+    """
+    if isinstance(table, CTable):
+        return table
+    if isinstance(table, QTable):
+        rows = []
+        domains: Dict[str, tuple] = {}
+        for index, row in enumerate(table.rows):
+            values = tuple(Const(v) for v in row.values)
+            if row.optional:
+                name = f"q{index}"
+                domains[name] = (0, 1)
+                rows.append(CRow(values, eq(Var(name), Const(1))))
+            else:
+                rows.append(CRow(values))
+        return CTable(rows, arity=table.arity, domains=domains)
+    if isinstance(table, OrSetTable):
+        rows = []
+        domains = {}
+        counter = 0
+        for index, row in enumerate(table.rows):
+            values = []
+            for cell in row.cells:
+                if isinstance(cell, OrSet):
+                    name = f"o{counter}"
+                    counter += 1
+                    domains[name] = tuple(cell.alternatives)
+                    values.append(Var(name))
+                else:
+                    values.append(Const(cell))
+            condition: Formula = TOP
+            if row.optional:
+                name = f"q{index}"
+                domains[name] = (0, 1)
+                condition = eq(Var(name), Const(1))
+            rows.append(CRow(tuple(values), condition))
+        return CTable(rows, arity=table.arity, domains=domains)
+    if isinstance(table, RSetsTable):
+        rows = []
+        domains = {}
+        for index, blk in enumerate(table.blocks):
+            name = f"s{index}"
+            alternatives = sorted(blk.tuples, key=repr)
+            choice_count = len(alternatives)
+            values_domain = tuple(range(1, choice_count + 1))
+            if blk.optional:
+                values_domain = (0,) + values_domain
+            domains[name] = values_domain
+            for choice, row in enumerate(alternatives, start=1):
+                rows.append(
+                    CRow(
+                        tuple(Const(v) for v in row),
+                        eq(Var(name), Const(choice)),
+                    )
+                )
+        return CTable(rows, arity=table.arity, domains=domains)
+    if isinstance(table, RXorEquivTable):
+        rows = []
+        domains = {}
+        presence: Dict[int, Var] = {}
+        for index, row in enumerate(table.tuples):
+            name = f"p{index}"
+            domains[name] = (0, 1)
+            presence[index] = Var(name)
+            rows.append(
+                CRow(tuple(Const(v) for v in row), eq(Var(name), Const(1)))
+            )
+        constraints = []
+        for assertion in table.assertions:
+            left = eq(presence[assertion.left], Const(1))
+            right = eq(presence[assertion.right], Const(1))
+            from repro.logic.syntax import neg
+
+            if assertion.kind == "xor":
+                constraints.append(
+                    disj(conj(left, neg(right)), conj(neg(left), right))
+                )
+            else:
+                constraints.append(
+                    disj(conj(left, right), conj(neg(left), neg(right)))
+                )
+        return CTable(
+            rows,
+            arity=table.arity,
+            domains=domains,
+            global_condition=conj(*constraints),
+        )
+    if isinstance(table, RAPropTable):
+        rows = []
+        domains = {}
+        rename: Dict[str, Var] = {}
+        counter = 0
+        for index, row in enumerate(table.rows):
+            presence_name = f"p{index}"
+            domains[presence_name] = (0, 1)
+            rename[presence_var(index).name] = Var(presence_name)
+            values = []
+            for cell in row.cells:
+                if isinstance(cell, OrSet):
+                    name = f"o{counter}"
+                    counter += 1
+                    domains[name] = tuple(cell.alternatives)
+                    values.append(Var(name))
+                else:
+                    values.append(Const(cell))
+            rows.append(
+                CRow(tuple(values), eq(Var(presence_name), Const(1)))
+            )
+        global_condition = _bool_formula_to_equalities(table.formula, rename)
+        return CTable(
+            rows,
+            arity=table.arity,
+            domains=domains,
+            global_condition=global_condition,
+        )
+    raise TableError(f"no c-table embedding known for {type(table).__name__}")

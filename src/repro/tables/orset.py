@@ -1,0 +1,207 @@
+"""Or-set tables and or-set-?-tables ([29]'s ``RA`` and ``RA?``).
+
+An or-set value ``⟨1, 2, 3⟩`` signifies that exactly one of the listed
+values is the actual one (Example 3).  An or-set table is a conventional
+instance whose cells may be or-sets; the or-set-?-table variant
+additionally allows the ``?`` optional label on rows, combining both
+ideas exactly as the paper describes.
+
+Or-set tables are equivalent to finite-domain Codd tables
+(:mod:`repro.tables.convert` implements both directions); finite-domain
+v-tables are strictly more expressive (benchmark E19 proves the
+separation exhaustively).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.errors import TableError
+from repro.core.instance import Instance
+from repro.core.idatabase import IDatabase
+from repro.tables.base import Table
+
+
+@dataclass(frozen=True)
+class OrSet:
+    """An or-set value: one of the alternatives is the actual value."""
+
+    alternatives: Tuple[Hashable, ...]
+
+    __slots__ = ("alternatives",)
+
+    def __post_init__(self) -> None:
+        if not self.alternatives:
+            raise TableError("an or-set needs at least one alternative")
+        if len(set(self.alternatives)) != len(self.alternatives):
+            raise TableError(
+                f"duplicate alternatives in or-set {self.alternatives!r}"
+            )
+
+    def __repr__(self) -> str:
+        return "⟨" + ", ".join(repr(v) for v in self.alternatives) + "⟩"
+
+    def __len__(self) -> int:
+        return len(self.alternatives)
+
+
+Cell = Union[OrSet, Hashable]
+
+
+def orset(*alternatives: Hashable) -> OrSet:
+    """Convenience constructor: ``orset(1, 2)`` is the paper's ``⟨1, 2⟩``."""
+    return OrSet(tuple(alternatives))
+
+
+@dataclass(frozen=True)
+class OrSetRow:
+    """A row of cells (constants or or-sets) plus an optionality flag."""
+
+    cells: Tuple[Cell, ...]
+    optional: bool = False
+
+    def choices(self) -> Iterator[Tuple[Hashable, ...]]:
+        """Yield every concrete tuple obtainable by resolving the or-sets."""
+        pools = [
+            cell.alternatives if isinstance(cell, OrSet) else (cell,)
+            for cell in self.cells
+        ]
+        for combo in itertools.product(*pools):
+            yield tuple(combo)
+
+    def choice_count(self) -> int:
+        """Return the number of concrete tuples this row can denote."""
+        count = 1
+        for cell in self.cells:
+            if isinstance(cell, OrSet):
+                count *= len(cell)
+        return count
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(cell) for cell in self.cells)
+        suffix = " ?" if self.optional else ""
+        return f"({body}){suffix}"
+
+
+class OrSetTable(Table):
+    """An or-set table; set ``allow_optional`` rows for an or-set-?-table."""
+
+    __slots__ = ("_rows", "_arity", "_allow_optional")
+
+    system_name = "or-set table"
+
+    def __init__(
+        self,
+        rows: Iterable = (),
+        arity: Optional[int] = None,
+        allow_optional: bool = True,
+    ) -> None:
+        normalized = []
+        for row in rows:
+            if isinstance(row, OrSetRow):
+                normalized.append(row)
+            elif (
+                isinstance(row, tuple)
+                and len(row) == 2
+                and isinstance(row[1], bool)
+                and isinstance(row[0], (tuple, list))
+            ):
+                normalized.append(OrSetRow(tuple(row[0]), row[1]))
+            else:
+                normalized.append(OrSetRow(tuple(row), False))
+        if not allow_optional:
+            flagged = [row for row in normalized if row.optional]
+            if flagged:
+                raise TableError(
+                    "plain or-set tables admit no '?' rows; use an "
+                    "or-set-?-table (allow_optional=True)"
+                )
+        if normalized:
+            arities = {len(row.cells) for row in normalized}
+            if len(arities) != 1:
+                raise TableError(f"mixed row arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match rows of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty or-set table needs an explicit arity")
+        self._rows: Tuple[OrSetRow, ...] = tuple(normalized)
+        self._arity = arity
+        self._allow_optional = allow_optional
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> Tuple[OrSetRow, ...]:
+        """Return the rows in their original order."""
+        return self._rows
+
+    def has_optional_rows(self) -> bool:
+        """True when some row carries the '?' label."""
+        return any(row.optional for row in self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrSetTable):
+            return NotImplemented
+        return self._arity == other._arity and frozenset(self._rows) == frozenset(
+            other._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._arity, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(row) for row in self._rows)
+        return f"OrSetTable[{self._arity}]{{{body}}}"
+
+    def values(self) -> FrozenSet[Hashable]:
+        """Return every constant appearing in any cell or alternative."""
+        out = set()
+        for row in self._rows:
+            for cell in row.cells:
+                if isinstance(cell, OrSet):
+                    out.update(cell.alternatives)
+                else:
+                    out.add(cell)
+        return frozenset(out)
+
+    def world_count_bound(self) -> int:
+        """Return the number of (choice, inclusion) combinations.
+
+        Distinct combinations may denote the same instance, so this upper-
+        bounds ``|Mod|``.
+        """
+        count = 1
+        for row in self._rows:
+            row_choices = row.choice_count()
+            count *= row_choices + 1 if row.optional else row_choices
+        return count
+
+    def is_finitely_representable(self) -> bool:
+        return True
+
+    def possible_worlds(self) -> Iterator[Instance]:
+        """Yield every instance (with repetitions across choice combos)."""
+        per_row = []
+        for row in self._rows:
+            options = [list(choice) for choice in row.choices()]
+            if row.optional:
+                options.append(None)  # the row may be absent
+            per_row.append(options)
+        for combo in itertools.product(*per_row):
+            rows = [choice for choice in combo if choice is not None]
+            yield Instance(rows, arity=self._arity)
+
+    def mod(self) -> IDatabase:
+        return IDatabase(self.possible_worlds(), arity=self._arity)

@@ -1,0 +1,127 @@
+"""?-tables: conventional instances with optional tuples ([29]'s ``R?``).
+
+A ?-table is a set of constant tuples, each optionally labeled ``?``;
+a labeled tuple may be present or absent independently, an unlabeled one
+is always present.  ``Mod`` is the set of instances containing all
+unlabeled tuples and any subset of the labeled ones.
+
+?-tables are the incompleteness skeleton of the p-?-tables of Section 7
+(independent-tuple probabilistic databases), and Corollary 1 shows that
+closing them under full RA gives a finitely complete system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import TableError
+from repro.core.instance import Instance, Row
+from repro.core.idatabase import IDatabase
+from repro.tables.base import Table
+
+
+@dataclass(frozen=True)
+class QRow:
+    """A tuple together with its optionality flag."""
+
+    values: Row
+    optional: bool = False
+
+    def __repr__(self) -> str:
+        suffix = " ?" if self.optional else ""
+        return f"({', '.join(map(repr, self.values))}){suffix}"
+
+
+class QTable(Table):
+    """A ?-table over constant tuples."""
+
+    __slots__ = ("_rows", "_arity")
+
+    system_name = "?-table"
+
+    def __init__(self, rows: Iterable = (), arity: Optional[int] = None) -> None:
+        normalized = []
+        for row in rows:
+            if isinstance(row, QRow):
+                normalized.append(row)
+            elif (
+                isinstance(row, tuple)
+                and len(row) == 2
+                and isinstance(row[1], bool)
+                and isinstance(row[0], (tuple, list))
+            ):
+                normalized.append(QRow(tuple(row[0]), row[1]))
+            else:
+                normalized.append(QRow(tuple(row), False))
+        # A tuple listed both mandatory and optional is simply mandatory.
+        mandatory = {row.values for row in normalized if not row.optional}
+        deduped = {}
+        for row in normalized:
+            key = row.values
+            deduped[key] = QRow(key, row.optional and key not in mandatory)
+        rows_tuple = tuple(deduped.values())
+        if rows_tuple:
+            arities = {len(row.values) for row in rows_tuple}
+            if len(arities) != 1:
+                raise TableError(f"mixed row arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match rows of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty ?-table needs an explicit arity")
+        self._rows: Tuple[QRow, ...] = rows_tuple
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> Tuple[QRow, ...]:
+        """Return the rows (mandatory-before-optional dedup applied)."""
+        return self._rows
+
+    def mandatory_tuples(self) -> FrozenSet[Row]:
+        """Return the tuples present in every world."""
+        return frozenset(row.values for row in self._rows if not row.optional)
+
+    def optional_tuples(self) -> FrozenSet[Row]:
+        """Return the tuples free to appear or not."""
+        return frozenset(row.values for row in self._rows if row.optional)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QTable):
+            return NotImplemented
+        return self._arity == other._arity and frozenset(self._rows) == frozenset(
+            other._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._arity, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(row) for row in self._rows)
+        return f"QTable[{self._arity}]{{{body}}}"
+
+    def is_finitely_representable(self) -> bool:
+        return True
+
+    def possible_worlds(self) -> Iterator[Instance]:
+        """Yield every world: mandatory tuples plus a subset of optional ones."""
+        mandatory = sorted(self.mandatory_tuples(), key=repr)
+        optional = sorted(self.optional_tuples(), key=repr)
+        for size in range(len(optional) + 1):
+            for chosen in itertools.combinations(optional, size):
+                yield Instance(mandatory + list(chosen), arity=self._arity)
+
+    def mod(self) -> IDatabase:
+        return IDatabase(self.possible_worlds(), arity=self._arity)

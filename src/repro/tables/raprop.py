@@ -1,0 +1,146 @@
+"""The ``RA_prop`` representation system (Definition 16).
+
+A table is a multiset of *or-set tuples* ``{t₁, …, t_m}`` plus a boolean
+formula over presence variables ``t₁ … t_m``; ``Mod`` consists of all
+subsets satisfying the formula (``tᵢ`` true iff tuple ``i`` present),
+with each present or-set tuple further resolved to one concrete tuple
+per or-set cell.  [29] proves this system finitely complete; the paper
+observes finite-domain c-tables (already boolean c-tables) match it in
+expressive power, which test ``test_integration_raprop`` verifies on
+random instances by round-tripping through Theorem 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.errors import TableError
+from repro.core.instance import Instance
+from repro.core.idatabase import IDatabase
+from repro.logic.atoms import BoolVar, is_boolean_condition
+from repro.logic.evaluation import evaluate
+from repro.logic.syntax import TOP, Formula
+from repro.tables.base import Table
+from repro.tables.orset import OrSetRow
+
+
+def presence_var(position: int) -> BoolVar:
+    """Return the presence variable for tuple position *position*."""
+    return BoolVar(f"t{position}")
+
+
+class RAPropTable(Table):
+    """An ``RA_prop`` table: or-set tuples guarded by a boolean formula.
+
+    The formula's variables must be ``t0 … t{m-1}`` (created with
+    :func:`presence_var`).
+    """
+
+    __slots__ = ("_rows", "_formula", "_arity")
+
+    system_name = "RA_prop"
+
+    def __init__(
+        self,
+        rows: Iterable = (),
+        formula: Formula = TOP,
+        arity: Optional[int] = None,
+    ) -> None:
+        normalized: list = []
+        for row in rows:
+            if isinstance(row, OrSetRow):
+                if row.optional:
+                    raise TableError(
+                        "RA_prop rows carry no '?' label; optionality is "
+                        "expressed through the boolean formula"
+                    )
+                normalized.append(row)
+            else:
+                normalized.append(OrSetRow(tuple(row), False))
+        rows_tuple: Tuple[OrSetRow, ...] = tuple(normalized)
+        if rows_tuple:
+            arities = {len(row.cells) for row in rows_tuple}
+            if len(arities) != 1:
+                raise TableError(f"mixed row arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match rows of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty RA_prop table needs an explicit arity")
+        if not is_boolean_condition(formula):
+            raise TableError(
+                f"RA_prop formulas range over presence variables only, got "
+                f"{formula!r}"
+            )
+        allowed = {presence_var(i).name for i in range(len(rows_tuple))}
+        unknown = formula.variables() - allowed
+        if unknown:
+            raise TableError(
+                f"formula references unknown presence variables "
+                f"{sorted(unknown)}; table has {len(rows_tuple)} tuples"
+            )
+        self._rows = rows_tuple
+        self._formula = formula
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> Tuple[OrSetRow, ...]:
+        """Return the or-set tuples in position order."""
+        return self._rows
+
+    @property
+    def formula(self) -> Formula:
+        """Return the presence formula."""
+        return self._formula
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RAPropTable):
+            return NotImplemented
+        return (
+            self._arity == other._arity
+            and self._rows == other._rows
+            and self._formula == other._formula
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows, self._formula))
+
+    def __repr__(self) -> str:
+        tuples = ", ".join(repr(row) for row in self._rows)
+        return f"RAPropTable[{self._arity}]{{{tuples} | {self._formula!r}}}"
+
+    def presence_vectors(self) -> Iterator[Tuple[bool, ...]]:
+        """Yield presence vectors satisfying the formula."""
+        names = [presence_var(i).name for i in range(len(self._rows))]
+        for bits in itertools.product((False, True), repeat=len(self._rows)):
+            valuation = dict(zip(names, bits))
+            if evaluate(self._formula, valuation):
+                yield bits
+
+    def is_finitely_representable(self) -> bool:
+        return True
+
+    def possible_worlds(self) -> Iterator[Instance]:
+        """Yield every world: satisfying subset, then or-set resolution."""
+        for bits in self.presence_vectors():
+            chosen = [
+                row for row, present in zip(self._rows, bits) if present
+            ]
+            pools = [list(row.choices()) for row in chosen]
+            for combo in itertools.product(*pools):
+                yield Instance(list(combo), arity=self._arity)
+
+    def mod(self) -> IDatabase:
+        return IDatabase(self.possible_worlds(), arity=self._arity)

@@ -1,0 +1,118 @@
+"""The ``Rsets`` representation system (Definition 14).
+
+A table is a multiset of *blocks* of tuples, each block optionally
+labeled ``?``.  A world chooses exactly one tuple from each unlabeled
+block and at most one tuple from each labeled block.  Blocks capture
+mutually exclusive alternatives at the tuple level, strictly subsuming
+or-set tables at the row level ([29] proves the strictness; our E11
+benchmark exercises the PJ and PU completions of this system).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import TableError
+from repro.core.instance import Instance, Row
+from repro.core.idatabase import IDatabase
+from repro.tables.base import Table
+
+
+@dataclass(frozen=True)
+class RSetsBlock:
+    """A block: a set of alternative tuples, optionally labeled '?'."""
+
+    tuples: FrozenSet[Row]
+    optional: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tuples:
+            raise TableError("an Rsets block needs at least one tuple")
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(row) for row in sorted(self.tuples, key=repr))
+        suffix = " ?" if self.optional else ""
+        return f"[{body}]{suffix}"
+
+
+def block(*rows: Iterable, optional: bool = False) -> RSetsBlock:
+    """Convenience constructor for a block of alternative tuples."""
+    return RSetsBlock(frozenset(tuple(row) for row in rows), optional)
+
+
+class RSetsTable(Table):
+    """An ``Rsets`` table: a sequence (multiset) of blocks."""
+
+    __slots__ = ("_blocks", "_arity")
+
+    system_name = "Rsets"
+
+    def __init__(
+        self, blocks: Iterable[RSetsBlock] = (), arity: Optional[int] = None
+    ) -> None:
+        blocks_tuple = tuple(blocks)
+        arities = {
+            len(row) for blk in blocks_tuple for row in blk.tuples
+        }
+        if arities:
+            if len(arities) != 1:
+                raise TableError(f"mixed tuple arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match tuples of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty Rsets table needs an explicit arity")
+        self._blocks = blocks_tuple
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def blocks(self) -> Tuple[RSetsBlock, ...]:
+        """Return the blocks in their original (multiset) order."""
+        return self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RSetsTable):
+            return NotImplemented
+        # Multiset comparison: order-insensitive with multiplicities.
+        return self._arity == other._arity and sorted(
+            map(repr, self._blocks)
+        ) == sorted(map(repr, other._blocks))
+
+    def __hash__(self) -> int:
+        return hash((self._arity, tuple(sorted(map(repr, self._blocks)))))
+
+    def __repr__(self) -> str:
+        body = "; ".join(repr(blk) for blk in self._blocks)
+        return f"RSetsTable[{self._arity}]{{{body}}}"
+
+    def is_finitely_representable(self) -> bool:
+        return True
+
+    def possible_worlds(self) -> Iterator[Instance]:
+        """Yield every world: one tuple per block ('?' blocks may abstain)."""
+        per_block = []
+        for blk in self._blocks:
+            options = [row for row in sorted(blk.tuples, key=repr)]
+            choices = [("pick", row) for row in options]
+            if blk.optional:
+                choices.append(("skip", None))
+            per_block.append(choices)
+        for combo in itertools.product(*per_block):
+            rows = [row for kind, row in combo if kind == "pick"]
+            yield Instance(rows, arity=self._arity)
+
+    def mod(self) -> IDatabase:
+        return IDatabase(self.possible_worlds(), arity=self._arity)

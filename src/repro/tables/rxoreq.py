@@ -1,0 +1,155 @@
+"""The ``R⊕≡`` representation system (Definition 15).
+
+A table is a multiset of tuples ``{t₁, …, t_m}`` together with a
+conjunction of assertions of the forms
+
+- ``i ⊕ j`` — tuple ``tᵢ`` or ``tⱼ`` is present, but not both
+  (exclusive or),
+- ``i ≡ j`` — ``tᵢ`` is present iff ``tⱼ`` is.
+
+``Mod`` consists of all subsets of the tuples satisfying every
+assertion; unconstrained tuples are free to appear or not.  Note the
+*multiset* nature matters: two positions may hold the same tuple value
+yet be constrained differently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import TableError
+from repro.core.instance import Instance, Row
+from repro.core.idatabase import IDatabase
+from repro.tables.base import Table
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """One constraint between tuple positions: kind is 'xor' or 'iff'."""
+
+    kind: str
+    left: int
+    right: int
+
+    __slots__ = ("kind", "left", "right")
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("xor", "iff"):
+            raise TableError(f"unknown assertion kind {self.kind!r}")
+
+    def holds(self, present: Sequence[bool]) -> bool:
+        """Check the assertion against a presence vector."""
+        left, right = present[self.left], present[self.right]
+        if self.kind == "xor":
+            return left != right
+        return left == right
+
+    def __repr__(self) -> str:
+        symbol = "⊕" if self.kind == "xor" else "≡"
+        return f"{self.left} {symbol} {self.right}"
+
+
+def xor(left: int, right: int) -> Assertion:
+    """Assertion ``left ⊕ right`` (0-based tuple positions)."""
+    return Assertion("xor", left, right)
+
+
+def iff(left: int, right: int) -> Assertion:
+    """Assertion ``left ≡ right`` (0-based tuple positions)."""
+    return Assertion("iff", left, right)
+
+
+class RXorEquivTable(Table):
+    """An ``R⊕≡`` table: positioned tuples plus ⊕/≡ assertions."""
+
+    __slots__ = ("_tuples", "_assertions", "_arity")
+
+    system_name = "R⊕≡"
+
+    def __init__(
+        self,
+        tuples: Iterable[Iterable] = (),
+        assertions: Iterable[Assertion] = (),
+        arity: Optional[int] = None,
+    ) -> None:
+        tuples_tuple: Tuple[Row, ...] = tuple(tuple(row) for row in tuples)
+        if tuples_tuple:
+            arities = {len(row) for row in tuples_tuple}
+            if len(arities) != 1:
+                raise TableError(f"mixed tuple arities: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise TableError(
+                    f"declared arity {arity} does not match tuples of arity "
+                    f"{inferred}"
+                )
+            arity = inferred
+        elif arity is None:
+            raise TableError("an empty R⊕≡ table needs an explicit arity")
+        assertions_tuple = tuple(assertions)
+        for assertion in assertions_tuple:
+            for position in (assertion.left, assertion.right):
+                if not 0 <= position < len(tuples_tuple):
+                    raise TableError(
+                        f"assertion {assertion!r} references position "
+                        f"{position}, table has {len(tuples_tuple)} tuples"
+                    )
+        self._tuples = tuples_tuple
+        self._assertions = assertions_tuple
+        self._arity = arity
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def tuples(self) -> Tuple[Row, ...]:
+        """Return the positioned tuples."""
+        return self._tuples
+
+    @property
+    def assertions(self) -> Tuple[Assertion, ...]:
+        """Return the constraints."""
+        return self._assertions
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RXorEquivTable):
+            return NotImplemented
+        return (
+            self._arity == other._arity
+            and self._tuples == other._tuples
+            and frozenset(self._assertions) == frozenset(other._assertions)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._tuples, frozenset(self._assertions)))
+
+    def __repr__(self) -> str:
+        tuples = ", ".join(repr(row) for row in self._tuples)
+        constraints = " ∧ ".join(repr(a) for a in self._assertions)
+        return f"RXorEquivTable[{self._arity}]{{{tuples} | {constraints}}}"
+
+    def presence_vectors(self) -> Iterator[Tuple[bool, ...]]:
+        """Yield every presence vector satisfying all assertions."""
+        for bits in itertools.product((False, True), repeat=len(self._tuples)):
+            if all(assertion.holds(bits) for assertion in self._assertions):
+                yield bits
+
+    def is_finitely_representable(self) -> bool:
+        return True
+
+    def possible_worlds(self) -> Iterator[Instance]:
+        """Yield the instance for each satisfying presence vector."""
+        for bits in self.presence_vectors():
+            rows = [
+                row for row, present in zip(self._tuples, bits) if present
+            ]
+            yield Instance(rows, arity=self._arity)
+
+    def mod(self) -> IDatabase:
+        return IDatabase(self.possible_worlds(), arity=self._arity)

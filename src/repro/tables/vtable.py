@@ -1,0 +1,46 @@
+"""v-tables: instances with variables, no conditions (Example 1).
+
+A v-table is a c-table whose every condition is ``true``; variables model
+"labeled" or "marked" nulls — repeating a variable asserts the unknown
+values coincide.  :class:`VTable` is a validating subclass of
+:class:`~repro.tables.ctable.CTable`, so the whole c-table machinery
+(valuations, Mod over domains, finite-domain variants of Definition 6)
+is inherited.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+from repro.errors import TableError
+from repro.logic.syntax import TOP, Formula
+from repro.tables.ctable import CTable
+
+
+class VTable(CTable):
+    """A v-table; rows are bare value tuples (terms), conditions all true."""
+
+    __slots__ = ()
+
+    system_name = "v-table"
+
+    def __init__(
+        self,
+        rows: Iterable = (),
+        arity: Optional[int] = None,
+        domains: Optional[Mapping[str, Iterable[Hashable]]] = None,
+    ) -> None:
+        super().__init__(rows, arity=arity, domains=domains, global_condition=TOP)
+
+    def _validate(self) -> None:
+        for row in self._rows:
+            if row.condition != TOP:
+                raise TableError(
+                    f"v-tables admit no conditions, got {row.condition!r}"
+                )
+
+    def as_ctable(self) -> CTable:
+        """Return self viewed as a plain c-table (identity embedding)."""
+        return CTable(
+            self._rows, arity=self._arity, domains=self._domains
+        )

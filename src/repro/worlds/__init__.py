@@ -1,0 +1,40 @@
+"""Possible-worlds tooling: answers and semantic comparisons.
+
+- :mod:`repro.worlds.answers` — certain and possible answers of queries
+  over incomplete databases and tables,
+- :mod:`repro.worlds.compare` — equality of incomplete databases and of
+  table Mod-semantics, including infinite-domain comparisons via witness
+  slices (the small-model reduction DESIGN.md documents).
+"""
+
+from repro.worlds.answers import (
+    certain_answer,
+    certain_answer_table,
+    possible_answer,
+    possible_answer_table,
+)
+from repro.worlds.symbolic_answers import (
+    certain_answer_symbolic,
+    possible_answer_symbolic,
+)
+from repro.worlds.compare import (
+    closure_holds,
+    ctables_equivalent,
+    lemma1_holds,
+    mod_equal_over,
+    witness_domain_for,
+)
+
+__all__ = [
+    "certain_answer",
+    "certain_answer_symbolic",
+    "certain_answer_table",
+    "closure_holds",
+    "ctables_equivalent",
+    "lemma1_holds",
+    "mod_equal_over",
+    "possible_answer",
+    "possible_answer_symbolic",
+    "possible_answer_table",
+    "witness_domain_for",
+]

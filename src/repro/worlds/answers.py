@@ -1,0 +1,71 @@
+"""Certain and possible answers over incomplete databases.
+
+Given an incomplete database ``I`` and a query ``q``:
+
+- the *certain answer* is ``⋂ { q(I) | I ∈ I }`` — tuples returned in
+  every possible world,
+- the *possible answer* is ``⋃ { q(I) | I ∈ I }`` — tuples returned in
+  some world.
+
+The paper contrasts its representation-based semantics with the certain-
+answer semantics used by [18]'s Corollary 3.1 (remark after Theorem 2);
+having both implemented lets the tests exhibit the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.domain import Domain
+from repro.core.instance import Instance
+from repro.core.idatabase import IDatabase
+from repro.algebra.ast import Query
+from repro.algebra.evaluate import apply_query
+from repro.tables.base import Table
+
+
+def certain_answer(query: Query, idb: IDatabase) -> Instance:
+    """Return the tuples of ``q(I)`` common to all worlds ``I ∈ I``."""
+    answers = [apply_query(query, instance) for instance in idb]
+    if not answers:
+        return Instance((), arity=query.arity)
+    rows = set(answers[0].rows)
+    for answer in answers[1:]:
+        rows &= answer.rows
+    return Instance(rows, arity=query.arity)
+
+
+def possible_answer(query: Query, idb: IDatabase) -> Instance:
+    """Return the tuples of ``q(I)`` occurring in some world ``I ∈ I``."""
+    rows = set()
+    for instance in idb:
+        rows |= apply_query(query, instance).rows
+    return Instance(rows, arity=query.arity)
+
+
+def _mod_of(table: Table, domain: Optional[Union[Domain, Sequence]]) -> IDatabase:
+    if domain is not None:
+        return table.mod_over(domain)
+    return table.mod()
+
+
+def certain_answer_table(
+    query: Query,
+    table: Table,
+    domain: Optional[Union[Domain, Sequence]] = None,
+) -> Instance:
+    """Certain answer of *query* over ``Mod(table)``.
+
+    For tables over the infinite domain, pass the witness *domain* to
+    restrict to (see :func:`repro.worlds.compare.witness_domain_for`).
+    """
+    return certain_answer(query, _mod_of(table, domain))
+
+
+def possible_answer_table(
+    query: Query,
+    table: Table,
+    domain: Optional[Union[Domain, Sequence]] = None,
+) -> Instance:
+    """Possible answer of *query* over ``Mod(table)``."""
+    return possible_answer(query, _mod_of(table, domain))

@@ -1,0 +1,127 @@
+"""Semantic comparisons of tables and incomplete databases.
+
+Over the infinite domain, ``Mod(T)`` is infinite, so equality of two
+tables' semantics cannot be checked by enumeration of ``D``.  We use the
+small-model property (see :mod:`repro.logic.equality_sat`): the
+instances in ``Mod(T)`` are images of valuations, valuations matter only
+through (a) which variables are equal to each other, (b) which variables
+equal which constants — and every such pattern over the union of the two
+tables' variables and constants is realized inside a finite *witness
+domain* containing all the constants plus one fresh value per variable.
+Comparing ``Mod`` restricted to that domain therefore decides full
+equality.  :func:`witness_domain_for` builds the domain;
+:func:`mod_equal_over` does the comparison.
+
+For closure (Theorem 4), :func:`lemma1_holds` checks the per-valuation
+identity ``ν(q̄(T)) = q(ν(T))``, which is stronger than Mod-level
+equality and cheaper to test; :func:`closure_holds` checks the Mod-level
+consequence.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional, Sequence, Union
+
+from repro.core.domain import Domain
+from repro.core.idatabase import IDatabase
+from repro.logic.equality_sat import fresh_values
+from repro.algebra.ast import Query
+from repro.algebra.evaluate import apply_query
+from repro.ctalgebra.translate import apply_query_to_ctable
+from repro.tables.ctable import CTable
+
+
+def witness_domain_for(
+    *tables: CTable,
+    extra: int = 0,
+    constants: Sequence[Hashable] = (),
+) -> Domain:
+    """Return a finite domain deciding Mod-level questions for *tables*.
+
+    Contains every constant of every table (plus caller-supplied
+    *constants*, e.g. those of a query under study), and one fresh value
+    per variable across all tables, plus *extra* more.
+    """
+    all_constants = set(constants)
+    variables = set()
+    for table in tables:
+        all_constants |= table.constants()
+        variables |= table.variables()
+    # Never produce an empty domain: a degenerate table with no
+    # constants and no variables still needs one value to range over.
+    fresh = fresh_values(max(1, len(variables) + extra))
+    return Domain(sorted(all_constants, key=repr) + list(fresh))
+
+
+def mod_equal_over(
+    left: CTable,
+    right: CTable,
+    domain: Optional[Union[Domain, Sequence]] = None,
+) -> bool:
+    """Compare ``Mod(left)`` and ``Mod(right)`` over a common domain.
+
+    With ``domain=None`` a joint witness domain is computed, making the
+    comparison decide genuine infinite-domain equality.
+    """
+    if domain is None:
+        domain = witness_domain_for(left, right)
+    return left.mod_over(domain) == right.mod_over(domain)
+
+
+def ctables_equivalent(left: CTable, right: CTable, extra: int = 0) -> bool:
+    """Decide ``Mod(left) = Mod(right)`` over the infinite domain."""
+    return mod_equal_over(
+        left, right, witness_domain_for(left, right, extra=extra)
+    )
+
+
+def lemma1_holds(
+    query: Query, table: CTable, valuation: Mapping[str, Hashable]
+) -> bool:
+    """Check Lemma 1 at one valuation: ``ν(q̄(T)) = q(ν(T))``."""
+    translated = apply_query_to_ctable(query, table)
+    left = translated.apply_valuation(valuation)
+    right = apply_query(query, table.apply_valuation(valuation))
+    return left == right
+
+
+def closure_holds(
+    query: Query,
+    table: CTable,
+    domain: Optional[Union[Domain, Sequence]] = None,
+) -> bool:
+    """Check Theorem 4 at Mod level: ``Mod(q̄(T)) = q(Mod(T))``.
+
+    The right-hand side is computed naively (per-world query evaluation),
+    the left-hand side through the c-table algebra; with ``domain=None``
+    the joint witness domain (including the query's constants) is used.
+    """
+    if domain is None:
+        query_constants = [
+            value
+            for row_source in query.walk()
+            for value in _query_node_constants(row_source)
+        ]
+        domain = witness_domain_for(table, constants=query_constants)
+    translated = apply_query_to_ctable(query, table)
+    via_algebra = translated.mod_over(domain)
+    naive = IDatabase(
+        (
+            apply_query(query, instance)
+            for instance in table.mod_over(domain)
+        ),
+        arity=query.arity,
+    )
+    return via_algebra == naive
+
+
+def _query_node_constants(node) -> Sequence[Hashable]:
+    """Collect constants appearing in a query node (ConstRel or Select)."""
+    from repro.algebra.ast import ConstRel, Select
+    from repro.logic.equality_sat import constants_of
+
+    if isinstance(node, ConstRel):
+        return [value for row in node.instance for value in row]
+    if isinstance(node, Select):
+        return sorted(constants_of(node.predicate), key=repr)
+    return []

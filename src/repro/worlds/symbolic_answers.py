@@ -1,0 +1,164 @@
+"""Certain and possible answers computed symbolically, without Mod.
+
+Enumerating ``Mod(T)`` is exponential in the variable count; the c-table
+algebra makes it unnecessary.  For a query ``q`` and c-table ``T``:
+
+- a constant tuple ``t`` is a **certain answer** iff its *membership
+  condition* in ``q̄(T)`` — the disjunction over answer rows of
+  "condition holds and the row's terms equal ``t``" — is *valid*
+  (true under every valuation),
+- ``t`` is a **possible answer** iff that condition is *satisfiable*.
+
+Validity/satisfiability over the infinite domain are decided by the
+small-model procedures of :mod:`repro.logic.equality_sat`; for
+finite-domain tables the variable domains are used directly.
+
+Candidate generation: a certain tuple survives into worlds where every
+variable takes a fresh value, so its entries must be constants of the
+answer table; the candidate pool is the product of per-column constants
+(guarded by ``max_candidates``).  Possible answers over an infinite
+domain form an infinite set in general (rows with variable entries
+denote tuple *patterns*); :func:`possible_answer_symbolic` therefore
+returns the constant possible answers, which is what applications
+display — the full description *is* the answer c-table.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import UnsupportedOperationError
+from repro.core.instance import Instance, Row
+from repro.logic.atoms import Const, Var, eq
+from repro.logic.models import is_satisfiable_over
+from repro.logic.syntax import BOTTOM, Formula, conj, disj, neg
+from repro.algebra.ast import Query
+from repro.ctalgebra.translate import apply_query_to_ctable
+from repro.tables.ctable import CTable
+
+
+def membership_condition(table: CTable, row: Row) -> Formula:
+    """The condition under which constant tuple *row* belongs to ν(T)."""
+    row = tuple(row)
+    branches = []
+    for crow in table.rows:
+        matches = conj(
+            *(
+                eq(term, Const(value))
+                for term, value in zip(crow.values, row)
+            )
+        )
+        branches.append(conj(crow.condition, matches))
+    return conj(table.global_condition, disj(*branches))
+
+
+def _is_valid(table: CTable, condition: Formula) -> bool:
+    if table.domains is not None:
+        # Valid over the finite domains iff the negation has no model.
+        relevant = {
+            name: table.domains[name] for name in condition.variables()
+        }
+        if not relevant:
+            from repro.logic.evaluation import partial_evaluate
+            from repro.logic.syntax import TOP
+
+            return partial_evaluate(condition, {}) == TOP
+        return not is_satisfiable_over(neg(condition), relevant)
+    from repro.logic.equality_sat import is_valid_infinite
+
+    return is_valid_infinite(condition)
+
+
+def _is_satisfiable(table: CTable, condition: Formula) -> bool:
+    if table.domains is not None:
+        relevant = {
+            name: table.domains[name] for name in condition.variables()
+        }
+        if not relevant:
+            from repro.logic.evaluation import partial_evaluate
+            from repro.logic.syntax import TOP
+
+            return partial_evaluate(condition, {}) == TOP
+        return is_satisfiable_over(condition, relevant)
+    from repro.logic.equality_sat import is_satisfiable_infinite
+
+    return is_satisfiable_infinite(condition)
+
+
+def _column_constants(table: CTable) -> List[List[Hashable]]:
+    """Constants appearing per column, plus condition constants everywhere.
+
+    A variable entry can only produce a *certain* constant when its
+    condition forces it to equal some constant, and condition constants
+    are the only candidates — so the pool below is complete.
+    """
+    from repro.logic.equality_sat import constants_of
+
+    condition_constants: Set[Hashable] = set(
+        constants_of(table.global_condition)
+    )
+    for row in table.rows:
+        condition_constants |= constants_of(row.condition)
+    columns: List[Set[Hashable]] = [set() for _ in range(table.arity)]
+    for row in table.rows:
+        for index, term in enumerate(row.values):
+            if isinstance(term, Const):
+                columns[index].add(term.value)
+            else:
+                columns[index] |= condition_constants
+    return [sorted(values, key=repr) for values in columns]
+
+
+def _candidates(
+    table: CTable, max_candidates: int
+) -> Iterator[Row]:
+    import itertools
+
+    columns = _column_constants(table)
+    total = 1
+    for values in columns:
+        total *= len(values)
+    if total > max_candidates:
+        raise UnsupportedOperationError(
+            f"candidate pool of size {total} exceeds max_candidates="
+            f"{max_candidates}; raise the bound or use enumeration"
+        )
+    yield from itertools.product(*columns)
+
+
+def certain_answer_symbolic(
+    query: Query, table: CTable, max_candidates: int = 100_000
+) -> Instance:
+    """Certain answers of *query* over ``Mod(table)``, via validity.
+
+    Exact over infinite and finite domains alike; never materializes a
+    single possible world.
+    """
+    answered = apply_query_to_ctable(query, table)
+    rows = [
+        candidate
+        for candidate in _candidates(answered, max_candidates)
+        if _is_valid(answered, membership_condition(answered, candidate))
+    ]
+    return Instance(rows, arity=answered.arity)
+
+
+def possible_answer_symbolic(
+    query: Query, table: CTable, max_candidates: int = 100_000
+) -> Instance:
+    """Constant possible answers of *query*, via satisfiability.
+
+    Tuples built from the answer table's constants that occur in *some*
+    world.  Rows with variable entries additionally denote infinitely
+    many fresh-valued possible tuples; those patterns are visible in
+    ``apply_query_to_ctable(query, table)`` directly.
+    """
+    answered = apply_query_to_ctable(query, table)
+    rows = [
+        candidate
+        for candidate in _candidates(answered, max_candidates)
+        if _is_satisfiable(
+            answered, membership_condition(answered, candidate)
+        )
+    ]
+    return Instance(rows, arity=answered.arity)

@@ -1,0 +1,188 @@
+"""Shared fixtures: the paper's running examples and random generators."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    BooleanCTable,
+    CRow,
+    CTable,
+    Const,
+    IDatabase,
+    Instance,
+    OrSet,
+    OrSetRow,
+    OrSetTable,
+    PCTable,
+    POrSetTable,
+    PQTable,
+    QTable,
+    TOP,
+    VTable,
+    Var,
+    conj,
+    disj,
+    eq,
+    ne,
+)
+
+
+@pytest.fixture
+def example1_vtable() -> VTable:
+    """Example 1's v-table R."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return VTable([(1, 2, x), (3, x, y), (z, 4, 5)])
+
+
+@pytest.fixture
+def example2_ctable() -> CTable:
+    """Example 2's c-table S."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return CTable(
+        [
+            ((1, 2, x), TOP),
+            ((3, x, y), conj(eq(x, y), ne(z, 2))),
+            ((z, 4, 5), disj(ne(x, 1), ne(x, y))),
+        ]
+    )
+
+
+@pytest.fixture
+def example3_orset_table() -> OrSetTable:
+    """Example 3's or-set-?-table T."""
+    return OrSetTable(
+        [
+            OrSetRow((1, 2, OrSet((1, 2)))),
+            OrSetRow((3, OrSet((1, 2)), OrSet((3, 4)))),
+            OrSetRow((OrSet((4, 5)), 4, 5), True),
+        ]
+    )
+
+
+@pytest.fixture
+def example6_pqtable() -> PQTable:
+    """Example 6's p-?-table T."""
+    return PQTable(
+        {
+            (1, 2): Fraction(4, 10),
+            (3, 4): Fraction(3, 10),
+            (5, 6): Fraction(1),
+        }
+    )
+
+
+@pytest.fixture
+def example6_porset_table() -> POrSetTable:
+    """Example 6's p-or-set-table S."""
+    return POrSetTable(
+        [
+            (1, {2: Fraction(3, 10), 3: Fraction(7, 10)}),
+            (4, 5),
+            (
+                {6: Fraction(1, 2), 7: Fraction(1, 2)},
+                {8: Fraction(1, 10), 9: Fraction(9, 10)},
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def intro_pctable() -> PCTable:
+    """The introduction's Alice/Bob/Theo pc-table."""
+    x, t = Var("x"), Var("t")
+    rows = [
+        CRow((Const("Alice"), x), TOP),
+        CRow((Const("Bob"), x), disj(eq(x, "phys"), eq(x, "chem"))),
+        CRow((Const("Theo"), Const("math")), eq(t, 1)),
+    ]
+    return PCTable(
+        rows,
+        {
+            "x": {
+                "math": Fraction(3, 10),
+                "phys": Fraction(3, 10),
+                "chem": Fraction(4, 10),
+            },
+            "t": {0: Fraction(15, 100), 1: Fraction(85, 100)},
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Random generators (seeded, deterministic per test)
+# ----------------------------------------------------------------------
+
+def random_instance(rng: random.Random, arity: int, values, max_rows: int = 3):
+    """A random instance over *values*."""
+    count = rng.randint(0, max_rows)
+    rows = {
+        tuple(rng.choice(values) for _ in range(arity)) for _ in range(count)
+    }
+    return Instance(rows, arity=arity)
+
+
+def random_idatabase(
+    rng: random.Random,
+    arity: int = 2,
+    values=(1, 2),
+    max_instances: int = 4,
+    max_rows: int = 2,
+) -> IDatabase:
+    """A random finite incomplete database."""
+    count = rng.randint(1, max_instances)
+    instances = {
+        random_instance(rng, arity, list(values), max_rows)
+        for _ in range(count)
+    }
+    return IDatabase(instances, arity=arity)
+
+
+def random_condition(rng: random.Random, variables, constants, depth: int = 2):
+    """A random equality condition over *variables* and *constants*."""
+    from repro.logic.syntax import conj as conj_, disj as disj_, neg as neg_
+
+    def term():
+        if rng.random() < 0.7:
+            return Var(rng.choice(variables))
+        return rng.choice(constants)
+
+    def go(level):
+        if level == 0:
+            return eq(term(), term())
+        choice = rng.random()
+        if choice < 0.4:
+            return conj_(go(level - 1), go(level - 1))
+        if choice < 0.8:
+            return disj_(go(level - 1), go(level - 1))
+        return neg_(go(level - 1))
+
+    return go(depth)
+
+
+def random_ctable(
+    rng: random.Random,
+    arity: int = 2,
+    variables=("x", "y"),
+    constants=(1, 2),
+    max_rows: int = 3,
+) -> CTable:
+    """A random c-table over small variable/constant pools."""
+    rows = []
+    for _ in range(rng.randint(1, max_rows)):
+        values = tuple(
+            Var(rng.choice(variables))
+            if rng.random() < 0.5
+            else Const(rng.choice(constants))
+            for _ in range(arity)
+        )
+        condition = (
+            TOP
+            if rng.random() < 0.3
+            else random_condition(rng, list(variables), list(constants))
+        )
+        rows.append(CRow(values, condition))
+    return CTable(rows, arity=arity)

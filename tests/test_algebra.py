@@ -1,0 +1,220 @@
+"""Unit tests for the relational algebra: AST, predicates, evaluation."""
+
+import pytest
+
+from repro.errors import ArityError, QueryError
+from repro.core.instance import Instance, relation
+from repro.logic.atoms import Var, eq
+from repro.logic.syntax import TOP, conj, disj, neg
+from repro.algebra import (
+    apply_query,
+    col_eq,
+    col_eq_const,
+    col_ne,
+    col_ne_const,
+    diff,
+    evaluate_query,
+    intersect,
+    proj,
+    prod,
+    rel,
+    sel,
+    singleton,
+    union,
+)
+from repro.algebra.ast import Project, RelVar, Select
+from repro.algebra.predicates import (
+    check_predicate,
+    col,
+    column_index,
+    eval_predicate,
+    instantiate_predicate,
+    is_column_var,
+    predicate_columns,
+    predicate_is_positive,
+    shift_predicate,
+)
+
+
+R = relation((1, 2), (2, 2), (3, 1))
+
+
+class TestPredicates:
+    def test_col_encoding_roundtrip(self):
+        term = col(3)
+        assert is_column_var(term)
+        assert column_index(term) == 3
+
+    def test_negative_column_rejected(self):
+        with pytest.raises(QueryError):
+            col(-1)
+
+    def test_eval_col_eq(self):
+        assert eval_predicate(col_eq(0, 1), (5, 5))
+        assert not eval_predicate(col_eq(0, 1), (5, 6))
+
+    def test_eval_col_eq_const(self):
+        assert eval_predicate(col_eq_const(1, "a"), (0, "a"))
+
+    def test_eval_boolean_combination(self):
+        predicate = disj(col_eq(0, 1), col_ne_const(2, 9))
+        assert eval_predicate(predicate, (1, 2, 3))
+        assert not eval_predicate(predicate, (1, 2, 9))
+
+    def test_predicate_columns(self):
+        predicate = conj(col_eq(0, 2), col_ne_const(4, 1))
+        assert predicate_columns(predicate) == {0, 2, 4}
+
+    def test_check_predicate_range(self):
+        with pytest.raises(QueryError):
+            check_predicate(col_eq(0, 5), 3)
+
+    def test_check_predicate_rejects_free_variables(self):
+        with pytest.raises(QueryError):
+            check_predicate(eq(Var("x"), col(0)), 2)
+
+    def test_positive_classification(self):
+        assert predicate_is_positive(conj(col_eq(0, 1), col_eq_const(0, 2)))
+        assert not predicate_is_positive(col_ne(0, 1))
+
+    def test_instantiate_with_constants_folds(self):
+        predicate = col_eq(0, 1)
+        from repro.logic.atoms import Const
+
+        assert instantiate_predicate(predicate, (Const(1), Const(1))) is TOP
+
+    def test_instantiate_with_variables_symbolic(self):
+        x = Var("x")
+        from repro.logic.atoms import Const
+
+        result = instantiate_predicate(col_eq(0, 1), (x, Const(3)))
+        assert result == eq(x, 3)
+
+    def test_instantiate_arity_mismatch(self):
+        from repro.logic.atoms import Const
+
+        with pytest.raises(QueryError):
+            instantiate_predicate(col_eq(0, 3), (Const(1), Const(2)))
+
+    def test_shift_predicate(self):
+        shifted = shift_predicate(col_eq(0, 1), 2)
+        assert shifted == col_eq(2, 3)
+
+
+class TestAstValidation:
+    def test_projection_column_range(self):
+        with pytest.raises(QueryError):
+            proj(rel("V", 2), [2])
+
+    def test_projection_repeats_allowed(self):
+        query = proj(rel("V", 2), [1, 1, 0])
+        assert query.arity == 3
+
+    def test_selection_checks_arity(self):
+        with pytest.raises(QueryError):
+            sel(rel("V", 1), col_eq(0, 1))
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ArityError):
+            union(rel("V", 1), rel("W", 2))
+
+    def test_difference_arity_mismatch(self):
+        with pytest.raises(ArityError):
+            diff(rel("V", 1), rel("W", 2))
+
+    def test_relation_names_collects(self):
+        query = union(proj(prod(rel("V", 1), rel("W", 2)), [0]), rel("V", 1))
+        assert query.relation_names() == {"V": 1, "W": 2}
+
+    def test_conflicting_arities_rejected(self):
+        query = prod(rel("V", 1), rel("V", 2))
+        with pytest.raises(ArityError):
+            query.relation_names()
+
+    def test_size_counts_nodes(self):
+        query = proj(sel(rel("V", 2), col_eq(0, 1)), [0])
+        assert query.size() == 3
+
+
+class TestEvaluation:
+    def test_projection(self):
+        result = apply_query(proj(rel("V", 2), [0]), R)
+        assert result == relation((1,), (2,), (3,))
+
+    def test_projection_reorders(self):
+        result = apply_query(proj(rel("V", 2), [1, 0]), R)
+        assert (2, 1) in result
+
+    def test_selection(self):
+        result = apply_query(sel(rel("V", 2), col_eq(0, 1)), R)
+        assert result == relation((2, 2))
+
+    def test_selection_with_constant(self):
+        result = apply_query(sel(rel("V", 2), col_eq_const(1, 1)), R)
+        assert result == relation((3, 1))
+
+    def test_product(self):
+        result = apply_query(prod(rel("V", 2), rel("V", 2)), R)
+        assert len(result) == 9
+        assert result.arity == 4
+
+    def test_union(self):
+        query = union(rel("V", 1), singleton(9))
+        result = apply_query(query, relation((1,)))
+        assert result == relation((1,), (9,))
+
+    def test_difference(self):
+        query = diff(rel("V", 1), singleton(1))
+        result = apply_query(query, relation((1,), (2,)))
+        assert result == relation((2,))
+
+    def test_intersection(self):
+        query = intersect(rel("V", 1), singleton(2))
+        result = apply_query(query, relation((1,), (2,)))
+        assert result == relation((2,))
+
+    def test_constant_only_query(self):
+        assert apply_query(singleton(1, 2), relation((9,))) == relation((1, 2))
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(QueryError):
+            evaluate_query(rel("V", 1), {})
+
+    def test_wrong_arity_binding_raises(self):
+        with pytest.raises(QueryError):
+            evaluate_query(rel("V", 1), {"V": relation((1, 2))})
+
+    def test_multiple_input_names_rejected_by_apply(self):
+        query = prod(rel("V", 1), rel("W", 1))
+        with pytest.raises(QueryError):
+            apply_query(query, relation((1,)))
+
+    def test_example4_query_shape(self):
+        """Example 4's query on a conventional instance."""
+        V = rel("V", 3)
+        query = union(
+            proj(prod(singleton(1), singleton(2), V), [0, 1, 2]),
+            proj(
+                sel(prod(singleton(3), V), conj(col_eq(1, 2),
+                                                col_ne_const(3, 2))),
+                [0, 1, 2],
+            ),
+            proj(
+                sel(
+                    prod(singleton(4), singleton(5), V),
+                    disj(col_ne_const(2, 1), col_ne(2, 3)),
+                ),
+                [4, 0, 1],
+            ),
+        )
+        # Valuation x=7, y=7, z=9 of Example 2's S: row 2 fires (x=y, z≠2),
+        # row 3 fires (x≠1).
+        result = apply_query(query, relation((7, 7, 9)))
+        assert result == relation((1, 2, 7), (3, 7, 7), (9, 4, 5))
+
+    def test_empty_projection_to_zero_columns(self):
+        query = proj(rel("V", 2), [])
+        assert apply_query(query, R) == Instance([()])
+        assert apply_query(query, Instance([], arity=2)) == Instance(
+            [], arity=0
+        )

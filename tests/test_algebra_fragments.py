@@ -1,0 +1,105 @@
+"""Unit tests for RA fragment classification."""
+
+import pytest
+
+from repro.algebra import (
+    FRAGMENT_PJ,
+    FRAGMENT_PU,
+    FRAGMENT_RA,
+    FRAGMENT_SP,
+    FRAGMENT_SPJU,
+    FRAGMENT_SPLUS_P,
+    FRAGMENT_SPLUS_PJ,
+    col_eq,
+    col_eq_const,
+    col_ne,
+    diff,
+    in_fragment,
+    intersect,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.algebra.fragments import classify, selection_level
+from repro.logic.syntax import TOP, conj, disj
+
+
+V = rel("V", 3)
+
+
+class TestSelectionLevels:
+    def test_true_is_none(self):
+        assert selection_level(TOP) == "none"
+
+    def test_column_equality_is_join(self):
+        assert selection_level(col_eq(0, 1)) == "join"
+        assert selection_level(conj(col_eq(0, 1), col_eq(1, 2))) == "join"
+
+    def test_constant_equality_is_positive(self):
+        assert selection_level(col_eq_const(0, 5)) == "positive"
+
+    def test_negation_is_full(self):
+        assert selection_level(col_ne(0, 1)) == "full"
+
+    def test_disjunction_of_equalities_stays_join(self):
+        assert selection_level(disj(col_eq(0, 1), col_eq(1, 2))) == "join"
+
+
+class TestClassify:
+    def test_plain_projection(self):
+        profile = classify(proj(V, [0]))
+        assert profile.projection and not profile.product
+
+    def test_nested_operators_all_found(self):
+        query = diff(union(proj(V, [0, 1, 2]), V), intersect(V, V))
+        profile = classify(query)
+        assert profile.union and profile.difference and profile.intersection
+
+    def test_strongest_selection_wins(self):
+        query = sel(sel(V, col_eq(0, 1)), col_ne(1, 2))
+        assert classify(query).selection == "full"
+
+
+class TestMembership:
+    def test_pj_admits_equijoin(self):
+        query = proj(sel(prod(V, V), col_eq(0, 3)), [0])
+        assert in_fragment(query, FRAGMENT_PJ)
+
+    def test_pj_rejects_constant_selection(self):
+        query = proj(sel(prod(V, V), col_eq_const(0, 1)), [0])
+        assert not in_fragment(query, FRAGMENT_PJ)
+        assert in_fragment(query, FRAGMENT_SPLUS_PJ)
+
+    def test_sp_rejects_product(self):
+        query = sel(prod(V, V), col_eq(0, 3))
+        assert not in_fragment(query, FRAGMENT_SP)
+
+    def test_sp_admits_negation(self):
+        query = proj(sel(V, col_ne(0, 1)), [0])
+        assert in_fragment(query, FRAGMENT_SP)
+
+    def test_splus_p_rejects_negation(self):
+        query = proj(sel(V, col_ne(0, 1)), [0])
+        assert not in_fragment(query, FRAGMENT_SPLUS_P)
+
+    def test_pu_rejects_selection(self):
+        assert in_fragment(union(proj(V, [0]), proj(V, [1])), FRAGMENT_PU)
+        assert not in_fragment(sel(V, col_eq(0, 1)), FRAGMENT_PU)
+
+    def test_spju_rejects_difference(self):
+        assert not in_fragment(diff(V, V), FRAGMENT_SPJU)
+
+    def test_ra_admits_everything(self):
+        query = diff(
+            union(proj(sel(prod(V, V), col_ne(0, 3)), [0, 1, 2]), V),
+            intersect(V, V),
+        )
+        assert in_fragment(query, FRAGMENT_RA)
+
+    def test_fragment_inclusions(self):
+        """Every PJ query is an SPJU query and an RA query."""
+        query = proj(sel(prod(V, V), col_eq(0, 3)), [0])
+        for fragment in (FRAGMENT_PJ, FRAGMENT_SPJU, FRAGMENT_RA):
+            assert in_fragment(query, fragment)

@@ -1,0 +1,216 @@
+"""Tests for the §9 extensions: dependent variables and possibilistic models."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.core.instance import Instance
+from repro.logic.atoms import Var, eq
+from repro.logic.syntax import TOP
+from repro.algebra import col_eq_const, proj, rel, sel
+from repro.prob.bayes import DependentPCTable, VariableNetwork
+from repro.prob.pctable import PCTable
+from repro.prob.possibilistic import (
+    PossibilisticCTable,
+    PossibilisticDatabase,
+    check_possibility_distribution,
+    verify_possibilistic_closure,
+)
+from repro.tables.ctable import CRow
+
+
+HALF = Fraction(1, 2)
+X, Y = Var("x"), Var("y")
+
+
+class TestVariableNetwork:
+    def test_topological_declaration_enforced(self):
+        network = VariableNetwork()
+        with pytest.raises(ProbabilityError):
+            network.add("b", ("a",), {})
+
+    def test_cpt_rows_must_cover_parents(self):
+        network = VariableNetwork().add_independent(
+            "a", {0: HALF, 1: HALF}
+        )
+        with pytest.raises(ProbabilityError):
+            network.add("b", ("a",), {(0,): {0: Fraction(1)}})
+
+    def test_joint_sums_to_one(self):
+        network = (
+            VariableNetwork()
+            .add_independent("a", {0: Fraction(1, 3), 1: Fraction(2, 3)})
+            .add(
+                "b",
+                ("a",),
+                {
+                    (0,): {0: Fraction(1)},
+                    (1,): {0: HALF, 1: HALF},
+                },
+            )
+        )
+        total = sum(weight for _, weight in network.joint())
+        assert total == 1
+
+    def test_conditional_probabilities_respected(self):
+        network = (
+            VariableNetwork()
+            .add_independent("a", {0: HALF, 1: HALF})
+            .add(
+                "b",
+                ("a",),
+                {(0,): {0: Fraction(1)}, (1,): {1: Fraction(1)}},
+            )
+        )
+        # b deterministically copies a.
+        assert network.probability_of_event(
+            lambda v: v["a"] == v["b"]
+        ) == 1
+
+    def test_independent_network_matches_pctable(self):
+        distributions = {
+            "x": {1: HALF, 2: HALF},
+            "y": {3: Fraction(1, 4), 4: Fraction(3, 4)},
+        }
+        rows = [CRow((X, Y), TOP)]
+        independent = DependentPCTable(
+            rows, VariableNetwork.independent(distributions), arity=2
+        )
+        plain = PCTable(rows, distributions, arity=2)
+        assert independent.mod() == plain.mod()
+
+
+class TestDependentPCTable:
+    @staticmethod
+    def copy_network():
+        return (
+            VariableNetwork()
+            .add_independent("x", {1: HALF, 2: HALF})
+            .add(
+                "y",
+                ("x",),
+                {(1,): {1: Fraction(1)}, (2,): {2: Fraction(1)}},
+            )
+        )
+
+    def test_correlation_visible_in_mod(self):
+        table = DependentPCTable(
+            [CRow((X, Y), TOP)], self.copy_network(), arity=2
+        )
+        pdb = table.mod()
+        assert pdb.probability_of(Instance([(1, 1)])) == HALF
+        assert pdb.probability_of(Instance([(1, 2)])) == 0
+
+    def test_tuple_probability_marginalizes(self):
+        table = DependentPCTable(
+            [CRow((X, Y), TOP)], self.copy_network(), arity=2
+        )
+        assert table.tuple_probability((2, 2)) == HALF
+        assert table.tuple_probability((1, 2)) == 0
+
+    def test_closure_carries_network(self):
+        table = DependentPCTable(
+            [CRow((X, Y), TOP)], self.copy_network(), arity=2
+        )
+        query = proj(rel("V", 2), [0])
+        answer = table.answer(query)
+        image = table.mod().map_instances(
+            lambda instance: Instance(
+                [(row[0],) for row in instance], arity=1
+            )
+        )
+        assert answer.mod() == image
+
+    def test_uncovered_variable_rejected(self):
+        network = VariableNetwork().add_independent("x", {1: Fraction(1)})
+        with pytest.raises(ProbabilityError):
+            DependentPCTable([CRow((X, Y), TOP)], network, arity=2)
+
+
+class TestPossibilisticDatabase:
+    def test_normalization_required(self):
+        with pytest.raises(ProbabilityError):
+            PossibilisticDatabase({Instance([(1,)]): HALF})
+
+    def test_distribution_validation(self):
+        with pytest.raises(ProbabilityError):
+            check_possibility_distribution("x", {1: HALF})
+        check_possibility_distribution("x", {1: Fraction(1), 2: HALF})
+
+    def test_possibility_and_necessity(self):
+        pdb = PossibilisticDatabase(
+            {
+                Instance([(1,)]): Fraction(1),
+                Instance([(1,), (2,)]): HALF,
+            }
+        )
+        assert pdb.tuple_possibility((1,)) == 1
+        assert pdb.tuple_necessity((1,)) == 1  # in every world
+        assert pdb.tuple_possibility((2,)) == HALF
+        assert pdb.tuple_necessity((2,)) == 0
+
+    def test_duality(self):
+        pdb = PossibilisticDatabase(
+            {
+                Instance([(1,)]): Fraction(1),
+                Instance([(2,)]): Fraction(1, 3),
+            }
+        )
+        event = lambda instance: (1,) in instance
+        assert pdb.event_necessity(event) == 1 - pdb.event_possibility(
+            lambda instance: not event(instance)
+        )
+
+    def test_skeleton(self):
+        pdb = PossibilisticDatabase(
+            {Instance([(1,)]): Fraction(1), Instance([(2,)]): HALF}
+        )
+        assert len(pdb.incompleteness_skeleton()) == 2
+
+
+class TestPossibilisticCTable:
+    @staticmethod
+    def build():
+        return PossibilisticCTable(
+            [
+                CRow((Var("x"),), TOP),
+                CRow((Var("y"),), eq(Var("x"), 1)),
+            ],
+            {
+                "x": {1: Fraction(1), 2: HALF},
+                "y": {3: Fraction(1), 4: Fraction(1, 4)},
+            },
+        )
+
+    def test_min_combination(self):
+        table = self.build()
+        pdb = table.mod()
+        # x=2 (π 1/2), y irrelevant when x≠1 → world {2} has π 1/2.
+        assert pdb.possibility_of(Instance([(2,)])) == HALF
+        # x=1 (π 1), y=4 (π 1/4) → min = 1/4 for {1, 4}.
+        assert pdb.possibility_of(Instance([(1,), (4,)])) == Fraction(1, 4)
+
+    def test_max_collapse(self):
+        table = PossibilisticCTable(
+            [CRow((Var("x"),), TOP)],
+            {"x": {1: Fraction(1), 2: Fraction(1)}},
+        )
+        pdb = table.mod()
+        assert pdb.possibility_of(Instance([(1,)])) == 1
+        assert pdb.possibility_of(Instance([(2,)])) == 1
+
+    def test_tuple_possibility_without_materialization(self):
+        table = self.build()
+        assert table.tuple_possibility((3,)) == 1
+        assert table.tuple_possibility((4,)) == Fraction(1, 4)
+
+    def test_closure(self):
+        table = self.build()
+        query = sel(rel("V", 1), col_eq_const(0, 3))
+        assert verify_possibilistic_closure(query, table)
+
+    def test_closure_with_projection(self):
+        table = self.build()
+        query = proj(rel("V", 1), [0])
+        assert verify_possibilistic_closure(query, table)

@@ -1,0 +1,260 @@
+"""Unit tests for the completion constructions (Theorems 1, 3, 5, 6, 7)."""
+
+import random
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.core.domain import Domain
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.logic.atoms import Var, eq, ne
+from repro.logic.syntax import TOP, conj, disj
+from repro.algebra import (
+    FRAGMENT_PJ,
+    FRAGMENT_PU,
+    FRAGMENT_SP,
+    FRAGMENT_SPJU,
+    FRAGMENT_SPLUS_P,
+    FRAGMENT_SPLUS_PJ,
+    in_fragment,
+)
+from repro.completion.zk import prop4_query, verify_prop4, zk_idatabase, zk_table
+from repro.completion.ra_definable import ctable_to_query, verify_ra_definability
+from repro.completion.ra_completion import (
+    codd_spju_completion,
+    verify_ra_completion,
+    vtable_sp_completion,
+)
+from repro.completion.finite_completion import (
+    boolean_ctable_for,
+    general_finite_completion,
+    orset_pj_completion,
+    qtable_ra_completion,
+    rsets_pj_completion,
+    rsets_pu_completion,
+    rxoreq_spj_completion,
+    verify_finite_completion,
+    vtable_pj_completion,
+    vtable_splus_p_completion,
+)
+from repro.tables.ctable import CTable
+from tests.conftest import random_ctable, random_idatabase
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+def small_idatabases():
+    """A deterministic battery of finite incomplete databases."""
+    rng = random.Random(5)
+    cases = [random_idatabase(rng) for _ in range(6)]
+    cases.append(IDatabase([Instance([], arity=2)], arity=2))  # {∅}
+    cases.append(
+        IDatabase([Instance([(1, 1)]), Instance([], arity=2)], arity=2)
+    )
+    return cases
+
+
+class TestZk:
+    def test_zk_table_is_codd(self):
+        table = zk_table(3)
+        assert table.is_codd_table()
+        assert table.arity == 3
+
+    def test_zk_mod_is_singletons(self):
+        worlds = zk_idatabase(Domain([1, 2]), 2)
+        assert len(worlds) == 4
+        assert all(len(instance) == 1 for instance in worlds)
+
+    def test_prop4_k1(self):
+        assert verify_prop4(Domain([1, 2]), 1)
+
+    def test_prop4_k1_larger_domain(self):
+        assert verify_prop4(Domain([1, 2, 3]), 1)
+
+    def test_prop4_k2(self):
+        assert verify_prop4(Domain([1, 2]), 2)
+
+    def test_prop4_query_on_specific_inputs(self):
+        from repro.algebra.evaluate import apply_query
+
+        query = prop4_query(1, (9,))
+        assert apply_query(query, Instance([(3,)])) == Instance([(3,)])
+        assert apply_query(query, Instance([], arity=1)) == Instance([(9,)])
+        assert apply_query(query, Instance([(1,), (2,)])) == Instance([(9,)])
+
+
+class TestTheorem1:
+    def test_example2_is_ra_definable(self, example2_ctable):
+        assert verify_ra_definability(example2_ctable)
+
+    def test_query_in_spju(self, example2_ctable):
+        query, k = ctable_to_query(example2_ctable)
+        assert k == 3
+        assert in_fragment(query, FRAGMENT_SPJU)
+
+    def test_variable_free_table(self):
+        table = CTable([(1, 2), (3, 4)])
+        assert verify_ra_definability(table)
+
+    def test_repeated_variable_in_tuple(self):
+        table = CTable([(X, X)])
+        assert verify_ra_definability(table)
+
+    def test_condition_only_variables(self):
+        table = CTable([((1,), eq(X, Y))])
+        assert verify_ra_definability(table)
+
+    def test_random_ctables(self):
+        rng = random.Random(11)
+        for _ in range(6):
+            table = random_ctable(rng, arity=2, max_rows=2)
+            assert verify_ra_definability(table)
+
+    def test_global_condition_rejected(self):
+        table = CTable([(X,)], global_condition=ne(X, 1))
+        with pytest.raises(UnsupportedOperationError):
+            ctable_to_query(table)
+
+
+class TestTheorem5:
+    def test_codd_completion_fragment(self, example2_ctable):
+        base, query = codd_spju_completion(example2_ctable)
+        assert base.is_codd_table()
+        assert in_fragment(query, FRAGMENT_SPJU)
+
+    def test_codd_completion_correct(self, example2_ctable):
+        assert verify_ra_completion(
+            example2_ctable, codd_spju_completion(example2_ctable)
+        )
+
+    def test_vtable_completion_fragment(self, example2_ctable):
+        base, query = vtable_sp_completion(example2_ctable)
+        assert base.is_v_table()
+        assert in_fragment(query, FRAGMENT_SP)
+
+    def test_vtable_completion_correct(self, example2_ctable):
+        assert verify_ra_completion(
+            example2_ctable, vtable_sp_completion(example2_ctable)
+        )
+
+    def test_vtable_completion_random(self):
+        rng = random.Random(23)
+        for _ in range(5):
+            table = random_ctable(rng, arity=2, max_rows=2)
+            assert verify_ra_completion(table, vtable_sp_completion(table))
+
+    def test_identifier_freshness(self):
+        """Identifier constants avoid the table's own integer constants."""
+        table = CTable([((0, 1), eq(X, 0))])
+        base, _ = vtable_sp_completion(table)
+        id_column_values = {row.values[2].value for row in base.rows}
+        assert 0 not in id_column_values and 1 not in id_column_values
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_roundtrip(self, target):
+        table = boolean_ctable_for(target)
+        assert table.mod() == target
+
+    def test_variable_count_logarithmic(self):
+        target = IDatabase(
+            [Instance([(value,)]) for value in range(8)], arity=1
+        )
+        table = boolean_ctable_for(target)
+        assert len(table.variables()) == 3  # ceil(lg 8)
+
+    def test_single_instance_no_variables(self):
+        target = IDatabase([Instance([(1,), (2,)])], arity=1)
+        table = boolean_ctable_for(target)
+        assert not table.variables()
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_orset_pj(self, target):
+        tables, query = orset_pj_completion(target)
+        assert in_fragment(query, FRAGMENT_PJ)
+        assert verify_finite_completion(tables, query, target)
+
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_vtable_pj(self, target):
+        tables, query = vtable_pj_completion(target)
+        assert in_fragment(query, FRAGMENT_PJ)
+        assert verify_finite_completion(tables, query, target)
+
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_vtable_splus_p(self, target):
+        tables, query = vtable_splus_p_completion(target)
+        assert in_fragment(query, FRAGMENT_SPLUS_P)
+        assert verify_finite_completion(tables, query, target)
+
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_rsets_pj(self, target):
+        tables, query = rsets_pj_completion(target)
+        assert in_fragment(query, FRAGMENT_PJ)
+        assert verify_finite_completion(tables, query, target)
+
+    def test_rsets_pu_nonempty_instances(self):
+        target = IDatabase(
+            [Instance([(1, 2)]), Instance([(2, 1), (1, 1)])], arity=2
+        )
+        tables, query = rsets_pu_completion(target)
+        assert in_fragment(query, FRAGMENT_PU)
+        assert verify_finite_completion(tables, query, target)
+
+    def test_rsets_pu_rejects_mixed_empty(self):
+        target = IDatabase(
+            [Instance([(1, 1)]), Instance([], arity=2)], arity=2
+        )
+        with pytest.raises(UnsupportedOperationError):
+            rsets_pu_completion(target)
+
+    def test_rsets_pu_only_empty(self):
+        target = IDatabase([Instance([], arity=2)], arity=2)
+        tables, query = rsets_pu_completion(target)
+        assert verify_finite_completion(tables, query, target)
+
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_rxoreq_spj(self, target):
+        tables, query = rxoreq_spj_completion(target)
+        assert in_fragment(query, FRAGMENT_SPLUS_PJ)
+        assert verify_finite_completion(tables, query, target)
+
+    def test_rxoreq_uses_log_bits(self):
+        target = IDatabase(
+            [Instance([(value,)]) for value in range(5)], arity=1
+        )
+        tables, query = rxoreq_spj_completion(target)
+        s_table = tables["S"]
+        assert len(s_table.tuples) == 6  # ceil(lg 5) = 3 bits, 2 tuples each
+
+
+class TestTheorem7:
+    @pytest.mark.parametrize("target", small_idatabases())
+    def test_qtable_ra_completion(self, target):
+        tables, query = qtable_ra_completion(target)
+        assert verify_finite_completion(tables, query, target)
+
+    def test_insufficient_worlds_rejected(self):
+        base = IDatabase([Instance([(1,)])], arity=1)
+        target = IDatabase(
+            [Instance([(1,)]), Instance([(2,)])], arity=1
+        )
+        with pytest.raises(UnsupportedOperationError):
+            general_finite_completion(base, target)
+
+    def test_surplus_worlds_fold_to_last_instance(self):
+        base = IDatabase(
+            [Instance([(value,)]) for value in range(4)], arity=1
+        )
+        target = IDatabase(
+            [Instance([(10,)]), Instance([(20,)])], arity=1
+        )
+        query = general_finite_completion(base, target)
+        from repro.algebra.evaluate import apply_query
+
+        images = {apply_query(query, world) for world in base}
+        assert images == set(target.instances)

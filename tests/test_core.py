@@ -1,0 +1,188 @@
+"""Unit tests for domains, instances, incomplete databases, the universe."""
+
+import pytest
+
+from repro.errors import ArityError, DomainError
+from repro.core.domain import Domain, InfiniteDomain, domain_of_values
+from repro.core.instance import Instance, check_tuple, relation
+from repro.core.idatabase import IDatabase
+from repro.core.universe import (
+    all_instances,
+    all_tuples,
+    instances_up_to_cardinality,
+    universe,
+    universe_size,
+)
+
+
+class TestDomain:
+    def test_deduplicates_preserving_order(self):
+        domain = Domain([3, 1, 3, 2, 1])
+        assert domain.values == [3, 1, 2]
+
+    def test_membership(self):
+        domain = Domain([1, 2])
+        assert 1 in domain and 3 not in domain
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_equality_is_set_like(self):
+        assert Domain([1, 2]) == Domain([2, 1])
+
+    def test_union(self):
+        assert Domain([1]).union(Domain([2])) == Domain([1, 2])
+
+    def test_restrict(self):
+        assert Domain([1, 2, 3]).restrict(2).values == [1, 2]
+
+    def test_restrict_out_of_range(self):
+        with pytest.raises(DomainError):
+            Domain([1]).restrict(2)
+
+    def test_domain_of_values(self):
+        assert domain_of_values([1, 2], [2, 3]) == Domain([1, 2, 3])
+
+
+class TestInfiniteDomain:
+    def test_everything_hashable_belongs(self):
+        domain = InfiniteDomain()
+        assert 7 in domain
+        assert "anything" in domain
+        assert [1, 2] not in domain  # unhashable
+
+    def test_slice_contains_constants_and_fresh(self):
+        domain = InfiniteDomain().slice(3, constants=["a", 5])
+        assert "a" in domain and 5 in domain
+        assert len(domain) == 5
+
+    def test_slice_avoids_integer_collisions(self):
+        domain = InfiniteDomain().slice(2, constants=[0, 1])
+        assert len(domain) == 4  # fresh values skip 0 and 1
+
+    def test_equality(self):
+        assert InfiniteDomain() == InfiniteDomain()
+
+
+class TestInstance:
+    def test_arity_inferred(self):
+        instance = Instance([(1, 2), (3, 4)])
+        assert instance.arity == 2
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ArityError):
+            Instance([(1,), (1, 2)])
+
+    def test_empty_needs_arity(self):
+        with pytest.raises(ArityError):
+            Instance([])
+        assert Instance([], arity=3).arity == 3
+
+    def test_set_semantics(self):
+        assert Instance([(1, 2), (1, 2)]) == Instance([(1, 2)])
+
+    def test_hashable(self):
+        assert len({Instance([(1,)]), Instance([(1,)])}) == 1
+
+    def test_union_difference_intersection(self):
+        a = Instance([(1,), (2,)])
+        b = Instance([(2,), (3,)])
+        assert a.union(b) == Instance([(1,), (2,), (3,)])
+        assert a.difference(b) == Instance([(1,)])
+        assert a.intersection(b) == Instance([(2,)])
+
+    def test_cross(self):
+        a = Instance([(1,)])
+        b = Instance([(2, 3)])
+        assert a.cross(b) == Instance([(1, 2, 3)])
+
+    def test_arity_mismatch_in_setops(self):
+        with pytest.raises(ArityError):
+            Instance([(1,)]).union(Instance([(1, 2)]))
+
+    def test_values_active_domain(self):
+        assert Instance([(1, 2), (2, 3)]).values() == frozenset({1, 2, 3})
+
+    def test_relation_helper(self):
+        assert relation((1, 2), (3, 4)) == Instance([(1, 2), (3, 4)])
+
+    def test_check_tuple(self):
+        assert check_tuple([1, 2], 2) == (1, 2)
+        with pytest.raises(ArityError):
+            check_tuple([1], 2)
+
+    def test_iteration_deterministic(self):
+        instance = Instance([(2,), (1,), (3,)])
+        assert list(instance) == list(instance)
+
+    def test_zero_arity_instance(self):
+        truthy = Instance([()])
+        falsy = Instance([], arity=0)
+        assert len(truthy) == 1 and len(falsy) == 0
+
+
+class TestIDatabase:
+    def test_arity_inferred(self):
+        idb = IDatabase([Instance([(1,)]), Instance([(2,)])])
+        assert idb.arity == 1
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(ArityError):
+            IDatabase([Instance([(1,)]), Instance([(1, 2)])])
+
+    def test_certain_tuples(self):
+        idb = IDatabase([Instance([(1,), (2,)]), Instance([(1,), (3,)])])
+        assert idb.certain_tuples() == frozenset({(1,)})
+
+    def test_possible_tuples(self):
+        idb = IDatabase([Instance([(1,)]), Instance([(2,)])])
+        assert idb.possible_tuples() == frozenset({(1,), (2,)})
+
+    def test_complete_information(self):
+        assert IDatabase([Instance([(1,)])]).is_complete_information()
+        assert not IDatabase(
+            [Instance([(1,)]), Instance([], arity=1)]
+        ).is_complete_information()
+
+    def test_map_instances(self):
+        idb = IDatabase([Instance([(1, 2)]), Instance([(3, 4)])])
+        flipped = idb.map_instances(
+            lambda instance: Instance(
+                [(b, a) for a, b in instance], arity=2
+            )
+        )
+        assert Instance([(2, 1)]) in flipped
+
+    def test_max_cardinality(self):
+        idb = IDatabase([Instance([(1,), (2,)]), Instance([], arity=1)])
+        assert idb.max_cardinality() == 2
+
+    def test_union_worlds(self):
+        a = IDatabase([Instance([(1,)])])
+        b = IDatabase([Instance([(2,)])])
+        assert len(a.union_worlds(b)) == 2
+
+
+class TestUniverse:
+    def test_all_tuples_count(self):
+        assert len(all_tuples(Domain([1, 2]), 2)) == 4
+
+    def test_universe_size(self):
+        assert universe_size(Domain([1, 2]), 1) == 4
+        assert universe_size(Domain([1, 2, 3]), 1) == 8
+
+    def test_all_instances_enumerates_powerset(self):
+        instances = list(all_instances(Domain([1, 2]), 1))
+        assert len(instances) == 4
+        assert Instance([], arity=1) in instances
+        assert Instance([(1,), (2,)]) in instances
+
+    def test_universe_idatabase(self):
+        idb = universe(Domain([1, 2]), 1)
+        assert len(idb) == 4
+
+    def test_instances_up_to_cardinality(self):
+        small = list(instances_up_to_cardinality(Domain([1, 2, 3]), 1, 1))
+        # The empty instance plus three singletons.
+        assert len(small) == 4

@@ -1,0 +1,216 @@
+"""Unit tests for the lifted c-table algebra (Theorem 4)."""
+
+import random
+
+import pytest
+
+from repro.errors import ArityError, TableError
+from repro.core.instance import Instance
+from repro.logic.atoms import Const, Var, eq, ne
+from repro.logic.syntax import BOTTOM, TOP, conj, disj
+from repro.algebra import (
+    col_eq,
+    col_eq_const,
+    col_ne,
+    diff,
+    intersect,
+    proj,
+    prod,
+    rel,
+    sel,
+    singleton,
+    union,
+)
+from repro.ctalgebra.lifted import (
+    difference_bar,
+    intersection_bar,
+    product_bar,
+    project_bar,
+    select_bar,
+    union_bar,
+)
+from repro.ctalgebra.translate import apply_query_to_ctable, translate_query
+from repro.tables.ctable import CRow, CTable
+from repro.worlds.compare import closure_holds, lemma1_holds
+from tests.conftest import random_ctable
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestProjectBar:
+    def test_merges_syntactically_equal_tuples(self):
+        table = CTable(
+            [((1, X), eq(Y, 1)), ((2, X), eq(Y, 2))]
+        )
+        projected = project_bar(table, [1])
+        assert len(projected) == 1
+        assert projected.rows[0].condition == disj(eq(Y, 1), eq(Y, 2))
+
+    def test_keeps_distinct_symbolic_tuples_apart(self):
+        table = CTable([(X, 1), (Y, 1)])
+        projected = project_bar(table, [0])
+        assert len(projected) == 2
+
+    def test_column_reorder_and_repeat(self):
+        table = CTable([(1, X)])
+        projected = project_bar(table, [1, 1, 0])
+        assert projected.rows[0].values == (X, X, Const(1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ArityError):
+            project_bar(CTable([(1,)]), [1])
+
+
+class TestSelectBar:
+    def test_constant_predicate_folds(self):
+        table = CTable([(1, 2), (3, 4)])
+        selected = select_bar(table, col_eq_const(0, 1))
+        # Row (3,4) gets condition false and is dropped at construction.
+        assert len(selected) == 1
+
+    def test_symbolic_predicate_becomes_condition(self):
+        table = CTable([(X, 2)])
+        selected = select_bar(table, col_eq(0, 1))
+        assert selected.rows[0].condition == eq(X, 2)
+
+    def test_condition_conjoined_with_existing(self):
+        table = CTable([((X, 2), ne(X, 5))])
+        selected = select_bar(table, col_eq_const(0, 1))
+        assert selected.rows[0].condition == conj(ne(X, 5), eq(X, 1))
+
+
+class TestProductUnionBar:
+    def test_product_concatenates_and_conjoins(self):
+        left = CTable([((1,), eq(X, 1))])
+        right = CTable([((2,), eq(Y, 2))])
+        combined = product_bar(left, right)
+        assert combined.rows[0].values == (Const(1), Const(2))
+        assert combined.rows[0].condition == conj(eq(X, 1), eq(Y, 2))
+
+    def test_product_shares_variables(self):
+        """Self-join keeps one valuation for both occurrences."""
+        table = CTable([(X,)])
+        squared = product_bar(table, table)
+        world = squared.apply_valuation({"x": 3})
+        assert world == Instance([(3, 3)])
+
+    def test_union_concatenates_rows(self):
+        left = CTable([(1,)])
+        right = CTable([(2,)])
+        assert len(union_bar(left, right)) == 2
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ArityError):
+            union_bar(CTable([(1,)]), CTable([(1, 2)]))
+
+    def test_mixed_domain_tables_rejected(self):
+        infinite = CTable([(X,)])
+        finite = CTable([(Y,)], domains={"y": [1]})
+        with pytest.raises(TableError):
+            product_bar(infinite, finite)
+
+    def test_conflicting_domains_rejected(self):
+        a = CTable([(X,)], domains={"x": [1]})
+        b = CTable([(X,)], domains={"x": [2]})
+        with pytest.raises(TableError):
+            union_bar(a, b)
+
+
+class TestDifferenceIntersectionBar:
+    def test_difference_of_equal_constants_removes(self):
+        left = CTable([(1,), (2,)])
+        right = CTable([(1,)])
+        result = difference_bar(left, right)
+        worlds = result.mod()
+        assert worlds.instances == frozenset({Instance([(2,)])})
+
+    def test_symbolic_difference(self):
+        left = CTable([(X,)])
+        right = CTable([(1,)])
+        result = difference_bar(left, right)
+        assert result.apply_valuation({"x": 1}) == Instance([], arity=1)
+        assert result.apply_valuation({"x": 2}) == Instance([(2,)])
+
+    def test_conditional_right_side(self):
+        left = CTable([(1,)])
+        right = CTable([((1,), eq(X, 5))])
+        result = difference_bar(left, right)
+        assert result.apply_valuation({"x": 5}) == Instance([], arity=1)
+        assert result.apply_valuation({"x": 0}) == Instance([(1,)])
+
+    def test_intersection_symbolic(self):
+        left = CTable([(X,)])
+        right = CTable([(1,), (2,)])
+        result = intersection_bar(left, right)
+        assert result.apply_valuation({"x": 2}) == Instance([(2,)])
+        assert result.apply_valuation({"x": 3}) == Instance([], arity=1)
+
+
+class TestTranslation:
+    def test_constant_relations_embedded(self):
+        table = CTable([(7,)])
+        query = union(rel("V", 1), singleton(9))
+        answered = apply_query_to_ctable(query, table)
+        assert answered.mod().instances == frozenset(
+            {Instance([(7,), (9,)])}
+        )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            apply_query_to_ctable(proj(rel("V", 2), [0]), CTable([(1,)]))
+
+    def test_simplify_flag_preserves_semantics(self, example2_ctable):
+        query = proj(
+            sel(rel("V", 3), disj(col_eq(0, 1), col_ne(1, 2))), [2, 0]
+        )
+        a = apply_query_to_ctable(query, example2_ctable, False)
+        b = apply_query_to_ctable(query, example2_ctable, True)
+        domain = example2_ctable.witness_domain()
+        assert a.mod_over(domain) == b.mod_over(domain)
+
+
+class TestLemma1AndClosure:
+    QUERIES = [
+        proj(rel("V", 3), [0]),
+        sel(rel("V", 3), col_eq(0, 1)),
+        sel(rel("V", 3), col_ne(1, 2)),
+        proj(sel(prod(rel("V", 3), rel("V", 3)), col_eq(2, 3)), [0, 5]),
+        union(proj(rel("V", 3), [0, 1]), proj(rel("V", 3), [1, 2])),
+        diff(proj(rel("V", 3), [0]), proj(rel("V", 3), [2])),
+        intersect(proj(rel("V", 3), [0]), proj(rel("V", 3), [1])),
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_lemma1_on_example2(self, query, example2_ctable):
+        for valuation in (
+            {"x": 1, "y": 1, "z": 1},
+            {"x": 2, "y": 3, "z": 2},
+            {"x": 1, "y": 2, "z": 7},
+        ):
+            assert lemma1_holds(query, example2_ctable, valuation)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_closure_on_example2(self, query, example2_ctable):
+        assert closure_holds(query, example2_ctable)
+
+    def test_closure_on_random_tables(self):
+        rng = random.Random(42)
+        queries = self.QUERIES[:4]
+        for index in range(6):
+            table = random_ctable(rng, arity=3, max_rows=2)
+            for query in queries:
+                assert closure_holds(query, table), (index, query)
+
+    def test_closure_with_finite_domains(self):
+        table = CTable(
+            [((X, Y), ne(X, Y))], domains={"x": [1, 2], "y": [1, 2]}
+        )
+        query = sel(rel("V", 2), col_eq_const(0, 1))
+        answered = apply_query_to_ctable(query, table)
+        naive = table.mod().map_instances(
+            lambda instance: Instance(
+                [row for row in instance if row[0] == 1], arity=2
+            )
+        )
+        assert answered.mod() == naive

@@ -1,0 +1,225 @@
+"""The expressiveness ladder and failure-injection tests.
+
+Section 3 of the paper orders the systems by expressive power:
+
+    Codd = or-set  <  finite v-tables  <  finite c-tables = RA_prop
+                       ?-tables  <  boolean c-tables
+                       Rsets  ⊥  finite v-tables (incomparable pieces)
+
+The ladder tests verify every inclusion constructively (each system's
+random tables re-represented one level up) and the strictness witnesses
+where the paper provides them.  The failure-injection tests feed
+malformed inputs to every public constructor and assert the library
+fails loudly with its own exception types, never silently.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    ConditionError,
+    DomainError,
+    ProbabilityError,
+    QueryError,
+    ReproError,
+    TableError,
+)
+from repro.core.domain import Domain
+from repro.core.instance import Instance
+from repro.logic.atoms import BoolVar, Var, eq
+from repro.completion import boolean_ctable_for
+from repro.tables import ctable_of
+from repro.tables.convert import orset_to_codd, qtable_to_boolean_ctable
+from repro.tables.orset import OrSet, OrSetRow, OrSetTable, orset
+from repro.tables.qtable import QTable
+from repro.tables.rsets import RSetsTable, block
+from repro.tables.vtable import VTable
+
+
+def random_orset_table(rng: random.Random) -> OrSetTable:
+    rows = []
+    for index in range(rng.randint(1, 3)):
+        cells = tuple(
+            orset(*rng.sample([1, 2, 3], rng.randint(2, 3)))
+            if rng.random() < 0.5
+            else rng.choice([1, 2, 3])
+            for _ in range(2)
+        )
+        rows.append(OrSetRow(cells, False))
+    return OrSetTable(rows, arity=2, allow_optional=False)
+
+
+def random_qtable(rng: random.Random) -> QTable:
+    rows = [
+        ((rng.randint(1, 3), rng.randint(1, 3)), rng.random() < 0.6)
+        for _ in range(rng.randint(1, 4))
+    ]
+    return QTable(rows, arity=2)
+
+
+class TestLadderInclusions:
+    """Every inclusion of the hierarchy, on random instances."""
+
+    def test_orset_to_codd_to_vtable(self):
+        """or-set = finite Codd ⊆ finite v-table (as a c-table)."""
+        rng = random.Random(41)
+        for _ in range(6):
+            table = random_orset_table(rng)
+            codd = orset_to_codd(table)
+            assert codd.is_codd_table()
+            assert codd.is_v_table()
+            assert codd.mod() == table.mod()
+
+    def test_qtable_to_boolean_ctable(self):
+        """?-tables ⊆ restricted boolean c-tables."""
+        rng = random.Random(42)
+        for _ in range(6):
+            table = random_qtable(rng)
+            boolean = qtable_to_boolean_ctable(table)
+            assert boolean.is_boolean()
+            assert boolean.mod() == table.mod()
+
+    def test_everything_to_finite_ctable(self):
+        """Every [29] system embeds in finite-domain c-tables."""
+        rng = random.Random(43)
+        tables = [
+            random_orset_table(rng),
+            random_qtable(rng),
+            RSetsTable([block((1, 1), (2, 2)),
+                        block((3, 3), optional=True)]),
+        ]
+        for table in tables:
+            embedded = ctable_of(table)
+            assert embedded.mod() == table.mod()
+
+    def test_everything_to_boolean_ctable_via_theorem3(self):
+        """...and (finitely) into boolean c-tables via completeness."""
+        rng = random.Random(44)
+        for _ in range(4):
+            table = random_qtable(rng)
+            boolean = boolean_ctable_for(table.mod())
+            assert boolean.mod() == table.mod()
+
+    def test_vtable_strictly_above_codd(self):
+        """The paper's strictness witness, both directions."""
+        from repro.completion.separations import codd_representable
+
+        correlated = VTable(
+            [(1, Var("x")), (Var("x"), 1)], domains={"x": [1, 2]}
+        )
+        target = correlated.mod()
+        assert not codd_representable(target, max_rows=4)
+
+    def test_boolean_ctable_strictly_above_qtable(self):
+        """Correlated booleans are beyond the ?-table lattice."""
+        from repro.completion.separations import qtable_representable
+        from repro.tables.ctable import BooleanCTable, make_row
+        from repro.logic.syntax import neg
+
+        b = BoolVar("b")
+        table = BooleanCTable(
+            [make_row((1,), b), make_row((2,), neg(b))]
+        )
+        assert not qtable_representable(table.mod())
+
+
+class TestFailureInjection:
+    """Malformed inputs raise library exceptions, never pass silently."""
+
+    CASES = [
+        (lambda: Instance([(1,), (1, 2)]), ArityError),
+        (lambda: Instance([]), ArityError),
+        (lambda: Domain([]), DomainError),
+        (lambda: OrSet(()), TableError),
+        (lambda: OrSet((1, 1)), TableError),
+        (lambda: QTable([]), TableError),
+        (lambda: VTable([((1,), eq(Var("x"), 1))]), TableError),
+        (lambda: RSetsTable([block()]), TableError),
+    ]
+
+    def test_every_error_is_a_repro_error_or_builtin(self):
+        for build, expected in self.CASES:
+            with pytest.raises(expected):
+                build()
+
+    def test_repro_errors_share_a_root(self):
+        for exc in (ArityError, ConditionError, DomainError,
+                    ProbabilityError, QueryError, TableError):
+            assert issubclass(exc, ReproError)
+
+    def test_probability_sums_checked_everywhere(self):
+        from fractions import Fraction
+
+        from repro.prob.pctable import PCTable
+        from repro.prob.space import FiniteProbSpace
+        from repro.tables.ctable import CRow
+        from repro.logic.syntax import TOP
+
+        with pytest.raises(ProbabilityError):
+            FiniteProbSpace({1: Fraction(1, 2)})
+        with pytest.raises(ProbabilityError):
+            PCTable(
+                [CRow((Var("x"),), TOP)],
+                {"x": {1: Fraction(1, 2)}},
+            )
+
+    def test_query_arity_mismatches_loud(self):
+        from repro.algebra import apply_query, proj, rel
+        from repro.ctalgebra.translate import apply_query_to_ctable
+        from repro.tables.ctable import CTable
+
+        with pytest.raises(QueryError):
+            apply_query(proj(rel("V", 2), [0]), Instance([(1,)]))
+        with pytest.raises(QueryError):
+            apply_query_to_ctable(proj(rel("V", 2), [0]), CTable([(1,)]))
+
+    def test_bdd_rejects_foreign_variables(self):
+        from repro.logic.bdd import Bdd
+
+        manager = Bdd(["a"])
+        with pytest.raises(ConditionError):
+            manager.var("zzz")
+
+    def test_parser_reports_positions(self):
+        from repro.algebra.parser import parse_query
+
+        with pytest.raises(QueryError) as info:
+            parse_query("pi[1](V", {"V": 1})
+        assert "column" in str(info.value)
+
+
+class TestFiniteDomainSemantics:
+    """Definition 6: dom(x) restricts valuations, including conditions."""
+
+    def test_condition_only_variable_needs_domain(self):
+        with pytest.raises(TableError):
+            from repro.tables.ctable import CTable
+
+            CTable([((1,), eq(Var("x"), 1))], domains={})
+
+    def test_finite_versus_infinite_mod(self):
+        from repro.tables.ctable import CTable
+
+        infinite = CTable([(Var("x"),)])
+        finite = infinite.with_domains({"x": [1, 2]})
+        assert len(finite.mod()) == 2
+        assert len(infinite.mod_over([1, 2, 3])) == 3
+
+    def test_domain_restriction_can_kill_rows(self):
+        from repro.tables.ctable import CTable
+
+        table = CTable(
+            [((1,), eq(Var("x"), 5))], domains={"x": [1, 2]}
+        )
+        worlds = table.mod()
+        assert all(len(instance) == 0 for instance in worlds)
+
+    def test_footnote5_finite_domain_variables_still_work(self):
+        """Footnote 5: the results hold for finite D with enough variables."""
+        from repro.completion.ra_definable import verify_ra_definability
+        from repro.tables.ctable import CTable
+
+        table = CTable([(Var("x"), Var("y"))])
+        assert verify_ra_definability(table)

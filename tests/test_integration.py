@@ -1,0 +1,171 @@
+"""Cross-module integration tests: pipelines spanning several layers."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.logic.atoms import Var, eq, ne
+from repro.logic.syntax import conj
+from repro.algebra import (
+    col_eq,
+    col_eq_const,
+    diff,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.ctalgebra.translate import apply_query_to_ctable
+from repro.completion import boolean_ctable_for
+from repro.tables import ctable_of
+from repro.tables.orset import OrSetRow, OrSetTable, orset
+from repro.tables.qtable import QTable
+from repro.tables.rsets import RSetsTable, block
+from repro.worlds.answers import certain_answer, possible_answer
+from tests.conftest import random_idatabase
+
+
+class TestWeakSystemsThroughCTableAlgebra:
+    """Query any [29]-system by embedding into c-tables first.
+
+    This is the paper's architectural point: one algebra serves every
+    model, because everything embeds into c-tables.
+    """
+
+    @pytest.mark.parametrize(
+        "table",
+        [
+            QTable([((1, 2), False), ((2, 3), True)]),
+            OrSetTable(
+                [OrSetRow((1, orset(2, 3))), OrSetRow((orset(2, 4), 1), True)]
+            ),
+            RSetsTable([block((1, 2), (2, 1)), block((3, 3), optional=True)]),
+        ],
+        ids=["qtable", "orset", "rsets"],
+    )
+    def test_query_via_embedding_matches_naive(self, table):
+        from repro.algebra.evaluate import apply_query
+
+        query = proj(sel(rel("V", 2), col_eq(0, 1)), [0])
+        embedded = ctable_of(table)
+        via_algebra = apply_query_to_ctable(query, embedded).mod()
+        naive = IDatabase(
+            (apply_query(query, world) for world in table.mod()),
+            arity=1,
+        )
+        assert via_algebra == naive
+
+
+class TestRoundTrips:
+    def test_idatabase_boolean_ctable_query_roundtrip(self):
+        """finite I → boolean c-table → query → Mod = per-world query."""
+        rng = random.Random(17)
+        from repro.algebra.evaluate import apply_query
+
+        query = union(proj(rel("V", 2), [0]), proj(rel("V", 2), [1]))
+        for _ in range(5):
+            target = random_idatabase(rng)
+            table = boolean_ctable_for(target)
+            answered = apply_query_to_ctable(query, table)
+            naive = IDatabase(
+                (apply_query(query, world) for world in target),
+                arity=1,
+            )
+            assert answered.mod() == naive
+
+    def test_completion_then_closure(self, example2_ctable):
+        """Theorem 5 completion composed with Theorem 4 closure."""
+        from repro.completion.ra_completion import vtable_sp_completion
+        from repro.worlds.compare import mod_equal_over, witness_domain_for
+
+        base, completion_query = vtable_sp_completion(example2_ctable)
+        recovered = apply_query_to_ctable(completion_query, base)
+        follow_up = proj(rel("V", 3), [2])
+        left = apply_query_to_ctable(follow_up, recovered)
+        right = apply_query_to_ctable(follow_up, example2_ctable)
+        domain = witness_domain_for(
+            left, right, constants=sorted(example2_ctable.constants(),
+                                          key=repr)
+        )
+        assert mod_equal_over(left, right, domain)
+
+
+class TestCertainAnswersThroughAlgebra:
+    def test_certain_answer_from_answer_table(self, example2_ctable):
+        """Certain answers = condition valid; read off q̄(T) directly."""
+        from repro.logic.equality_sat import is_valid_infinite
+
+        query = proj(rel("V", 3), [0, 1])
+        answered = apply_query_to_ctable(query, example2_ctable)
+        certain_rows = {
+            tuple(term.value for term in row.values)
+            for row in answered.rows
+            if not row.tuple_variables() and is_valid_infinite(row.condition)
+        }
+        domain = example2_ctable.witness_domain()
+        ground_truth = certain_answer(
+            query, example2_ctable.mod_over(domain)
+        )
+        assert certain_rows == set(ground_truth.rows)
+
+    def test_possible_answer_from_answer_table(self, example2_ctable):
+        """Possible answers = condition satisfiable (constant rows)."""
+        from repro.logic.equality_sat import is_satisfiable_infinite
+
+        query = proj(rel("V", 3), [1])
+        answered = apply_query_to_ctable(query, example2_ctable)
+        possible_constant_rows = {
+            tuple(term.value for term in row.values)
+            for row in answered.rows
+            if not row.tuple_variables()
+            and is_satisfiable_infinite(row.condition)
+        }
+        domain = example2_ctable.witness_domain()
+        ground_truth = possible_answer(
+            query, example2_ctable.mod_over(domain)
+        )
+        assert possible_constant_rows <= set(ground_truth.rows)
+
+
+class TestProbabilisticPipeline:
+    def test_pq_to_pc_query_tuple_probability(self, example6_pqtable):
+        """p-?-table → pc-table → q̄ → lineage → probability, vs naive."""
+        from repro.prob.tuple_prob import (
+            tuple_probability_lineage,
+            tuple_probability_naive,
+        )
+
+        table = example6_pqtable.to_pctable()
+        query = diff(proj(rel("V", 2), [0]), proj(rel("V", 2), [1]))
+        for row in [(1,), (3,), (5,)]:
+            assert tuple_probability_lineage(
+                query, table, row
+            ) == tuple_probability_naive(query, table, row)
+
+    def test_theorem8_output_queryable(self, intro_pctable):
+        """Theorem 8's boolean pc-table answers queries like the source."""
+        from repro.prob.completeness import boolean_pctable_for
+        from repro.prob.closure import answer_pctable
+
+        rebuilt = boolean_pctable_for(intro_pctable.mod())
+        query = proj(sel(rel("V", 2), col_eq_const(0, "Bob")), [1])
+        original_answer = answer_pctable(query, intro_pctable).mod()
+        rebuilt_answer = answer_pctable(query, rebuilt).mod()
+        assert original_answer == rebuilt_answer
+
+    def test_probabilities_refine_incompleteness(self, intro_pctable):
+        """Forgetting probabilities commutes with query answering."""
+        from repro.prob.closure import answer_pctable
+
+        query = proj(rel("V", 2), [0])
+        probabilistic = answer_pctable(query, intro_pctable)
+        via_prob = probabilistic.mod().incompleteness_skeleton()
+        via_incomplete = apply_query_to_ctable(
+            query, intro_pctable.table
+        ).mod()
+        assert via_prob == via_incomplete

@@ -1,0 +1,143 @@
+"""Tests for JSON serialization of conditions, c-tables, pc-tables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.io import (
+    SerializationError,
+    ctable_from_json,
+    ctable_to_json,
+    dumps,
+    formula_from_json,
+    formula_to_json,
+    loads,
+    pctable_from_json,
+    pctable_to_json,
+    term_from_json,
+    term_to_json,
+)
+from repro.logic.atoms import BoolVar, Const, Var, eq, ne
+from repro.logic.syntax import BOTTOM, TOP, conj, disj, neg
+from repro.tables.ctable import BooleanCTable, CRow, CTable, make_row
+from repro.prob.pctable import BooleanPCTable, PCTable
+
+
+X, Y = Var("x"), Var("y")
+
+
+class TestTermsAndFormulas:
+    @pytest.mark.parametrize(
+        "term", [Var("x"), Const(1), Const("s"), Const(None), Const(True)]
+    )
+    def test_term_roundtrip(self, term):
+        assert term_from_json(term_to_json(term)) == term
+
+    def test_unserializable_constant_rejected(self):
+        with pytest.raises(SerializationError):
+            term_to_json(Const((1, 2)))
+
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            TOP,
+            BOTTOM,
+            eq(X, Y),
+            ne(X, 1),
+            BoolVar("b"),
+            conj(eq(X, 1), disj(eq(Y, 2), neg(BoolVar("b")))),
+        ],
+    )
+    def test_formula_roundtrip(self, formula):
+        assert formula_from_json(formula_to_json(formula)) == formula
+
+    def test_malformed_formula_rejected(self):
+        with pytest.raises(SerializationError):
+            formula_from_json({"xor": []})
+
+
+class TestCTables:
+    def test_plain_roundtrip(self, example2_ctable):
+        data = ctable_to_json(example2_ctable)
+        assert ctable_from_json(data) == example2_ctable
+
+    def test_finite_domain_roundtrip(self):
+        table = CTable(
+            [((X, 1), eq(X, 1))], domains={"x": [1, 2]}
+        )
+        assert ctable_from_json(ctable_to_json(table)) == table
+
+    def test_global_condition_roundtrip(self):
+        table = CTable([(X,)], global_condition=ne(X, 1))
+        assert ctable_from_json(ctable_to_json(table)) == table
+
+    def test_boolean_roundtrip(self):
+        table = BooleanCTable(
+            [make_row((1,), BoolVar("b")), make_row((2,), neg(BoolVar("b")))]
+        )
+        restored = ctable_from_json(ctable_to_json(table))
+        assert isinstance(restored, BooleanCTable)
+        assert restored.mod() == table.mod()
+
+    def test_empty_table_roundtrip(self):
+        table = CTable([], arity=3)
+        assert ctable_from_json(ctable_to_json(table)) == table
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            ctable_from_json({"kind": "mystery", "arity": 1, "rows": []})
+
+
+class TestPCTables:
+    def test_pctable_roundtrip(self, intro_pctable):
+        data = pctable_to_json(intro_pctable)
+        restored = pctable_from_json(data)
+        assert restored == intro_pctable
+        assert restored.mod() == intro_pctable.mod()
+
+    def test_boolean_pctable_roundtrip(self):
+        table = BooleanPCTable(
+            [make_row((1,), BoolVar("b"))],
+            {"b": {True: Fraction(1, 3), False: Fraction(2, 3)}},
+        )
+        restored = pctable_from_json(pctable_to_json(table))
+        assert isinstance(restored, BooleanPCTable)
+        assert restored.mod() == table.mod()
+
+    def test_probabilities_stay_exact(self, intro_pctable):
+        text = dumps(intro_pctable)
+        assert "0.3" not in text  # fractions, not floats
+        restored = loads(text)
+        assert restored.tuple_probability(("Theo", "math")) == Fraction(
+            85, 100
+        )
+
+
+class TestStringsAndDispatch:
+    def test_dumps_loads_ctable(self, example2_ctable):
+        assert loads(dumps(example2_ctable)) == example2_ctable
+
+    def test_dumps_loads_pctable(self, intro_pctable):
+        assert loads(dumps(intro_pctable)) == intro_pctable
+
+    def test_indent_is_valid_json(self, example2_ctable):
+        import json
+
+        text = dumps(example2_ctable, indent=2)
+        assert json.loads(text)["kind"] == "c-table"
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(SerializationError):
+            dumps(object())
+
+    def test_queried_table_roundtrips(self, example2_ctable):
+        """Answer tables (with composed conditions) serialize fine."""
+        from repro.algebra import col_eq, proj, rel, sel
+        from repro.ctalgebra.translate import apply_query_to_ctable
+        from repro.worlds.compare import ctables_equivalent
+
+        answered = apply_query_to_ctable(
+            proj(sel(rel("V", 3), col_eq(0, 1)), [2]), example2_ctable
+        )
+        restored = loads(dumps(answered))
+        assert ctables_equivalent(answered, restored)

@@ -1,0 +1,101 @@
+"""Unit tests for equality atoms and boolean variables."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.logic.atoms import (
+    BoolVar,
+    Const,
+    Eq,
+    Var,
+    as_term,
+    atom_terms,
+    eq,
+    is_boolean_condition,
+    is_equality_condition,
+    ne,
+)
+from repro.logic.syntax import BOTTOM, TOP, Not, conj
+
+
+class TestTerms:
+    def test_var_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_const_wraps_value(self):
+        assert Const(3).value == 3
+        assert Const("a") != Const("b")
+
+    def test_as_term_passthrough(self):
+        x = Var("x")
+        assert as_term(x) is x
+
+    def test_as_term_wraps_plain_values(self):
+        assert as_term(5) == Const(5)
+        assert as_term("s") == Const("s")
+
+
+class TestEqConstruction:
+    def test_identical_terms_fold_to_true(self):
+        assert eq(Var("x"), Var("x")) is TOP
+        assert eq(3, 3) is TOP
+
+    def test_distinct_constants_fold_to_false(self):
+        assert eq(1, 2) is BOTTOM
+
+    def test_symmetric_normalization(self):
+        x, y = Var("x"), Var("y")
+        assert eq(x, y) == eq(y, x)
+
+    def test_var_const_atom_survives(self):
+        atom = eq(Var("x"), 1)
+        assert isinstance(atom, Eq)
+
+    def test_ne_is_negated_eq(self):
+        atom = ne(Var("x"), 1)
+        assert isinstance(atom, Not)
+        assert atom.child == eq(Var("x"), 1)
+
+    def test_ne_of_identical_terms_is_false(self):
+        assert ne(Var("x"), Var("x")) is BOTTOM
+
+    def test_ne_of_distinct_constants_is_true(self):
+        assert ne(1, 2) is TOP
+
+
+class TestAtomHelpers:
+    def test_atom_terms_of_eq(self):
+        atom = eq(Var("x"), 1)
+        terms = atom_terms(atom)
+        assert len(terms) == 2
+
+    def test_atom_terms_rejects_non_eq(self):
+        with pytest.raises(ConditionError):
+            atom_terms(BoolVar("b"))
+
+    def test_eq_variables(self):
+        atom = eq(Var("x"), Var("y"))
+        assert atom.variables() == frozenset({"x", "y"})
+
+    def test_boolvar_variables(self):
+        assert BoolVar("b").variables() == frozenset({"b"})
+
+
+class TestConditionClassifiers:
+    def test_boolean_condition_accepts_boolvars(self):
+        formula = conj(BoolVar("a"), ~BoolVar("b"))
+        assert is_boolean_condition(formula)
+
+    def test_boolean_condition_rejects_equalities(self):
+        assert not is_boolean_condition(eq(Var("x"), 1))
+
+    def test_equality_condition_accepts_equalities(self):
+        assert is_equality_condition(conj(eq(Var("x"), 1), ne(Var("y"), 2)))
+
+    def test_equality_condition_rejects_boolvars(self):
+        assert not is_equality_condition(BoolVar("a"))
+
+    def test_constants_are_both(self):
+        assert is_boolean_condition(TOP)
+        assert is_equality_condition(TOP)

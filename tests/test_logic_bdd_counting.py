@@ -1,0 +1,208 @@
+"""Unit tests for the BDD package and Shannon-expansion counting."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConditionError, ProbabilityError
+from repro.logic.atoms import BoolVar, Var, eq, ne
+from repro.logic.bdd import ONE, ZERO, Bdd, formula_to_bdd
+from repro.logic.counting import (
+    bernoulli,
+    probability,
+    probability_enumerate,
+    uniform,
+)
+from repro.logic.evaluation import evaluate
+from repro.logic.syntax import BOTTOM, TOP, conj, disj, neg
+
+
+A, B, C = BoolVar("a"), BoolVar("b"), BoolVar("c")
+HALF = Fraction(1, 2)
+
+
+class TestBddConstruction:
+    def test_terminals(self):
+        manager = Bdd(["a"])
+        assert manager.true() == ONE
+        assert manager.false() == ZERO
+
+    def test_var_node(self):
+        manager = Bdd(["a"])
+        node = manager.var("a")
+        assert node not in (ZERO, ONE)
+
+    def test_unknown_variable_rejected(self):
+        manager = Bdd(["a"])
+        with pytest.raises(ConditionError):
+            manager.var("zz")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ConditionError):
+            Bdd(["a", "a"])
+
+    def test_hash_consing_shares_nodes(self):
+        manager = Bdd(["a", "b"])
+        first = manager.conj(manager.var("a"), manager.var("b"))
+        second = manager.conj(manager.var("a"), manager.var("b"))
+        assert first == second
+
+
+class TestBddOperations:
+    def test_conj_with_terminals(self):
+        manager = Bdd(["a"])
+        a = manager.var("a")
+        assert manager.conj(a, ONE) == a
+        assert manager.conj(a, ZERO) == ZERO
+
+    def test_disj_with_terminals(self):
+        manager = Bdd(["a"])
+        a = manager.var("a")
+        assert manager.disj(a, ZERO) == a
+        assert manager.disj(a, ONE) == ONE
+
+    def test_neg_involution(self):
+        manager = Bdd(["a", "b"])
+        node = manager.conj(manager.var("a"), manager.var("b"))
+        assert manager.neg(manager.neg(node)) == node
+
+    def test_excluded_middle(self):
+        manager = Bdd(["a"])
+        a = manager.var("a")
+        assert manager.disj(a, manager.neg(a)) == ONE
+        assert manager.conj(a, manager.neg(a)) == ZERO
+
+    def test_restrict(self):
+        manager, node = formula_to_bdd(conj(A, B), ["a", "b"])
+        assert manager.restrict(node, "a", False) == ZERO
+        restricted = manager.restrict(node, "a", True)
+        assert restricted == manager.var("b")
+
+
+class TestBddSemantics:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            conj(A, B),
+            disj(A, neg(B)),
+            disj(conj(A, B), conj(neg(A), C)),
+            neg(conj(A, disj(B, C))),
+            TOP,
+            BOTTOM,
+        ],
+    )
+    def test_agrees_with_evaluation(self, formula):
+        manager, node = formula_to_bdd(formula, ["a", "b", "c"])
+        for values in itertools.product((False, True), repeat=3):
+            valuation = dict(zip("abc", values))
+            expected = evaluate(formula, valuation)
+            current = node
+            while current not in (ZERO, ONE):
+                level, low, high = manager._nodes[current]
+                name = manager.order[level]
+                current = high if valuation[name] else low
+            assert (current == ONE) == expected
+
+    def test_count_models(self):
+        manager, node = formula_to_bdd(disj(A, B), ["a", "b"])
+        assert manager.count_models(node) == 3
+
+    def test_count_models_includes_free_vars(self):
+        manager, node = formula_to_bdd(A, ["a", "b"])
+        assert manager.count_models(node) == 2
+
+    def test_any_model(self):
+        manager, node = formula_to_bdd(conj(A, neg(B)), ["a", "b"])
+        model = manager.any_model(node)
+        assert model is not None
+        assert model.get("a") is True and model.get("b") is False
+
+    def test_any_model_of_false(self):
+        manager = Bdd(["a"])
+        assert manager.any_model(ZERO) is None
+
+    def test_size_is_reduced(self):
+        # a & b has exactly two internal nodes in any order.
+        manager, node = formula_to_bdd(conj(A, B), ["a", "b"])
+        assert manager.size(node) == 2
+
+    def test_equality_atom_rejected(self):
+        manager = Bdd(["x"])
+        with pytest.raises(ConditionError):
+            manager.from_formula(eq(Var("x"), 1))
+
+
+class TestBddProbability:
+    def test_single_variable(self):
+        manager, node = formula_to_bdd(A, ["a"])
+        assert manager.probability(node, {"a": Fraction(3, 10)}) == Fraction(
+            3, 10
+        )
+
+    def test_disjunction(self):
+        manager, node = formula_to_bdd(disj(A, B), ["a", "b"])
+        assert manager.probability(node, {"a": HALF, "b": HALF}) == Fraction(
+            3, 4
+        )
+
+    def test_missing_weight_rejected(self):
+        manager, node = formula_to_bdd(A, ["a", "b"])
+        with pytest.raises(ConditionError):
+            manager.probability(node, {"a": HALF})
+
+
+class TestShannonCounting:
+    def test_matches_enumeration_boolean(self):
+        formula = disj(conj(A, B), conj(neg(A), C))
+        dists = {name: bernoulli(Fraction(1, 3)) for name in "abc"}
+        assert probability(formula, dists) == probability_enumerate(
+            formula, dists
+        )
+
+    def test_matches_bdd(self):
+        formula = disj(conj(A, B), neg(C))
+        dists = {name: bernoulli(HALF) for name in "abc"}
+        manager, node = formula_to_bdd(formula, ["a", "b", "c"])
+        weights = {name: HALF for name in "abc"}
+        assert probability(formula, dists) == manager.probability(
+            node, weights
+        )
+
+    def test_multivalued_variables(self):
+        x, y = Var("x"), Var("y")
+        formula = eq(x, y)
+        dists = {"x": uniform([1, 2, 3]), "y": uniform([1, 2, 3])}
+        assert probability(formula, dists) == Fraction(1, 3)
+
+    def test_equality_with_constant(self):
+        x = Var("x")
+        dists = {"x": {1: Fraction(1, 4), 2: Fraction(3, 4)}}
+        assert probability(eq(x, 1), dists) == Fraction(1, 4)
+        assert probability(ne(x, 1), dists) == Fraction(3, 4)
+
+    def test_constants(self):
+        assert probability(TOP, {}) == 1
+        assert probability(BOTTOM, {}) == 0
+
+    def test_total_probability_conservation(self):
+        x = Var("x")
+        dists = {"x": uniform([1, 2, 3, 4])}
+        total = sum(probability(eq(x, v), dists) for v in [1, 2, 3, 4])
+        assert total == 1
+
+    def test_missing_distribution_rejected(self):
+        with pytest.raises(ProbabilityError):
+            probability(eq(Var("x"), 1), {})
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ProbabilityError):
+            probability(A, {"a": {True: Fraction(1, 2)}})  # sums to 1/2
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ProbabilityError):
+            bernoulli(Fraction(3, 2))
+
+    def test_uniform_validation(self):
+        with pytest.raises(ProbabilityError):
+            uniform([])

@@ -1,0 +1,105 @@
+"""Unit tests for formula evaluation and substitution."""
+
+import pytest
+
+from repro.errors import ValuationError
+from repro.logic.atoms import BoolVar, Const, Var, eq, ne
+from repro.logic.evaluation import evaluate, partial_evaluate, substitute
+from repro.logic.syntax import BOTTOM, TOP, conj, disj, neg
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestEvaluate:
+    def test_equality_true(self):
+        assert evaluate(eq(X, Y), {"x": 1, "y": 1})
+
+    def test_equality_false(self):
+        assert not evaluate(eq(X, Y), {"x": 1, "y": 2})
+
+    def test_var_const_equality(self):
+        assert evaluate(eq(X, 5), {"x": 5})
+        assert not evaluate(eq(X, 5), {"x": 6})
+
+    def test_boolean_variable(self):
+        assert evaluate(BoolVar("b"), {"b": True})
+        assert not evaluate(BoolVar("b"), {"b": False})
+
+    def test_connectives(self):
+        formula = conj(eq(X, 1), disj(eq(Y, 2), eq(Z, 3)))
+        assert evaluate(formula, {"x": 1, "y": 0, "z": 3})
+        assert not evaluate(formula, {"x": 1, "y": 0, "z": 0})
+
+    def test_negation(self):
+        assert evaluate(ne(X, Y), {"x": 1, "y": 2})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ValuationError):
+            evaluate(eq(X, Y), {"x": 1})
+
+    def test_constants_need_no_valuation(self):
+        assert evaluate(TOP, {})
+        assert not evaluate(BOTTOM, {})
+
+    def test_example2_condition(self):
+        """The paper's Example 2 second-row condition x = y ∧ z ≠ 2."""
+        condition = conj(eq(X, Y), ne(Z, 2))
+        assert evaluate(condition, {"x": 1, "y": 1, "z": 1})
+        assert not evaluate(condition, {"x": 1, "y": 1, "z": 2})
+        assert not evaluate(condition, {"x": 1, "y": 2, "z": 1})
+
+
+class TestPartialEvaluate:
+    def test_full_coverage_folds(self):
+        formula = conj(eq(X, 1), eq(Y, 2))
+        assert partial_evaluate(formula, {"x": 1, "y": 2}) is TOP
+        assert partial_evaluate(formula, {"x": 0, "y": 2}) is BOTTOM
+
+    def test_partial_coverage_residual(self):
+        formula = conj(eq(X, 1), eq(Y, 2))
+        residual = partial_evaluate(formula, {"x": 1})
+        assert residual == eq(Y, 2)
+
+    def test_disjunction_short_circuit(self):
+        formula = disj(eq(X, 1), eq(Y, 2))
+        assert partial_evaluate(formula, {"x": 1}) is TOP
+
+    def test_boolvar_substitution(self):
+        formula = conj(BoolVar("a"), BoolVar("b"))
+        assert partial_evaluate(formula, {"a": True}) == BoolVar("b")
+        assert partial_evaluate(formula, {"a": False}) is BOTTOM
+
+    def test_var_var_atom_with_one_side_known(self):
+        residual = partial_evaluate(eq(X, Y), {"x": 7})
+        assert residual == eq(Const(7), Y)
+
+    def test_no_coverage_is_identity_up_to_normalization(self):
+        formula = conj(eq(X, Y), ne(Z, 2))
+        assert partial_evaluate(formula, {}) == formula
+
+
+class TestSubstitute:
+    def test_substitute_var_by_var(self):
+        formula = eq(X, Y)
+        renamed = substitute(formula, {"x": Var("w")})
+        assert renamed == eq(Var("w"), Y)
+
+    def test_substitute_var_by_const_folds(self):
+        formula = eq(X, 1)
+        assert substitute(formula, {"x": Const(1)}) is TOP
+        assert substitute(formula, {"x": Const(2)}) is BOTTOM
+
+    def test_substitute_through_connectives(self):
+        formula = conj(eq(X, Y), neg(eq(Y, Z)))
+        result = substitute(formula, {"y": Const(3)})
+        assert result == conj(eq(X, 3), neg(eq(Const(3), Z)))
+
+    def test_substitute_boolvar_by_formula(self):
+        formula = conj(BoolVar("a"), BoolVar("b"))
+        result = substitute(formula, {"a": eq(X, 1)})
+        assert result == conj(eq(X, 1), BoolVar("b"))
+
+    def test_substitute_boolvar_by_value_rejected(self):
+        with pytest.raises(ValuationError):
+            substitute(BoolVar("a"), {"a": Const(1)})

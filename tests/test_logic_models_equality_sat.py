@@ -1,0 +1,161 @@
+"""Unit tests for model enumeration and equality-logic satisfiability."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.logic.atoms import BoolVar, Var, eq, ne
+from repro.logic.equality_sat import (
+    constants_of,
+    equivalent_infinite,
+    implies_infinite,
+    is_satisfiable_finite,
+    is_satisfiable_infinite,
+    is_satisfiable_skeleton,
+    is_valid_infinite,
+    witness_domain,
+)
+from repro.logic.models import (
+    boolean_domains,
+    count_models,
+    domain_product_size,
+    enumerate_models,
+    enumerate_valuations,
+    is_satisfiable_over,
+)
+from repro.logic.syntax import BOTTOM, TOP, conj, disj, neg
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestEnumerateValuations:
+    def test_product_order_and_count(self):
+        valuations = list(enumerate_valuations({"a": [1, 2], "b": [3, 4]}))
+        assert len(valuations) == 4
+        assert valuations[0] == {"a": 1, "b": 3}
+
+    def test_deterministic_order(self):
+        first = list(enumerate_valuations({"b": [1, 2], "a": [5]}))
+        second = list(enumerate_valuations({"a": [5], "b": [1, 2]}))
+        assert first == second
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            list(enumerate_valuations({"a": []}))
+
+    def test_no_variables_single_empty_valuation(self):
+        assert list(enumerate_valuations({})) == [{}]
+
+
+class TestEnumerateModels:
+    def test_counts_satisfying_only(self):
+        formula = eq(X, Y)
+        assert count_models(formula, {"x": [1, 2], "y": [1, 2]}) == 2
+
+    def test_pruning_matches_bruteforce(self):
+        formula = conj(disj(eq(X, 1), eq(Y, 2)), ne(X, Y))
+        domains = {"x": [1, 2, 3], "y": [1, 2, 3]}
+        from repro.logic.evaluation import evaluate
+
+        brute = sum(
+            1
+            for valuation in enumerate_valuations(domains)
+            if evaluate(formula, valuation)
+        )
+        assert count_models(formula, domains) == brute
+
+    def test_missing_domain_raises(self):
+        with pytest.raises(DomainError):
+            list(enumerate_models(eq(X, Y), {"x": [1]}))
+
+    def test_boolean_domains_helper(self):
+        domains = boolean_domains(["a", "b"])
+        assert count_models(BoolVar("a"), domains) == 2  # b free
+
+    def test_domain_product_size(self):
+        assert domain_product_size({"a": [1, 2], "b": [1, 2, 3]}) == 6
+
+    def test_is_satisfiable_over(self):
+        assert is_satisfiable_over(eq(X, 1), {"x": [1, 2]})
+        assert not is_satisfiable_over(eq(X, 3), {"x": [1, 2]})
+
+
+class TestWitnessDomain:
+    def test_contains_constants(self):
+        formula = conj(eq(X, 1), ne(Y, "a"))
+        domain = witness_domain(formula)
+        assert 1 in domain and "a" in domain
+
+    def test_one_fresh_per_variable(self):
+        formula = conj(eq(X, Y), ne(Y, Z))
+        domain = witness_domain(formula)
+        assert len(domain) == 3  # no constants, three variables
+
+    def test_constants_of(self):
+        formula = conj(eq(X, 1), ne(Y, 2), eq(X, Y))
+        assert constants_of(formula) == frozenset({1, 2})
+
+
+class TestInfiniteSatisfiability:
+    def test_simple_satisfiable(self):
+        assert is_satisfiable_infinite(conj(eq(X, Y), ne(Z, 2)))
+
+    def test_contradiction(self):
+        assert not is_satisfiable_infinite(conj(eq(X, 1), eq(X, 2)))
+
+    def test_requires_fresh_value(self):
+        # x differs from both named constants: needs a third value.
+        formula = conj(ne(X, 1), ne(X, 2))
+        assert is_satisfiable_infinite(formula)
+
+    def test_pigeonhole_unsatisfiable(self):
+        # Three pairwise-distinct variables all equal to 1 or each other: fine,
+        # but x≠x folds to false at construction.
+        assert ne(X, X) is BOTTOM
+
+    def test_validity(self):
+        assert is_valid_infinite(disj(eq(X, Y), ne(X, Y)))
+        assert not is_valid_infinite(eq(X, Y))
+
+    def test_implication(self):
+        assert implies_infinite(eq(X, 1), disj(eq(X, 1), eq(Y, 2)))
+        assert not implies_infinite(disj(eq(X, 1), eq(Y, 2)), eq(X, 1))
+
+    def test_equivalence(self):
+        # x≠1 ∨ x≠y  ≡  ¬(x=1 ∧ x=y): De Morgan over atoms.
+        left = disj(ne(X, 1), ne(X, Y))
+        right = neg(conj(eq(X, 1), eq(X, Y)))
+        assert equivalent_infinite(left, right)
+
+    def test_boolean_variables_mix(self):
+        formula = conj(BoolVar("b"), eq(X, 1))
+        assert is_satisfiable_infinite(formula)
+        assert not is_satisfiable_infinite(conj(BoolVar("b"), neg(BoolVar("b"))))
+
+
+class TestSkeletonEngine:
+    """Cross-validation of the SAT+union-find engine vs enumeration."""
+
+    CASES = [
+        conj(eq(X, Y), ne(Z, 2)),
+        conj(eq(X, 1), eq(X, 2)),
+        conj(ne(X, 1), ne(X, 2)),
+        disj(conj(eq(X, Y), ne(Y, Z)), eq(Z, 1)),
+        conj(eq(X, Y), eq(Y, Z), ne(X, Z)),
+        conj(eq(X, 1), eq(Y, 1), ne(X, Y)),
+        neg(disj(eq(X, Y), ne(X, Y))),
+    ]
+
+    @pytest.mark.parametrize("formula", CASES)
+    def test_engines_agree(self, formula):
+        assert is_satisfiable_skeleton(formula) == is_satisfiable_infinite(
+            formula
+        )
+
+    def test_transitivity_conflict_detected(self):
+        formula = conj(eq(X, Y), eq(Y, Z), ne(X, Z))
+        assert not is_satisfiable_skeleton(formula)
+
+    def test_constant_merge_conflict_detected(self):
+        formula = conj(eq(X, 1), eq(X, 2))
+        assert not is_satisfiable_skeleton(formula)

@@ -1,0 +1,139 @@
+"""Unit tests for the formula AST and smart constructors."""
+
+import pytest
+
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    is_atom,
+    neg,
+    walk,
+)
+from repro.logic.atoms import BoolVar, Var, eq
+
+
+A, B, C = BoolVar("a"), BoolVar("b"), BoolVar("c")
+
+
+class TestConstructors:
+    def test_empty_conjunction_is_true(self):
+        assert conj() is TOP
+
+    def test_empty_disjunction_is_false(self):
+        assert disj() is BOTTOM
+
+    def test_conj_flattens_nested(self):
+        formula = conj(conj(A, B), C)
+        assert isinstance(formula, And)
+        assert formula.children == (A, B, C)
+
+    def test_disj_flattens_nested(self):
+        formula = disj(A, disj(B, C))
+        assert isinstance(formula, Or)
+        assert formula.children == (A, B, C)
+
+    def test_conj_drops_true(self):
+        assert conj(A, TOP) is A
+
+    def test_conj_short_circuits_false(self):
+        assert conj(A, BOTTOM, B) is BOTTOM
+
+    def test_disj_drops_false(self):
+        assert disj(BOTTOM, A) is A
+
+    def test_disj_short_circuits_true(self):
+        assert disj(A, TOP) is TOP
+
+    def test_conj_deduplicates(self):
+        assert conj(A, A) is A
+
+    def test_disj_deduplicates(self):
+        assert disj(B, B, B) is B
+
+    def test_conj_detects_shallow_contradiction(self):
+        assert conj(A, neg(A)) is BOTTOM
+
+    def test_disj_detects_shallow_tautology(self):
+        assert disj(A, neg(A)) is TOP
+
+    def test_single_child_unwraps(self):
+        assert conj(A) is A
+        assert disj(A) is A
+
+
+class TestNegation:
+    def test_neg_true_is_false(self):
+        assert neg(TOP) is BOTTOM
+
+    def test_neg_false_is_true(self):
+        assert neg(BOTTOM) is TOP
+
+    def test_double_negation_eliminated(self):
+        assert neg(neg(A)) is A
+
+    def test_neg_atom_wraps(self):
+        assert isinstance(neg(A), Not)
+
+
+class TestOperators:
+    def test_and_operator(self):
+        assert A & B == conj(A, B)
+
+    def test_or_operator(self):
+        assert A | B == disj(A, B)
+
+    def test_invert_operator(self):
+        assert ~A == neg(A)
+
+
+class TestStructuralEquality:
+    def test_equal_formulas_equal(self):
+        assert conj(A, B) == conj(A, B)
+
+    def test_equal_formulas_hash_equal(self):
+        assert hash(conj(A, B)) == hash(conj(A, B))
+
+    def test_top_instances_compare_equal(self):
+        assert Top() == TOP
+        assert Bottom() == BOTTOM
+
+
+class TestTraversal:
+    def test_walk_visits_all_nodes(self):
+        formula = conj(A, disj(B, neg(C)))
+        visited = list(walk(formula))
+        assert A in visited and B in visited and C in visited
+        assert formula in visited
+
+    def test_atoms_collects_atoms(self):
+        formula = conj(A, disj(B, neg(C)))
+        assert formula.atoms() == frozenset({A, B, C})
+
+    def test_variables_of_mixed_formula(self):
+        x, y = Var("x"), Var("y")
+        formula = conj(eq(x, y), A)
+        assert formula.variables() == frozenset({"x", "y", "a"})
+
+    def test_is_atom(self):
+        assert is_atom(A)
+        assert not is_atom(conj(A, B))
+        assert not is_atom(TOP)
+        assert not is_atom(neg(A))
+
+
+class TestRepr:
+    def test_top_bottom_repr(self):
+        assert repr(TOP) == "true"
+        assert repr(BOTTOM) == "false"
+
+    def test_connective_repr_parsable_shape(self):
+        assert "&" in repr(conj(A, B))
+        assert "|" in repr(disj(A, B))
+        assert repr(neg(A)).startswith("~")

@@ -1,0 +1,218 @@
+"""Integration tests: every worked example of the paper, end to end.
+
+Each test class corresponds to one paper artifact and doubles as the
+assertion layer for the benchmarks (DESIGN.md experiment ids in the
+docstrings).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.instance import Instance
+from repro.logic.atoms import Var
+from repro.algebra import (
+    apply_query,
+    col_eq,
+    col_ne,
+    col_ne_const,
+    proj,
+    prod,
+    rel,
+    sel,
+    singleton,
+    union,
+)
+from repro.logic.syntax import conj, disj
+
+
+class TestExample1:
+    """E01: the v-table R and its listed possible worlds."""
+
+    def test_listed_members(self, example1_vtable):
+        worlds = example1_vtable.mod_over([1, 2, 4, 5, 77, 89, 97])
+        for member in (
+            Instance([(1, 2, 1), (3, 1, 1), (1, 4, 5)]),
+            Instance([(1, 2, 2), (3, 2, 1), (1, 4, 5)]),
+            Instance([(1, 2, 1), (3, 1, 2), (1, 4, 5)]),
+            Instance([(1, 2, 77), (3, 77, 89), (97, 4, 5)]),
+        ):
+            assert member in worlds
+
+    def test_constant_positions_fixed(self, example1_vtable):
+        for world in example1_vtable.possible_worlds([1, 2]):
+            assert any(row[0] == 1 and row[1] == 2 for row in world)
+
+    def test_world_count_over_slice(self, example1_vtable):
+        # Three variables over a 2-value slice: 8 valuations, all worlds
+        # distinct for this table.
+        assert len(example1_vtable.mod_over([1, 2])) == 8
+
+
+class TestExample2:
+    """E02: the c-table S: conditions prune and correlate rows."""
+
+    def test_listed_members(self, example2_ctable):
+        worlds = example2_ctable.mod_over([1, 2, 5, 77, 89, 97])
+        assert Instance([(1, 2, 1), (3, 1, 1)]) in worlds  # x=y=z=1
+        assert Instance([(1, 2, 2), (1, 4, 5)]) in worlds  # x=2,y?,z=1
+        assert Instance([(1, 2, 77), (97, 4, 5)]) in worlds
+
+    def test_row2_needs_x_equals_y(self, example2_ctable):
+        world = example2_ctable.apply_valuation({"x": 1, "y": 2, "z": 3})
+        assert (3, 1, 2) not in world
+
+    def test_row3_condition(self, example2_ctable):
+        # x = 1 ∧ x = y makes row 3's condition false.
+        world = example2_ctable.apply_valuation({"x": 1, "y": 1, "z": 9})
+        assert (9, 4, 5) not in world
+        world2 = example2_ctable.apply_valuation({"x": 2, "y": 1, "z": 9})
+        assert (9, 4, 5) in world2
+
+
+class TestExample3:
+    """E03: the or-set-?-table T with twelve-or-so worlds."""
+
+    def test_world_count(self, example3_orset_table):
+        # 2 × 4 × (2 + absent) choice combinations, all distinct here.
+        assert len(example3_orset_table.mod()) == 24
+
+    def test_optional_row_absent_in_some_world(self, example3_orset_table):
+        assert any(
+            all(row[1] != 4 or row[2] != 5 for row in world)
+            for world in example3_orset_table.mod()
+        )
+
+
+class TestExample4:
+    """E04: the explicit SPJU query defining Example 2's c-table."""
+
+    @staticmethod
+    def paper_query():
+        V = rel("V", 3)
+        return union(
+            proj(prod(singleton(1), singleton(2), V), [0, 1, 2]),
+            proj(
+                sel(
+                    prod(singleton(3), V),
+                    conj(col_eq(1, 2), col_ne_const(3, 2)),
+                ),
+                [0, 1, 2],
+            ),
+            proj(
+                sel(
+                    prod(singleton(4), singleton(5), V),
+                    disj(col_ne_const(2, 1), col_ne(2, 3)),
+                ),
+                [4, 0, 1],
+            ),
+        )
+
+    def test_paper_query_equals_ctable_semantics(self, example2_ctable):
+        """q(Z₃) = Mod(S): checked valuation by valuation over a slice."""
+        domain = example2_ctable.witness_domain(extra=1)
+        query = self.paper_query()
+        for valuation_values in [
+            (1, 1, 1),
+            (2, 2, 2),
+            (1, 2, 5),
+            (77, 77, 89),
+        ]:
+            x, y, z = valuation_values
+            world = example2_ctable.apply_valuation(
+                {"x": x, "y": y, "z": z}
+            )
+            image = apply_query(query, Instance([(x, y, z)]))
+            assert world == image
+
+    def test_generated_query_agrees_with_paper_query(self, example2_ctable):
+        """Theorem 1's compiler output ≡ the paper's hand-written query."""
+        from repro.completion.ra_definable import ctable_to_query
+        from repro.completion.zk import zk_table
+
+        generated, k = ctable_to_query(example2_ctable, ["x", "y", "z"])
+        domain = Domain([1, 2, 4, 5, 7, 8, 9])
+        for value_x in [1, 2, 7]:
+            for value_y in [1, 7]:
+                for value_z in [2, 9]:
+                    single = Instance([(value_x, value_y, value_z)])
+                    assert apply_query(generated, single) == apply_query(
+                        self.paper_query(), single
+                    )
+
+
+class TestExample5:
+    """E07: the succinctness gap between finite c-tables and boolean ones."""
+
+    @pytest.mark.parametrize("m,n", [(1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_boolean_equivalent_has_n_to_the_m_rows(self, m, n):
+        from repro.completion import boolean_ctable_for
+        from repro.tables.ctable import CTable
+
+        variables = [Var(f"x{index}") for index in range(m)]
+        table = CTable(
+            [tuple(variables)],
+            domains={f"x{index}": range(n) for index in range(m)},
+        )
+        boolean = boolean_ctable_for(table.mod())
+        assert boolean.mod() == table.mod()
+        assert len(boolean) == n ** m
+        assert len(table) == 1
+
+
+class TestExample6:
+    """E15: the p-or-set-table S and p-?-table T."""
+
+    def test_pqtable_tuple_probabilities(self, example6_pqtable):
+        assert example6_pqtable.tuple_probability((1, 2)) == Fraction(4, 10)
+        assert example6_pqtable.tuple_probability((5, 6)) == 1
+
+    def test_porset_cell_independence(self, example6_porset_table):
+        pdb = example6_porset_table.mod()
+        # P[first row resolves to (1,2)] and P[third row starts with 6]
+        # are independent.
+        first = lambda instance: (1, 2) in instance
+        second = lambda instance: any(row[0] == 6 for row in instance)
+        assert pdb.space.independent(first, second)
+
+
+class TestIntroPCTable:
+    """E14: the Alice/Bob/Theo probabilistic c-table."""
+
+    def test_bob_correlates_with_alice(self, intro_pctable):
+        pdb = intro_pctable.mod()
+        # Bob present implies Alice takes phys or chem — never math.
+        for instance, weight in pdb.items():
+            has_bob = any(row[0] == "Bob" for row in instance)
+            if has_bob:
+                alice_course = next(
+                    row[1] for row in instance if row[0] == "Alice"
+                )
+                assert alice_course in ("phys", "chem")
+
+    def test_marginals(self, intro_pctable):
+        pdb = intro_pctable.mod()
+        bob_present = pdb.event_probability(
+            lambda instance: any(row[0] == "Bob" for row in instance)
+        )
+        assert bob_present == Fraction(7, 10)  # P[x ∈ {phys, chem}]
+        theo_present = pdb.event_probability(
+            lambda instance: ("Theo", "math") in instance
+        )
+        assert theo_present == Fraction(85, 100)
+
+    def test_query_answer_distribution(self, intro_pctable):
+        """Who takes physics? — answered as a pc-table (Theorem 9)."""
+        from repro.algebra import col_eq_const
+        from repro.prob.closure import answer_pctable
+
+        query = proj(
+            sel(rel("V", 2), col_eq_const(1, "phys")), [0]
+        )
+        answer = answer_pctable(query, intro_pctable)
+        pdb = answer.mod()
+        both = Instance([("Alice",), ("Bob",)])
+        nobody = Instance([], arity=1)
+        assert pdb.probability_of(both) == Fraction(3, 10)
+        assert pdb.probability_of(nobody) == Fraction(7, 10)

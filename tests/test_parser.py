@@ -1,0 +1,126 @@
+"""Unit tests for the RA text parser and formatter."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.instance import Instance, relation
+from repro.algebra import apply_query
+from repro.algebra.ast import (
+    ConstRel,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    RelVar,
+    Select,
+    Union,
+)
+from repro.algebra.parser import format_query, parse_query
+
+
+V2 = {"V": 2}
+V3 = {"V": 3}
+
+
+class TestParsing:
+    def test_relation_name(self):
+        query = parse_query("V", V2)
+        assert isinstance(query, RelVar)
+        assert query.arity == 2
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("W", V2)
+
+    def test_projection_one_based(self):
+        query = parse_query("pi[2,1](V)", V2)
+        assert isinstance(query, Project)
+        assert query.columns == (1, 0)
+
+    def test_zero_column_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("pi[0](V)", V2)
+
+    def test_selection_column_equality(self):
+        query = parse_query("sigma[1=2](V)", V2)
+        assert isinstance(query, Select)
+
+    def test_selection_quoted_constant(self):
+        query = parse_query("sigma[1='a'](V)", V2)
+        result = apply_query(query, relation(("a", 1), ("b", 2)))
+        assert result == relation(("a", 1))
+
+    def test_selection_disequality_and_disjunction(self):
+        query = parse_query("sigma[1!=2 | 1='7'](V)", V2)
+        assert isinstance(query, Select)
+
+    def test_product(self):
+        query = parse_query("V x V", V2)
+        assert isinstance(query, Product)
+        assert query.arity == 4
+
+    def test_union_difference_intersection(self):
+        assert isinstance(parse_query("V + V", V2), Union)
+        assert isinstance(parse_query("V - V", V2), Difference)
+        assert isinstance(parse_query("V & V", V2), Intersection)
+
+    def test_constant_singleton(self):
+        query = parse_query("{1, 'two'}", V2)
+        assert isinstance(query, ConstRel)
+        assert query.instance == Instance([(1, "two")])
+
+    def test_parentheses_group(self):
+        query = parse_query("(V + V) x V", V2)
+        assert isinstance(query, Product)
+        assert isinstance(query.left, Union)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("V )", V2)
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("pi[1](V", V2)
+
+    def test_example4_query_parses_and_evaluates(self):
+        text = (
+            "pi[1,2,3]({1} x {2} x V)"
+            " + pi[1,2,3](sigma[2=3 & 4!='2']({3} x V))"
+            " + pi[5,1,2](sigma[3!='1' | 3!=4]({4} x {5} x V))"
+        )
+        query = parse_query(text, V3)
+        # With string constants the predicate compares strings; build an
+        # all-string instance to exercise every branch.
+        result = apply_query(query, relation(("7", "7", "9")))
+        assert result == relation(
+            (1, 2, "7"), (3, "7", "7"), ("9", 4, 5)
+        )
+
+
+class TestRoundTrip:
+    CASES = [
+        "V",
+        "pi[1](V)",
+        "sigma[1=2](V)",
+        "sigma[1!='a'](V)",
+        "V x V",
+        "V + pi[1,2](V)",
+        "V - V",
+        "V & V",
+        "{1, 'two'}",
+        "pi[1](sigma[1=2 | 1='z'](V x V))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_format_parse_fixpoint(self, text):
+        first = parse_query(text, V2)
+        rendered = format_query(first)
+        second = parse_query(rendered, V2)
+        assert first == second
+
+    def test_formatted_queries_evaluate_identically(self):
+        text = "pi[1](sigma[1=2](V x V)) + pi[2](V)"
+        query = parse_query(text, V2)
+        rendered = parse_query(format_query(query), V2)
+        data = relation((1, 1), (1, 2), (2, 2))
+        assert apply_query(query, data) == apply_query(rendered, data)

@@ -1,0 +1,149 @@
+"""Tests for safe-plan (extensional) evaluation vs exact lineage."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.prob.extensional import (
+    ProbRelation,
+    atom,
+    cq,
+    cq_lineage,
+    is_hierarchical,
+    lineage_probability_cq,
+    safe_plan_probability,
+)
+
+
+HALF = Fraction(1, 2)
+
+
+@pytest.fixture
+def relations():
+    return {
+        "R": ProbRelation("R", {(1,): HALF, (2,): Fraction(1, 3)}),
+        "S": ProbRelation(
+            "S",
+            {
+                (1, 1): HALF,
+                (1, 2): Fraction(1, 4),
+                (2, 1): Fraction(3, 4),
+            },
+        ),
+        "T": ProbRelation("T", {(1,): Fraction(2, 3), (2,): HALF}),
+    }
+
+
+class TestHierarchy:
+    def test_single_atom_hierarchical(self):
+        assert is_hierarchical(cq(atom("R", "x")))
+
+    def test_chain_hierarchical(self):
+        assert is_hierarchical(cq(atom("R", "x"), atom("S", "x", "y")))
+
+    def test_rst_not_hierarchical(self):
+        """The classic unsafe query R(x), S(x,y), T(y)."""
+        query = cq(atom("R", "x"), atom("S", "x", "y"), atom("T", "y"))
+        assert not is_hierarchical(query)
+
+    def test_disjoint_variables_hierarchical(self):
+        assert is_hierarchical(cq(atom("R", "x"), atom("T", "y")))
+
+    def test_self_join_detected(self):
+        query = cq(atom("R", "x"), atom("R", "y"))
+        assert query.has_self_join()
+
+
+class TestSafePlans:
+    def test_ground_atom(self, relations):
+        assert safe_plan_probability(cq(atom("R", 1)), relations) == HALF
+
+    def test_missing_ground_atom_zero(self, relations):
+        assert safe_plan_probability(cq(atom("R", 9)), relations) == 0
+
+    def test_independent_product(self, relations):
+        probability = safe_plan_probability(
+            cq(atom("R", 1), atom("T", 2)), relations
+        )
+        assert probability == HALF * HALF
+
+    def test_existential_is_independent_project(self, relations):
+        # P[∃x R(x)] = 1 - (1-1/2)(1-1/3) = 2/3.
+        probability = safe_plan_probability(cq(atom("R", "x")), relations)
+        assert probability == Fraction(2, 3)
+
+    def test_safe_join_matches_lineage(self, relations):
+        query = cq(atom("R", "x"), atom("S", "x", "y"))
+        assert safe_plan_probability(
+            query, relations
+        ) == lineage_probability_cq(query, relations)
+
+    def test_disconnected_components_match_lineage(self, relations):
+        query = cq(atom("R", "x"), atom("T", "y"))
+        assert safe_plan_probability(
+            query, relations
+        ) == lineage_probability_cq(query, relations)
+
+    def test_unsafe_query_rejected(self, relations):
+        query = cq(atom("R", "x"), atom("S", "x", "y"), atom("T", "y"))
+        with pytest.raises(UnsupportedOperationError):
+            safe_plan_probability(query, relations)
+
+    def test_self_join_rejected(self, relations):
+        with pytest.raises(UnsupportedOperationError):
+            safe_plan_probability(
+                cq(atom("R", "x"), atom("R", "y")), relations
+            )
+
+    def test_unsafe_query_still_solvable_by_lineage(self, relations):
+        query = cq(atom("R", "x"), atom("S", "x", "y"), atom("T", "y"))
+        probability = lineage_probability_cq(query, relations)
+        assert 0 < probability < 1
+
+    def test_naive_extensional_rules_wrong_on_unsafe(self, relations):
+        """Blindly applying independent-project to the unsafe query
+        disagrees with the exact lineage answer — the point of [9]."""
+        query = cq(atom("R", "x"), atom("S", "x", "y"), atom("T", "y"))
+        exact = lineage_probability_cq(query, relations)
+        # Wrong plan: project x first, treating subtrees as independent.
+        values = [1, 2]
+        wrong = 1 - _product(
+            1
+            - safe_plan_probability(
+                cq(atom("R", value), atom("S", value, "y")), relations
+            )
+            * 1  # pretend T(y) independent — fold it per-y incorrectly
+            for value in values
+        )
+        # The two differ (the wrong plan here omits T entirely, any
+        # extensional composition of these operators misses the shared
+        # T(y) events).
+        assert wrong != exact
+
+
+def _product(factors):
+    result = Fraction(1)
+    for factor in factors:
+        result *= factor
+    return result
+
+
+class TestLineage:
+    def test_lineage_mentions_only_feasible_tuples(self, relations):
+        query = cq(atom("R", "x"), atom("S", "x", "y"))
+        lineage = cq_lineage(query, relations)
+        assert "R:(2, 2)" not in repr(lineage)
+
+    def test_lineage_of_unsatisfiable_query(self, relations):
+        from repro.logic.syntax import BOTTOM
+
+        query = cq(atom("R", 7))
+        assert cq_lineage(query, relations) is BOTTOM
+
+    def test_probability_monotone_in_atoms(self, relations):
+        shorter = cq(atom("R", "x"))
+        longer = cq(atom("R", "x"), atom("S", "x", "y"))
+        assert lineage_probability_cq(
+            longer, relations
+        ) <= lineage_probability_cq(shorter, relations)

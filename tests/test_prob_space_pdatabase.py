@@ -1,0 +1,126 @@
+"""Unit tests for probability spaces and probabilistic databases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ArityError, ProbabilityError
+from repro.core.instance import Instance
+from repro.prob.space import (
+    FiniteProbSpace,
+    image_space,
+    point_mass,
+    product_space,
+)
+from repro.prob.pdatabase import PDatabase, pdatabase_from_pairs
+
+
+HALF = Fraction(1, 2)
+QUARTER = Fraction(1, 4)
+
+
+class TestFiniteProbSpace:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ProbabilityError):
+            FiniteProbSpace({"a": HALF})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProbabilityError):
+            FiniteProbSpace({"a": Fraction(-1, 2), "b": Fraction(3, 2)})
+
+    def test_zero_outcomes_trimmed(self):
+        space = FiniteProbSpace({"a": Fraction(1), "b": Fraction(0)})
+        assert space.outcomes == ("a",)
+
+    def test_event_probability(self):
+        space = FiniteProbSpace({1: QUARTER, 2: QUARTER, 3: HALF})
+        assert space.event_probability(lambda o: o > 1) == Fraction(3, 4)
+
+    def test_image_merges_outcomes(self):
+        space = FiniteProbSpace({1: QUARTER, 2: QUARTER, 3: HALF})
+        image = space.map(lambda o: o % 2)
+        assert image.probability_of(1) == Fraction(3, 4)
+
+    def test_image_space_alias(self):
+        space = point_mass("x")
+        assert image_space(space, lambda o: o + "!").outcomes == ("x!",)
+
+    def test_product_multiplies(self):
+        a = FiniteProbSpace({0: HALF, 1: HALF})
+        product = a.product(a)
+        assert product.probability_of((0, 1)) == QUARTER
+
+    def test_product_space_of_many(self):
+        a = FiniteProbSpace({0: HALF, 1: HALF})
+        product = product_space(a, a, a)
+        assert product.probability_of((0, 0, 0)) == Fraction(1, 8)
+
+    def test_product_space_of_none_is_point(self):
+        assert product_space().probability_of(()) == 1
+
+    def test_proposition3_event_independence(self):
+        """Prop 3: cylinder events are jointly independent in a product."""
+        a = FiniteProbSpace({0: Fraction(1, 3), 1: Fraction(2, 3)})
+        b = FiniteProbSpace({0: QUARTER, 1: Fraction(3, 4)})
+        product = a.product(b)
+        first = lambda outcome: outcome[0] == 1
+        second = lambda outcome: outcome[1] == 1
+        assert product.independent(first, second)
+        assert product.jointly_independent([first, second])
+
+    def test_dependence_detected(self):
+        space = FiniteProbSpace({(0, 0): HALF, (1, 1): HALF})
+        first = lambda outcome: outcome[0] == 1
+        second = lambda outcome: outcome[1] == 1
+        assert not space.independent(first, second)
+
+
+class TestPDatabase:
+    def test_arities_checked(self):
+        with pytest.raises(ArityError):
+            PDatabase(
+                {Instance([(1,)]): HALF, Instance([(1, 2)]): HALF}
+            )
+
+    def test_tuple_probability(self):
+        pdb = PDatabase(
+            {
+                Instance([(1,)]): HALF,
+                Instance([(1,), (2,)]): QUARTER,
+                Instance([], arity=1): QUARTER,
+            }
+        )
+        assert pdb.tuple_probability((1,)) == Fraction(3, 4)
+        assert pdb.tuple_probability((2,)) == QUARTER
+        assert pdb.tuple_probability((9,)) == 0
+
+    def test_expected_size(self):
+        pdb = PDatabase(
+            {Instance([(1,), (2,)]): HALF, Instance([], arity=1): HALF}
+        )
+        assert pdb.expected_size() == 1
+
+    def test_map_instances_is_image_space(self):
+        pdb = PDatabase(
+            {Instance([(1,)]): HALF, Instance([(2,)]): HALF}
+        )
+        image = pdb.map_instances(lambda i: Instance([], arity=1))
+        assert image.probability_of(Instance([], arity=1)) == 1
+
+    def test_incompleteness_skeleton(self):
+        pdb = PDatabase(
+            {Instance([(1,)]): HALF, Instance([(2,)]): HALF}
+        )
+        skeleton = pdb.incompleteness_skeleton()
+        assert len(skeleton) == 2
+
+    def test_from_pairs_merges(self):
+        pdb = pdatabase_from_pairs(
+            (Instance([(1,)]), HALF), (Instance([(1,)]), HALF)
+        )
+        assert pdb.probability_of(Instance([(1,)])) == 1
+
+    def test_equality(self):
+        a = PDatabase({Instance([(1,)]): Fraction(1)})
+        b = PDatabase({Instance([(1,)]): Fraction(1)})
+        assert a == b and hash(a) == hash(b)

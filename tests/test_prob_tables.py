@@ -1,0 +1,190 @@
+"""Unit tests for p-?-tables, p-or-set-tables, pc-tables (Defs 9-13)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProbabilityError, TableError
+from repro.core.instance import Instance
+from repro.logic.atoms import BoolVar, Const, Var, eq
+from repro.logic.syntax import TOP, conj, disj, neg
+from repro.prob.pctable import BooleanPCTable, PCTable
+from repro.prob.ptables import POrSetTable, PQTable
+from repro.tables.ctable import CRow
+
+
+HALF = Fraction(1, 2)
+X = Var("x")
+
+
+class TestPQTable:
+    def test_probability_range_validated(self):
+        with pytest.raises(ProbabilityError):
+            PQTable({(1,): Fraction(3, 2)})
+
+    def test_zero_probability_tuples_dropped(self):
+        table = PQTable({(1,): Fraction(0), (2,): HALF}, arity=1)
+        assert (1,) not in table.rows
+
+    def test_world_probabilities_product_formula(self):
+        table = PQTable({(1,): Fraction(1, 4), (2,): Fraction(1, 3)})
+        pdb = table.mod()
+        both = Instance([(1,), (2,)])
+        neither = Instance([], arity=1)
+        assert pdb.probability_of(both) == Fraction(1, 12)
+        assert pdb.probability_of(neither) == Fraction(1, 2)
+
+    def test_certain_tuple(self):
+        table = PQTable({(1,): Fraction(1)})
+        assert table.mod().probability_of(Instance([(1,)])) == 1
+
+    def test_direct_equals_product_space(self, example6_pqtable):
+        """Proposition 2: the two semantics coincide."""
+        assert (
+            example6_pqtable.mod_direct()
+            == example6_pqtable.mod_product_space()
+        )
+
+    def test_tuple_events_jointly_independent(self, example6_pqtable):
+        """Proposition 2's independence requirement, checked in the space."""
+        pdb = example6_pqtable.mod()
+        events = [
+            (lambda row: (lambda instance: row in instance))(row)
+            for row in example6_pqtable.rows
+        ]
+        assert pdb.space.jointly_independent(events)
+
+    def test_tuple_probabilities_recovered(self, example6_pqtable):
+        pdb = example6_pqtable.mod()
+        for row, weight in example6_pqtable.rows.items():
+            assert pdb.tuple_probability(row) == weight
+
+    def test_to_pctable_same_distribution(self, example6_pqtable):
+        assert example6_pqtable.to_pctable().mod() == example6_pqtable.mod()
+
+
+class TestPOrSetTable:
+    def test_cell_distribution_validated(self):
+        with pytest.raises(ProbabilityError):
+            POrSetTable([(1, {2: HALF})])  # sums to 1/2
+
+    def test_example6_world_count(self, example6_porset_table):
+        # 2 × 2 × 2 distributed cells = 8 worlds (all instances distinct).
+        assert len(example6_porset_table.mod()) == 8
+
+    def test_example6_specific_world(self, example6_porset_table):
+        world = Instance([(1, 2), (4, 5), (6, 8)])
+        probability = example6_porset_table.mod().probability_of(world)
+        assert probability == Fraction(3, 10) * HALF * Fraction(1, 10)
+
+    def test_rows_mandatory(self, example6_porset_table):
+        pdb = example6_porset_table.mod()
+        assert all(
+            len(instance) == 3 for instance in pdb.instances()
+        )
+
+    def test_to_pctable_same_mod(self, example6_porset_table):
+        converted = example6_porset_table.to_pctable()
+        assert converted.mod() == example6_porset_table.mod()
+
+    def test_constant_only_table(self):
+        table = POrSetTable([(1, 2)])
+        assert table.mod().probability_of(Instance([(1, 2)])) == 1
+
+
+class TestPCTable:
+    def test_distribution_coverage_required(self):
+        with pytest.raises(ProbabilityError):
+            PCTable([CRow((X,), TOP)], {})
+
+    def test_intro_example_worlds(self, intro_pctable):
+        """The Alice/Bob/Theo example: 3 course choices × 2 Theo flags."""
+        pdb = intro_pctable.mod()
+        assert len(pdb) == 6
+
+    def test_intro_example_probabilities(self, intro_pctable):
+        pdb = intro_pctable.mod()
+        # Alice takes math (0.3), Bob absent, Theo present (0.85).
+        world = Instance([("Alice", "math"), ("Theo", "math")])
+        assert pdb.probability_of(world) == Fraction(3, 10) * Fraction(
+            85, 100
+        )
+        # Alice and Bob take physics, Theo absent.
+        world2 = Instance([("Alice", "phys"), ("Bob", "phys")])
+        assert pdb.probability_of(world2) == Fraction(3, 10) * Fraction(
+            15, 100
+        )
+
+    def test_membership_condition_and_probability(self, intro_pctable):
+        assert intro_pctable.tuple_probability(("Theo", "math")) == Fraction(
+            85, 100
+        )
+        assert intro_pctable.tuple_probability(("Bob", "chem")) == Fraction(
+            4, 10
+        )
+        assert intro_pctable.tuple_probability(("Bob", "math")) == 0
+
+    def test_tuple_probability_matches_naive(self, intro_pctable):
+        pdb = intro_pctable.mod()
+        for row in [("Alice", "math"), ("Bob", "phys"), ("Theo", "math")]:
+            assert intro_pctable.tuple_probability(
+                row
+            ) == pdb.tuple_probability(row)
+
+    def test_incompleteness_skeleton(self, intro_pctable):
+        skeleton = intro_pctable.incompleteness_skeleton()
+        assert len(skeleton) == 6
+
+    def test_zero_probability_values_dropped_from_domains(self):
+        table = PCTable(
+            [CRow((X,), TOP)],
+            {"x": {1: Fraction(1), 2: Fraction(0)}},
+        )
+        assert table.table.domains == {"x": (1,)}
+
+    def test_global_condition_renormalizes(self):
+        """Extension: global conditions condition the product space."""
+        from repro.logic.atoms import ne
+
+        table = PCTable(
+            [CRow((X,), TOP)],
+            {"x": {1: HALF, 2: Fraction(1, 4), 3: Fraction(1, 4)}},
+        )
+        conditioned = PCTable(
+            table.table.with_global_condition(ne(X, 3)),
+            table.distributions,
+        )
+        pdb = conditioned.mod()
+        assert pdb.probability_of(Instance([(1,)])) == Fraction(2, 3)
+        assert pdb.probability_of(Instance([(3,)])) == 0
+
+
+class TestBooleanPCTable:
+    def test_rejects_non_boolean_outcomes(self):
+        with pytest.raises(ProbabilityError):
+            BooleanPCTable(
+                [CRow((Const(1),), BoolVar("b"))],
+                {"b": {1: Fraction(1)}},
+            )
+
+    def test_rejects_non_boolean_table(self):
+        with pytest.raises(TableError):
+            BooleanPCTable([CRow((X,), TOP)], {"x": {True: Fraction(1)}})
+
+    def test_weights_accessor(self):
+        table = BooleanPCTable(
+            [CRow((Const(1),), BoolVar("b"))],
+            {"b": {True: Fraction(1, 3), False: Fraction(2, 3)}},
+        )
+        assert table.weights() == {"b": Fraction(1, 3)}
+
+    def test_fuhr_roelleke_style_model(self):
+        """Correlated tuples through shared boolean events."""
+        b = BoolVar("b")
+        table = BooleanPCTable(
+            [CRow((Const(1),), b), CRow((Const(2),), neg(b))],
+            {"b": {True: HALF, False: HALF}},
+        )
+        pdb = table.mod()
+        assert pdb.probability_of(Instance([(1,)])) == HALF
+        assert pdb.probability_of(Instance([(1,), (2,)])) == 0

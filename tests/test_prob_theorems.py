@@ -1,0 +1,182 @@
+"""Tests for Theorems 8 and 9 and the tuple-probability solvers."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.algebra import (
+    col_eq,
+    col_eq_const,
+    col_ne,
+    diff,
+    intersect,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.prob.closure import answer_pctable, image_pdatabase, verify_prob_closure
+from repro.prob.completeness import boolean_pctable_for, verify_prob_completeness
+from repro.prob.pdatabase import PDatabase
+from repro.prob.ptables import PQTable
+from repro.prob.tuple_prob import (
+    lineage_of,
+    tuple_probability_bdd,
+    tuple_probability_lineage,
+    tuple_probability_naive,
+)
+
+
+HALF = Fraction(1, 2)
+
+
+def random_pdatabase(rng: random.Random, arity: int = 1) -> PDatabase:
+    """A random p-database with rational probabilities summing to 1."""
+    count = rng.randint(1, 5)
+    instances = set()
+    while len(instances) < count:
+        rows = {
+            tuple(rng.choice([1, 2, 3]) for _ in range(arity))
+            for _ in range(rng.randint(0, 2))
+        }
+        instances.add(Instance(rows, arity=arity))
+    weights = [rng.randint(1, 10) for _ in instances]
+    total = sum(weights)
+    return PDatabase(
+        {
+            instance: Fraction(weight, total)
+            for instance, weight in zip(sorted(instances, key=repr), weights)
+        },
+        arity=arity,
+    )
+
+
+class TestTheorem8:
+    def test_intro_pdatabase_roundtrip(self, intro_pctable):
+        assert verify_prob_completeness(intro_pctable.mod())
+
+    def test_point_mass_on_empty(self):
+        pdb = PDatabase({Instance([], arity=2): Fraction(1)})
+        assert verify_prob_completeness(pdb)
+
+    def test_two_world_database(self):
+        pdb = PDatabase(
+            {
+                Instance([(1,)]): Fraction(1, 3),
+                Instance([(2,)]): Fraction(2, 3),
+            }
+        )
+        table = boolean_pctable_for(pdb)
+        assert table.mod() == pdb
+        assert len(table.variables()) == 1
+
+    def test_chain_probabilities(self):
+        """P[x_i] = p_i / (1 - Σ p_j) gives exact reconstruction."""
+        pdb = PDatabase(
+            {
+                Instance([(1,)]): Fraction(1, 2),
+                Instance([(2,)]): Fraction(1, 3),
+                Instance([(3,)]): Fraction(1, 6),
+            }
+        )
+        assert verify_prob_completeness(pdb)
+
+    def test_random_pdatabases(self):
+        rng = random.Random(3)
+        for _ in range(8):
+            assert verify_prob_completeness(random_pdatabase(rng))
+
+    def test_worlds_with_empty_instance(self):
+        pdb = PDatabase(
+            {
+                Instance([], arity=1): Fraction(1, 4),
+                Instance([(1,)]): Fraction(3, 4),
+            }
+        )
+        assert verify_prob_completeness(pdb)
+
+
+class TestTheorem9:
+    QUERIES = [
+        proj(rel("V", 2), [0]),
+        sel(rel("V", 2), col_eq(0, 1)),
+        sel(rel("V", 2), col_ne(0, 1)),
+        proj(sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3]),
+        union(proj(rel("V", 2), [0]), proj(rel("V", 2), [1])),
+        diff(proj(rel("V", 2), [0]), proj(rel("V", 2), [1])),
+        intersect(proj(rel("V", 2), [0]), proj(rel("V", 2), [1])),
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_closure_on_intro_table(self, query, intro_pctable):
+        assert verify_prob_closure(query, intro_pctable)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_closure_on_pqtable(self, query, example6_pqtable):
+        assert verify_prob_closure(query, example6_pqtable.to_pctable())
+
+    def test_answer_is_again_queryable(self, intro_pctable):
+        """Closure composes: query the answer of a query."""
+        first = answer_pctable(proj(rel("V", 2), [1]), intro_pctable)
+        assert verify_prob_closure(
+            sel(rel("V", 1), col_eq_const(0, "math")), first
+        )
+
+    def test_image_probabilities_sum_to_one(self, intro_pctable):
+        query = proj(rel("V", 2), [0])
+        image = image_pdatabase(query, intro_pctable.mod())
+        total = sum(weight for _, weight in image.items())
+        assert total == 1
+
+
+class TestTupleProbabilitySolvers:
+    def test_three_solvers_agree_boolean(self, example6_pqtable):
+        table = example6_pqtable.to_pctable()
+        query = proj(rel("V", 2), [0])
+        for row in [(1,), (3,), (5,)]:
+            naive = tuple_probability_naive(query, table, row)
+            lineage = tuple_probability_lineage(query, table, row)
+            bdd = tuple_probability_bdd(query, table, row)
+            assert naive == lineage == bdd
+
+    def test_two_solvers_agree_multivalued(self, intro_pctable):
+        query = proj(rel("V", 2), [1])
+        for row in [("math",), ("phys",), ("chem",)]:
+            naive = tuple_probability_naive(query, intro_pctable, row)
+            lineage = tuple_probability_lineage(query, intro_pctable, row)
+            assert naive == lineage
+
+    def test_join_lineage(self, example6_pqtable):
+        """Self-join squares nothing: events are shared, not duplicated."""
+        table = example6_pqtable.to_pctable()
+        query = proj(
+            sel(prod(rel("V", 2), rel("V", 2)), col_eq(0, 2)), [0]
+        )
+        # P[(1,) in answer] = P[(1,2) present] — not its square.
+        assert tuple_probability_lineage(query, table, (1,)) == Fraction(
+            4, 10
+        )
+
+    def test_projection_lineage_is_disjunction(self, example6_pqtable):
+        table = example6_pqtable.to_pctable()
+        query = proj(rel("V", 2), [0])
+        lineage = lineage_of(query, table, (1,))
+        # Only the (1,2) tuple can produce (1,): a single event variable.
+        assert len(lineage.variables()) == 1
+
+    def test_zero_probability_tuple(self, example6_pqtable):
+        table = example6_pqtable.to_pctable()
+        query = proj(rel("V", 2), [0])
+        assert tuple_probability_lineage(query, table, (99,)) == 0
+
+    def test_negative_query_difference(self, example6_pqtable):
+        """Difference produces negated lineage; all solvers agree."""
+        table = example6_pqtable.to_pctable()
+        query = diff(proj(rel("V", 2), [0]), proj(rel("V", 2), [1]))
+        for row in [(1,), (3,), (5,)]:
+            assert tuple_probability_naive(
+                query, table, row
+            ) == tuple_probability_lineage(query, table, row)

@@ -1,0 +1,128 @@
+"""Tests for why-provenance and its coincidence with c-table lineage."""
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.core.instance import Instance, relation
+from repro.algebra import (
+    col_eq,
+    col_eq_const,
+    diff,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.provenance import (
+    ctable_lineage,
+    ctable_lineage_matches_provenance,
+    lineage_formula,
+    minimal_witnesses,
+    tuple_event,
+    why_provenance,
+)
+
+
+DATA = relation((1, 2), (2, 2), (2, 3))
+V = rel("V", 2)
+
+
+class TestWhyProvenance:
+    def test_base_tuple_is_its_own_witness(self):
+        provenance = why_provenance(V, DATA, (1, 2))
+        assert provenance == frozenset({frozenset({(1, 2)})})
+
+    def test_absent_tuple_has_empty_provenance(self):
+        assert why_provenance(V, DATA, (9, 9)) == frozenset()
+
+    def test_projection_unions_witnesses(self):
+        query = proj(V, [1])
+        provenance = why_provenance(query, DATA, (2,))
+        # (2,) is produced by (1,2) and by (2,2).
+        assert frozenset({(1, 2)}) in provenance
+        assert frozenset({(2, 2)}) in provenance
+
+    def test_join_pairs_witnesses(self):
+        query = proj(sel(prod(V, V), col_eq(1, 2)), [0, 3])
+        provenance = why_provenance(query, DATA, (1, 3))
+        # (1,2) joins (2,3) on the middle value.
+        assert frozenset({(1, 2), (2, 3)}) in provenance
+
+    def test_self_join_single_tuple_witness(self):
+        query = proj(sel(prod(V, V), col_eq(0, 2)), [1, 3])
+        provenance = why_provenance(query, DATA, (2, 2))
+        # (1,2) joined with itself gives a one-tuple witness.
+        assert frozenset({(1, 2)}) in provenance
+
+    def test_union_merges_provenance(self):
+        query = union(proj(V, [0]), proj(V, [1]))
+        provenance = why_provenance(query, DATA, (2,))
+        assert len(provenance) >= 2
+
+    def test_selection_filters_but_keeps_witnesses(self):
+        query = sel(V, col_eq_const(0, 2))
+        provenance = why_provenance(query, DATA, (2, 3))
+        assert provenance == frozenset({frozenset({(2, 3)})})
+
+    def test_difference_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            why_provenance(diff(V, V), DATA, (1, 2))
+
+    def test_minimal_witnesses_absorbs(self):
+        provenance = frozenset(
+            {frozenset({(1, 2)}), frozenset({(1, 2), (2, 2)})}
+        )
+        assert minimal_witnesses(provenance) == frozenset(
+            {frozenset({(1, 2)})}
+        )
+
+
+class TestLineageFormula:
+    def test_empty_provenance_is_false(self):
+        from repro.logic.syntax import BOTTOM
+
+        assert lineage_formula(frozenset()) is BOTTOM
+
+    def test_single_witness_is_conjunction(self):
+        provenance = frozenset({frozenset({(1, 2), (2, 3)})})
+        formula = lineage_formula(provenance)
+        assert formula.variables() == frozenset(
+            {tuple_event((1, 2)).name, tuple_event((2, 3)).name}
+        )
+
+
+class TestSection9Claim:
+    """The condition in q̄(T) IS the why-provenance (positive queries)."""
+
+    QUERIES = [
+        V,
+        proj(V, [1]),
+        sel(V, col_eq_const(0, 2)),
+        proj(sel(prod(V, V), col_eq(1, 2)), [0, 3]),
+        union(proj(V, [0]), proj(V, [1])),
+        proj(sel(prod(V, V), col_eq(0, 2)), [1, 3]),
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_lineage_equals_provenance_for_all_answers(self, query):
+        from repro.algebra import apply_query
+
+        answers = apply_query(query, DATA)
+        for row in answers:
+            assert ctable_lineage_matches_provenance(query, DATA, row), row
+
+    def test_absent_tuples_agree_too(self):
+        query = proj(V, [0])
+        assert ctable_lineage_matches_provenance(query, DATA, (9,))
+
+    def test_difference_lineage_goes_beyond_provenance(self):
+        """With difference, the c-table condition contains negation —
+        information why-provenance cannot express."""
+        query = diff(proj(V, [0]), proj(V, [1]))
+        # (2,) appears on both sides, so its condition must assert the
+        # right-hand occurrences are absent — negative literals.
+        lineage = ctable_lineage(query, DATA, (2,))
+        from repro.logic.syntax import Not, walk
+
+        assert any(isinstance(node, Not) for node in walk(lineage))

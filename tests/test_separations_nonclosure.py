@@ -1,0 +1,189 @@
+"""Separations (Section 3) and non-closure (Proposition 1), executable.
+
+The positive sides come from the representation systems themselves; the
+negative sides use the bounded-exhaustive searchers of
+:mod:`repro.completion.separations`, the exact ?-table decision, and the
+emptiness-variation lemma.
+"""
+
+import pytest
+
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.logic.atoms import Var
+from repro.algebra import (
+    apply_query,
+    col_eq,
+    prod,
+    proj,
+    rel,
+    sel,
+)
+from repro.completion.separations import (
+    codd_representable,
+    emptiness_varies,
+    orset_representable,
+    qtable_representable,
+    rsets_representable,
+    rxoreq_representable,
+    vtable_representable,
+)
+from repro.tables.orset import OrSetRow, OrSetTable, orset
+from repro.tables.qtable import QTable
+from repro.tables.rsets import RSetsTable, block
+from repro.tables.rxoreq import RXorEquivTable, xor
+from repro.tables.vtable import VTable
+
+
+X = Var("x")
+
+
+class TestPaperSeparations:
+    """Section 3's explicit separating examples (benchmark E19)."""
+
+    def test_correlated_vtable_not_codd_representable(self):
+        """{(1,x),(x,1)} with dom(x)={1,2} has no finite Codd table."""
+        table = VTable([(1, X), (X, 1)], domains={"x": [1, 2]})
+        target = table.mod()
+        assert len(target) == 2  # sanity: {(1,1)} and {(1,2),(2,1)}
+        assert not codd_representable(target, max_rows=4)
+
+    def test_correlated_vtable_is_vtable_representable(self):
+        table = VTable([(1, X), (X, 1)], domains={"x": [1, 2]})
+        assert vtable_representable(table.mod())
+
+    def test_swap_database_not_vtable_representable(self):
+        """{{(1,2)},{(2,1)}} has no finite v-table."""
+        target = IDatabase(
+            [Instance([(1, 2)]), Instance([(2, 1)])], arity=2
+        )
+        assert not vtable_representable(target, max_rows=3, max_vars=2)
+
+    def test_swap_database_is_rsets_representable(self):
+        target = IDatabase(
+            [Instance([(1, 2)]), Instance([(2, 1)])], arity=2
+        )
+        assert rsets_representable(target, max_blocks=1)
+
+    def test_finite_ctable_handles_both(self):
+        from repro.completion import boolean_ctable_for
+
+        for target in (
+            VTable([(1, X), (X, 1)], domains={"x": [1, 2]}).mod(),
+            IDatabase([Instance([(1, 2)]), Instance([(2, 1)])], arity=2),
+        ):
+            assert boolean_ctable_for(target).mod() == target
+
+
+class TestSearcherSanity:
+    """The searchers find representations when they do exist."""
+
+    def test_orset_finds_plain_instance(self):
+        target = IDatabase([Instance([(1, 2)])], arity=2)
+        assert orset_representable(target)
+
+    def test_orset_finds_genuine_orset(self):
+        table = OrSetTable(
+            [OrSetRow((orset(1, 2),))], allow_optional=False
+        )
+        assert orset_representable(table.mod())
+
+    def test_qtable_exact_positive(self):
+        table = QTable([((1,), False), ((2,), True)])
+        assert qtable_representable(table.mod())
+
+    def test_qtable_exact_negative(self):
+        target = IDatabase(
+            [Instance([(1,)]), Instance([(2,)])], arity=1
+        )
+        assert not qtable_representable(target)
+
+    def test_rxoreq_finds_xor_pair(self):
+        table = RXorEquivTable([(1,), (2,)], [xor(0, 1)])
+        assert rxoreq_representable(table.mod(), max_tuples=2)
+
+    def test_emptiness_lemma(self):
+        varies = IDatabase(
+            [Instance([], arity=1), Instance([(1,)])], arity=1
+        )
+        constant = IDatabase([Instance([(1,)])], arity=1)
+        assert emptiness_varies(varies)
+        assert not emptiness_varies(constant)
+
+
+class TestProposition1:
+    """Non-closure witnesses, each checked end to end."""
+
+    def test_codd_tables_not_closed_under_selection(self):
+        """σ_{1=2} of a Codd table's Mod contains ∅ and non-∅ worlds."""
+        table = VTable(
+            [(Var("a"), Var("b"))], domains={"a": [1, 2], "b": [1, 2]}
+        )
+        query = sel(rel("V", 2), col_eq(0, 1))
+        image = table.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        assert emptiness_varies(image)  # kills Codd, v-, or-set tables
+        assert not codd_representable(image)
+        assert not vtable_representable(image)
+
+    def test_orset_tables_not_closed_under_selection(self):
+        table = OrSetTable(
+            [OrSetRow((orset(1, 2), orset(1, 2)))], allow_optional=False
+        )
+        query = sel(rel("V", 2), col_eq(0, 1))
+        image = table.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        assert not orset_representable(image)
+
+    def test_qtables_not_closed_under_join(self):
+        table = QTable([((1,), True), ((2,), True)])
+        query = prod(rel("V", 1), rel("V", 1))
+        image = table.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        assert not qtable_representable(image)
+
+    def test_rsets_not_closed_under_join(self):
+        query = prod(rel("V", 1), rel("V", 1))
+        # Joining a single exclusive block is still representable...
+        table = RSetsTable([block((1,), (2,))])
+        image = table.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        assert rsets_representable(image, max_blocks=1)
+        # ...but a two-block table's join image is disconnected under
+        # |Δ| ≤ 2 steps, refuting every Rsets (and or-set) table.
+        table2 = RSetsTable([block((1,), (2,)), block((3,), (4,))])
+        image2 = table2.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        from repro.completion.separations import connected_under_small_steps
+
+        assert not connected_under_small_steps(image2)
+        assert not rsets_representable(image2, max_blocks=3)
+
+    def test_rxoreq_not_closed_under_join(self):
+        table = RXorEquivTable([(1,), (2,)], [xor(0, 1)])
+        query = prod(rel("V", 1), rel("V", 1))
+        image = table.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        # Worlds {(1,1)} and {(2,2)}: exactly one of two tuples — that IS
+        # xor-representable; take instead a table with an unconstrained
+        # tuple, whose join image needs correlated triples.
+        table2 = RXorEquivTable([(1,), (2,)], [])
+        image2 = table2.mod().map_instances(
+            lambda instance: apply_query(query, instance)
+        )
+        assert not rxoreq_representable(image2, max_tuples=4)
+
+    def test_ctables_closed_where_others_fail(self, example2_ctable):
+        """The same joins/selections stay representable via q̄."""
+        from repro.worlds.compare import closure_holds
+
+        query = sel(rel("V", 3), col_eq(0, 1))
+        assert closure_holds(query, example2_ctable)
+        query2 = proj(prod(rel("V", 3), rel("V", 3)), [0, 3])
+        assert closure_holds(query2, example2_ctable)

@@ -1,0 +1,183 @@
+"""Tests for symbolic answers and c-table normalization."""
+
+import random
+
+import pytest
+
+from repro.core.instance import Instance, relation
+from repro.errors import UnsupportedOperationError
+from repro.logic.atoms import Var, eq, ne
+from repro.logic.syntax import conj, disj
+from repro.algebra import (
+    col_eq,
+    col_eq_const,
+    diff,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.tables.ctable import CTable
+from repro.tables.normalize import (
+    drop_unsatisfiable_rows,
+    merge_duplicate_rows,
+    normalize,
+)
+from repro.worlds.answers import certain_answer_table, possible_answer_table
+from repro.worlds.compare import witness_domain_for
+from repro.worlds.symbolic_answers import (
+    certain_answer_symbolic,
+    possible_answer_symbolic,
+)
+from tests.conftest import random_ctable
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+V3 = rel("V", 3)
+
+
+class TestSymbolicCertainAnswers:
+    def test_constant_row_is_certain(self, example2_ctable):
+        query = proj(V3, [0, 1])
+        symbolic = certain_answer_symbolic(query, example2_ctable)
+        assert (1, 2) in symbolic
+
+    def test_agrees_with_enumeration_on_battery(self, example2_ctable):
+        queries = [
+            proj(V3, [0]),
+            proj(V3, [0, 1]),
+            sel(V3, col_eq(0, 1)),
+            union(proj(V3, [1]), proj(V3, [2])),
+            diff(proj(V3, [0]), proj(V3, [1])),
+        ]
+        domain = example2_ctable.witness_domain()
+        for query in queries:
+            symbolic = certain_answer_symbolic(query, example2_ctable)
+            enumerated = certain_answer_table(
+                query, example2_ctable, domain
+            )
+            assert symbolic == enumerated, query
+
+    def test_agrees_on_random_tables(self):
+        rng = random.Random(31)
+        queries = [proj(rel("V", 2), [0]), sel(rel("V", 2), col_eq(0, 1))]
+        for _ in range(5):
+            table = random_ctable(rng, arity=2, max_rows=2)
+            domain = table.witness_domain()
+            for query in queries:
+                assert certain_answer_symbolic(
+                    query, table
+                ) == certain_answer_table(query, table, domain)
+
+    def test_finite_domain_table(self):
+        table = CTable(
+            [((X, 1), eq(X, 1)), (2, 2)],
+            domains={"x": [1, 2]},
+        )
+        query = rel("V", 2)
+        symbolic = certain_answer_symbolic(query, table)
+        assert symbolic == relation((2, 2))
+
+    def test_forced_variable_is_certain(self):
+        """A variable entry forced by its condition yields a certain tuple."""
+        table = CTable([((X,), eq(X, 7))])
+        query = rel("V", 1)
+        # The only worlds with any tuple have x = 7... but worlds where
+        # x ≠ 7 are empty, so (7,) is NOT certain.
+        assert len(certain_answer_symbolic(query, table)) == 0
+        # With an unconditional constant row alongside, (5,) is certain.
+        table2 = CTable([((X,), eq(X, 7)), (5,)])
+        assert (5,) in certain_answer_symbolic(query, table2)
+
+    def test_candidate_bound_enforced(self):
+        table = CTable([tuple([0] * 1)], arity=1)
+        big = CTable(
+            [tuple(Var(f"v{i}") for i in range(3))],
+            global_condition=conj(
+                *(eq(Var(f"v{i}"), i) for i in range(3))
+            ),
+        )
+        with pytest.raises(UnsupportedOperationError):
+            certain_answer_symbolic(rel("V", 3), big, max_candidates=1)
+
+
+class TestSymbolicPossibleAnswers:
+    def test_constant_possible_answers(self, example2_ctable):
+        query = proj(V3, [0, 1])
+        possible = possible_answer_symbolic(query, example2_ctable)
+        assert (1, 2) in possible
+        assert (3, 4) in possible  # row 2 projects to (3, x), x = 4
+        assert (2, 1) not in possible  # no row matches that shape
+
+    def test_subset_of_enumerated(self, example2_ctable):
+        query = proj(V3, [1])
+        domain = example2_ctable.witness_domain()
+        symbolic = possible_answer_symbolic(query, example2_ctable)
+        enumerated = possible_answer_table(query, example2_ctable, domain)
+        assert set(symbolic.rows) <= set(enumerated.rows)
+
+    def test_unsatisfiable_rows_not_possible(self):
+        table = CTable([((1,), conj(eq(X, 1), ne(X, 1)))], arity=1)
+        possible = possible_answer_symbolic(rel("V", 1), table)
+        assert len(possible) == 0
+
+
+class TestNormalization:
+    def test_drop_unsatisfiable_semantic(self):
+        """Syntactically alive but semantically dead rows get dropped."""
+        dead = conj(eq(X, "a"), eq(X, "b"))
+        table = CTable([((1,), dead), ((2,),)], arity=1)
+        cleaned = drop_unsatisfiable_rows(table)
+        assert len(cleaned) == 1
+
+    def test_drop_respects_finite_domains(self):
+        # x = 3 is satisfiable over an infinite domain but not over {1,2}.
+        table = CTable([((1,), eq(X, 3))], domains={"x": [1, 2]})
+        assert len(drop_unsatisfiable_rows(table)) == 0
+
+    def test_drop_uses_global_condition(self):
+        table = CTable(
+            [((1,), eq(X, 5))], global_condition=ne(X, 5)
+        )
+        assert len(drop_unsatisfiable_rows(table)) == 0
+
+    def test_merge_duplicates(self):
+        table = CTable(
+            [((1, X), eq(Y, 1)), ((1, X), eq(Y, 2))]
+        )
+        merged = merge_duplicate_rows(table)
+        assert len(merged) == 1
+        assert merged.rows[0].condition == disj(eq(Y, 1), eq(Y, 2))
+
+    def test_normalize_preserves_mod(self, example2_ctable):
+        query = proj(
+            sel(prod(V3, V3), conj(col_eq(2, 3), col_eq_const(0, 1))),
+            [0, 4],
+        )
+        from repro.ctalgebra.translate import apply_query_to_ctable
+
+        answered = apply_query_to_ctable(query, example2_ctable)
+        cleaned = normalize(answered)
+        domain = witness_domain_for(answered, cleaned)
+        assert answered.mod_over(domain) == cleaned.mod_over(domain)
+
+    def test_normalize_shrinks_join_garbage(self):
+        """The Orchestra example's dead join rows disappear."""
+        f = Var("f")
+        table = CTable(
+            [
+                (("g1", "g4"), conj(eq(f, "ligase"), eq(f, "kinase"))),
+                (("g1", "g2"), eq(f, "kinase")),
+            ]
+        )
+        cleaned = normalize(table)
+        assert len(cleaned) == 1
+
+    def test_normalize_preserves_mod_random(self):
+        rng = random.Random(13)
+        for _ in range(6):
+            table = random_ctable(rng, arity=2, max_rows=3)
+            cleaned = normalize(table)
+            domain = witness_domain_for(table, cleaned)
+            assert table.mod_over(domain) == cleaned.mod_over(domain)

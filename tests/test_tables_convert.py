@@ -1,0 +1,141 @@
+"""Unit tests for system-to-system conversions (all Mod-preserving)."""
+
+import random
+
+import pytest
+
+from repro.errors import TableError
+from repro.tables.convert import (
+    boolean_ctable_to_qtable,
+    codd_to_orset,
+    ctable_of,
+    orset_to_codd,
+    orset_to_raprop,
+    qtable_to_boolean_ctable,
+    qtable_to_rxoreq,
+)
+from repro.tables.ctable import BooleanCTable, CRow, make_row
+from repro.tables.orset import OrSetRow, OrSetTable, orset
+from repro.tables.qtable import QTable
+from repro.tables.rsets import RSetsTable, block
+from repro.tables.rxoreq import RXorEquivTable, iff, xor
+from repro.logic.atoms import BoolVar
+from repro.logic.syntax import conj
+
+
+class TestOrsetCoddEquivalence:
+    def test_orset_to_codd_mod_preserved(self):
+        table = OrSetTable(
+            [OrSetRow((1, orset(2, 3))), OrSetRow((orset(4, 5), 6))],
+            allow_optional=False,
+        )
+        assert orset_to_codd(table).mod() == table.mod()
+
+    def test_codd_roundtrip(self):
+        table = OrSetTable(
+            [OrSetRow((orset(1, 2), orset(3, 4)))], allow_optional=False
+        )
+        codd = orset_to_codd(table)
+        assert codd_to_orset(codd).mod() == table.mod()
+
+    def test_optional_rows_rejected(self):
+        table = OrSetTable([OrSetRow((1,), True)])
+        with pytest.raises(TableError):
+            orset_to_codd(table)
+
+    def test_codd_without_domains_rejected(self):
+        from repro.tables.codd import fresh_codd_table
+
+        with pytest.raises(TableError):
+            codd_to_orset(fresh_codd_table([[None]]))
+
+    def test_singleton_orset_becomes_constant(self):
+        from repro.tables.codd import CoddTable
+        from repro.logic.atoms import Var
+
+        codd = CoddTable([(Var("x"),)], domains={"x": [7]})
+        converted = codd_to_orset(codd)
+        assert converted.rows[0].cells == (7,)
+
+
+class TestQTableBooleanEquivalence:
+    def test_roundtrip_preserves_mod(self):
+        table = QTable([((1, 2), False), ((3, 4), True), ((5, 6), True)])
+        boolean = qtable_to_boolean_ctable(table)
+        assert boolean.mod() == table.mod()
+        assert boolean_ctable_to_qtable(boolean) == table
+
+    def test_shared_variable_outside_fragment(self):
+        shared = BoolVar("s")
+        boolean = BooleanCTable(
+            [make_row((1,), shared), make_row((2,), shared)]
+        )
+        with pytest.raises(TableError):
+            boolean_ctable_to_qtable(boolean)
+
+    def test_complex_condition_outside_fragment(self):
+        boolean = BooleanCTable(
+            [make_row((1,), conj(BoolVar("a"), BoolVar("b")))]
+        )
+        with pytest.raises(TableError):
+            boolean_ctable_to_qtable(boolean)
+
+
+class TestStructuralConversions:
+    def test_qtable_to_rxoreq(self):
+        table = QTable([((1,), False), ((2,), True)])
+        assert qtable_to_rxoreq(table).mod() == table.mod()
+
+    def test_orset_to_raprop(self):
+        table = OrSetTable(
+            [OrSetRow((orset(1, 2),)), OrSetRow((3,), True)]
+        )
+        assert orset_to_raprop(table).mod() == table.mod()
+
+
+class TestUniversalEmbedding:
+    @pytest.mark.parametrize(
+        "table",
+        [
+            QTable([((1, 2), False), ((3, 4), True)]),
+            OrSetTable(
+                [OrSetRow((1, orset(1, 2))), OrSetRow((orset(3, 4), 2), True)]
+            ),
+            RSetsTable([block((1, 2), (3, 4)), block((5, 6), optional=True)]),
+            RXorEquivTable(
+                [(1, 1), (2, 2), (3, 3)], [xor(0, 1), iff(1, 2)]
+            ),
+        ],
+        ids=["qtable", "orset", "rsets", "rxoreq"],
+    )
+    def test_embedding_preserves_mod(self, table):
+        assert ctable_of(table).mod() == table.mod()
+
+    def test_raprop_embedding(self):
+        from repro.tables.raprop import RAPropTable, presence_var
+        from repro.logic.syntax import disj
+
+        table = RAPropTable(
+            [OrSetRow((orset(1, 2),)), OrSetRow((3,))],
+            disj(presence_var(0), presence_var(1)),
+        )
+        assert ctable_of(table).mod() == table.mod()
+
+    def test_ctable_passthrough(self):
+        from repro.tables.ctable import CTable
+
+        table = CTable([(1, 2)])
+        assert ctable_of(table) is table
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TableError):
+            ctable_of(object())
+
+    def test_random_qtables_roundtrip(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            rows = []
+            for value in range(rng.randint(1, 4)):
+                rows.append(((value,), rng.random() < 0.5))
+            table = QTable(rows, arity=1)
+            assert ctable_of(table).mod() == table.mod()

@@ -1,0 +1,222 @@
+"""Unit tests for c-tables (plain, finite-domain, boolean)."""
+
+import pytest
+
+from repro.errors import TableError, UnsupportedOperationError
+from repro.core.domain import Domain
+from repro.core.instance import Instance
+from repro.logic.atoms import BoolVar, Const, Var, eq, ne
+from repro.logic.syntax import BOTTOM, TOP, conj, disj, neg
+from repro.tables.ctable import (
+    BooleanCTable,
+    CRow,
+    CTable,
+    ctable_row_condition_variables,
+    make_row,
+)
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestConstruction:
+    def test_bare_tuples_become_unconditioned_rows(self):
+        table = CTable([(1, 2), (3, X)])
+        assert all(
+            row.condition == TOP or row.values for row in table.rows
+        )
+        assert table.arity == 2
+
+    def test_value_condition_pairs(self):
+        table = CTable([((1, X), eq(X, 2))])
+        assert table.rows[0].condition == eq(X, 2)
+
+    def test_false_conditions_dropped(self):
+        table = CTable([((1,), BOTTOM), ((2,), TOP)])
+        assert len(table) == 1
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(TableError):
+            CTable([(1,), (1, 2)])
+
+    def test_empty_needs_arity(self):
+        with pytest.raises(TableError):
+            CTable([])
+        assert CTable([], arity=2).arity == 2
+
+    def test_finite_domain_requires_coverage(self):
+        with pytest.raises(TableError):
+            CTable([(X, Y)], domains={"x": [1, 2]})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(TableError):
+            CTable([(X,)], domains={"x": []})
+
+    def test_row_equality_set_semantics(self):
+        a = CTable([(1, X), (3, 4)])
+        b = CTable([(3, 4), (1, X)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestStructure:
+    def test_variables_from_tuples_and_conditions(self):
+        table = CTable([((X, 1), ne(Z, 2))])
+        assert table.variables() == frozenset({"x", "z"})
+
+    def test_constants_collected(self):
+        table = CTable([((X, 1), eq(X, 5))])
+        assert table.constants() == frozenset({1, 5})
+
+    def test_is_v_table(self):
+        assert CTable([(1, X)]).is_v_table()
+        assert not CTable([((1, X), eq(X, 1))]).is_v_table()
+
+    def test_is_codd_table(self):
+        assert CTable([(X, 1), (Y, 2)]).is_codd_table()
+        assert not CTable([(X, X)]).is_codd_table()
+
+    def test_is_boolean(self):
+        table = CTable([((1, 2), BoolVar("b"))])
+        assert table.is_boolean()
+        assert not CTable([((X,), TOP)]).is_boolean()
+
+    def test_row_condition_variables(self):
+        table = CTable([((X, 1), conj(eq(X, Y), ne(Z, 1)))])
+        assert ctable_row_condition_variables(table) == frozenset({"y", "z"})
+
+
+class TestSemantics:
+    def test_apply_valuation_example2(self, example2_ctable):
+        world = example2_ctable.apply_valuation({"x": 1, "y": 1, "z": 1})
+        # Row 1 always; row 2 fires (x=y, z≠2 fails: z=1 ok); row 3's
+        # condition x≠1 ∨ x≠y is false at x=y=1... wait x=1, y=1: both
+        # disjuncts false, row 3 absent.
+        assert world == Instance([(1, 2, 1), (3, 1, 1)])
+
+    def test_apply_valuation_drops_failed_conditions(self):
+        table = CTable([((1, X), eq(X, 2))])
+        assert table.apply_valuation({"x": 3}) == Instance([], arity=2)
+
+    def test_mod_requires_domain_for_variables(self):
+        with pytest.raises(UnsupportedOperationError):
+            CTable([(X,)]).mod()
+
+    def test_mod_over_finite_slice(self):
+        table = CTable([((X,), ne(X, 1))])
+        worlds = table.mod_over([1, 2, 3])
+        assert Instance([], arity=1) in worlds
+        assert Instance([(2,)]) in worlds
+        assert Instance([(1,)]) not in worlds
+
+    def test_finite_domain_mod(self):
+        table = CTable([(X, Y)], domains={"x": [1, 2], "y": [3]})
+        worlds = table.mod()
+        assert len(worlds) == 2
+
+    def test_variable_free_table_mod_is_single_world(self):
+        table = CTable([(1, 2), (3, 4)])
+        assert table.is_finitely_representable()
+        assert len(table.mod()) == 1
+
+    def test_duplicate_collapse_under_valuation(self):
+        """Distinct symbolic rows may denote the same tuple."""
+        table = CTable([(X,), (Y,)])
+        world = table.apply_valuation({"x": 1, "y": 1})
+        assert len(world) == 1
+
+    def test_witness_domain_size(self):
+        table = CTable([((X, 1), eq(Y, 2))])
+        domain = table.witness_domain()
+        # Constants 1, 2 plus one fresh value per variable (x, y).
+        assert len(domain) == 4
+
+
+class TestGlobalCondition:
+    def test_global_condition_filters_valuations(self):
+        table = CTable(
+            [(X,)], domains={"x": [1, 2, 3]}, global_condition=ne(X, 2)
+        )
+        worlds = table.mod()
+        assert Instance([(2,)]) not in worlds
+        assert len(worlds) == 2
+
+    def test_apply_valuation_rejects_violations(self):
+        table = CTable([(X,)], global_condition=ne(X, 2))
+        with pytest.raises(TableError):
+            table.apply_valuation({"x": 2})
+
+    def test_with_global_condition_conjoins(self):
+        table = CTable([(X,)], global_condition=ne(X, 1))
+        narrowed = table.with_global_condition(ne(X, 2))
+        assert narrowed.global_condition == conj(ne(X, 1), ne(X, 2))
+
+
+class TestTransformations:
+    def test_rename_variables(self):
+        table = CTable([((X, 1), eq(X, Y))])
+        renamed = table.rename_variables({"x": "u", "y": "v"})
+        assert renamed.variables() == frozenset({"u", "v"})
+
+    def test_rename_preserves_semantics(self):
+        table = CTable([((X,), ne(X, 1))])
+        renamed = table.rename_variables({"x": "w"})
+        assert table.mod_over([1, 2]) == renamed.mod_over([1, 2])
+
+    def test_with_domains_and_without(self):
+        table = CTable([(X,)])
+        finite = table.with_domains({"x": [1, 2]})
+        assert finite.domains == {"x": (1, 2)}
+        assert finite.without_domains().domains is None
+
+    def test_simplified_drops_false_rows(self):
+        table = CTable([((1,), conj(eq(X, 1), ne(X, 1))), ((2,), TOP)])
+        assert len(table.simplified()) == 1
+
+    def test_simplified_preserves_mod(self):
+        condition = disj(conj(eq(X, 1), eq(X, 1)), conj(eq(X, 2), ne(X, 2)))
+        table = CTable([((X,), condition)])
+        assert table.mod_over([1, 2, 3]) == table.simplified().mod_over(
+            [1, 2, 3]
+        )
+
+    def test_to_text_renders(self, example2_ctable):
+        text = example2_ctable.to_text()
+        assert "||" in text  # conditions rendered
+
+
+class TestBooleanCTable:
+    def test_rejects_variables_in_tuples(self):
+        with pytest.raises(TableError):
+            BooleanCTable([(X,)])
+
+    def test_rejects_equality_conditions(self):
+        with pytest.raises(TableError):
+            BooleanCTable([((1,), eq(X, 1))])
+
+    def test_mod_enumerates_boolean_valuations(self):
+        b = BoolVar("b")
+        table = BooleanCTable([((1,), b), ((2,), neg(b))])
+        worlds = table.mod()
+        assert worlds.instances == frozenset(
+            {Instance([(1,)]), Instance([(2,)])}
+        )
+
+    def test_independent_variables_product(self):
+        table = BooleanCTable(
+            [((1,), BoolVar("a")), ((2,), BoolVar("b"))]
+        )
+        assert len(table.mod()) == 4
+
+    def test_example5_exponential_blowup_small(self):
+        """Example 5 with m=2, n=2: finite c-table vs boolean c-table."""
+        finite = CTable(
+            [(X, Y)], domains={"x": [1, 2], "y": [1, 2]}
+        )
+        from repro.completion import boolean_ctable_for
+
+        boolean = boolean_ctable_for(finite.mod())
+        assert boolean.mod() == finite.mod()
+        # n^m = 4 tuples versus one row with 2 variables.
+        assert len(boolean) == 4
+        assert len(finite) == 1

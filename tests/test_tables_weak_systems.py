@@ -1,0 +1,218 @@
+"""Unit tests for v-tables, Codd tables, ?-tables, or-set tables,
+Rsets, R⊕≡ and RA_prop."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.core.instance import Instance
+from repro.logic.atoms import Var, eq
+from repro.logic.syntax import conj, disj
+from repro.tables.codd import CoddTable, fresh_codd_table
+from repro.tables.orset import OrSet, OrSetRow, OrSetTable, orset
+from repro.tables.qtable import QRow, QTable
+from repro.tables.raprop import RAPropTable, presence_var
+from repro.tables.rsets import RSetsBlock, RSetsTable, block
+from repro.tables.rxoreq import Assertion, RXorEquivTable, iff, xor
+from repro.tables.vtable import VTable
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestVTable:
+    def test_rejects_conditions(self):
+        with pytest.raises(TableError):
+            VTable([((1,), eq(X, 1))])
+
+    def test_example1_members(self, example1_vtable):
+        """Example 1's listed instances are in Mod(R) (domain slice)."""
+        worlds = example1_vtable.mod_over([1, 2, 4, 5, 77, 89, 97])
+        assert Instance([(1, 2, 1), (3, 1, 1), (1, 4, 5)]) in worlds
+        assert Instance([(1, 2, 77), (3, 77, 89), (97, 4, 5)]) in worlds
+
+    def test_shared_variable_correlates_rows(self):
+        table = VTable([(1, X), (X, 1)])
+        worlds = table.mod_over([1, 2])
+        assert Instance([(1, 1)]) in worlds
+        assert Instance([(1, 2), (2, 1)]) in worlds
+        # No world mixes x=1 in row 1 with x=2 in row 2.
+        assert Instance([(1, 1), (2, 1)]) not in worlds
+
+    def test_finite_vtable_mod(self):
+        table = VTable([(1, X), (X, 1)], domains={"x": [1, 2]})
+        assert len(table.mod()) == 2
+
+
+class TestCoddTable:
+    def test_rejects_repeated_variables(self):
+        with pytest.raises(TableError):
+            CoddTable([(X, X)])
+
+    def test_rejects_cross_row_repetition(self):
+        with pytest.raises(TableError):
+            CoddTable([(X, 1), (2, X)])
+
+    def test_fresh_codd_table_builder(self):
+        table = fresh_codd_table([[1, None], [None, 4]])
+        assert table.arity == 2
+        assert len(table.variables()) == 2
+
+    def test_independent_nulls(self):
+        table = CoddTable([(X, Y)], domains={"x": [1, 2], "y": [1, 2]})
+        assert len(table.mod()) == 4
+
+
+class TestQTable:
+    def test_mod_lattice(self):
+        table = QTable([((1,), False), ((2,), True), ((3,), True)])
+        worlds = table.mod()
+        assert len(worlds) == 4
+        assert all((1,) in instance for instance in worlds)
+
+    def test_mandatory_wins_over_optional_duplicate(self):
+        table = QTable([((1,), True), ((1,), False)])
+        assert len(table.mod()) == 1
+
+    def test_all_optional_includes_empty(self):
+        table = QTable([((1,), True)])
+        assert Instance([], arity=1) in table.mod()
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(TableError):
+            QTable([((1,), False), ((1, 2), False)])
+
+    def test_mandatory_and_optional_accessors(self):
+        table = QTable([((1,), False), ((2,), True)])
+        assert table.mandatory_tuples() == frozenset({(1,)})
+        assert table.optional_tuples() == frozenset({(2,)})
+
+
+class TestOrSetTable:
+    def test_orset_validation(self):
+        with pytest.raises(TableError):
+            OrSet(())
+        with pytest.raises(TableError):
+            OrSet((1, 1))
+
+    def test_example3_mod(self, example3_orset_table):
+        worlds = example3_orset_table.mod()
+        # Paper-listed members.
+        assert Instance([(1, 2, 1), (3, 1, 3), (4, 4, 5)]) in worlds
+        assert Instance([(1, 2, 1), (3, 1, 3)]) in worlds
+        assert Instance([(1, 2, 2), (3, 2, 4)]) in worlds
+        # A non-member: wrong or-set choice combination.
+        assert Instance([(1, 2, 3)]) not in worlds
+
+    def test_plain_orset_rejects_optional(self):
+        with pytest.raises(TableError):
+            OrSetTable(
+                [OrSetRow((1,), True)], allow_optional=False
+            )
+
+    def test_world_count_bound(self, example3_orset_table):
+        assert example3_orset_table.world_count_bound() == 24
+        assert len(example3_orset_table.mod()) <= 24
+
+    def test_choices_resolution(self):
+        row = OrSetRow((1, orset(2, 3)))
+        assert set(row.choices()) == {(1, 2), (1, 3)}
+        assert row.choice_count() == 2
+
+
+class TestRSets:
+    def test_block_requires_tuple(self):
+        with pytest.raises(TableError):
+            RSetsBlock(frozenset())
+
+    def test_mandatory_block_chooses_exactly_one(self):
+        table = RSetsTable([block((1,), (2,))])
+        worlds = table.mod()
+        assert worlds.instances == frozenset(
+            {Instance([(1,)]), Instance([(2,)])}
+        )
+
+    def test_optional_block_may_abstain(self):
+        table = RSetsTable([block((1,), optional=True)])
+        assert Instance([], arity=1) in table.mod()
+
+    def test_multiset_blocks(self):
+        table = RSetsTable([block((1,), (2,)), block((1,), (2,))])
+        worlds = table.mod()
+        assert Instance([(1,), (2,)]) in worlds
+        assert Instance([(1,)]) in worlds
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(TableError):
+            RSetsTable([block((1,)), block((1, 2))])
+
+
+class TestRXorEquiv:
+    def test_assertion_kinds_validated(self):
+        with pytest.raises(TableError):
+            Assertion("nand", 0, 1)
+
+    def test_positions_validated(self):
+        with pytest.raises(TableError):
+            RXorEquivTable([(1,)], [xor(0, 1)])
+
+    def test_xor_semantics(self):
+        table = RXorEquivTable([(1,), (2,)], [xor(0, 1)])
+        worlds = table.mod()
+        assert worlds.instances == frozenset(
+            {Instance([(1,)]), Instance([(2,)])}
+        )
+
+    def test_iff_semantics(self):
+        table = RXorEquivTable([(1,), (2,)], [iff(0, 1)])
+        worlds = table.mod()
+        assert worlds.instances == frozenset(
+            {Instance([], arity=1), Instance([(1,), (2,)])}
+        )
+
+    def test_unconstrained_tuples_free(self):
+        table = RXorEquivTable([(1,)], [])
+        assert len(table.mod()) == 2
+
+    def test_duplicate_tuple_xor_forces_presence(self):
+        """The mandatory-tuple trick used by the completion constructions."""
+        table = RXorEquivTable([(1,), (1,)], [xor(0, 1)])
+        worlds = table.mod()
+        assert worlds.instances == frozenset({Instance([(1,)])})
+
+
+class TestRAProp:
+    def test_formula_variables_validated(self):
+        with pytest.raises(TableError):
+            RAPropTable([(1,)], presence_var(5))
+
+    def test_rejects_optional_rows(self):
+        with pytest.raises(TableError):
+            RAPropTable([OrSetRow((1,), True)])
+
+    def test_formula_guides_subsets(self):
+        table = RAPropTable(
+            [(1,), (2,)],
+            disj(
+                conj(presence_var(0), ~presence_var(1)),
+                conj(~presence_var(0), presence_var(1)),
+            ),
+        )
+        worlds = table.mod()
+        assert worlds.instances == frozenset(
+            {Instance([(1,)]), Instance([(2,)])}
+        )
+
+    def test_orset_cells_resolved_when_present(self):
+        table = RAPropTable(
+            [OrSetRow((orset(1, 2),))], presence_var(0)
+        )
+        worlds = table.mod()
+        assert worlds.instances == frozenset(
+            {Instance([(1,)]), Instance([(2,)])}
+        )
+
+    def test_true_formula_gives_powerset(self):
+        from repro.logic.syntax import TOP
+
+        table = RAPropTable([(1,), (2,)], TOP)
+        assert len(table.mod()) == 4

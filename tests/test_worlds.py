@@ -1,0 +1,100 @@
+"""Unit tests for certain/possible answers and semantic comparisons."""
+
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance, relation
+from repro.logic.atoms import Var, eq, ne
+from repro.logic.syntax import conj
+from repro.algebra import col_eq, col_eq_const, proj, rel, sel
+from repro.tables.ctable import CTable
+from repro.worlds.answers import (
+    certain_answer,
+    certain_answer_table,
+    possible_answer,
+    possible_answer_table,
+)
+from repro.worlds.compare import (
+    ctables_equivalent,
+    mod_equal_over,
+    witness_domain_for,
+)
+
+
+X, Y = Var("x"), Var("y")
+
+
+class TestAnswers:
+    def test_certain_answer_intersects(self):
+        idb = IDatabase([Instance([(1,), (2,)]), Instance([(1,), (3,)])])
+        query = rel("V", 1)
+        assert certain_answer(query, idb) == relation((1,))
+
+    def test_possible_answer_unions(self):
+        idb = IDatabase([Instance([(1,)]), Instance([(2,)])])
+        query = rel("V", 1)
+        assert possible_answer(query, idb) == relation((1,), (2,))
+
+    def test_certain_answer_table_with_variables(self):
+        table = CTable([(1, X), (2, 3)])
+        query = proj(rel("V", 2), [0])
+        domain = table.witness_domain()
+        assert certain_answer_table(query, table, domain) == relation(
+            (1,), (2,)
+        )
+
+    def test_possible_but_not_certain(self):
+        table = CTable([((1,), eq(X, 1))])
+        query = rel("V", 1)
+        domain = table.witness_domain()
+        certain = certain_answer_table(query, table, domain)
+        possible = possible_answer_table(query, table, domain)
+        assert len(certain) == 0
+        assert (1,) in possible
+
+    def test_finite_table_answers_need_no_domain(self):
+        table = CTable([(X,)], domains={"x": [1, 2]})
+        query = rel("V", 1)
+        assert len(certain_answer_table(query, table)) == 0
+        assert len(possible_answer_table(query, table)) == 2
+
+
+class TestComparisons:
+    def test_witness_domain_covers_constants_and_variables(self):
+        a = CTable([((1, X), ne(X, 5))])
+        b = CTable([(Y, 2)])
+        domain = witness_domain_for(a, b)
+        assert 1 in domain and 5 in domain and 2 in domain
+        assert len(domain) == 5  # three constants + two fresh
+
+    def test_equivalent_tables_detected(self):
+        """Two syntactically different tables with the same Mod."""
+        a = CTable([((X,), ne(X, 1))])
+        b = CTable([((Y,), ne(Y, 1))])
+        assert ctables_equivalent(a, b)
+
+    def test_inequivalent_tables_detected(self):
+        a = CTable([((X,), ne(X, 1))])
+        b = CTable([((X,), ne(X, 2))])
+        assert not ctables_equivalent(a, b)
+
+    def test_condition_rewriting_preserves_mod(self):
+        """x≠1 ∨ x≠y vs ¬(x=1 ∧ x=y): De Morgan at the table level."""
+        from repro.logic.syntax import disj, neg
+
+        a = CTable([((X, Y), disj(ne(X, 1), ne(X, Y)))])
+        b = CTable([((X, Y), neg(conj(eq(X, 1), eq(X, Y))))])
+        assert ctables_equivalent(a, b)
+
+    def test_mod_equal_over_explicit_domain(self):
+        a = CTable([(X,)])
+        b = CTable([(Y,)])
+        assert mod_equal_over(a, b, Domain([1, 2, 3]))
+
+    def test_constant_matters(self):
+        """Tables equal over small domains may differ over witness ones."""
+        a = CTable([((X,), eq(X, 1))])
+        b = CTable([(X,)])  # unconditioned
+        assert mod_equal_over(a, b, Domain([1]))
+        assert not ctables_equivalent(a, b)

@@ -1,0 +1,337 @@
+"""Benchmark runner: executes the E01–E20 suite and times the PR's fast paths.
+
+Produces a ``BENCH_*.json`` so every PR records its performance story::
+
+    PYTHONPATH=src python benchmarks/runner.py            # full run
+    PYTHONPATH=src python benchmarks/runner.py --quick    # CI-sized run
+
+Two things happen:
+
+1. the ``bench_e01..e20`` pytest files run (``--benchmark-disable``: each
+   benchmarked callable executes once, asserting the paper artifacts
+   still regenerate);
+2. headline workloads are timed **against the seed code paths, which
+   remain in-tree**:
+
+   - ``join_heavy`` — an E08-style plan ``π̄[0,3](σ̄[1=2](L ×̄ R))``.
+     Seed route: ``select_bar(product_bar(...))`` (blind nested loop);
+     optimized route: the fused ``join_bar`` equijoin hash partitioning
+     used by ``translate_query``.
+   - ``world_enumeration`` — repeated ``Mod``-level query answering.
+     Seed route: evaluation memo disabled; optimized: memo enabled
+     (shared interned sub-formulas are evaluated once per distinct
+     valuation restriction).
+   - ``condition_engine`` — repeated condition composition/simplify on
+     shared sub-formulas, reporting interning hit rates.
+
+The workloads are sized so the full run finishes in well under a minute;
+``--quick`` shrinks them further for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import CTable, Var, conj, eq, ne  # noqa: E402
+from repro.algebra import col_eq, diff, proj, prod, rel, sel  # noqa: E402
+from repro.ctalgebra.lifted import (  # noqa: E402
+    join_bar,
+    product_bar,
+    project_bar,
+    select_bar,
+)
+from repro.ctalgebra.translate import apply_query_to_ctable  # noqa: E402
+from repro.logic.evaluation import (  # noqa: E402
+    clear_evaluation_caches,
+    evaluation_cache_stats,
+    set_evaluation_cache,
+)
+from repro.logic.simplify import simplify  # noqa: E402
+from repro.logic.syntax import interning_stats  # noqa: E402
+
+
+def _timed(callable_, repeats: int) -> float:
+    """Median wall time of *callable_* over *repeats* runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+# ----------------------------------------------------------------------
+# Workload: projection/join-heavy plans (E08-style)
+# ----------------------------------------------------------------------
+
+def _join_tables(rows: int):
+    """Two constant-heavy c-tables with a sprinkle of symbolic rows."""
+    x, y = Var("x"), Var("y")
+    left_rows = []
+    right_rows = []
+    for index in range(rows):
+        left_rows.append(((index % 97, index % 13), ne(x, index % 7)))
+        right_rows.append(((index % 13, index % 89), eq(y, index % 5)))
+    # Symbolic join columns exercise the fallback pairing.
+    left_rows.append(((0, x), eq(x, 1)))
+    right_rows.append(((y, 0), ne(y, 2)))
+    return CTable(left_rows, arity=2), CTable(right_rows, arity=2)
+
+
+def run_join_heavy(rows: int, plans: int, repeats: int) -> dict:
+    left, right = _join_tables(rows)
+    predicate = col_eq(1, 2)
+    columns = (0, 3)
+
+    def seed_route():
+        for _ in range(plans):
+            project_bar(
+                select_bar(product_bar(left, right), predicate), columns
+            )
+
+    def optimized_route():
+        for _ in range(plans):
+            project_bar(join_bar(left, right, predicate), columns)
+
+    # Same result either way — assert it before timing.
+    seed_table = project_bar(
+        select_bar(product_bar(left, right), predicate), columns
+    )
+    fast_table = project_bar(join_bar(left, right, predicate), columns)
+    assert seed_table == fast_table, "join fast path diverged from seed"
+
+    baseline = _timed(seed_route, repeats)
+    optimized = _timed(optimized_route, repeats)
+    return {
+        "rows_per_table": rows + 1,
+        "plans": plans,
+        "answer_rows": len(fast_table),
+        "baseline_seconds": baseline,
+        "optimized_seconds": optimized,
+        "speedup": baseline / optimized if optimized else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload: possible-world enumeration (Mod-level certain answers)
+# ----------------------------------------------------------------------
+
+def _difference_answer_table(base_rows: int) -> CTable:
+    """Symbolic answer of a difference-over-join plan.
+
+    ``−̄`` conjoins, per kept row, a negated membership condition for
+    every opposing row, so the answer's conditions are large and — thanks
+    to interning — share their sub-formulas across rows.  Enumerating
+    ``Mod`` of such a table is the shape where the evaluation memo pays:
+    each shared sub-condition is evaluated once per distinct restriction
+    of the valuation instead of once per row per world.
+    """
+    x, y, z = Var("x"), Var("y"), Var("z")
+    variables = (x, y, z)
+    rows = []
+    for index in range(base_rows):
+        rows.append(
+            (
+                (index % 4, variables[index % 3]),
+                ne(variables[index % 3], index % 5),
+            )
+        )
+    table = CTable(rows, arity=2)
+    query = diff(
+        proj(sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3]),
+        proj(rel("V", 2), [1, 0]),
+    )
+    return apply_query_to_ctable(query, table)
+
+
+def run_world_enumeration(base_rows: int, repeats: int) -> dict:
+    answer = _difference_answer_table(base_rows)
+    domain = answer.witness_domain()
+
+    def enumerate_worlds():
+        return sum(1 for _ in answer.possible_worlds(domain))
+
+    set_evaluation_cache(False)
+    baseline = _timed(enumerate_worlds, repeats)
+    set_evaluation_cache(True)
+    clear_evaluation_caches()
+    optimized = _timed(enumerate_worlds, repeats)
+    stats = evaluation_cache_stats()
+    worlds = enumerate_worlds()
+    return {
+        "answer_rows": len(answer),
+        "worlds": worlds,
+        "baseline_seconds": baseline,
+        "optimized_seconds": optimized,
+        "speedup": baseline / optimized if optimized else float("inf"),
+        "cache_entries": stats["evaluate_entries"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload: condition composition on shared sub-formulas
+# ----------------------------------------------------------------------
+
+def run_condition_engine(width: int, repeats: int) -> dict:
+    x, y, z = Var("x"), Var("y"), Var("z")
+
+    def compose():
+        acc = eq(x, y)
+        for index in range(width):
+            clause = conj(
+                eq(x, index % 5), ne(y, index % 3), acc
+            ) | conj(ne(z, index % 7), acc)
+            acc = simplify(clause | acc)
+        return acc
+
+    before = interning_stats()
+    elapsed = _timed(compose, repeats)
+    after = interning_stats()
+    # Delta over this workload only; the counters are process-cumulative.
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    return {
+        "width": width,
+        "seconds": elapsed,
+        "intern_live_nodes": after["live_nodes"],
+        "intern_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# The E01–E20 pytest suite
+# ----------------------------------------------------------------------
+
+def run_suite(quick: bool) -> dict:
+    bench_dir = REPO_ROOT / "benchmarks"
+    files = sorted(bench_dir.glob("bench_e*.py"))
+    if quick:
+        keep = ("e01", "e02", "e08", "e18")
+        files = [f for f in files if any(tag in f.name for tag in keep)]
+    # bench_*.py does not match pytest's default python_files pattern, so
+    # the files are passed explicitly (explicit arguments always collect).
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[str(f) for f in files],
+        "-q",
+        "--benchmark-disable",
+        "-p",
+        "no:cacheprovider",
+    ]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    completed = subprocess.run(
+        command,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    tail = completed.stdout.strip().splitlines()[-1:] or [""]
+    return {
+        "command": " ".join(command[2:]),
+        "exit_code": completed.returncode,
+        "summary": tail[0],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: suite subset and smaller workloads",
+    )
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="only time the headline workloads",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_pr1.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        join_rows, plans, diff_rows, width, repeats = 60, 2, 9, 40, 1
+    else:
+        join_rows, plans, diff_rows, width, repeats = 250, 3, 12, 120, 3
+
+    report = {
+        "meta": {
+            "label": Path(args.output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+        },
+        "workloads": {},
+    }
+
+    print("== join_heavy (π̄/σ̄-over-×̄, seed nested loop vs hash join) ==")
+    join = run_join_heavy(join_rows, plans, repeats)
+    report["workloads"]["join_heavy"] = join
+    print(
+        f"   {join['rows_per_table']} rows/side × {plans} plans: "
+        f"{join['baseline_seconds']*1000:.1f}ms -> "
+        f"{join['optimized_seconds']*1000:.1f}ms "
+        f"({join['speedup']:.1f}x)"
+    )
+
+    print("== world_enumeration (evaluation memo off vs on) ==")
+    worlds = run_world_enumeration(diff_rows, repeats)
+    report["workloads"]["world_enumeration"] = worlds
+    print(
+        f"   {worlds['worlds']} worlds: "
+        f"{worlds['baseline_seconds']*1000:.1f}ms -> "
+        f"{worlds['optimized_seconds']*1000:.1f}ms "
+        f"({worlds['speedup']:.1f}x)"
+    )
+
+    print("== condition_engine (interning hit rate) ==")
+    engine = run_condition_engine(width, repeats)
+    report["workloads"]["condition_engine"] = engine
+    print(
+        f"   width {engine['width']}: {engine['seconds']*1000:.1f}ms, "
+        f"hit rate {engine['intern_hit_rate']:.2%}, "
+        f"{engine['intern_live_nodes']} live nodes"
+    )
+
+    if not args.skip_suite:
+        print("== E01–E20 suite ==")
+        suite = run_suite(args.quick)
+        report["suite"] = suite
+        print(f"   {suite['summary']} (exit {suite['exit_code']})")
+    else:
+        report["suite"] = {"skipped": True}
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    failed = (
+        report["suite"].get("exit_code", 0) != 0
+        or report["workloads"]["join_heavy"]["speedup"] < 1.0
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

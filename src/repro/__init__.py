@@ -21,6 +21,7 @@ from repro.errors import (
     ConditionError,
     DomainError,
     FragmentError,
+    NoWorldsError,
     ProbabilityError,
     QueryError,
     ReproError,
@@ -140,8 +141,8 @@ __version__ = "1.0.0"
 __all__ = [
     # errors
     "ArityError", "ConditionError", "DomainError", "FragmentError",
-    "ProbabilityError", "QueryError", "ReproError", "TableError",
-    "UnsupportedOperationError", "ValuationError",
+    "NoWorldsError", "ProbabilityError", "QueryError", "ReproError",
+    "TableError", "UnsupportedOperationError", "ValuationError",
     # core
     "Domain", "IDatabase", "InfiniteDomain", "Instance", "relation",
     # logic

@@ -24,7 +24,8 @@ from repro.algebra.ast import (
     Select,
     Union,
 )
-from repro.algebra.predicates import eval_predicate
+from repro.logic.syntax import TOP
+from repro.algebra.predicates import eval_predicate, split_equijoin
 
 
 def evaluate_query(query: Query, env: Mapping[str, Instance]) -> Instance:
@@ -52,6 +53,10 @@ def evaluate_query(query: Query, env: Mapping[str, Instance]) -> Instance:
         }
         return Instance(rows, arity=len(query.columns))
     if isinstance(query, Select):
+        if isinstance(query.child, Product):
+            joined = _hash_join(query, env)
+            if joined is not None:
+                return joined
         child = evaluate_query(query.child, env)
         rows = {
             row for row in child.rows if eval_predicate(query.predicate, row)
@@ -74,6 +79,45 @@ def evaluate_query(query: Query, env: Mapping[str, Instance]) -> Instance:
             evaluate_query(query.right, env)
         )
     raise QueryError(f"unknown query node {query!r}")
+
+
+def _hash_join(query: Select, env: Mapping[str, Instance]):
+    """Selection-over-product as a hash join, when the predicate allows.
+
+    When the predicate's top-level conjuncts equate left columns with
+    right columns, partition the right rows on those columns and probe
+    with the left rows instead of materializing the full cross product;
+    any residual conjuncts filter the surviving pairs.  Returns None when
+    the predicate contains no cross-operand equality (the generic path
+    applies then).
+    """
+    product = query.child
+    pairs, residual = split_equijoin(query.predicate, product.left.arity)
+    if not pairs:
+        return None
+    left = evaluate_query(product.left, env)
+    right = evaluate_query(product.right, env)
+    left_columns = tuple(i for i, _ in pairs)
+    right_columns = tuple(j for _, j in pairs)
+    buckets = {}
+    for row in right.rows:
+        key = tuple(row[j] for j in right_columns)
+        buckets.setdefault(key, []).append(row)
+    trivial = residual == TOP
+    rows = set()
+    for row in left.rows:
+        key = tuple(row[i] for i in left_columns)
+        for match in buckets.get(key, ()):
+            # The dict probe compares identity-first (so e.g. the same NaN
+            # object matches itself); re-check with the == semantics the
+            # predicate language uses so the fast path agrees with the
+            # nested loop exactly.
+            if not all(row[i] == match[j] for i, j in pairs):
+                continue
+            combined = row + match
+            if trivial or eval_predicate(residual, combined):
+                rows.add(combined)
+    return Instance(rows, arity=product.arity)
 
 
 def apply_query(query: Query, instance: Instance) -> Instance:

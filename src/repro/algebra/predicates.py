@@ -12,12 +12,22 @@ and yields a c-table condition.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Set
+from typing import Hashable, Sequence, Set, Tuple
 
 from repro.errors import QueryError
 from repro.logic.atoms import Const, Eq, Term, Var, eq, ne
 from repro.logic.evaluation import evaluate, substitute
-from repro.logic.syntax import And, Bottom, Formula, Not, Or, Top, is_atom, walk
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    is_atom,
+    walk,
+)
 
 _COLUMN_PREFIX = "@"
 
@@ -104,6 +114,42 @@ def predicate_is_positive(predicate: Formula) -> bool:
     return not any(
         isinstance(node, (Not, Bottom)) for node in walk(predicate)
     )
+
+
+def split_equijoin(
+    predicate: Formula, left_arity: int
+) -> "Tuple[Tuple[Tuple[int, int], ...], Formula]":
+    """Split a predicate over a product into equijoin pairs + residual.
+
+    For a selection directly above a product whose left operand has
+    *left_arity* columns, return ``(pairs, residual)`` where *pairs* are
+    ``(left_column, right_column)`` index pairs (the right index local to
+    the right operand) taken from the predicate's top-level conjuncts of
+    the form ``column_i = column_j`` with ``i`` on the left side and
+    ``j`` on the right, and *residual* is the conjunction of everything
+    else.  ``conj(pairs as equalities, residual)`` is the original
+    predicate, so evaluating pairs by hash partitioning and the residual
+    per surviving row is equivalent to the blind nested loop.
+    """
+    conjuncts = (
+        predicate.children if isinstance(predicate, And) else (predicate,)
+    )
+    pairs = []
+    residual = []
+    for part in conjuncts:
+        if (
+            isinstance(part, Eq)
+            and is_column_var(part.left)
+            and is_column_var(part.right)
+        ):
+            low, high = sorted(
+                (column_index(part.left), column_index(part.right))
+            )
+            if low < left_arity <= high:
+                pairs.append((low, high - left_arity))
+                continue
+        residual.append(part)
+    return tuple(pairs), conj(*residual)
 
 
 def eval_predicate(predicate: Formula, row: Sequence[Hashable]) -> bool:

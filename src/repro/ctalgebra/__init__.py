@@ -13,6 +13,7 @@ operators; :mod:`repro.ctalgebra.translate` implements ``q ↦ q̄``.
 from repro.ctalgebra.lifted import (
     difference_bar,
     intersection_bar,
+    join_bar,
     product_bar,
     project_bar,
     select_bar,
@@ -24,6 +25,7 @@ __all__ = [
     "apply_query_to_ctable",
     "difference_bar",
     "intersection_bar",
+    "join_bar",
     "product_bar",
     "project_bar",
     "select_bar",

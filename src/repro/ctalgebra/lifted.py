@@ -23,9 +23,13 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, TableError
-from repro.logic.atoms import Term, eq
-from repro.logic.syntax import Formula, conj, disj, neg
-from repro.algebra.predicates import check_predicate, instantiate_predicate
+from repro.logic.atoms import Const, Term, eq
+from repro.logic.syntax import BOTTOM, Formula, conj, disj, neg
+from repro.algebra.predicates import (
+    check_predicate,
+    instantiate_predicate,
+    split_equijoin,
+)
 from repro.tables.ctable import CRow, CTable
 
 
@@ -123,6 +127,69 @@ def product_bar(left: CTable, right: CTable) -> CTable:
         for r in right.rows
     ]
     return _combine(left, right, rows, left.arity + right.arity)
+
+
+def _join_key(row: CRow, columns) -> Optional[tuple]:
+    """The row's constant values at *columns*, or None if any is a Var."""
+    key = []
+    for index in columns:
+        term = row.values[index]
+        if not isinstance(term, Const):
+            return None
+        key.append(term.value)
+    return tuple(key)
+
+
+def join_bar(left: CTable, right: CTable, predicate: Formula) -> CTable:
+    """``σ̄_c(T₁ ×̄ T₂)`` fused, with an equijoin fast path.
+
+    Produces exactly the table ``select_bar(product_bar(left, right),
+    predicate)`` would, but when the predicate's top-level conjuncts
+    contain cross-operand column equalities, rows whose join columns are
+    *constants* are hash-partitioned on those columns: a pair of rows
+    whose constants disagree can only yield a ``false`` condition (which
+    the c-table drops anyway), so the blind nested loop skips it without
+    ever building the row.  Rows with variables in a join column stay
+    symbolic and are paired with every opposite row, preserving Lemma 1.
+    """
+    total_arity = left.arity + right.arity
+    check_predicate(predicate, total_arity)
+    pairs, _residual = split_equijoin(predicate, left.arity)
+    if not pairs:
+        return select_bar(product_bar(left, right), predicate)
+    left_columns = tuple(i for i, _ in pairs)
+    right_columns = tuple(j for _, j in pairs)
+    buckets: Dict[tuple, list] = {}
+    symbolic_right = []
+    for row in right.rows:
+        key = _join_key(row, right_columns)
+        if key is None:
+            symbolic_right.append(row)
+        else:
+            buckets.setdefault(key, []).append(row)
+    rows = []
+    for l in left.rows:
+        key = _join_key(l, left_columns)
+        if key is None:
+            candidates = right.rows
+        else:
+            matched = buckets.get(key)
+            if matched is None:
+                candidates = symbolic_right
+            elif symbolic_right:
+                candidates = matched + symbolic_right
+            else:
+                candidates = matched
+        for r in candidates:
+            values = l.values + r.values
+            condition = conj(
+                l.condition,
+                r.condition,
+                instantiate_predicate(predicate, values),
+            )
+            if condition is not BOTTOM:
+                rows.append(CRow(values, condition))
+    return _combine(left, right, rows, total_arity)
 
 
 def union_bar(left: CTable, right: CTable) -> CTable:

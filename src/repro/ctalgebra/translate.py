@@ -31,6 +31,7 @@ from repro.tables.ctable import CRow, CTable, make_row
 from repro.ctalgebra.lifted import (
     difference_bar,
     intersection_bar,
+    join_bar,
     product_bar,
     project_bar,
     select_bar,
@@ -70,7 +71,19 @@ def translate_query(
         if isinstance(node, Project):
             result = project_bar(recurse(node.child), node.columns)
         elif isinstance(node, Select):
-            result = select_bar(recurse(node.child), node.predicate)
+            # σ̄ directly above ×̄ fuses into a join with an equijoin
+            # fast path; the result is structurally identical to the
+            # composed operators.  With per-operator simplification the
+            # intermediate product must be simplified too, so the fused
+            # form is skipped to keep the ablation honest.
+            if isinstance(node.child, Product) and not simplify_conditions:
+                result = join_bar(
+                    recurse(node.child.left),
+                    recurse(node.child.right),
+                    node.predicate,
+                )
+            else:
+                result = select_bar(recurse(node.child), node.predicate)
         elif isinstance(node, Product):
             result = product_bar(recurse(node.left), recurse(node.right))
         elif isinstance(node, Union):

@@ -44,6 +44,17 @@ class ProbabilityError(ReproError):
     """Probability values are malformed (negative, or do not sum to one)."""
 
 
+class NoWorldsError(ReproError):
+    """A worlds-quantified operation was asked about an empty ``Mod``.
+
+    The certain answer is an intersection over the possible worlds; over
+    *zero* worlds that intersection is vacuously "every tuple", which no
+    finite instance can represent.  Returning an empty instance instead
+    would silently conflate "no worlds" with "no certain tuples", so the
+    situation (e.g. an unsatisfiable global condition) raises.
+    """
+
+
 class UnsupportedOperationError(ReproError):
     """The requested operation is not supported by this representation system.
 

@@ -21,6 +21,33 @@ rest of the library needs to manipulate such conditions:
   weighted model counting,
 - :mod:`repro.logic.counting` — Shannon-expansion probability
   computation for formulas over multi-valued distributed variables.
+
+Interning invariants
+--------------------
+
+Formula nodes are **hash-consed**: constructing a node with the same
+class and structurally equal fields returns the *same object*.  The
+resulting invariants, relied on across the library:
+
+1. **Identity implies structural equality**, and for positionally
+   constructed nodes the converse holds too — ``conj(a, b) is
+   conj(a, b)`` — so equality checks short-circuit on ``is`` and
+   dictionary keys dedupe for free.
+2. **The smart constructors are the canonical entry points.**
+   :func:`conj`, :func:`disj`, :func:`neg`, and :func:`eq` perform the
+   always-safe normalizations (flattening, constant folding,
+   deduplication, complement detection, double negation, term ordering)
+   *and* intern; raw dataclass construction also interns but skips
+   normalization, and is reserved for internal use.
+3. **Nodes are immutable and analyses are cached per node**:
+   ``atoms()``, ``variables()``, and the sorted-variable tuple are
+   computed once; :func:`~repro.logic.evaluation.evaluate` and
+   :func:`~repro.logic.evaluation.partial_evaluate` memoize on
+   ``(node, relevant valuation slice)``; :func:`simplify`/:func:`nnf`
+   visit each distinct sub-formula once.
+4. **Interning is transparent.**  No public API changed signature or
+   semantics; the intern table holds nodes weakly, so formulas are
+   garbage-collected normally.
 """
 
 from repro.logic.atoms import BoolVar, Const, Eq, Term, Var, eq, ne
@@ -33,11 +60,19 @@ from repro.logic.syntax import (
     Top,
     conj,
     disj,
+    interning_stats,
     neg,
     BOTTOM,
     TOP,
 )
-from repro.logic.evaluation import evaluate, partial_evaluate, substitute
+from repro.logic.evaluation import (
+    clear_evaluation_caches,
+    evaluate,
+    evaluation_cache_stats,
+    partial_evaluate,
+    set_evaluation_cache,
+    substitute,
+)
 from repro.logic.simplify import nnf, simplify
 from repro.logic.sat import Solver, is_satisfiable_clauses, solve_clauses
 from repro.logic.models import enumerate_models, count_models
@@ -68,10 +103,14 @@ __all__ = [
     "Top",
     "TOP",
     "Var",
+    "clear_evaluation_caches",
     "conj",
     "constants_of",
     "count_models",
     "disj",
+    "evaluation_cache_stats",
+    "interning_stats",
+    "set_evaluation_cache",
     "enumerate_models",
     "eq",
     "equivalent_infinite",

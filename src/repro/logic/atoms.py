@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Hashable, Union
 
 from repro.errors import ConditionError
-from repro.logic.syntax import Formula, Not, neg
+from repro.logic.syntax import Formula, Not, hashcons, neg
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ def as_term(value) -> Term:
     return Const(value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Eq(Formula):
     """Equality between two terms.
 
@@ -75,6 +75,9 @@ class Eq(Formula):
 
     __slots__ = ("left", "right")
 
+    def _fields(self) -> tuple:
+        return (self.left, self.right)
+
     def _variables(self) -> FrozenSet[str]:
         names = set()
         if isinstance(self.left, Var):
@@ -87,13 +90,16 @@ class Eq(Formula):
         return f"{self.left!r} = {self.right!r}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BoolVar(Formula):
     """A propositional variable used by boolean c-tables."""
 
     name: str
 
     __slots__ = ("name",)
+
+    def _fields(self) -> tuple:
+        return (self.name,)
 
     def _variables(self) -> FrozenSet[str]:
         return frozenset({self.name})
@@ -123,7 +129,7 @@ def eq(left, right) -> Formula:
 
         return TOP if left_term.value == right_term.value else BOTTOM
     first, second = _ordered(left_term, right_term)
-    return Eq(first, second)
+    return hashcons(Eq, first, second)
 
 
 def ne(left, right) -> Formula:

@@ -9,10 +9,27 @@ condition evaluates to true; :func:`evaluate` is exactly that test.
 :func:`partial_evaluate` substitutes only the variables a valuation
 covers and folds what becomes decidable, which is the workhorse behind
 pruned model enumeration and Shannon-expansion probability computation.
+
+Memoization
+-----------
+
+World enumeration (``CTable.mod()``/``possible_worlds()``) evaluates the
+same row conditions under every admissible valuation, and those
+conditions share sub-formulas aggressively thanks to the interning layer
+in :mod:`repro.logic.syntax`.  Both :func:`evaluate` and
+:func:`partial_evaluate` therefore memoize connective nodes in a global
+cache keyed on ``(node, relevant valuation slice)`` — the values the
+valuation assigns to exactly the node's variables.  Two valuations that
+agree on a sub-formula's variables share one cache entry, so each shared
+sub-formula is evaluated once per distinct restriction instead of once
+per world.  The caches are bounded (flushed wholesale when full) and can
+be disabled with :func:`set_evaluation_cache` — benchmark
+``benchmarks/runner.py`` uses the toggle to time the seed behavior.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Hashable, Mapping
 
 from repro.errors import ValuationError
@@ -32,6 +49,94 @@ from repro.logic.syntax import (
 )
 
 Valuation = Mapping[str, Hashable]
+
+#: Sentinel marking a variable the valuation does not cover.
+_MISSING = object()
+
+#: Hard bound on each per-node memo; when exceeded, that node's memo is
+#: flushed whole (the entries are cheap to recompute and a FIFO/LRU
+#: policy is not worth the bookkeeping on this hot path).
+_CACHE_LIMIT = 1 << 12
+
+#: Nodes that currently hold a memo, so the caches can be cleared.
+_memoized_nodes: "weakref.WeakSet" = weakref.WeakSet()
+_cache_enabled = True
+
+
+def set_evaluation_cache(enabled: bool) -> None:
+    """Enable or disable the evaluate/partial_evaluate memo caches.
+
+    Disabling also clears them; results are identical either way — the
+    toggle exists so benchmarks can measure the seed (uncached) behavior.
+    """
+    global _cache_enabled
+    _cache_enabled = bool(enabled)
+    clear_evaluation_caches()
+
+
+def clear_evaluation_caches() -> None:
+    """Drop every memoized evaluation result."""
+    for node in list(_memoized_nodes):
+        for slot in ("_ememo", "_pmemo"):
+            try:
+                getattr(node, slot).clear()
+            except AttributeError:
+                pass
+    _memoized_nodes.clear()
+
+
+def evaluation_cache_stats() -> dict:
+    """Return current sizes of the evaluation memo caches."""
+    evaluate_entries = 0
+    partial_entries = 0
+    for node in _memoized_nodes:
+        try:
+            evaluate_entries += len(node._ememo)
+        except AttributeError:
+            pass
+        try:
+            partial_entries += len(node._pmemo)
+        except AttributeError:
+            pass
+    return {
+        "enabled": _cache_enabled,
+        "evaluate_entries": evaluate_entries,
+        "partial_evaluate_entries": partial_entries,
+    }
+
+
+def _node_memo(formula: Formula, slot: str) -> dict:
+    """Return the formula's memo dict for *slot*, creating it lazily.
+
+    The memo lives on the (immutable, interned) node itself: the cache
+    key is then just the valuation slice, with no repeated hashing of
+    the formula, and dropping the node drops its memo.
+    """
+    try:
+        return getattr(formula, slot)
+    except AttributeError:
+        memo: dict = {}
+        object.__setattr__(formula, slot, memo)
+        _memoized_nodes.add(formula)
+        return memo
+
+
+def _memoized(formula: Formula, slot: str, compute, valuation: Valuation):
+    """Memoize ``compute(formula, valuation)`` on the node's *slot* dict,
+    keyed by the values the valuation assigns to the node's variables."""
+    memo = _node_memo(formula, slot)
+    key = tuple(
+        valuation.get(name, _MISSING)
+        for name in formula.sorted_variables()
+    )
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = compute(formula, valuation)
+    if len(memo) >= _CACHE_LIMIT:
+        memo.clear()
+    memo[key] = result
+    return result
 
 
 def _term_value(term: Term, valuation: Valuation, strict: bool):
@@ -66,13 +171,19 @@ def evaluate(formula: Formula, valuation: Valuation) -> bool:
                 f"valuation does not cover boolean variable {formula.name!r}"
             )
         return bool(valuation[formula.name])
+    if isinstance(formula, (Not, And, Or)):
+        if not _cache_enabled:
+            return _evaluate_connective(formula, valuation)
+        return _memoized(formula, "_ememo", _evaluate_connective, valuation)
+    raise ValuationError(f"cannot evaluate unknown formula node {formula!r}")
+
+
+def _evaluate_connective(formula: Formula, valuation: Valuation) -> bool:
     if isinstance(formula, Not):
         return not evaluate(formula.child, valuation)
     if isinstance(formula, And):
         return all(evaluate(child, valuation) for child in formula.children)
-    if isinstance(formula, Or):
-        return any(evaluate(child, valuation) for child in formula.children)
-    raise ValuationError(f"cannot evaluate unknown formula node {formula!r}")
+    return any(evaluate(child, valuation) for child in formula.children)
 
 
 def partial_evaluate(formula: Formula, valuation: Valuation) -> Formula:
@@ -97,13 +208,23 @@ def partial_evaluate(formula: Formula, valuation: Valuation) -> Formula:
         if formula.name in valuation:
             return TOP if valuation[formula.name] else BOTTOM
         return formula
+    if isinstance(formula, (Not, And, Or)):
+        if not _cache_enabled:
+            return _partial_evaluate_connective(formula, valuation)
+        return _memoized(
+            formula, "_pmemo", _partial_evaluate_connective, valuation
+        )
+    raise ValuationError(f"cannot evaluate unknown formula node {formula!r}")
+
+
+def _partial_evaluate_connective(
+    formula: Formula, valuation: Valuation
+) -> Formula:
     if isinstance(formula, Not):
         return neg(partial_evaluate(formula.child, valuation))
     if isinstance(formula, And):
         return conj(*(partial_evaluate(child, valuation) for child in formula.children))
-    if isinstance(formula, Or):
-        return disj(*(partial_evaluate(child, valuation) for child in formula.children))
-    raise ValuationError(f"cannot evaluate unknown formula node {formula!r}")
+    return disj(*(partial_evaluate(child, valuation) for child in formula.children))
 
 
 def substitute(formula: Formula, mapping: Mapping[str, Term]) -> Formula:

@@ -28,25 +28,38 @@ def nnf(formula: Formula) -> Formula:
     """Rewrite *formula* into negation normal form.
 
     Negations are pushed down to the atoms using De Morgan's laws; the
-    result contains ``Not`` only directly above atoms.
+    result contains ``Not`` only directly above atoms.  Interning makes
+    shared sub-formulas a single node, so a per-call memo turns the pass
+    into a single visit per distinct sub-formula.
     """
+    return _nnf(formula, {})
+
+
+def _nnf(formula: Formula, memo: dict) -> Formula:
     if isinstance(formula, (Top, Bottom)) or is_atom(formula):
         return formula
+    cached = memo.get(formula)
+    if cached is not None:
+        return cached
     if isinstance(formula, And):
-        return conj(*(nnf(child) for child in formula.children))
-    if isinstance(formula, Or):
-        return disj(*(nnf(child) for child in formula.children))
-    # formula is a negation: dispatch on what is underneath.
-    child = formula.child
-    if is_atom(child):
-        return formula
-    if isinstance(child, Not):
-        return nnf(child.child)
-    if isinstance(child, And):
-        return disj(*(nnf(neg(grand)) for grand in child.children))
-    if isinstance(child, Or):
-        return conj(*(nnf(neg(grand)) for grand in child.children))
-    return neg(nnf(child))
+        result = conj(*(_nnf(child, memo) for child in formula.children))
+    elif isinstance(formula, Or):
+        result = disj(*(_nnf(child, memo) for child in formula.children))
+    else:
+        # formula is a negation: dispatch on what is underneath.
+        child = formula.child
+        if is_atom(child):
+            result = formula
+        elif isinstance(child, Not):
+            result = _nnf(child.child, memo)
+        elif isinstance(child, And):
+            result = disj(*(_nnf(neg(grand), memo) for grand in child.children))
+        elif isinstance(child, Or):
+            result = conj(*(_nnf(neg(grand), memo) for grand in child.children))
+        else:
+            result = neg(_nnf(child, memo))
+    memo[formula] = result
+    return result
 
 
 def simplify(formula: Formula) -> Formula:
@@ -57,15 +70,24 @@ def simplify(formula: Formula) -> Formula:
     cascade.  This is a heuristic size reduction, not a canonical form;
     equivalence checking belongs to :mod:`repro.logic.equality_sat`.
     """
-    return _absorb(nnf(formula))
+    return _absorb(nnf(formula), {})
 
 
-def _absorb(formula: Formula) -> Formula:
+def _absorb(formula: Formula, memo: dict) -> Formula:
     if isinstance(formula, (Top, Bottom)) or is_atom(formula):
         return formula
+    cached = memo.get(formula)
+    if cached is not None:
+        return cached
+    result = _absorb_uncached(formula, memo)
+    memo[formula] = result
+    return result
+
+
+def _absorb_uncached(formula: Formula, memo: dict) -> Formula:
     if isinstance(formula, Not):
-        return neg(_absorb(formula.child))
-    children = [_absorb(child) for child in formula.children]
+        return neg(_absorb(formula.child, memo))
+    children = [_absorb(child, memo) for child in formula.children]
     if isinstance(formula, And):
         # a & (a | b)  ->  a: drop any disjunction containing another child.
         kept = []

@@ -1,4 +1,4 @@
-"""Immutable formula ASTs for c-table conditions.
+"""Immutable, hash-consed formula ASTs for c-table conditions.
 
 The grammar is the classical propositional one, over an open-ended set of
 atoms (equality atoms and boolean variables live in
@@ -12,6 +12,29 @@ normalizations (flattening nested connectives, folding ``true``/``false``,
 deduplicating children, and double-negation elimination) so that formulas
 built by the c-table algebra stay small without a separate rewrite pass.
 
+Interning (hash-consing)
+------------------------
+
+Every operator of the lifted c-table algebra composes conditions, so the
+same sub-formulas are rebuilt over and over along a query plan.  The
+smart constructors therefore *intern* the nodes they produce in a global
+weak table: building the same connective over the same children twice
+returns the **same object**.  The invariants are:
+
+- **identity implies structural equality** — and for nodes built through
+  the smart constructors, structural equality implies identity too, so
+  ``a == b`` short-circuits to a pointer comparison on the hot path;
+- **hashes are computed once per node** and cached, so hashing a deep
+  formula built bottom-up is O(1) amortized per construction;
+- **analyses are cached per node**: :meth:`Formula.atoms`,
+  :meth:`Formula.variables` and the sorted-variable tuple used by the
+  evaluation cache are computed once and reused by every table, operator,
+  and world enumeration that touches the node;
+- the raw dataclass constructors (``Not(x)``, ``And((a, b))``, …) remain
+  usable and produce nodes that compare *structurally* equal to interned
+  ones — interning is a transparent optimization, never a semantic
+  requirement.
+
 Deliberately *not* done here: anything requiring satisfiability reasoning.
 That lives in :mod:`repro.logic.simplify` and
 :mod:`repro.logic.equality_sat`.
@@ -19,21 +42,76 @@ That lives in :mod:`repro.logic.simplify` and
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Tuple
+
+#: Structural key ``(class, fields)`` -> live node.  Values are weakly
+#: referenced so a long-running process does not accumulate every formula
+#: it ever built; keys hold the children, which are themselves alive
+#: while any parent is.
+_INTERN_TABLE: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+_intern_hits = 0
+_intern_misses = 0
 
 
 class Formula:
     """Base class of all condition formulas.
 
-    Subclasses are frozen dataclasses, so formulas compare and hash
-    structurally; two syntactically identical conditions are a single
-    dictionary key.  Python operators are overloaded for readability:
-    ``a & b``, ``a | b`` and ``~a`` build conjunction, disjunction and
-    negation through the smart constructors.
+    Subclasses are frozen dataclasses (with ``eq=False``: equality and
+    hashing are implemented here, with an identity fast path and a cached
+    hash).  Two syntactically identical conditions compare equal and are
+    a single dictionary key; conditions built via the smart constructors
+    are additionally a single *object*.  Python operators are overloaded
+    for readability: ``a & b``, ``a | b`` and ``~a`` build conjunction,
+    disjunction and negation through the smart constructors.
     """
 
-    __slots__ = ()
+    __slots__ = (
+        "_hash",
+        "_atoms",
+        "_vars",
+        "_svars",
+        "_ememo",
+        "_pmemo",
+        "__weakref__",
+    )
+
+    def __new__(cls, *fields, **kwfields):
+        # Hash-consing: positional construction of an already-known node
+        # returns the canonical instance (its fields are then re-assigned
+        # to equal values by the dataclass __init__, which is harmless).
+        global _intern_hits, _intern_misses
+        if not kwfields:
+            node = _INTERN_TABLE.get((cls, fields))
+            if node is not None:
+                _intern_hits += 1
+                return node
+        _intern_misses += 1
+        return object.__new__(cls)
+
+    def __post_init__(self) -> None:
+        _INTERN_TABLE.setdefault((self.__class__, self._fields()), self)
+
+    def _fields(self) -> tuple:
+        """Return the structural fields, matching the constructor args."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._fields() == other._fields()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.__class__, self._fields()))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __and__(self, other: "Formula") -> "Formula":
         return conj(self, other)
@@ -45,38 +123,77 @@ class Formula:
         return neg(self)
 
     def atoms(self) -> FrozenSet["Formula"]:
-        """Return the set of atoms occurring in this formula."""
-        out = set()
-        for node in walk(self):
-            if is_atom(node):
-                out.add(node)
-        return frozenset(out)
+        """Return the set of atoms occurring in this formula (cached)."""
+        try:
+            return self._atoms
+        except AttributeError:
+            pass
+        if isinstance(self, (Top, Bottom)):
+            result: FrozenSet[Formula] = frozenset()
+        elif isinstance(self, Not):
+            result = self.child.atoms()
+        elif isinstance(self, (And, Or)):
+            result = frozenset().union(*(c.atoms() for c in self.children))
+        else:
+            result = frozenset({self})
+        object.__setattr__(self, "_atoms", result)
+        return result
 
     def variables(self) -> FrozenSet[str]:
-        """Return the names of all variables occurring in this formula."""
-        out: set = set()
-        for node in walk(self):
-            collect = getattr(node, "_variables", None)
-            if collect is not None:
-                out.update(collect())
-        return frozenset(out)
+        """Return the names of all variables in this formula (cached)."""
+        try:
+            return self._vars
+        except AttributeError:
+            pass
+        if isinstance(self, (Top, Bottom)):
+            result: FrozenSet[str] = frozenset()
+        elif isinstance(self, Not):
+            result = self.child.variables()
+        elif isinstance(self, (And, Or)):
+            result = frozenset().union(
+                *(c.variables() for c in self.children)
+            )
+        else:
+            collect = getattr(self, "_variables", None)
+            result = collect() if collect is not None else frozenset()
+        object.__setattr__(self, "_vars", result)
+        return result
+
+    def sorted_variables(self) -> Tuple[str, ...]:
+        """Return the variable names sorted, cached per node.
+
+        The evaluation cache keys on the values a valuation assigns to
+        exactly these names, in exactly this order.
+        """
+        try:
+            return self._svars
+        except AttributeError:
+            result = tuple(sorted(self.variables()))
+            object.__setattr__(self, "_svars", result)
+            return result
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Top(Formula):
     """The always-true condition (the paper's unconditioned tuples)."""
 
     __slots__ = ()
 
+    def _fields(self) -> tuple:
+        return ()
+
     def __repr__(self) -> str:
         return "true"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Bottom(Formula):
     """The always-false condition (tuples that never appear)."""
 
     __slots__ = ()
+
+    def _fields(self) -> tuple:
+        return ()
 
     def __repr__(self) -> str:
         return "false"
@@ -86,7 +203,7 @@ TOP = Top()
 BOTTOM = Bottom()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Not(Formula):
     """Negation of a sub-formula."""
 
@@ -94,11 +211,14 @@ class Not(Formula):
 
     __slots__ = ("child",)
 
+    def _fields(self) -> tuple:
+        return (self.child,)
+
     def __repr__(self) -> str:
         return f"~{self.child!r}" if is_atom(self.child) else f"~({self.child!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class And(Formula):
     """Conjunction over a non-empty tuple of children.
 
@@ -110,11 +230,14 @@ class And(Formula):
 
     __slots__ = ("children",)
 
+    def _fields(self) -> tuple:
+        return (self.children,)
+
     def __repr__(self) -> str:
         return "(" + " & ".join(repr(c) for c in self.children) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Or(Formula):
     """Disjunction over a non-empty tuple of children.
 
@@ -125,8 +248,36 @@ class Or(Formula):
 
     __slots__ = ("children",)
 
+    def _fields(self) -> tuple:
+        return (self.children,)
+
     def __repr__(self) -> str:
         return "(" + " | ".join(repr(c) for c in self.children) + ")"
+
+
+def hashcons(cls, *fields) -> Formula:
+    """Return the canonical node ``cls(*fields)``, creating it if needed.
+
+    Plain positional construction is equivalent (``Formula.__new__``
+    consults the intern table itself), but this entry point returns a hit
+    without re-entering the dataclass ``__init__``, so the smart
+    constructors pay only a dictionary probe on the hot path.
+    """
+    global _intern_hits
+    node = _INTERN_TABLE.get((cls, fields))
+    if node is not None:
+        _intern_hits += 1
+        return node
+    return cls(*fields)
+
+
+def interning_stats() -> dict:
+    """Return live-size and hit/miss counters of the intern table."""
+    return {
+        "live_nodes": len(_INTERN_TABLE),
+        "hits": _intern_hits,
+        "misses": _intern_misses,
+    }
 
 
 def is_atom(formula: Formula) -> bool:
@@ -135,7 +286,11 @@ def is_atom(formula: Formula) -> bool:
 
 
 def walk(formula: Formula) -> Iterator[Formula]:
-    """Yield every sub-formula of *formula*, including itself (pre-order)."""
+    """Yield every sub-formula of *formula*, including itself (pre-order).
+
+    Children are visited left to right, so the order matches the formula
+    as written (and as rendered by ``repr``).
+    """
     stack = [formula]
     while stack:
         node = stack.pop()
@@ -143,7 +298,7 @@ def walk(formula: Formula) -> Iterator[Formula]:
         if isinstance(node, Not):
             stack.append(node.child)
         elif isinstance(node, (And, Or)):
-            stack.extend(node.children)
+            stack.extend(reversed(node.children))
 
 
 def _flatten(kind: type, formulas: Iterable[Formula]) -> Iterator[Formula]:
@@ -152,6 +307,17 @@ def _flatten(kind: type, formulas: Iterable[Formula]) -> Iterator[Formula]:
             yield from formula.children
         else:
             yield formula
+
+
+def _complemented(seen: list, seen_set: set) -> bool:
+    """True when *seen* contains some phi together with ~phi.
+
+    Every complemented pair contains a ``Not`` whose child is also a
+    sibling, so one set intersection finds all of them without allocating
+    a negation per child.
+    """
+    negated = {f.child for f in seen if isinstance(f, Not)}
+    return bool(negated) and not negated.isdisjoint(seen_set)
 
 
 def conj(*formulas: Formula) -> Formula:
@@ -170,14 +336,13 @@ def conj(*formulas: Formula) -> Formula:
             continue
         seen.append(formula)
         seen_set.add(formula)
-    for formula in seen:
-        if neg(formula) in seen_set:
-            return BOTTOM
+    if _complemented(seen, seen_set):
+        return BOTTOM
     if not seen:
         return TOP
     if len(seen) == 1:
         return seen[0]
-    return And(tuple(seen))
+    return hashcons(And, tuple(seen))
 
 
 def disj(*formulas: Formula) -> Formula:
@@ -194,14 +359,13 @@ def disj(*formulas: Formula) -> Formula:
             continue
         seen.append(formula)
         seen_set.add(formula)
-    for formula in seen:
-        if neg(formula) in seen_set:
-            return TOP
+    if _complemented(seen, seen_set):
+        return TOP
     if not seen:
         return BOTTOM
     if len(seen) == 1:
         return seen[0]
-    return Or(tuple(seen))
+    return hashcons(Or, tuple(seen))
 
 
 def neg(formula: Formula) -> Formula:
@@ -212,4 +376,4 @@ def neg(formula: Formula) -> Formula:
         return TOP
     if isinstance(formula, Not):
         return formula.child
-    return Not(formula)
+    return hashcons(Not, formula)

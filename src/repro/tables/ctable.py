@@ -119,7 +119,7 @@ class CTable(Table):
         Extension: a condition every valuation must satisfy.
     """
 
-    __slots__ = ("_rows", "_arity", "_domains", "_global")
+    __slots__ = ("_rows", "_arity", "_domains", "_global", "_vars_cache")
 
     system_name = "c-table"
 
@@ -161,6 +161,7 @@ class CTable(Table):
         self._rows: Tuple[CRow, ...] = tuple(normalized)
         self._arity = arity
         self._global = global_condition
+        self._vars_cache: Optional[FrozenSet[str]] = None
         if domains is not None:
             domains = {name: tuple(values) for name, values in domains.items()}
             missing = self.variables() - set(domains)
@@ -228,10 +229,17 @@ class CTable(Table):
         return f"{type(self).__name__}[{self._arity}]{{{body}}}{suffix}"
 
     def variables(self) -> FrozenSet[str]:
-        names = set(self._global.variables())
-        for row in self._rows:
-            names |= row.all_variables()
-        return frozenset(names)
+        """Return every variable in tuples, conditions, and the global.
+
+        Cached: the table is immutable and the set is consulted by world
+        enumeration, finite-domain checks, and every lifted operator.
+        """
+        if self._vars_cache is None:
+            names = set(self._global.variables())
+            for row in self._rows:
+                names |= row.all_variables()
+            self._vars_cache = frozenset(names)
+        return self._vars_cache
 
     def constants(self) -> FrozenSet[Hashable]:
         """Return every constant in tuples, conditions, and the global condition."""

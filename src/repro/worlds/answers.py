@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from repro.errors import NoWorldsError
 from repro.core.domain import Domain
 from repro.core.instance import Instance
 from repro.core.idatabase import IDatabase
@@ -25,10 +26,20 @@ from repro.tables.base import Table
 
 
 def certain_answer(query: Query, idb: IDatabase) -> Instance:
-    """Return the tuples of ``q(I)`` common to all worlds ``I ∈ I``."""
+    """Return the tuples of ``q(I)`` common to all worlds ``I ∈ I``.
+
+    Raises :class:`~repro.errors.NoWorldsError` when the incomplete
+    database has no worlds at all (e.g. a table whose global condition is
+    unsatisfiable): the intersection over zero worlds is vacuously "all
+    tuples", not the empty answer.
+    """
     answers = [apply_query(query, instance) for instance in idb]
     if not answers:
-        return Instance((), arity=query.arity)
+        raise NoWorldsError(
+            "certain answer over an empty set of possible worlds is "
+            "undefined (vacuously every tuple); the representation admits "
+            "no world at all"
+        )
     rows = set(answers[0].rows)
     for answer in answers[1:]:
         rows &= answer.rows

@@ -147,6 +147,67 @@ class TestDifferenceIntersectionBar:
         assert result.apply_valuation({"x": 3}) == Instance([], arity=1)
 
 
+class TestLiftedEdgeCases:
+    """Arity-0 operands, empty operands, and domain-merge failures."""
+
+    def test_arity_zero_difference(self):
+        # The row-equality condition degenerates to TOP: the empty tuple
+        # always equals itself, so () − () is empty whenever () is present
+        # on the right.
+        left = CTable([()], arity=0)
+        right = CTable([()], arity=0)
+        result = difference_bar(left, right)
+        assert result.arity == 0
+        assert result.mod().instances == frozenset(
+            {Instance((), arity=0)}
+        )
+
+    def test_arity_zero_intersection(self):
+        left = CTable([()], arity=0)
+        right = CTable([()], arity=0)
+        result = intersection_bar(left, right)
+        assert result.mod().instances == frozenset(
+            {Instance([()], arity=0)}
+        )
+
+    def test_arity_zero_difference_with_conditional_right(self):
+        left = CTable([()], arity=0)
+        right = CTable([((), eq(X, 1))], arity=0)
+        result = difference_bar(left, right)
+        assert result.apply_valuation({"x": 1}) == Instance((), arity=0)
+        assert result.apply_valuation({"x": 2}) == Instance([()], arity=0)
+
+    def test_empty_operand_tables(self):
+        empty = CTable((), arity=2)
+        filled = CTable([(1, 2)], arity=2)
+        assert len(difference_bar(filled, empty)) == 1
+        assert len(difference_bar(empty, filled)) == 0
+        assert len(intersection_bar(filled, empty)) == 0
+        assert len(product_bar(empty, filled)) == 0
+        assert len(union_bar(empty, empty)) == 0
+        assert union_bar(empty, filled).mod().instances == frozenset(
+            {Instance([(1, 2)])}
+        )
+
+    def test_merge_domains_conflict_rejected(self):
+        left = CTable([(X,)], domains={"x": [1, 2]})
+        right = CTable([(X,)], domains={"x": [1, 3]})
+        with pytest.raises(TableError):
+            union_bar(left, right)
+
+    def test_merge_infinite_with_finite_rejected(self):
+        infinite = CTable([(X,)])
+        finite = CTable([(Y,)], domains={"y": [1, 2]})
+        with pytest.raises(TableError):
+            product_bar(infinite, finite)
+
+    def test_merge_disjoint_domains_union(self):
+        left = CTable([(X,)], domains={"x": [1, 2]})
+        right = CTable([(Y,)], domains={"y": [3]})
+        merged = product_bar(left, right)
+        assert merged.domains == {"x": (1, 2), "y": (3,)}
+
+
 class TestTranslation:
     def test_constant_relations_embedded(self):
         table = CTable([(7,)])

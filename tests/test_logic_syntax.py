@@ -63,6 +63,16 @@ class TestConstructors:
     def test_disj_detects_shallow_tautology(self):
         assert disj(A, neg(A)) is TOP
 
+    def test_conj_contradiction_deep_in_flattened_children(self):
+        # Regression: the complement scan must catch a & ~a even when the
+        # pair only meets after nested conjunctions are flattened.
+        from repro.logic.atoms import BoolVar
+
+        fillers = [BoolVar(f"deep{i}") for i in range(40)]
+        buried = conj(*fillers[:20], conj(A, conj(*fillers[20:])))
+        assert conj(buried, neg(A)) is BOTTOM
+        assert disj(neg(A), disj(*fillers, A)) is TOP
+
     def test_single_child_unwraps(self):
         assert conj(A) is A
         assert disj(A) is A
@@ -111,6 +121,15 @@ class TestTraversal:
         visited = list(walk(formula))
         assert A in visited and B in visited and C in visited
         assert formula in visited
+
+    def test_walk_is_preorder_left_to_right(self):
+        inner = disj(B, neg(C))
+        formula = conj(A, inner)
+        assert list(walk(formula)) == [formula, A, inner, B, neg(C), C]
+
+    def test_walk_order_matches_children_order(self):
+        formula = conj(C, B, A)
+        assert list(walk(formula))[1:] == [C, B, A]
 
     def test_atoms_collects_atoms(self):
         formula = conj(A, disj(B, neg(C)))

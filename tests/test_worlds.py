@@ -60,6 +60,37 @@ class TestAnswers:
         assert len(possible_answer_table(query, table)) == 2
 
 
+class TestNoWorlds:
+    """certain_answer must not conflate "no worlds" with "no certain tuples"."""
+
+    def test_empty_idatabase_raises(self):
+        from repro.errors import NoWorldsError
+
+        idb = IDatabase((), arity=1)
+        with pytest.raises(NoWorldsError):
+            certain_answer(rel("V", 1), idb)
+
+    def test_unsatisfiable_global_condition_raises(self):
+        from repro.errors import NoWorldsError
+        from repro.logic.syntax import BOTTOM
+
+        table = CTable(
+            [(X,)], domains={"x": [1, 2]}, global_condition=eq(X, 3)
+        )
+        with pytest.raises(NoWorldsError):
+            certain_answer_table(rel("V", 1), table)
+
+    def test_empty_instance_is_still_a_world(self):
+        # A world with no tuples is not "no worlds": empty answer, no error.
+        idb = IDatabase([Instance((), arity=1)], arity=1)
+        answer = certain_answer(rel("V", 1), idb)
+        assert len(answer) == 0
+
+    def test_nonempty_worlds_unchanged(self):
+        idb = IDatabase([Instance([(1,), (2,)]), Instance([(1,)])])
+        assert certain_answer(rel("V", 1), idb) == relation((1,))
+
+
 class TestComparisons:
     def test_witness_domain_covers_constants_and_variables(self):
         a = CTable([((1, X), ne(X, 5))])

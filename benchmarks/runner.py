@@ -1,17 +1,18 @@
-"""Benchmark runner: executes the E01–E20 suite and times the PR's fast paths.
+"""Benchmark runner: executes the E01–E24 suite and times the PR's fast paths.
 
-Produces a ``BENCH_*.json`` so every PR records its performance story::
+Produces ``BENCH_*.json`` files so every PR records its performance
+story::
 
     PYTHONPATH=src python benchmarks/runner.py            # full run
     PYTHONPATH=src python benchmarks/runner.py --quick    # CI-sized run
 
-Two things happen:
+Three things happen:
 
 1. the ``bench_e01..e20`` pytest files run (``--benchmark-disable``: each
    benchmarked callable executes once, asserting the paper artifacts
    still regenerate);
 2. headline workloads are timed **against the seed code paths, which
-   remain in-tree**:
+   remain in-tree** (written to ``--output``, default ``BENCH_pr1.json``):
 
    - ``join_heavy`` — an E08-style plan ``π̄[0,3](σ̄[1=2](L ×̄ R))``.
      Seed route: ``select_bar(product_bar(...))`` (blind nested loop);
@@ -23,6 +24,21 @@ Two things happen:
      valuation restriction).
    - ``condition_engine`` — repeated condition composition/simplify on
      shared sub-formulas, reporting interning hit rates.
+
+3. the **planner ablations E21–E24** run (written to
+   ``--planner-output``, default ``BENCH_pr2.json``): each workload
+   evaluates the same query verbatim (``optimize=False``) and through
+   the rule-based optimizer (``optimize=True``), asserts
+   ``ctables_equivalent`` on the two answers, and reports the speedup:
+
+   - ``e21_selection_pushdown`` — one-sided selections high above a
+     product; pushdown shrinks both sides before pairing.
+   - ``e22_join_reordering`` — a three-way join written in the worst
+     order; the greedy reorder joins through the small relation first.
+   - ``e23_deep_plan`` — projection + selection pushdown through a deep
+     plan with a difference on top.
+   - ``e24_dead_branch`` — a union with an unsatisfiable branch over an
+     expensive product; SAT-based pruning skips the whole region.
 
 The workloads are sized so the full run finishes in well under a minute;
 ``--quick`` shrinks them further for CI.
@@ -45,14 +61,27 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from repro import CTable, Var, conj, eq, ne  # noqa: E402
-from repro.algebra import col_eq, diff, proj, prod, rel, sel  # noqa: E402
+from repro.algebra import (  # noqa: E402
+    col_eq,
+    col_eq_const,
+    diff,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
 from repro.ctalgebra.lifted import (  # noqa: E402
     join_bar,
     product_bar,
     project_bar,
     select_bar,
 )
-from repro.ctalgebra.translate import apply_query_to_ctable  # noqa: E402
+from repro.ctalgebra.translate import (  # noqa: E402
+    apply_query_to_ctable,
+    translate_query,
+)
+from repro.worlds.compare import ctables_equivalent  # noqa: E402
 from repro.logic.evaluation import (  # noqa: E402
     clear_evaluation_caches,
     evaluation_cache_stats,
@@ -211,6 +240,152 @@ def run_condition_engine(width: int, repeats: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Workloads: planner ablations E21–E24 (verbatim vs optimized plans)
+# ----------------------------------------------------------------------
+
+def _planner_ablation(query, tables, repeats: int) -> dict:
+    """Time the verbatim and optimized routes; assert identical Mod.
+
+    Both arms include plan construction (the optimizer's own cost is
+    charged to the optimized route), and ``ctables_equivalent`` checks
+    the two answers over a joint witness domain before timing.
+    """
+    verbatim_table = translate_query(query, tables)
+    optimized_table = translate_query(query, tables, optimize=True)
+    equivalent = ctables_equivalent(verbatim_table, optimized_table)
+    assert equivalent, "optimized plan diverged from the verbatim plan"
+    baseline = _timed(lambda: translate_query(query, tables), repeats)
+    optimized = _timed(
+        lambda: translate_query(query, tables, optimize=True), repeats
+    )
+    return {
+        "answer_rows": len(optimized_table),
+        "equivalent": equivalent,
+        "baseline_seconds": baseline,
+        "optimized_seconds": optimized,
+        "speedup": baseline / optimized if optimized else float("inf"),
+    }
+
+
+def run_e21_selection_pushdown(rows: int, repeats: int) -> dict:
+    """E21 — one-sided selections above a product.
+
+    The verbatim route finds no cross-operand equijoin, so it pays the
+    full nested loop before filtering; pushdown filters each side to a
+    sliver first.
+    """
+    x = Var("x")
+    left = CTable(
+        [((i % 13, i % 11), ne(x, i % 3)) for i in range(rows)]
+        + [((x, 0), eq(x, 1))],
+        arity=2,
+    )
+    right = CTable([(i % 13, i % 7) for i in range(rows)], arity=2)
+    query = sel(
+        prod(rel("L", 2), rel("R", 2)),
+        conj(col_eq_const(0, 3), col_eq_const(2, 5)),
+    )
+    result = _planner_ablation(query, {"L": left, "R": right}, repeats)
+    result["rows_per_side"] = rows
+    return result
+
+
+def run_e22_join_reordering(rows: int, repeats: int) -> dict:
+    """E22 — a three-way join written in the worst order.
+
+    ``A × B`` shares no join column, so the verbatim left-deep plan
+    materializes their full product before ``C`` restricts anything;
+    the greedy reorder joins through the small ``C`` first.
+    """
+    small = rows // 12 + 2
+    a = CTable([(i % 9, i % 23) for i in range(rows)], arity=2)
+    b = CTable([(i % 7, i % 19) for i in range(rows)], arity=2)
+    c = CTable([(i % 23, (i * 3) % 19) for i in range(small)], arity=2)
+    query = sel(
+        prod(prod(rel("A", 2), rel("B", 2)), rel("C", 2)),
+        conj(col_eq(1, 4), col_eq(3, 5)),
+    )
+    result = _planner_ablation(query, {"A": a, "B": b, "C": c}, repeats)
+    result["rows_per_big_side"] = rows
+    result["rows_small_side"] = small
+    return result
+
+
+def run_e23_deep_plan(rows: int, repeats: int) -> dict:
+    """E23 — pushdown through a deep plan with a difference on top."""
+    x = Var("x")
+    left = CTable(
+        [((i % 11, i % 13), ne(x, i % 2)) for i in range(rows)], arity=2
+    )
+    right = CTable([(i % 13, i % 5) for i in range(rows)], arity=2)
+    s = CTable([(i % 7, i % 3) for i in range(rows)], arity=2)
+    inner = proj(
+        sel(
+            prod(rel("L", 2), rel("R", 2)),
+            conj(col_eq_const(0, 1), col_eq(1, 2)),
+        ),
+        [0, 3],
+    )
+    outer = proj(
+        sel(prod(inner, rel("S", 2)), col_eq_const(2, 4)), [1, 3]
+    )
+    query = diff(outer, proj(rel("S", 2), [1, 0]))
+    result = _planner_ablation(
+        query, {"L": left, "R": right, "S": s}, repeats
+    )
+    result["rows_per_side"] = rows
+    return result
+
+
+def run_e24_dead_branch(rows: int, repeats: int) -> dict:
+    """E24 — a union with an unsatisfiable branch over a big product.
+
+    Verbatim evaluation builds every pair only for each condition to
+    fold to ``false``; the optimizer proves the selection unsatisfiable
+    (DPLL + congruence) and prunes the whole region to an empty table
+    that keeps the branch's domains and global condition.
+    """
+    left = CTable([(i % 13, i % 11) for i in range(rows)], arity=2)
+    right = CTable([(i % 11, i % 7) for i in range(rows)], arity=2)
+    good = proj(rel("L", 2), [0, 1])
+    dead = proj(
+        sel(
+            prod(rel("L", 2), rel("R", 2)),
+            conj(col_eq_const(0, 1), col_eq_const(0, 2)),
+        ),
+        [0, 3],
+    )
+    query = union(good, dead)
+    result = _planner_ablation(query, {"L": left, "R": right}, repeats)
+    result["rows_per_side"] = rows
+    return result
+
+
+PLANNER_WORKLOADS = (
+    ("e21_selection_pushdown", run_e21_selection_pushdown),
+    ("e22_join_reordering", run_e22_join_reordering),
+    ("e23_deep_plan", run_e23_deep_plan),
+    ("e24_dead_branch", run_e24_dead_branch),
+)
+
+
+def run_planner_suite(rows: int, repeats: int) -> dict:
+    workloads = {}
+    for name, runner in PLANNER_WORKLOADS:
+        print(f"== {name} (verbatim plan vs rule-based optimizer) ==")
+        result = runner(rows, repeats)
+        workloads[name] = result
+        print(
+            f"   {result['baseline_seconds']*1000:.1f}ms -> "
+            f"{result['optimized_seconds']*1000:.1f}ms "
+            f"({result['speedup']:.1f}x), "
+            f"{result['answer_rows']} answer rows, "
+            f"equivalent={result['equivalent']}"
+        )
+    return workloads
+
+
+# ----------------------------------------------------------------------
 # The E01–E20 pytest suite
 # ----------------------------------------------------------------------
 
@@ -269,12 +444,19 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pr1.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--planner-output",
+        default=str(REPO_ROOT / "BENCH_pr2.json"),
+        help="where to write the planner-ablation (E21–E24) JSON report",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
         join_rows, plans, diff_rows, width, repeats = 60, 2, 9, 40, 1
+        planner_rows = 60
     else:
         join_rows, plans, diff_rows, width, repeats = 250, 3, 12, 120, 3
+        planner_rows = 250
 
     report = {
         "meta": {
@@ -314,6 +496,16 @@ def main(argv=None) -> int:
         f"{engine['intern_live_nodes']} live nodes"
     )
 
+    planner_report = {
+        "meta": {
+            "label": Path(args.planner_output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+            "rows": planner_rows,
+        },
+        "workloads": run_planner_suite(planner_rows, repeats),
+    }
+
     if not args.skip_suite:
         print("== E01–E20 suite ==")
         suite = run_suite(args.quick)
@@ -326,9 +518,19 @@ def main(argv=None) -> int:
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")
 
+    planner_output = Path(args.planner_output)
+    planner_output.write_text(json.dumps(planner_report, indent=2) + "\n")
+    print(f"wrote {planner_output}")
+
+    planner_workloads = planner_report["workloads"].values()
+    best_planner_speedup = max(
+        workload["speedup"] for workload in planner_workloads
+    )
     failed = (
         report["suite"].get("exit_code", 0) != 0
         or report["workloads"]["join_heavy"]["speedup"] < 1.0
+        or not all(w["equivalent"] for w in planner_workloads)
+        or best_planner_speedup < (1.0 if args.quick else 5.0)
     )
     return 1 if failed else 0
 

@@ -1,0 +1,84 @@
+"""Query plans: inspecting and optimizing the lifted algebra.
+
+Run with ``PYTHONPATH=src python examples/plan_explain.py``.
+
+Theorem 4 says *any* relational-algebra formulation of a query yields a
+``Mod``-equal answer c-table — which frees the engine to pick a better
+formulation than the one the query was written in.  This example writes
+a deliberately bad plan (selection far above a product, projection
+applied last), renders the plan the engine would run verbatim and the
+plan the rule-based optimizer picks instead (``explain()``), and checks
+that both routes produce semantically identical answers.
+"""
+
+import time
+
+from repro import CTable, Var, col_eq, col_eq_const, conj, ne, proj, prod, rel, sel
+from repro.ctalgebra import collect_stats, explain, plan_for_query
+from repro.ctalgebra.translate import translate_query
+from repro.worlds import ctables_equivalent
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Two mid-sized c-tables and a badly written query.
+    #
+    # The query says: take the full cross product of suppliers and
+    # shipments, then keep pairs that agree on the part column, with
+    # the supplier in region 3 — and only then project the two columns
+    # we wanted.  Verbatim evaluation pays for every pair.
+    # ------------------------------------------------------------------
+    x = Var("x")
+    suppliers = CTable(
+        [((i % 13, i % 7), ne(x, i % 3)) for i in range(120)], arity=2
+    )
+    shipments = CTable([(i % 7, i % 11) for i in range(120)], arity=2)
+    tables = {"Sup": suppliers, "Ship": shipments}
+
+    query = proj(
+        sel(
+            prod(rel("Sup", 2), rel("Ship", 2)),
+            conj(col_eq(1, 2), col_eq_const(0, 3)),
+        ),
+        [0, 3],
+    )
+    print("The query as written:")
+    print(f"  {query!r}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The two plans, with the optimizer's cardinality estimates.
+    # ------------------------------------------------------------------
+    stats = collect_stats(tables)
+    verbatim_plan = plan_for_query(query, tables)
+    optimized_plan = plan_for_query(query, tables, optimize=True)
+    print("Verbatim plan (selection fused into a join, nothing moved):")
+    print(explain(verbatim_plan, stats))
+    print()
+    print("Optimized plan (constant selection pushed below the join):")
+    print(explain(optimized_plan, stats))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Same Mod, different speed.
+    # ------------------------------------------------------------------
+    start = time.perf_counter()
+    verbatim_answer = translate_query(query, tables)
+    verbatim_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    optimized_answer = translate_query(query, tables, optimize=True)
+    optimized_seconds = time.perf_counter() - start
+    assert ctables_equivalent(verbatim_answer, optimized_answer)
+    print(
+        f"verbatim:  {verbatim_seconds * 1000:7.1f}ms, "
+        f"{len(verbatim_answer)} answer rows"
+    )
+    print(
+        f"optimized: {optimized_seconds * 1000:7.1f}ms, "
+        f"{len(optimized_answer)} answer rows"
+    )
+    print("ctables_equivalent: True — Theorem 4 at work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,7 +82,13 @@ from repro.tables import (
     ctable_of,
 )
 from repro.algebra.parser import format_query, parse_query
-from repro.ctalgebra import apply_query_to_ctable, translate_query
+from repro.ctalgebra import (
+    apply_query_to_ctable,
+    explain,
+    optimize_plan,
+    plan_for_query,
+    translate_query,
+)
 from repro.provenance import (
     ctable_lineage,
     ctable_lineage_matches_provenance,
@@ -157,7 +163,8 @@ __all__ = [
     "OrSetTable", "QRow", "QTable", "RAPropTable", "RSetsTable",
     "RXorEquivTable", "VTable", "ctable_of",
     # c-table algebra
-    "apply_query_to_ctable", "translate_query",
+    "apply_query_to_ctable", "explain", "optimize_plan", "plan_for_query",
+    "translate_query",
     # parser & provenance (§9 extensions)
     "format_query", "parse_query", "ctable_lineage",
     "ctable_lineage_matches_provenance", "lineage_formula",

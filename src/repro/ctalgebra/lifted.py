@@ -206,16 +206,65 @@ def _rows_equal_condition(first: CRow, second: CRow) -> Formula:
     )
 
 
+def _constant_row_key(row: CRow) -> Optional[tuple]:
+    """The row's tuple of constant values, or None if any entry is a Var."""
+    key = []
+    for term in row.values:
+        if not isinstance(term, Const):
+            return None
+        key.append(term.value)
+    return tuple(key)
+
+
+def _matching_right_rows(right: CTable):
+    """Index the right operand for ``−̄``/``∩̄`` tuple-equality pairing.
+
+    Two all-constant rows with syntactically unequal tuples have a
+    ``false`` equality condition, which ``conj``/``disj`` fold away — so
+    those pairs contribute nothing and never need their ``eq``
+    conjunction built.  All-constant right rows are hash-bucketed by
+    tuple (mirroring ``join_bar``'s partitioning); rows with a variable
+    entry stay symbolic and pair with every left row.  Returns a
+    function mapping a left row to the relevant right rows *in original
+    right-operand order*, so the composed conditions are structurally
+    identical to the blind nested loop's.
+    """
+    buckets: Dict[tuple, list] = {}
+    symbolic_indices = []
+    for index, row in enumerate(right.rows):
+        key = _constant_row_key(row)
+        if key is None:
+            symbolic_indices.append(index)
+        else:
+            buckets.setdefault(key, []).append(index)
+
+    def candidates(row: CRow):
+        key = _constant_row_key(row)
+        if key is None:
+            return right.rows
+        matched = buckets.get(key)
+        if matched is None:
+            indices = symbolic_indices
+        elif symbolic_indices:
+            indices = sorted(matched + symbolic_indices)
+        else:
+            indices = matched
+        return [right.rows[index] for index in indices]
+
+    return candidates
+
+
 def difference_bar(left: CTable, right: CTable) -> CTable:
     """``−̄``: keep ``t₁`` unless some ``t₂`` is present and equal to it."""
     if left.arity != right.arity:
         raise ArityError(f"arity mismatch: {left.arity} vs {right.arity}")
+    candidates = _matching_right_rows(right)
     rows = []
     for l in left.rows:
         absent_in_right = conj(
             *(
                 neg(conj(r.condition, _rows_equal_condition(l, r)))
-                for r in right.rows
+                for r in candidates(l)
             )
         )
         rows.append(CRow(l.values, conj(l.condition, absent_in_right)))
@@ -226,12 +275,13 @@ def intersection_bar(left: CTable, right: CTable) -> CTable:
     """``∩̄``: keep ``t₁`` when some ``t₂`` is present and equal to it."""
     if left.arity != right.arity:
         raise ArityError(f"arity mismatch: {left.arity} vs {right.arity}")
+    candidates = _matching_right_rows(right)
     rows = []
     for l in left.rows:
         present_in_right = disj(
             *(
                 conj(r.condition, _rows_equal_condition(l, r))
-                for r in right.rows
+                for r in candidates(l)
             )
         )
         rows.append(CRow(l.values, conj(l.condition, present_in_right)))

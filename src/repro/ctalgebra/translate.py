@@ -2,107 +2,82 @@
 
 Replacing each operator ``u`` of a relational-algebra expression by its
 lifted counterpart ``ū`` gives the c-table algebra expression ``q̄`` with
-``Mod(q̄(T)) = q(Mod(T))`` (Theorem 4).  :func:`apply_query_to_ctable`
-performs the replacement and evaluation in one recursive pass.
+``Mod(q̄(T)) = q(Mod(T))`` (Theorem 4).  The translation is explicit
+about *plans* now: the query AST is first lowered to a
+:class:`~repro.ctalgebra.plan.PlanNode` tree, optionally rewritten by
+the rule-based optimizer, and then executed through the lifted
+operators.
 
 Constant relations become variable-free c-tables; the input relation
-name(s) resolve to caller-supplied c-tables.  The optional
-``simplify_conditions`` flag runs the condition simplifier at every
-operator — benchmark E08 ablates its effect on condition growth.
+name(s) resolve to caller-supplied c-tables.  Two knobs:
+
+- ``simplify_conditions`` runs the condition simplifier at every
+  operator — benchmark E08 ablates its effect on condition growth.  The
+  fused equijoin fast path is used either way: the fused ``⋈̄`` result
+  is structurally identical to ``σ̄`` over ``×̄``, so simplifying *it*
+  keeps the ablation like-for-like (previously the fast path was
+  silently skipped whenever simplification was on, so E08 compared
+  different plans).
+- ``optimize`` runs the Theorem-4-sound rewrite rules of
+  :mod:`repro.ctalgebra.optimize` (selection/projection pushdown, join
+  reordering, dead-branch pruning) before execution — benchmarks
+  E21–E24 ablate the planner.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.errors import QueryError
-from repro.algebra.ast import (
-    ConstRel,
-    Difference,
-    Intersection,
-    Product,
-    Project,
-    Query,
-    RelVar,
-    Select,
-    Union,
+from repro.algebra.ast import Query
+from repro.tables.ctable import CTable
+from repro.ctalgebra.plan import (
+    PlanNode,
+    collect_stats,
+    execute_plan,
+    plan_from_query,
 )
-from repro.tables.ctable import CRow, CTable, make_row
-from repro.ctalgebra.lifted import (
-    difference_bar,
-    intersection_bar,
-    join_bar,
-    product_bar,
-    project_bar,
-    select_bar,
-    union_bar,
-)
+from repro.ctalgebra.optimize import fuse_joins, optimize_plan
 
 
-def constant_ctable(node: ConstRel) -> CTable:
-    """Embed a constant relation as a variable-free c-table."""
-    rows = [make_row(row) for row in node.instance]
-    return CTable(rows, arity=node.instance.arity)
+def plan_for_query(
+    query: Query,
+    tables: Mapping[str, CTable],
+    optimize: bool = False,
+) -> PlanNode:
+    """The plan ``translate_query`` would execute for *query*.
+
+    With ``optimize=False`` this is the verbatim plan with selections
+    over products fused into joins (the seed evaluation order); with
+    ``optimize=True`` the full rewrite pipeline runs against statistics
+    of the bound tables.
+    """
+    plan = plan_from_query(query)
+    if optimize:
+        return optimize_plan(plan, collect_stats(tables))
+    return fuse_joins(plan)
 
 
 def translate_query(
     query: Query,
     tables: Mapping[str, CTable],
     simplify_conditions: bool = False,
+    optimize: bool = False,
 ) -> CTable:
     """Evaluate ``q̄`` on c-table inputs bound by name.
 
     The result is a c-table representing ``q(Mod(T))``; its domains and
     global condition are inherited from the inputs.
     """
-    def recurse(node: Query) -> CTable:
-        if isinstance(node, RelVar):
-            table = tables.get(node.name)
-            if table is None:
-                raise QueryError(f"no c-table bound for name {node.name!r}")
-            if table.arity != node.rel_arity:
-                raise QueryError(
-                    f"c-table {node.name!r} has arity {table.arity}, "
-                    f"query expects {node.rel_arity}"
-                )
-            return table
-        if isinstance(node, ConstRel):
-            return constant_ctable(node)
-        if isinstance(node, Project):
-            result = project_bar(recurse(node.child), node.columns)
-        elif isinstance(node, Select):
-            # σ̄ directly above ×̄ fuses into a join with an equijoin
-            # fast path; the result is structurally identical to the
-            # composed operators.  With per-operator simplification the
-            # intermediate product must be simplified too, so the fused
-            # form is skipped to keep the ablation honest.
-            if isinstance(node.child, Product) and not simplify_conditions:
-                result = join_bar(
-                    recurse(node.child.left),
-                    recurse(node.child.right),
-                    node.predicate,
-                )
-            else:
-                result = select_bar(recurse(node.child), node.predicate)
-        elif isinstance(node, Product):
-            result = product_bar(recurse(node.left), recurse(node.right))
-        elif isinstance(node, Union):
-            result = union_bar(recurse(node.left), recurse(node.right))
-        elif isinstance(node, Difference):
-            result = difference_bar(recurse(node.left), recurse(node.right))
-        elif isinstance(node, Intersection):
-            result = intersection_bar(recurse(node.left), recurse(node.right))
-        else:
-            raise QueryError(f"unknown query node {node!r}")
-        if simplify_conditions:
-            result = result.simplified()
-        return result
-
-    return recurse(query)
+    plan = plan_for_query(query, tables, optimize=optimize)
+    return execute_plan(plan, tables, simplify_conditions=simplify_conditions)
 
 
 def apply_query_to_ctable(
-    query: Query, table: CTable, simplify_conditions: bool = False
+    query: Query,
+    table: CTable,
+    simplify_conditions: bool = False,
+    optimize: bool = False,
 ) -> CTable:
     """Evaluate ``q̄(T)`` for a single-input query.
 
@@ -117,4 +92,9 @@ def apply_query_to_ctable(
                 f"arity {table.arity}"
             )
     bindings = {name: table for name in names}
-    return translate_query(query, bindings, simplify_conditions)
+    return translate_query(
+        query,
+        bindings,
+        simplify_conditions=simplify_conditions,
+        optimize=optimize,
+    )

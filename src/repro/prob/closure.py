@@ -21,16 +21,24 @@ from repro.prob.pdatabase import PDatabase
 
 
 def answer_pctable(
-    query: Query, pctable: PCTable, simplify_conditions: bool = False
+    query: Query,
+    pctable: PCTable,
+    simplify_conditions: bool = False,
+    optimize: bool = False,
 ) -> PCTable:
     """Return the pc-table representing ``q(Mod(T))``.
 
     This is the paper's solution to the query-answering problem of
     [15, 22, 34]: translate ``q`` to ``q̄``, apply it to the underlying
-    c-table, and keep the variable distributions.
+    c-table, and keep the variable distributions.  ``optimize=True``
+    runs the plan rewrites of :mod:`repro.ctalgebra.optimize` first —
+    sound here too, because Theorem 9 rides entirely on Theorem 4.
     """
     answered = apply_query_to_ctable(
-        query, pctable.table, simplify_conditions=simplify_conditions
+        query,
+        pctable.table,
+        simplify_conditions=simplify_conditions,
+        optimize=optimize,
     )
     # Drop domains: the PCTable constructor re-derives them from the
     # distributions' supports (answer tables keep all input variables).
@@ -44,8 +52,10 @@ def image_pdatabase(query: Query, pdb: PDatabase) -> PDatabase:
     return pdb.map_instances(lambda instance: apply_query(query, instance))
 
 
-def verify_prob_closure(query: Query, pctable: PCTable) -> bool:
+def verify_prob_closure(
+    query: Query, pctable: PCTable, optimize: bool = False
+) -> bool:
     """Check Theorem 9 on one (query, pc-table) pair, exactly."""
-    via_algebra = answer_pctable(query, pctable).mod()
+    via_algebra = answer_pctable(query, pctable, optimize=optimize).mod()
     via_image = image_pdatabase(query, pctable.mod())
     return via_algebra == via_image

@@ -34,14 +34,21 @@ from repro.prob.closure import answer_pctable, image_pdatabase
 from repro.prob.pctable import BooleanPCTable, PCTable
 
 
-def lineage_of(query: Query, pctable: PCTable, row: Row) -> Formula:
+def lineage_of(
+    query: Query, pctable: PCTable, row: Row, optimize: bool = False
+) -> Formula:
     """Return the lineage of *row* in ``q(T)``: its membership condition.
 
     The condition decorating ``t`` in ``q̄(T)`` is the tuple's lineage
     a.k.a. why-provenance (the paper's Section 9 observation); this
     function materializes it as a formula over the table's variables.
+    ``optimize=True`` evaluates ``q̄`` through the plan optimizer; the
+    lineage may then be a syntactically different but equivalent
+    formula, so its probability is unchanged.
     """
-    return answer_pctable(query, pctable).membership_condition(row)
+    return answer_pctable(
+        query, pctable, optimize=optimize
+    ).membership_condition(row)
 
 
 def tuple_probability_naive(
@@ -54,10 +61,10 @@ def tuple_probability_naive(
 
 
 def tuple_probability_lineage(
-    query: Query, pctable: PCTable, row: Row
+    query: Query, pctable: PCTable, row: Row, optimize: bool = False
 ) -> Fraction:
     """P[t ∈ q(I)] by Shannon counting of the lineage formula."""
-    lineage = lineage_of(query, pctable, row)
+    lineage = lineage_of(query, pctable, row, optimize=optimize)
     from repro.logic.counting import probability
 
     return probability(lineage, pctable.distributions)
@@ -68,13 +75,14 @@ def tuple_probability_bdd(
     pctable: BooleanPCTable,
     row: Row,
     order: Optional[Sequence[str]] = None,
+    optimize: bool = False,
 ) -> Fraction:
     """P[t ∈ q(I)] by OBDD compilation of the lineage (boolean tables).
 
     *order* fixes the BDD variable order (sorted names by default);
     benchmark E18 compares orders.
     """
-    lineage = lineage_of(query, pctable, row)
+    lineage = lineage_of(query, pctable, row, optimize=optimize)
     if not is_boolean_condition(lineage):
         raise ProbabilityError(
             "BDD evaluation requires a boolean lineage; general pc-tables "

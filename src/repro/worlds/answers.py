@@ -28,21 +28,32 @@ from repro.tables.base import Table
 def certain_answer(query: Query, idb: IDatabase) -> Instance:
     """Return the tuples of ``q(I)`` common to all worlds ``I ∈ I``.
 
+    The intersection is computed incrementally: ``Mod`` is exponential
+    in the variable count, so materializing every world's answer first
+    (as the seed did) is the memory hot spot.  One world's answer is
+    held at a time, and once the running intersection is empty no
+    further world can change it, so the enumeration stops early.
+
     Raises :class:`~repro.errors.NoWorldsError` when the incomplete
     database has no worlds at all (e.g. a table whose global condition is
     unsatisfiable): the intersection over zero worlds is vacuously "all
     tuples", not the empty answer.
     """
-    answers = [apply_query(query, instance) for instance in idb]
-    if not answers:
+    rows = None
+    for instance in idb:
+        answer = apply_query(query, instance)
+        if rows is None:
+            rows = set(answer.rows)
+        else:
+            rows &= answer.rows
+        if not rows:
+            return Instance((), arity=query.arity)
+    if rows is None:
         raise NoWorldsError(
             "certain answer over an empty set of possible worlds is "
             "undefined (vacuously every tuple); the representation admits "
             "no world at all"
         )
-    rows = set(answers[0].rows)
-    for answer in answers[1:]:
-        rows &= answer.rows
     return Instance(rows, arity=query.arity)
 
 

@@ -76,10 +76,18 @@ def ctables_equivalent(left: CTable, right: CTable, extra: int = 0) -> bool:
 
 
 def lemma1_holds(
-    query: Query, table: CTable, valuation: Mapping[str, Hashable]
+    query: Query,
+    table: CTable,
+    valuation: Mapping[str, Hashable],
+    optimize: bool = False,
 ) -> bool:
-    """Check Lemma 1 at one valuation: ``ν(q̄(T)) = q(ν(T))``."""
-    translated = apply_query_to_ctable(query, table)
+    """Check Lemma 1 at one valuation: ``ν(q̄(T)) = q(ν(T))``.
+
+    With ``optimize=True`` the identity is checked for the *optimized*
+    plan — every rewrite is classically sound, so it must hold there
+    too; the planner property tests rely on this.
+    """
+    translated = apply_query_to_ctable(query, table, optimize=optimize)
     left = translated.apply_valuation(valuation)
     right = apply_query(query, table.apply_valuation(valuation))
     return left == right
@@ -89,6 +97,7 @@ def closure_holds(
     query: Query,
     table: CTable,
     domain: Optional[Union[Domain, Sequence]] = None,
+    optimize: bool = False,
 ) -> bool:
     """Check Theorem 4 at Mod level: ``Mod(q̄(T)) = q(Mod(T))``.
 
@@ -103,7 +112,7 @@ def closure_holds(
             for value in _query_node_constants(row_source)
         ]
         domain = witness_domain_for(table, constants=query_constants)
-    translated = apply_query_to_ctable(query, table)
+    translated = apply_query_to_ctable(query, table, optimize=optimize)
     via_algebra = translated.mod_over(domain)
     naive = IDatabase(
         (

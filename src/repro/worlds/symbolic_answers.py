@@ -127,14 +127,19 @@ def _candidates(
 
 
 def certain_answer_symbolic(
-    query: Query, table: CTable, max_candidates: int = 100_000
+    query: Query,
+    table: CTable,
+    max_candidates: int = 100_000,
+    optimize: bool = False,
 ) -> Instance:
     """Certain answers of *query* over ``Mod(table)``, via validity.
 
     Exact over infinite and finite domains alike; never materializes a
-    single possible world.
+    single possible world.  ``optimize=True`` evaluates ``q̄`` through
+    the plan optimizer — the answer table is ``Mod``-equal, so the same
+    tuples are certain.
     """
-    answered = apply_query_to_ctable(query, table)
+    answered = apply_query_to_ctable(query, table, optimize=optimize)
     rows = [
         candidate
         for candidate in _candidates(answered, max_candidates)
@@ -144,7 +149,10 @@ def certain_answer_symbolic(
 
 
 def possible_answer_symbolic(
-    query: Query, table: CTable, max_candidates: int = 100_000
+    query: Query,
+    table: CTable,
+    max_candidates: int = 100_000,
+    optimize: bool = False,
 ) -> Instance:
     """Constant possible answers of *query*, via satisfiability.
 
@@ -153,7 +161,7 @@ def possible_answer_symbolic(
     many fresh-valued possible tuples; those patterns are visible in
     ``apply_query_to_ctable(query, table)`` directly.
     """
-    answered = apply_query_to_ctable(query, table)
+    answered = apply_query_to_ctable(query, table, optimize=optimize)
     rows = [
         candidate
         for candidate in _candidates(answered, max_candidates)

@@ -29,7 +29,7 @@ Three things happen:
    ``--planner-output``, default ``BENCH_pr2.json``): each workload
    evaluates the same query verbatim (``optimize=False``) and through
    the rule-based optimizer (``optimize=True``), asserts
-   ``ctables_equivalent`` on the two answers, and reports the speedup:
+   ``ctables_equivalent`` on the two answers, and reports the speedup;
 
    - ``e21_selection_pushdown`` — one-sided selections high above a
      product; pushdown shrinks both sides before pairing.
@@ -40,8 +40,26 @@ Three things happen:
    - ``e24_dead_branch`` — a union with an unsatisfiable branch over an
      expensive product; SAT-based pruning skips the whole region.
 
-The workloads are sized so the full run finishes in well under a minute;
-``--quick`` shrinks them further for CI.
+4. the **engine/session workloads E25–E27** run (written to
+   ``--engine-output``, default ``BENCH_pr3.json``), ablating the
+   session layer against the flat per-call API:
+
+   - ``e25_prepared_hot_loop`` — one query executed ``iters`` times.
+     Legacy route: ``apply_query_to_ctable`` per call (re-translates
+     and re-plans every time); prepared route: one ``Session.prepare``,
+     plan cached in the engine's LRU, execution only per call.  A third
+     arm re-plans with the optimizer per call to isolate the caching
+     gain from the plan-quality gain.
+   - ``e26_registry_coercion`` — an or-set table queried repeatedly.
+     Legacy route re-runs ``ctable_of`` per call; the session registry
+     coerces once at ``register`` and caches per-table stats.
+   - ``e27_mixed_session`` — a workload over four representation
+     systems at once (c-table, ?-table, or-set table, pc-table),
+     including a two-relation join; the session serves all of it from
+     cached coercions and cached plans.
+
+The workloads are sized so the full run finishes in a couple of minutes;
+``--quick`` shrinks them for CI.
 """
 
 from __future__ import annotations
@@ -60,7 +78,21 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro import CTable, Var, conj, eq, ne  # noqa: E402
+from repro import (  # noqa: E402
+    CTable,
+    Engine,
+    OrSet,
+    OrSetRow,
+    OrSetTable,
+    PCTable,
+    QRow,
+    QTable,
+    Var,
+    conj,
+    ctable_of,
+    eq,
+    ne,
+)
 from repro.algebra import (  # noqa: E402
     col_eq,
     col_eq_const,
@@ -369,6 +401,273 @@ PLANNER_WORKLOADS = (
 )
 
 
+# ----------------------------------------------------------------------
+# Workloads: engine/session ablations E25–E27 (flat API vs Session)
+# ----------------------------------------------------------------------
+
+def _hot_loop_table(rows: int) -> CTable:
+    x, y = Var("x"), Var("y")
+    entries = [((i % 13, i % 7), ne(x, i % 3)) for i in range(rows)]
+    entries.append(((x, 1), eq(x, 2)))
+    entries.append(((y, 3), ne(y, 1)))
+    return CTable(entries, arity=2)
+
+
+HOT_QUERY = proj(
+    sel(
+        prod(rel("V", 2), rel("V", 2)),
+        conj(col_eq(1, 2), col_eq_const(0, 3)),
+    ),
+    [0, 3],
+)
+
+
+def run_e25_prepared_hot_loop(rows: int, iters: int, repeats: int) -> dict:
+    """E25 — one repeated query: per-call flat API vs a prepared session.
+
+    The flat route re-translates and re-plans ``q̄`` on every call (the
+    pre-engine behavior of every top-level function); the session plans
+    once — optimizer on, plan memoized in the engine's LRU keyed on
+    (query, schema, stats fingerprint) — and pays only execution per
+    call.  ``replanned`` runs the optimizer per call to split the gain:
+    plan *quality* (baseline/replanned) vs plan *caching*
+    (replanned/prepared).
+    """
+    table = _hot_loop_table(rows)
+    engine = Engine()
+    session = engine.session(V=table)
+    prepared = session.prepare(HOT_QUERY)
+
+    flat = apply_query_to_ctable(HOT_QUERY, table)
+    replanned = apply_query_to_ctable(HOT_QUERY, table, optimize=True)
+    hot = prepared.execute()
+    equivalent = ctables_equivalent(flat, hot) and ctables_equivalent(
+        replanned, hot
+    )
+    assert equivalent, "prepared diverged from the flat API"
+
+    def flat_loop():
+        for _ in range(iters):
+            apply_query_to_ctable(HOT_QUERY, table)
+
+    def replanned_loop():
+        for _ in range(iters):
+            apply_query_to_ctable(HOT_QUERY, table, optimize=True)
+
+    def prepared_loop():
+        for _ in range(iters):
+            prepared.execute()
+
+    baseline = _timed(flat_loop, repeats)
+    replanned_time = _timed(replanned_loop, repeats)
+    cached = _timed(prepared_loop, repeats)
+    return {
+        "rows_per_table": rows + 2,
+        "iterations": iters,
+        "answer_rows": len(hot),
+        "equivalent": equivalent,
+        "baseline_seconds": baseline,
+        "replanned_seconds": replanned_time,
+        "optimized_seconds": cached,
+        "speedup": baseline / cached if cached else float("inf"),
+        "speedup_caching_only": (
+            replanned_time / cached if cached else float("inf")
+        ),
+        "plan_cache": engine.plan_cache_stats(),
+    }
+
+
+def _orset_inventory(rows: int) -> OrSetTable:
+    entries = []
+    for i in range(rows):
+        entries.append(
+            OrSetRow(
+                (i % 17, OrSet((i % 5, (i + 1) % 5, (i + 2) % 5))),
+                i % 4 == 0,
+            )
+        )
+    return OrSetTable(entries, arity=2)
+
+
+def run_e26_registry_coercion(rows: int, iters: int, repeats: int) -> dict:
+    """E26 — repeated queries over a weak representation system.
+
+    The flat route must embed the or-set table into a c-table
+    (``ctable_of``) on every call; the registry coerces once at
+    ``register`` and caches the embedding and its statistics.
+    """
+    inventory = _orset_inventory(rows)
+    query = proj(sel(rel("O", 2), col_eq_const(1, 2)), [0])
+    engine = Engine()
+    session = engine.session(O=inventory)
+    prepared = session.prepare(query)
+
+    # Equivalence: structurally identical against the same-plan flat
+    # route over the registry's coerced table (coerced tables have one
+    # variable per or-set cell, so a full-size Mod enumeration is
+    # infeasible by design) ...
+    hot = prepared.execute()
+    structurally_equal = (
+        apply_query_to_ctable(query, session.table("O"), optimize=True)
+        == hot
+    )
+    assert structurally_equal, "session diverged from flat API"
+    # ... plus Mod-level equivalence at a small size, where the world
+    # count is tractable.
+    small = _orset_inventory(6)
+    small_session = Engine().session(O=small)
+    mod_equivalent = ctables_equivalent(
+        apply_query_to_ctable(query, ctable_of(small)),
+        small_session.query(query).collect(),
+    )
+    assert mod_equivalent, "session diverged from flat API at Mod level"
+    equivalent = structurally_equal and mod_equivalent
+
+    # Same optimizer setting on both arms: the speedup isolates what the
+    # registry caches (coercion, statistics, the planned plan).
+    def flat_loop():
+        for _ in range(iters):
+            apply_query_to_ctable(query, ctable_of(inventory), optimize=True)
+
+    def session_loop():
+        for _ in range(iters):
+            prepared.execute()
+
+    baseline = _timed(flat_loop, repeats)
+    cached = _timed(session_loop, repeats)
+    return {
+        "orset_rows": rows,
+        "iterations": iters,
+        "answer_rows": len(hot),
+        "equivalent": equivalent,
+        "baseline_seconds": baseline,
+        "optimized_seconds": cached,
+        "speedup": baseline / cached if cached else float("inf"),
+    }
+
+
+def run_e27_mixed_session(rows: int, iters: int, repeats: int) -> dict:
+    """E27 — one session serving four representation systems at once.
+
+    A c-table joins a ?-table (a *two-relation* query the flat
+    single-table API cannot even express — it needs explicit
+    ``translate_query`` bindings), plus filters over an or-set table
+    and a pc-table.  The flat route re-coerces and re-plans per call.
+    """
+    from fractions import Fraction
+
+    x = Var("x")
+    # Finite-domain: the lifted operators refuse to mix infinite-domain
+    # tables with the finite-domain embeddings of the weak systems.
+    vtable = CTable(
+        [((i % 13, i % 7), ne(x, i % 3)) for i in range(rows)],
+        arity=2,
+        domains={"x": (0, 1, 2, 3)},
+    )
+    qtable = QTable(
+        [QRow((i % 7, i % 5), i % 3 == 0) for i in range(rows // 2)]
+    )
+    orset = _orset_inventory(rows)
+    pctable = PCTable(
+        [((i % 5, i % 3), eq(Var(f"p{i % 4}"), 1)) for i in range(rows // 4)],
+        {
+            f"p{i}": {0: Fraction(1, 3), 1: Fraction(2, 3)}
+            for i in range(4)
+        },
+        arity=2,
+    )
+    workload = [
+        (
+            "join_vq",
+            proj(
+                sel(prod(rel("V", 2), rel("Q", 2)), col_eq(1, 2)), [0, 3]
+            ),
+            {"V": vtable, "Q": qtable},
+        ),
+        (
+            "filter_orset",
+            proj(sel(rel("O", 2), col_eq_const(0, 1)), [1]),
+            {"O": orset},
+        ),
+        ("project_pc", proj(rel("P", 2), [0]), {"P": pctable}),
+    ]
+
+    engine = Engine()
+    session = engine.session(V=vtable, Q=qtable, O=orset, P=pctable)
+    prepared = {name: session.prepare(query) for name, query, _ in workload}
+
+    def flat_bindings(sources):
+        return {
+            name: (
+                source.table
+                if isinstance(source, PCTable)
+                else ctable_of(source)
+            )
+            for name, source in sources.items()
+        }
+
+    # Structural equality against the same-plan flat route over the
+    # registry's coerced tables; the coercions carry one variable per
+    # or-set cell / optional row, putting a full Mod enumeration out of
+    # reach by design (Mod soundness at small sizes is covered by E26
+    # and the engine test suite).
+    equivalent = True
+    for name, query, sources in workload:
+        flat = translate_query(
+            query,
+            {rel_name: session.table(rel_name) for rel_name in sources},
+            optimize=True,
+        )
+        equivalent = equivalent and flat == prepared[name].execute()
+        assert equivalent, name
+
+    # Same optimizer setting on both arms (cf. E25's replanned arm): the
+    # speedup isolates coercion + plan caching, not plan quality.
+    def flat_loop():
+        for _ in range(iters):
+            for name, query, sources in workload:
+                translate_query(query, flat_bindings(sources), optimize=True)
+
+    def session_loop():
+        for _ in range(iters):
+            for name, _, _ in workload:
+                prepared[name].execute()
+
+    baseline = _timed(flat_loop, repeats)
+    cached = _timed(session_loop, repeats)
+    return {
+        "rows": rows,
+        "iterations": iters,
+        "queries": [name for name, _, _ in workload],
+        "equivalent": equivalent,
+        "baseline_seconds": baseline,
+        "optimized_seconds": cached,
+        "speedup": baseline / cached if cached else float("inf"),
+    }
+
+
+ENGINE_WORKLOADS = (
+    ("e25_prepared_hot_loop", run_e25_prepared_hot_loop),
+    ("e26_registry_coercion", run_e26_registry_coercion),
+    ("e27_mixed_session", run_e27_mixed_session),
+)
+
+
+def run_engine_suite(rows: int, iters: int, repeats: int) -> dict:
+    workloads = {}
+    for name, runner in ENGINE_WORKLOADS:
+        print(f"== {name} (flat per-call API vs Session) ==")
+        result = runner(rows, iters, repeats)
+        workloads[name] = result
+        print(
+            f"   {result['baseline_seconds']*1000:.1f}ms -> "
+            f"{result['optimized_seconds']*1000:.1f}ms "
+            f"({result['speedup']:.1f}x), "
+            f"equivalent={result['equivalent']}"
+        )
+    return workloads
+
+
 def run_planner_suite(rows: int, repeats: int) -> dict:
     workloads = {}
     for name, runner in PLANNER_WORKLOADS:
@@ -449,14 +748,21 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pr2.json"),
         help="where to write the planner-ablation (E21–E24) JSON report",
     )
+    parser.add_argument(
+        "--engine-output",
+        default=str(REPO_ROOT / "BENCH_pr3.json"),
+        help="where to write the engine/session (E25–E27) JSON report",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
         join_rows, plans, diff_rows, width, repeats = 60, 2, 9, 40, 1
         planner_rows = 60
+        engine_rows, engine_iters = 24, 10
     else:
         join_rows, plans, diff_rows, width, repeats = 250, 3, 12, 120, 3
         planner_rows = 250
+        engine_rows, engine_iters = 96, 100
 
     report = {
         "meta": {
@@ -506,6 +812,17 @@ def main(argv=None) -> int:
         "workloads": run_planner_suite(planner_rows, repeats),
     }
 
+    engine_report = {
+        "meta": {
+            "label": Path(args.engine_output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+            "rows": engine_rows,
+            "iterations": engine_iters,
+        },
+        "workloads": run_engine_suite(engine_rows, engine_iters, repeats),
+    }
+
     if not args.skip_suite:
         print("== E01–E20 suite ==")
         suite = run_suite(args.quick)
@@ -522,15 +839,25 @@ def main(argv=None) -> int:
     planner_output.write_text(json.dumps(planner_report, indent=2) + "\n")
     print(f"wrote {planner_output}")
 
+    engine_output = Path(args.engine_output)
+    engine_output.write_text(json.dumps(engine_report, indent=2) + "\n")
+    print(f"wrote {engine_output}")
+
     planner_workloads = planner_report["workloads"].values()
     best_planner_speedup = max(
         workload["speedup"] for workload in planner_workloads
     )
+    engine_workloads = engine_report["workloads"].values()
+    prepared_speedup = engine_report["workloads"]["e25_prepared_hot_loop"][
+        "speedup"
+    ]
     failed = (
         report["suite"].get("exit_code", 0) != 0
         or report["workloads"]["join_heavy"]["speedup"] < 1.0
         or not all(w["equivalent"] for w in planner_workloads)
         or best_planner_speedup < (1.0 if args.quick else 5.0)
+        or not all(w["equivalent"] for w in engine_workloads)
+        or prepared_speedup < (1.0 if args.quick else 5.0)
     )
     return 1 if failed else 0
 

@@ -5,7 +5,20 @@ the weaker representation systems of Sarma et al., the c-table algebra,
 RA-/finite-completeness and algebraic completion, probability spaces
 over instances, and probabilistic c-tables with closed query answering.
 
-Quickstart::
+Quickstart — the session API (plans cached, any representation system)::
+
+    from repro import CTable, Engine, Var, eq
+
+    x = Var("x")
+    engine = Engine()
+    session = engine.session(V=CTable([((1, x), eq(x, 2))]))
+    answers = session.query("pi[2](V)")   # lazy Dataset
+    answers.collect()                     # the answer c-table q̄(T)
+    answers.certain()                     # all from ONE evaluation
+    answers.possible()
+    answers.lineage((1,))
+
+or the flat per-call functions (shims over a default engine)::
 
     from repro import CTable, Var, eq, rel, proj, apply_query_to_ctable
 
@@ -13,7 +26,8 @@ Quickstart::
     table = CTable([((1, x), eq(x, 2))])
     answer = apply_query_to_ctable(proj(rel("V", 2), [1]), table)
 
-See ``examples/quickstart.py`` and the README for the full tour.
+See ``examples/quickstart.py``, ``examples/engine_session.py`` and the
+README for the full tour.
 """
 
 from repro.errors import (
@@ -141,6 +155,15 @@ from repro.prob import (
     verify_possibilistic_closure,
     verify_prob_closure,
 )
+from repro.engine import (
+    Dataset,
+    Engine,
+    ExecutionConfig,
+    PreparedQuery,
+    Session,
+    default_engine,
+    set_default_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -188,5 +211,8 @@ __all__ = [
     "tuple_probability_naive", "verify_prob_closure",
     "DependentPCTable", "VariableNetwork", "PossibilisticCTable",
     "PossibilisticDatabase", "verify_possibilistic_closure",
+    # engine / session facade
+    "Dataset", "Engine", "ExecutionConfig", "PreparedQuery", "Session",
+    "default_engine", "set_default_engine",
     "__version__",
 ]

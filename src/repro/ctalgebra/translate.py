@@ -22,22 +22,37 @@ name(s) resolve to caller-supplied c-tables.  Two knobs:
   :mod:`repro.ctalgebra.optimize` (selection/projection pushdown, join
   reordering, dead-branch pruning) before execution — benchmarks
   E21–E24 ablate the planner.
+
+Since the engine redesign, :func:`translate_query` and
+:func:`apply_query_to_ctable` are thin shims over the module-level
+default :class:`~repro.engine.Engine` — ad-hoc calls re-plan every time;
+use :class:`~repro.engine.Session` to cache plans across repeated
+executions.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-from repro.errors import QueryError
 from repro.algebra.ast import Query
 from repro.tables.ctable import CTable
-from repro.ctalgebra.plan import (
-    PlanNode,
-    collect_stats,
-    execute_plan,
-    plan_from_query,
-)
+from repro.ctalgebra.plan import PlanNode, collect_stats, plan_from_query
 from repro.ctalgebra.optimize import fuse_joins, optimize_plan
+
+
+def build_plan(query: Query, stats_thunk, optimize: bool) -> PlanNode:
+    """The one plan-construction pipeline, shared with the engine.
+
+    *stats_thunk* supplies table statistics lazily — they are only
+    needed (and only computed) when the optimizer runs.  Both
+    :func:`plan_for_query` and :class:`repro.engine.Engine` delegate
+    here, so the plan the engine executes is by construction the plan
+    ``explain``/``plan_for_query`` describe.
+    """
+    plan = plan_from_query(query)
+    if optimize:
+        return optimize_plan(plan, stats_thunk())
+    return fuse_joins(plan)
 
 
 def plan_for_query(
@@ -52,10 +67,7 @@ def plan_for_query(
     ``optimize=True`` the full rewrite pipeline runs against statistics
     of the bound tables.
     """
-    plan = plan_from_query(query)
-    if optimize:
-        return optimize_plan(plan, collect_stats(tables))
-    return fuse_joins(plan)
+    return build_plan(query, lambda: collect_stats(tables), optimize)
 
 
 def translate_query(
@@ -69,8 +81,14 @@ def translate_query(
     The result is a c-table representing ``q(Mod(T))``; its domains and
     global condition are inherited from the inputs.
     """
-    plan = plan_for_query(query, tables, optimize=optimize)
-    return execute_plan(plan, tables, simplify_conditions=simplify_conditions)
+    from repro.engine import default_engine
+
+    return default_engine().execute(
+        query,
+        tables,
+        simplify_conditions=simplify_conditions,
+        optimize=optimize,
+    )
 
 
 def apply_query_to_ctable(
@@ -81,20 +99,19 @@ def apply_query_to_ctable(
 ) -> CTable:
     """Evaluate ``q̄(T)`` for a single-input query.
 
-    Every relation name in *query* (there is normally one) binds to the
-    same *table*, mirroring the paper's single-relation schemas.
+    The query's single relation name binds to *table*, mirroring the
+    paper's single-relation schemas.  A query mentioning *several*
+    distinct relation names raises :class:`~repro.errors.QueryError`:
+    binding them all to one table would silently compute a self-join
+    (the pre-engine behavior, which only checked arity).  Bind each name
+    explicitly via :func:`translate_query` or a
+    :class:`~repro.engine.Session`.
     """
-    names = query.relation_names()
-    for name, arity in names.items():
-        if arity != table.arity:
-            raise QueryError(
-                f"query input {name!r} has arity {arity}, c-table has "
-                f"arity {table.arity}"
-            )
-    bindings = {name: table for name in names}
-    return translate_query(
+    from repro.engine import default_engine
+
+    return default_engine().execute_single(
         query,
-        bindings,
+        table,
         simplify_conditions=simplify_conditions,
         optimize=optimize,
     )

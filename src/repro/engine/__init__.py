@@ -1,0 +1,70 @@
+"""The session-layer facade: Engine, Session, Dataset, ExecutionConfig.
+
+Primary entry point of the library::
+
+    from repro import Engine
+
+    engine = Engine()                      # optimizer on, plans cached
+    session = engine.session(V=my_table)   # any representation system
+    answers = session.query("pi[1](V)")    # lazy Dataset
+    answers.certain()                      # one shared PreparedQuery
+    answers.possible()
+    answers.lineage((1,))
+
+The module-level :func:`default_engine` backs the legacy flat functions
+(``apply_query_to_ctable``, ``certain_answer_symbolic``, ``lineage_of``,
+…), which are now thin shims; :func:`set_default_engine` swaps the
+engine they route through.  Note the shims pass their historical
+``optimize=False``/``simplify_conditions=False`` defaults explicitly,
+so swapping the engine's *config* does not change their behavior —
+sessions created from the swapped engine are what observe its config.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.cache import PlanCache
+from repro.engine.config import ExecutionConfig
+from repro.engine.session import (
+    Dataset,
+    Engine,
+    PreparedQuery,
+    Session,
+    bind_single_table,
+)
+
+_default_engine: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The engine behind the legacy top-level functions (lazily built).
+
+    Its config keeps the engine defaults (optimizer on); the shims pass
+    their own per-call overrides, so their historical
+    ``optimize=False`` / ``simplify_conditions=False`` defaults are
+    preserved exactly.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[Engine]) -> None:
+    """Replace the default engine (``None`` resets to a fresh default)."""
+    global _default_engine
+    _default_engine = engine
+
+
+__all__ = [
+    "Dataset",
+    "Engine",
+    "ExecutionConfig",
+    "PlanCache",
+    "PreparedQuery",
+    "Session",
+    "bind_single_table",
+    "default_engine",
+    "set_default_engine",
+]

@@ -1,0 +1,115 @@
+"""The LRU plan cache behind prepared queries.
+
+A cache entry is an optimized :class:`~repro.ctalgebra.plan.PlanNode`
+keyed on everything the planner's output depends on: the (interned)
+query AST, the schema of the relations it references, a fingerprint of
+the statistics the optimizer saw, and the optimize flag.  Because the
+statistics fingerprint is part of the key, a stale entry can never be
+*returned* for changed data — invalidation exists to keep the cache from
+filling up with unreachable entries and to make the re-plan-on-register
+contract observable.
+
+Entries also record which relation names they depend on, per scope (one
+scope per :class:`~repro.engine.Session`), so ``session.register`` can
+evict exactly the entries whose inputs changed and leave the rest warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Hashable, Set, Tuple
+
+
+class PlanCache:
+    """A bounded LRU mapping plan keys to planned :class:`PlanNode` trees."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[object, Hashable, FrozenSet[str]]]" = (
+            OrderedDict()
+        )
+        # (scope, relation name) -> keys of entries reading that relation.
+        self._by_dependency: Dict[Tuple[Hashable, str], Set[Hashable]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """Return the cached plan for *key*, or ``None`` (LRU-touching)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry[0]
+
+    def put(
+        self,
+        key: Hashable,
+        plan,
+        scope: Hashable,
+        dependencies: FrozenSet[str],
+    ) -> None:
+        """Insert *plan*, evicting the least-recently-used entry if full."""
+        if self._capacity == 0:
+            return
+        if key in self._entries:
+            self._unindex(key)
+            self._entries.pop(key)
+        self._entries[key] = (plan, scope, dependencies)
+        for name in dependencies:
+            self._by_dependency.setdefault((scope, name), set()).add(key)
+        while len(self._entries) > self._capacity:
+            oldest = next(iter(self._entries))
+            self._unindex(oldest)  # before the pop: _unindex reads the entry
+            del self._entries[oldest]
+            self._evictions += 1
+
+    def invalidate(self, scope: Hashable, names) -> int:
+        """Evict entries of *scope* that read any of *names*; return count."""
+        stale: Set[Hashable] = set()
+        for name in names:
+            stale |= self._by_dependency.get((scope, name), set())
+        for key in stale:
+            self._unindex(key)
+            self._entries.pop(key, None)
+        self._invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_dependency.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters since construction (``clear`` does not reset them)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "invalidations": self._invalidations,
+        }
+
+    def _unindex(self, key: Hashable) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        _, scope, dependencies = entry
+        for name in dependencies:
+            bucket = self._by_dependency.get((scope, name))
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_dependency[(scope, name)]

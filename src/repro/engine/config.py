@@ -1,0 +1,74 @@
+"""The unified execution configuration.
+
+Before the engine existed, every top-level function threaded the same
+two booleans — ``simplify_conditions`` and ``optimize`` — through its
+signature, and adding a knob meant touching ~90 call sites.
+:class:`ExecutionConfig` centralizes them: an :class:`~repro.engine.Engine`
+holds one config, sessions and prepared queries inherit it, and a call
+site that needs a deviation derives a new config with
+:meth:`ExecutionConfig.with_options` instead of growing a parameter.
+
+The config is an immutable value (frozen dataclass): two engines with
+equal configs behave identically, and a config can safely participate in
+cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Every knob of query planning and execution, in one value.
+
+    - ``optimize`` — run the Theorem-4-sound plan rewrites of
+      :mod:`repro.ctalgebra.optimize` (selection/projection pushdown,
+      join reordering, SAT dead-branch pruning).  The *engine* default is
+      on: plans are Mod-preserving either way, and the planner pays for
+      itself once plans are cached.  (The legacy top-level functions
+      keep their historical ``optimize=False`` default via explicit
+      per-call overrides.)
+    - ``simplify_conditions`` — run the condition simplifier after every
+      lifted operator; trades execution time for smaller conditions.
+    - ``plan_cache_size`` — LRU capacity of the engine's prepared-plan
+      cache; ``0`` disables plan caching entirely.
+    - ``max_candidates`` — guard on the candidate pool of symbolic
+      certain/possible answers (see
+      :mod:`repro.worlds.symbolic_answers`).
+    """
+
+    optimize: bool = True
+    simplify_conditions: bool = False
+    plan_cache_size: int = 128
+    max_candidates: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.plan_cache_size < 0:
+            raise ValueError(
+                f"plan_cache_size must be >= 0, got {self.plan_cache_size}"
+            )
+        if self.max_candidates <= 0:
+            raise ValueError(
+                f"max_candidates must be positive, got {self.max_candidates}"
+            )
+
+    def with_options(self, **options) -> "ExecutionConfig":
+        """Return a copy with the given fields replaced.
+
+        ``None`` values mean "keep the current setting", so per-call
+        override parameters can be forwarded verbatim.
+        """
+        known = {field.name for field in fields(self)}
+        unknown = set(options) - known
+        if unknown:
+            raise TypeError(
+                f"unknown execution options {sorted(unknown)}; "
+                f"known options are {sorted(known)}"
+            )
+        effective = {
+            name: value for name, value in options.items() if value is not None
+        }
+        if not effective:
+            return self
+        return replace(self, **effective)

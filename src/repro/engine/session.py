@@ -1,0 +1,736 @@
+"""Engine, Session, PreparedQuery, Dataset — the session-layer API.
+
+The paper's central claim (Theorems 4, 8–9) is architectural: *one*
+representation — c-tables, pc-tables — answers every downstream question
+(certain, possible, probabilistic, lineage) without enumerating worlds.
+The flat top-level API obscures that: each of ``certain_answer_symbolic``,
+``possible_answer_symbolic``, ``lineage_of``, ``tuple_probability_lineage``
+independently re-translates and re-plans the query and re-evaluates
+``q̄(T)``.  This module makes the shared structure explicit:
+
+- an :class:`Engine` owns an :class:`~repro.engine.config.ExecutionConfig`
+  and an LRU plan cache,
+- a :class:`Session` registers named tables of *any* representation
+  system (v-/Codd-/or-set-/?-/…/c-tables, pc-tables), coercing each to a
+  c-table once via :func:`~repro.tables.convert.ctable_of` and caching
+  per-table statistics,
+- ``session.query(q)`` returns a lazy :class:`Dataset` whose terminal
+  methods — ``collect``, ``certain``, ``possible``, ``probability``,
+  ``lineage``, ``explain`` — all share one :class:`PreparedQuery`: the
+  query is planned once (plan memoized in the engine's cache, keyed on
+  query + schema + statistics fingerprint) and ``q̄(T)`` is evaluated
+  once, then every question is answered off that single answer table.
+
+The pre-engine top-level functions survive as thin shims over a
+module-level default engine (see :func:`repro.engine.default_engine`),
+so existing code and the paper-artifact tests run unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Hashable, Mapping, Optional, Tuple, Union
+
+from repro.errors import ProbabilityError, QueryError, TableError
+from repro.core.domain import Domain
+from repro.core.instance import Instance, Row
+from repro.logic.syntax import Formula
+from repro.algebra.ast import Query
+from repro.algebra.parser import parse_query
+from repro.tables.base import Table
+from repro.tables.codd import CoddTable
+from repro.tables.ctable import CTable, make_row
+from repro.tables.convert import ctable_of
+from repro.ctalgebra.plan import (
+    PlanNode,
+    TableStats,
+    collect_stats,
+    execute_plan,
+    explain as explain_plan,
+)
+from repro.ctalgebra.translate import build_plan
+from repro.prob.pctable import PCTable
+from repro.engine.cache import PlanCache
+from repro.engine.config import ExecutionConfig
+
+
+def bind_single_table(query: Query, table: CTable) -> Dict[str, CTable]:
+    """Bindings for the paper's single-relation usage; reject self-joins
+    across *distinct* names.
+
+    The pre-engine ``apply_query_to_ctable`` bound every relation name in
+    the query to the same table and only checked arity, so a query over
+    ``R`` and ``S`` silently got self-join semantics.  Queries mentioning
+    more than one name now raise: bind each name explicitly through
+    ``translate_query(query, bindings)`` or ``Session.register``.
+    """
+    names = query.relation_names()
+    if len(names) > 1:
+        ordered = sorted(names)
+        raise QueryError(
+            f"query references relations {ordered}; binding them all to one "
+            f"table would silently compute a self-join.  Bind "
+            f"{ordered[1:]} explicitly via translate_query(query, bindings) "
+            f"or register each relation in a Session"
+        )
+    for name, arity in names.items():
+        if arity != table.arity:
+            raise QueryError(
+                f"query input {name!r} has arity {arity}, c-table has "
+                f"arity {table.arity}"
+            )
+    return {name: table for name in names}
+
+
+def _merge_distribution_sources(sources) -> Dict[str, Dict[Hashable, Fraction]]:
+    """Merge per-table variable distributions; conflicting names raise."""
+    merged: Dict[str, Dict[Hashable, Fraction]] = {}
+    for distributions in sources:
+        for variable, dist in distributions.items():
+            existing = merged.get(variable)
+            if existing is not None and existing != dict(dist):
+                raise ProbabilityError(
+                    f"variable {variable!r} has conflicting distributions "
+                    f"across registered pc-tables"
+                )
+            merged[variable] = dict(dist)
+    return merged
+
+
+class _Registered:
+    """One registry entry: the coerced c-table plus cached derived data."""
+
+    __slots__ = ("source", "ctable", "stats", "distributions")
+
+    def __init__(self, source, ctable, stats, distributions):
+        self.source = source
+        self.ctable = ctable
+        self.stats = stats
+        self.distributions = distributions
+
+
+class Engine:
+    """Holds the execution config, the plan cache, and session factory.
+
+    An engine is cheap to construct; applications typically keep one per
+    configuration.  The module-level :func:`repro.engine.default_engine`
+    backs the legacy top-level functions.
+    """
+
+    def __init__(self, config: Optional[ExecutionConfig] = None, **options):
+        if config is None:
+            config = ExecutionConfig()
+        self._config = config.with_options(**options)
+        self._plan_cache = PlanCache(self._config.plan_cache_size)
+        self._query_interning: Dict[Query, Query] = {}
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self._config
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/invalidation counters of the plan cache."""
+        return self._plan_cache.stats()
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+
+    def session(
+        self, tables: Optional[Mapping[str, object]] = None, **named
+    ) -> "Session":
+        """Create a :class:`Session`, optionally pre-registering tables."""
+        session = Session(self)
+        for name, table in {**(dict(tables) if tables else {}), **named}.items():
+            session.register(name, table)
+        return session
+
+    # ------------------------------------------------------------------
+    # Ad-hoc execution (what the legacy shims call)
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        tables: Mapping[str, CTable],
+        *,
+        simplify_conditions: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+    ) -> CTable:
+        """Evaluate ``q̄`` against ad-hoc bindings.
+
+        Ad-hoc calls re-plan every time: without a registry there is no
+        place to track statistics changes, so nothing is cached.  Use a
+        :class:`Session` for repeated queries.
+        """
+        config = self._config.with_options(
+            simplify_conditions=simplify_conditions, optimize=optimize
+        )
+        plan = build_plan(
+            query, lambda: collect_stats(tables), config.optimize
+        )
+        return execute_plan(
+            plan, tables, simplify_conditions=config.simplify_conditions
+        )
+
+    def execute_single(
+        self,
+        query: Query,
+        table: CTable,
+        *,
+        simplify_conditions: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+    ) -> CTable:
+        """Evaluate a single-relation query against one table."""
+        return self.execute(
+            query,
+            bind_single_table(query, table),
+            simplify_conditions=simplify_conditions,
+            optimize=optimize,
+        )
+
+    def answer_pctable(
+        self,
+        query: Query,
+        pctable: PCTable,
+        *,
+        simplify_conditions: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+    ) -> PCTable:
+        """Theorem 9's query answering: ``q̄`` on the underlying c-table,
+        distributions riding along untouched."""
+        answered = self.execute_single(
+            query,
+            pctable.table,
+            simplify_conditions=simplify_conditions,
+            optimize=optimize,
+        )
+        # Drop domains: the PCTable constructor re-derives them from the
+        # distributions' supports (answer tables keep all input variables).
+        return PCTable(answered.without_domains(), pctable.distributions)
+
+    # ------------------------------------------------------------------
+    # Internals shared with Session/PreparedQuery
+    # ------------------------------------------------------------------
+
+    def intern_query(self, query: Query) -> Query:
+        """Return the canonical object for structurally equal queries.
+
+        Parsing the same text twice (or rebuilding an equal AST) yields
+        the one interned object, so plan-cache keys compare by identity
+        fast-path and equal queries share cache entries.
+        """
+        canonical = self._query_interning.get(query)
+        if canonical is None:
+            # Bound the interning table; queries are tiny but unbounded
+            # growth across a long-lived engine would still be a leak.
+            if len(self._query_interning) >= 4096:
+                self._query_interning.clear()
+            self._query_interning[query] = query
+            canonical = query
+        return canonical
+
+
+class Session:
+    """A table registry plus prepared-query machinery over one engine.
+
+    Tables register under relation names and may be instances of *any*
+    representation system: c-tables pass through, every weaker system is
+    embedded via :func:`~repro.tables.convert.ctable_of` (Mod-preserving
+    by construction), pc-tables contribute their underlying c-table plus
+    their variable distributions, and plain :class:`Instance` values
+    become variable-free c-tables.  Coercion and per-table statistics
+    happen once, at registration.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._registry: Dict[str, _Registered] = {}
+        self._merged_distributions: Optional[
+            Dict[str, Dict[Hashable, Fraction]]
+        ] = None
+        self._id = next(Session._ids)
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._registry))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registry
+
+    def register(self, name: str, table) -> "Session":
+        """Register (or replace) *table* under *name*; returns ``self``.
+
+        Replacing a name invalidates exactly the cached plans that read
+        it — statistics of the other registered tables stay warm.
+        """
+        distributions = None
+        source = table
+        if isinstance(table, PCTable):
+            distributions = table.distributions
+            ctable = table.table
+        elif isinstance(table, CoddTable):
+            # Codd semantics: "every variable occurrence is an
+            # independent unknown", so name collisions across
+            # registrations (fresh_codd_table numbers nulls from zero)
+            # must never correlate two tables.
+            ctable = self._freshen_variables(name, table)
+        elif isinstance(table, CTable):
+            # v-/c-tables are NOT renamed: repeating a variable is the
+            # representation's way of *expressing* correlation, within
+            # and across tables.
+            ctable = table
+        elif isinstance(table, Table):
+            # Freshen the embedding's synthetic variable names (q0, o0,
+            # …): a weak-system table's worlds are independent of every
+            # other table's, but ctable_of numbers variables from zero
+            # for each input, and shared names would silently correlate
+            # separately registered tables.
+            ctable = self._freshen_variables(name, ctable_of(table))
+        elif isinstance(table, Instance):
+            ctable = CTable(
+                [make_row(row) for row in table], arity=table.arity
+            )
+        else:
+            raise TableError(
+                f"cannot register {type(table).__name__!r}: expected a "
+                "representation-system table, a PCTable, or an Instance"
+            )
+        self._registry[name] = _Registered(
+            source,
+            ctable,
+            TableStats.from_ctable(ctable),
+            distributions,
+        )
+        self._merged_distributions = None
+        self._engine._plan_cache.invalidate(self._id, (name,))
+        return self
+
+    def table(self, name: str) -> CTable:
+        """The registered table's (cached) c-table embedding."""
+        return self._entry(name).ctable
+
+    def source(self, name: str):
+        """The originally registered object (pre-coercion)."""
+        return self._entry(name).source
+
+    def stats(self, name: str) -> TableStats:
+        """The cached :class:`TableStats` of one registered table."""
+        return self._entry(name).stats
+
+    def distributions(self) -> Dict[str, Dict[Hashable, Fraction]]:
+        """Variable distributions merged across registered pc-tables.
+
+        Conflicting distributions for one variable name raise: variables
+        are global to a session, as they are to a c-table's valuations.
+        The merge is cached and recomputed only after ``register``.
+        """
+        if self._merged_distributions is not None:
+            return self._merged_distributions
+        merged = _merge_distribution_sources(self._distribution_sources())
+        self._merged_distributions = merged
+        return merged
+
+    def _distribution_sources(self):
+        """The registered pc-tables' distribution maps, in name order."""
+        return tuple(
+            self._registry[name].distributions
+            for name in sorted(self._registry)
+            if self._registry[name].distributions is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def parse(self, text: str) -> Query:
+        """Parse query text against the registry's relation schema."""
+        relations = {
+            name: entry.ctable.arity
+            for name, entry in self._registry.items()
+        }
+        return parse_query(text, relations)
+
+    def prepare(
+        self,
+        query: Union[Query, str],
+        *,
+        simplify_conditions: Optional[bool] = None,
+        optimize: Optional[bool] = None,
+    ) -> "PreparedQuery":
+        """Normalize, bind, and wrap *query* for repeated execution."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        query = self._engine.intern_query(query)
+        missing = sorted(
+            name
+            for name in query.relation_names()
+            if name not in self._registry
+        )
+        if missing:
+            raise QueryError(
+                f"query references unregistered relations {missing}; "
+                f"registered names are {list(self.names())}"
+            )
+        config = self._engine.config.with_options(
+            simplify_conditions=simplify_conditions, optimize=optimize
+        )
+        return PreparedQuery(self, query, config)
+
+    def query(self, query: Union[Query, str], **options) -> "Dataset":
+        """The lazy entry point: ``session.query(q).certain()`` etc."""
+        return self.prepare(query, **options).dataset()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _freshen_variables(name: str, ctable: CTable) -> CTable:
+        """Prefix the table's variables with the relation name."""
+        rename = {
+            variable: f"{name}.{variable}"
+            for variable in ctable.variables()
+        }
+        if not rename:
+            return ctable
+        return ctable.rename_variables(rename)
+
+    def _entry(self, name: str) -> _Registered:
+        entry = self._registry.get(name)
+        if entry is None:
+            raise QueryError(
+                f"no table registered under {name!r}; registered names "
+                f"are {list(self.names())}"
+            )
+        return entry
+
+    def _bindings(self, query: Query) -> Dict[str, CTable]:
+        return {
+            name: self._entry(name).ctable
+            for name in query.relation_names()
+        }
+
+    def _fingerprint(self, query: Query):
+        """(schema, statistics) parts of the plan-cache key."""
+        parts = []
+        for name in sorted(query.relation_names()):
+            entry = self._entry(name)
+            parts.append((name, entry.ctable.arity, entry.stats))
+        return tuple(parts)
+
+
+class PreparedQuery:
+    """One query, planned once against the session's current statistics.
+
+    The optimized plan is memoized in the engine's LRU plan cache keyed
+    on (query, schema, statistics fingerprint, optimize flag); as long as
+    the registry does not change, every execution — and every
+    :class:`Dataset` terminal — reuses the identical plan object.
+    """
+
+    __slots__ = ("_session", "_query", "_config")
+
+    def __init__(self, session: Session, query: Query, config: ExecutionConfig):
+        self._session = session
+        self._query = query
+        self._config = config
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self._config
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    def plan(self) -> PlanNode:
+        """The (cached) plan this query executes."""
+        session = self._session
+        engine = session.engine
+        key = (
+            session._id,
+            self._query,
+            session._fingerprint(self._query),
+            self._config.optimize,
+        )
+        cache = engine._plan_cache
+        plan = cache.get(key)
+        if plan is None:
+            names = frozenset(self._query.relation_names())
+            plan = build_plan(
+                self._query,
+                lambda: {name: session.stats(name) for name in names},
+                self._config.optimize,
+            )
+            cache.put(key, plan, session._id, names)
+        return plan
+
+    def execute(self) -> CTable:
+        """Evaluate the plan against the registry's current tables."""
+        return execute_plan(
+            self.plan(),
+            self._session._bindings(self._query),
+            simplify_conditions=self._config.simplify_conditions,
+        )
+
+    def explain(self) -> str:
+        """Render the cached plan with cardinality/condition estimates."""
+        stats = {
+            name: self._session.stats(name)
+            for name in self._query.relation_names()
+        }
+        return explain_plan(self.plan(), stats)
+
+    def dataset(self) -> "Dataset":
+        return Dataset(self)
+
+
+class Dataset:
+    """A lazy answer: nothing runs until a terminal method is called.
+
+    All terminals share the one :class:`PreparedQuery` and the one
+    evaluated answer table ``q̄(T)`` — the paper's point made executable:
+    certain/possible answers, tuple probabilities, and lineage are
+    different *readings* of the same representation, not different query
+    evaluations.
+
+    The first terminal call snapshots the registry state it needs (the
+    answer table and the variable distributions together), so every
+    reading of one dataset is consistent even if the session
+    re-registers tables afterwards; ask the session for a fresh dataset
+    to observe the new state.
+    """
+
+    __slots__ = (
+        "_prepared",
+        "_collected",
+        "_distribution_sources",
+        "_distributions",
+        "_plan",
+        "_stats",
+    )
+
+    def __init__(self, prepared: PreparedQuery):
+        self._prepared = prepared
+        self._collected: Optional[CTable] = None
+        self._distribution_sources = None
+        self._distributions: Optional[
+            Dict[str, Dict[Hashable, Fraction]]
+        ] = None
+        self._plan: Optional[PlanNode] = None
+        self._stats: Optional[Dict[str, TableStats]] = None
+
+    @property
+    def prepared(self) -> PreparedQuery:
+        return self._prepared
+
+    @property
+    def query(self) -> Query:
+        return self._prepared.query
+
+    def collect(self) -> CTable:
+        """The answer c-table ``q̄(T)`` (memoized; the lazy boundary).
+
+        The registry state the other terminals need — the plan, its
+        statistics, the pc-table distributions — is snapshotted at the
+        same moment (by reference; merging and rendering stay lazy), so
+        probability/lineage/explain readings remain consistent with the
+        answer even across later ``register`` calls.
+        """
+        if self._collected is None:
+            session = self._prepared.session
+            self._distribution_sources = session._distribution_sources()
+            self._plan = self._prepared.plan()
+            self._stats = {
+                name: session.stats(name)
+                for name in self._prepared.query.relation_names()
+            }
+            self._collected = self._prepared.execute()
+        return self._collected
+
+    def to_pctable(self) -> PCTable:
+        """The answer as a pc-table (requires registered distributions)."""
+        answered = self.collect().without_domains()
+        distributions = self._merged_distributions()
+        missing = sorted(answered.variables() - set(distributions))
+        if missing:
+            raise ProbabilityError(
+                f"answer mentions variables {missing} with no registered "
+                "distribution; register the inputs as PCTables"
+            )
+        return PCTable(answered, distributions)
+
+    def explain(self) -> str:
+        """The executed plan, annotated with estimates.
+
+        Once the dataset has collected, the plan and statistics are part
+        of its snapshot: the rendering describes the plan that produced
+        the memoized answer, not whatever a later ``register`` would
+        plan.
+        """
+        if self._plan is not None:
+            return explain_plan(self._plan, self._stats)
+        return self._prepared.explain()
+
+    # ------------------------------------------------------------------
+    # Certain / possible answers
+    # ------------------------------------------------------------------
+
+    def certain(
+        self,
+        *,
+        method: str = "symbolic",
+        domain: Optional[Union[Domain, object]] = None,
+        max_candidates: Optional[int] = None,
+    ) -> Instance:
+        """Tuples in the answer of *every* world.
+
+        ``method="symbolic"`` decides membership-condition validity (no
+        world is ever materialized); ``method="worlds"`` enumerates
+        ``Mod`` of the answer table — by Theorem 4 that equals the set
+        of per-world answers, so the intersection is the certain answer.
+        Raises :class:`~repro.errors.NoWorldsError` when the
+        representation admits no world at all (the intersection over
+        zero worlds is vacuously "every tuple").
+        """
+        if method == "symbolic":
+            self._check_method_options(method, domain, max_candidates)
+            from repro.worlds.symbolic_answers import certain_from_answer
+
+            return certain_from_answer(
+                self.collect(), self._max_candidates(max_candidates)
+            )
+        if method == "worlds":
+            self._check_method_options(method, domain, max_candidates)
+            from repro.worlds.answers import intersect_worlds
+
+            answered = self.collect()
+            return intersect_worlds(
+                self._worlds(answered, domain), answered.arity
+            )
+        raise ValueError(f"unknown method {method!r}: 'symbolic' or 'worlds'")
+
+    def possible(
+        self,
+        *,
+        method: str = "symbolic",
+        domain: Optional[Union[Domain, object]] = None,
+        max_candidates: Optional[int] = None,
+    ) -> Instance:
+        """Tuples in the answer of *some* world.
+
+        Unlike :meth:`certain`, this is well-defined over zero worlds:
+        the union over the empty family is ∅, so an unsatisfiable
+        representation yields the empty instance rather than an error.
+        With ``method="symbolic"`` only the constant possible answers
+        are returned (rows with variables denote tuple *patterns*; the
+        full description is :meth:`collect` itself).
+        """
+        if method == "symbolic":
+            self._check_method_options(method, domain, max_candidates)
+            from repro.worlds.symbolic_answers import possible_from_answer
+
+            return possible_from_answer(
+                self.collect(), self._max_candidates(max_candidates)
+            )
+        if method == "worlds":
+            self._check_method_options(method, domain, max_candidates)
+            from repro.worlds.answers import union_worlds
+
+            answered = self.collect()
+            return union_worlds(
+                self._worlds(answered, domain), answered.arity
+            )
+        raise ValueError(f"unknown method {method!r}: 'symbolic' or 'worlds'")
+
+    # ------------------------------------------------------------------
+    # Probabilistic / provenance readings
+    # ------------------------------------------------------------------
+
+    def lineage(self, row: Row) -> Formula:
+        """The condition under which *row* is in the answer (Section 9:
+        the membership condition *is* the tuple's why-provenance)."""
+        from repro.worlds.symbolic_answers import membership_condition
+
+        answered = self.collect()
+        row = tuple(row)
+        if len(row) != answered.arity:
+            raise QueryError(
+                f"tuple {row!r} has arity {len(row)}, answer has "
+                f"arity {answered.arity}"
+            )
+        return membership_condition(answered, row)
+
+    def probability(self, row: Row) -> Fraction:
+        """``P[row ∈ q(I)]`` by Shannon counting of the lineage."""
+        from repro.logic.counting import probability as formula_probability
+
+        lineage = self.lineage(row)  # collects, snapshotting distributions
+        distributions = self._merged_distributions()
+        missing = sorted(lineage.variables() - set(distributions))
+        if missing:
+            raise ProbabilityError(
+                f"lineage mentions variables {missing} with no registered "
+                "distribution; register the inputs as PCTables"
+            )
+        return formula_probability(lineage, distributions)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_method_options(method: str, domain, max_candidates) -> None:
+        """Reject options the chosen method cannot honor, loudly.
+
+        Silently dropping ``domain`` under the symbolic method (or
+        ``max_candidates`` under worlds enumeration) would let a caller
+        believe a restriction applied when it did not.
+        """
+        if method == "symbolic" and domain is not None:
+            raise ValueError(
+                "domain= applies only to method='worlds'; the symbolic "
+                "method decides validity/satisfiability exactly, without "
+                "a world enumeration to restrict"
+            )
+        if method == "worlds" and max_candidates is not None:
+            raise ValueError(
+                "max_candidates= applies only to method='symbolic'; "
+                "worlds enumeration has no candidate pool"
+            )
+
+    def _merged_distributions(self) -> Dict[str, Dict[Hashable, Fraction]]:
+        """Merge the snapshotted distributions, lazily.
+
+        The merge (and its conflict check) runs only when a
+        probabilistic reading is actually requested, so sessions whose
+        pc-tables have clashing variable names can still serve every
+        non-probabilistic query.
+        """
+        if self._distributions is None:
+            self.collect()  # ensure the sources snapshot exists
+            self._distributions = _merge_distribution_sources(
+                self._distribution_sources
+            )
+        return self._distributions
+
+    def _max_candidates(self, override: Optional[int]) -> int:
+        if override is not None:
+            return override
+        return self._prepared.config.max_candidates
+
+    @staticmethod
+    def _worlds(answered: CTable, domain):
+        from repro.worlds.answers import mod_of
+
+        return mod_of(answered, domain)

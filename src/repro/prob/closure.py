@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from repro.algebra.ast import Query
 from repro.algebra.evaluate import apply_query
-from repro.ctalgebra.translate import apply_query_to_ctable
-from repro.prob.pctable import BooleanPCTable, PCTable
+from repro.prob.pctable import PCTable
 from repro.prob.pdatabase import PDatabase
 
 
@@ -33,18 +32,19 @@ def answer_pctable(
     c-table, and keep the variable distributions.  ``optimize=True``
     runs the plan rewrites of :mod:`repro.ctalgebra.optimize` first —
     sound here too, because Theorem 9 rides entirely on Theorem 4.
+    (Shim over the default engine; register the pc-table in a
+    :class:`~repro.engine.Session` to cache plans and share the answer
+    across probability/lineage/certainty readings.)
     """
-    answered = apply_query_to_ctable(
+    from repro.engine import default_engine
+
+    answered = default_engine().answer_pctable(
         query,
-        pctable.table,
+        pctable,
         simplify_conditions=simplify_conditions,
         optimize=optimize,
     )
-    # Drop domains: the PCTable constructor re-derives them from the
-    # distributions' supports (answer tables keep all input variables).
-    return PCTable(
-        answered.without_domains(), pctable.distributions
-    )
+    return answered
 
 
 def image_pdatabase(query: Query, pdb: PDatabase) -> PDatabase:

@@ -30,7 +30,7 @@ from repro.logic.atoms import is_boolean_condition
 from repro.logic.bdd import Bdd
 from repro.logic.syntax import Formula
 from repro.algebra.ast import Query
-from repro.prob.closure import answer_pctable, image_pdatabase
+from repro.prob.closure import image_pdatabase
 from repro.prob.pctable import BooleanPCTable, PCTable
 
 
@@ -44,10 +44,14 @@ def lineage_of(
     function materializes it as a formula over the table's variables.
     ``optimize=True`` evaluates ``q̄`` through the plan optimizer; the
     lineage may then be a syntactically different but equivalent
-    formula, so its probability is unchanged.
+    formula, so its probability is unchanged.  (Shim over the default
+    engine; :meth:`repro.engine.Dataset.lineage` shares the evaluated
+    answer with the other terminals.)
     """
-    return answer_pctable(
-        query, pctable, optimize=optimize
+    from repro.engine import default_engine
+
+    return default_engine().answer_pctable(
+        query, pctable, simplify_conditions=False, optimize=optimize
     ).membership_condition(row)
 
 

@@ -10,6 +10,19 @@ Given an incomplete database ``I`` and a query ``q``:
 The paper contrasts its representation-based semantics with the certain-
 answer semantics used by [18]'s Corollary 3.1 (remark after Theorem 2);
 having both implemented lets the tests exhibit the difference.
+
+The two answers are deliberately *asymmetric* over an empty ``Mod``
+(e.g. an unsatisfiable global condition): the intersection over zero
+sets is vacuously "every tuple", which no finite instance represents, so
+:func:`certain_answer` raises :class:`~repro.errors.NoWorldsError` —
+while the union over zero sets *is* well-defined as ∅, so
+:func:`possible_answer` returns the empty instance.  The asymmetry is
+pinned by the test suite.
+
+The table-level variants route through the default
+:class:`~repro.engine.Engine`: by Theorem 4, ``Mod(q̄(T)) = q(Mod(T))``,
+so they evaluate ``q̄(T)`` once and enumerate worlds of the (usually much
+smaller) answer table instead of re-running the query in every world.
 """
 
 from __future__ import annotations
@@ -25,8 +38,8 @@ from repro.algebra.evaluate import apply_query
 from repro.tables.base import Table
 
 
-def certain_answer(query: Query, idb: IDatabase) -> Instance:
-    """Return the tuples of ``q(I)`` common to all worlds ``I ∈ I``.
+def intersect_worlds(answers, arity: int) -> Instance:
+    """Intersect an iterable of per-world answer instances.
 
     The intersection is computed incrementally: ``Mod`` is exponential
     in the variable count, so materializing every world's answer first
@@ -34,41 +47,67 @@ def certain_answer(query: Query, idb: IDatabase) -> Instance:
     held at a time, and once the running intersection is empty no
     further world can change it, so the enumeration stops early.
 
-    Raises :class:`~repro.errors.NoWorldsError` when the incomplete
-    database has no worlds at all (e.g. a table whose global condition is
-    unsatisfiable): the intersection over zero worlds is vacuously "all
-    tuples", not the empty answer.
+    Raises :class:`~repro.errors.NoWorldsError` over zero worlds: the
+    intersection over zero sets is vacuously "all tuples", not the
+    empty answer.  This is the single implementation behind
+    :func:`certain_answer` and the engine's ``Dataset.certain``.
     """
     rows = None
-    for instance in idb:
-        answer = apply_query(query, instance)
+    for instance in answers:
         if rows is None:
-            rows = set(answer.rows)
+            rows = set(instance.rows)
         else:
-            rows &= answer.rows
+            rows &= instance.rows
         if not rows:
-            return Instance((), arity=query.arity)
+            return Instance((), arity=arity)
     if rows is None:
         raise NoWorldsError(
             "certain answer over an empty set of possible worlds is "
             "undefined (vacuously every tuple); the representation admits "
             "no world at all"
         )
-    return Instance(rows, arity=query.arity)
+    return Instance(rows, arity=arity)
+
+
+def union_worlds(answers, arity: int) -> Instance:
+    """Union an iterable of per-world answer instances.
+
+    Well-defined (as ∅) over zero worlds — the single implementation
+    behind :func:`possible_answer` and the engine's
+    ``Dataset.possible``.
+    """
+    rows = set()
+    for instance in answers:
+        rows |= instance.rows
+    return Instance(rows, arity=arity)
+
+
+def certain_answer(query: Query, idb: IDatabase) -> Instance:
+    """Return the tuples of ``q(I)`` common to all worlds ``I ∈ I``.
+
+    Raises :class:`~repro.errors.NoWorldsError` when the incomplete
+    database has no worlds at all (e.g. a table whose global condition is
+    unsatisfiable): the intersection over zero worlds is vacuously "all
+    tuples", not the empty answer.  Contrast :func:`possible_answer`,
+    which *is* well-defined (as ∅) over zero worlds.
+    """
+    return intersect_worlds(
+        (apply_query(query, instance) for instance in idb), query.arity
+    )
 
 
 def possible_answer(query: Query, idb: IDatabase) -> Instance:
-    """Return the tuples of ``q(I)`` occurring in some world ``I ∈ I``."""
-    rows = set()
-    for instance in idb:
-        rows |= apply_query(query, instance).rows
-    return Instance(rows, arity=query.arity)
+    """Return the tuples of ``q(I)`` occurring in some world ``I ∈ I``.
 
-
-def _mod_of(table: Table, domain: Optional[Union[Domain, Sequence]]) -> IDatabase:
-    if domain is not None:
-        return table.mod_over(domain)
-    return table.mod()
+    Over an *empty* set of worlds this returns the empty instance rather
+    than raising: the union over zero sets is ∅, a perfectly well-defined
+    answer — deliberately asymmetric with :func:`certain_answer`, whose
+    intersection over zero worlds is vacuously "every tuple" and
+    therefore raises :class:`~repro.errors.NoWorldsError`.
+    """
+    return union_worlds(
+        (apply_query(query, instance) for instance in idb), query.arity
+    )
 
 
 def certain_answer_table(
@@ -80,8 +119,17 @@ def certain_answer_table(
 
     For tables over the infinite domain, pass the witness *domain* to
     restrict to (see :func:`repro.worlds.compare.witness_domain_for`).
+    Raises :class:`~repro.errors.NoWorldsError` when ``Mod(table)`` is
+    empty (see :func:`certain_answer`).
     """
-    return certain_answer(query, _mod_of(table, domain))
+    if not query.relation_names():
+        # A query over constants alone never scans the table, so the
+        # engine-evaluated answer would not inherit its global
+        # condition/domains — but the semantics still quantify over
+        # Mod(table): enumerate the input's worlds directly.
+        return certain_answer(query, mod_of(table, domain))
+    answered = _answered_table(query, table)
+    return intersect_worlds(mod_of(answered, domain), answered.arity)
 
 
 def possible_answer_table(
@@ -89,5 +137,42 @@ def possible_answer_table(
     table: Table,
     domain: Optional[Union[Domain, Sequence]] = None,
 ) -> Instance:
-    """Possible answer of *query* over ``Mod(table)``."""
-    return possible_answer(query, _mod_of(table, domain))
+    """Possible answer of *query* over ``Mod(table)``.
+
+    Returns the empty instance when ``Mod(table)`` is empty (the union
+    over zero worlds is ∅ — see :func:`possible_answer`).
+    """
+    if not query.relation_names():
+        # See certain_answer_table: quantify over the input's worlds.
+        return possible_answer(query, mod_of(table, domain))
+    answered = _answered_table(query, table)
+    return union_worlds(mod_of(answered, domain), answered.arity)
+
+
+def _answered_table(query: Query, table: Table):
+    """Evaluate ``q̄`` on the (coerced) table via the default engine.
+
+    By Theorem 4, ``Mod(q̄(T)) = q(Mod(T))``, so the worlds of the
+    answer table — usually far smaller than the input's — are exactly
+    the per-world answers.  ``optimize=False`` matches the historical
+    defaults of the other legacy shims; multi-relation queries get
+    ``apply_query_to_ctable``'s diagnostic from the engine's
+    single-table binding.
+    """
+    from repro.engine import default_engine
+    from repro.tables.convert import ctable_of
+
+    return default_engine().execute_single(
+        query, ctable_of(table), simplify_conditions=False, optimize=False
+    )
+
+
+def mod_of(table: Table, domain: Optional[Union[Domain, Sequence]]) -> IDatabase:
+    """``Mod(table)``, restricted to *domain* when one is given.
+
+    Shared by the table-level answer functions here and the engine's
+    ``Dataset`` worlds-method terminals.
+    """
+    if domain is not None:
+        return table.mod_over(domain)
+    return table.mod()

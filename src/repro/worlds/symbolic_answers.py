@@ -33,7 +33,6 @@ from repro.logic.atoms import Const, Var, eq
 from repro.logic.models import is_satisfiable_over
 from repro.logic.syntax import BOTTOM, Formula, conj, disj, neg
 from repro.algebra.ast import Query
-from repro.ctalgebra.translate import apply_query_to_ctable
 from repro.tables.ctable import CTable
 
 
@@ -126,6 +125,37 @@ def _candidates(
     yield from itertools.product(*columns)
 
 
+def certain_from_answer(
+    answered: CTable, max_candidates: int = 100_000
+) -> Instance:
+    """Certain tuples of an *already evaluated* answer table ``q̄(T)``.
+
+    The candidate/validity machinery without the query evaluation — this
+    is what :class:`~repro.engine.Dataset` terminals call, so certain and
+    possible answers share one evaluation of ``q̄(T)``.
+    """
+    rows = [
+        candidate
+        for candidate in _candidates(answered, max_candidates)
+        if _is_valid(answered, membership_condition(answered, candidate))
+    ]
+    return Instance(rows, arity=answered.arity)
+
+
+def possible_from_answer(
+    answered: CTable, max_candidates: int = 100_000
+) -> Instance:
+    """Constant possible tuples of an already evaluated answer table."""
+    rows = [
+        candidate
+        for candidate in _candidates(answered, max_candidates)
+        if _is_satisfiable(
+            answered, membership_condition(answered, candidate)
+        )
+    ]
+    return Instance(rows, arity=answered.arity)
+
+
 def certain_answer_symbolic(
     query: Query,
     table: CTable,
@@ -137,15 +167,16 @@ def certain_answer_symbolic(
     Exact over infinite and finite domains alike; never materializes a
     single possible world.  ``optimize=True`` evaluates ``q̄`` through
     the plan optimizer — the answer table is ``Mod``-equal, so the same
-    tuples are certain.
+    tuples are certain.  (Shim over the default engine; a
+    :class:`~repro.engine.Session` additionally caches the plan and the
+    answer table across calls.)
     """
-    answered = apply_query_to_ctable(query, table, optimize=optimize)
-    rows = [
-        candidate
-        for candidate in _candidates(answered, max_candidates)
-        if _is_valid(answered, membership_condition(answered, candidate))
-    ]
-    return Instance(rows, arity=answered.arity)
+    from repro.engine import default_engine
+
+    answered = default_engine().execute_single(
+        query, table, simplify_conditions=False, optimize=optimize
+    )
+    return certain_from_answer(answered, max_candidates)
 
 
 def possible_answer_symbolic(
@@ -161,12 +192,9 @@ def possible_answer_symbolic(
     many fresh-valued possible tuples; those patterns are visible in
     ``apply_query_to_ctable(query, table)`` directly.
     """
-    answered = apply_query_to_ctable(query, table, optimize=optimize)
-    rows = [
-        candidate
-        for candidate in _candidates(answered, max_candidates)
-        if _is_satisfiable(
-            answered, membership_condition(answered, candidate)
-        )
-    ]
-    return Instance(rows, arity=answered.arity)
+    from repro.engine import default_engine
+
+    answered = default_engine().execute_single(
+        query, table, simplify_conditions=False, optimize=optimize
+    )
+    return possible_from_answer(answered, max_candidates)

@@ -1,0 +1,215 @@
+"""Tests for the prepared-query plan cache (LRU + stats invalidation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CTable,
+    Engine,
+    Var,
+    col_eq,
+    col_eq_const,
+    ctables_equivalent,
+    diff,
+    eq,
+    intersect,
+    ne,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.engine.cache import PlanCache
+
+
+X, Y = Var("x"), Var("y")
+
+QUERY = proj(sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3])
+
+
+def make_table(rows: int = 6) -> CTable:
+    return CTable(
+        [((i % 3, i % 5), ne(X, i % 2)) for i in range(rows)]
+        + [((X, 0), eq(X, 1))],
+        arity=2,
+    )
+
+
+class TestPlanCacheHits:
+    def test_cache_hit_returns_identical_plan_object(self):
+        engine = Engine()
+        session = engine.session(V=make_table())
+        first = session.prepare(QUERY).plan()
+        before = engine.plan_cache_stats()["hits"]
+        second = session.prepare(QUERY).plan()
+        assert second is first  # the object, not merely an equal plan
+        assert engine.plan_cache_stats()["hits"] == before + 1
+
+    def test_equal_query_asts_share_the_entry(self):
+        engine = Engine()
+        session = engine.session(V=make_table())
+        rebuilt = proj(
+            sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3]
+        )
+        assert session.prepare(QUERY).plan() is session.prepare(rebuilt).plan()
+
+    def test_parsed_text_shares_the_entry(self):
+        engine = Engine()
+        session = engine.session(V=make_table())
+        text = "pi[1](sigma[1='1'](V))"
+        assert (
+            session.prepare(text).plan() is session.prepare(text).plan()
+        )
+
+    def test_dataset_terminals_reuse_the_cached_plan(self):
+        engine = Engine()
+        session = engine.session(V=make_table())
+        dataset = session.query(QUERY)
+        dataset.collect()
+        assert session.query(QUERY).prepared.plan() is dataset.prepared.plan()
+
+
+class TestInvalidation:
+    def test_re_register_causes_replan(self):
+        engine = Engine()
+        session = engine.session(V=make_table(6))
+        stale = session.prepare(QUERY).plan()
+        session.register("V", make_table(40))  # changed statistics
+        fresh = session.prepare(QUERY).plan()
+        assert fresh is not stale
+        assert engine.plan_cache_stats()["invalidations"] >= 1
+
+    def test_unrelated_register_keeps_entry_warm(self):
+        engine = Engine()
+        session = engine.session(V=make_table())
+        cached = session.prepare(QUERY).plan()
+        session.register("W", make_table(3))  # not read by QUERY
+        assert session.prepare(QUERY).plan() is cached
+
+    def test_sessions_do_not_share_entries(self):
+        engine = Engine()
+        table = make_table()
+        plan_a = engine.session(V=table).prepare(QUERY).plan()
+        misses_before = engine.plan_cache_stats()["misses"]
+        engine.session(V=table).prepare(QUERY).plan()
+        assert engine.plan_cache_stats()["misses"] == misses_before + 1
+        # The plans are equal trees even though the entries are distinct.
+        assert engine.session(V=table).prepare(QUERY).plan() == plan_a
+
+
+class TestCapacity:
+    def test_lru_evicts_oldest(self):
+        engine = Engine(plan_cache_size=2)
+        session = engine.session(V=make_table())
+        queries = [proj(rel("V", 2), [i % 2]) for i in range(2)]
+        plans = [session.prepare(q).plan() for q in queries]
+        session.prepare(QUERY).plan()  # third entry evicts the first
+        assert engine.plan_cache_stats()["evictions"] == 1
+        assert session.prepare(queries[1]).plan() is plans[1]  # still warm
+        assert session.prepare(queries[0]).plan() is not plans[0]
+
+    def test_zero_capacity_disables_caching(self):
+        engine = Engine(plan_cache_size=0)
+        session = engine.session(V=make_table())
+        assert session.prepare(QUERY).plan() is not session.prepare(QUERY).plan()
+
+    def test_clear_plan_cache(self):
+        engine = Engine()
+        session = engine.session(V=make_table())
+        cached = session.prepare(QUERY).plan()
+        engine.clear_plan_cache()
+        assert session.prepare(QUERY).plan() is not cached
+
+
+class TestPlanCacheUnit:
+    def test_invalidate_is_scoped(self):
+        cache = PlanCache(8)
+        cache.put("k1", "plan1", scope=1, dependencies=frozenset({"V"}))
+        cache.put("k2", "plan2", scope=2, dependencies=frozenset({"V"}))
+        assert cache.invalidate(1, ("V",)) == 1
+        assert cache.get("k1") is None
+        assert cache.get("k2") == "plan2"
+
+    def test_invalidate_only_named_dependencies(self):
+        cache = PlanCache(8)
+        cache.put("k1", "plan1", scope=1, dependencies=frozenset({"V"}))
+        cache.put("k2", "plan2", scope=1, dependencies=frozenset({"W"}))
+        assert cache.invalidate(1, ("W",)) == 1
+        assert cache.get("k1") == "plan1"
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(-1)
+
+    def test_lru_eviction_cleans_dependency_index(self):
+        cache = PlanCache(1)
+        cache.put("k1", "p1", scope=1, dependencies=frozenset({"A"}))
+        cache.put("k2", "p2", scope=1, dependencies=frozenset({"A"}))
+        # k1 was evicted; the dependency index must not pin it forever,
+        # and invalidation must count only the live entry.
+        assert cache.invalidate(1, ("A",)) == 1
+        assert len(cache) == 0
+
+
+def random_ctable(rng: random.Random, arity: int = 2) -> CTable:
+    rows = []
+    for index in range(rng.randrange(1, 5)):
+        values = tuple(
+            rng.choice([rng.randrange(3), X, Y]) for _ in range(arity)
+        )
+        condition = rng.choice(
+            [eq(X, rng.randrange(3)), ne(Y, rng.randrange(3))]
+        )
+        rows.append((values, condition))
+    return CTable(rows, arity=arity)
+
+
+def random_query(rng: random.Random, depth: int):
+    if depth == 0:
+        return rel("V", 2)
+    kind = rng.randrange(6)
+    if kind == 0:
+        return proj(random_query(rng, depth - 1), [rng.randrange(2), 0])
+    if kind == 1:
+        return sel(
+            random_query(rng, depth - 1),
+            rng.choice([col_eq(0, 1), col_eq_const(1, rng.randrange(3))]),
+        )
+    if kind == 2:
+        product = prod(random_query(rng, depth - 1), random_query(rng, depth - 1))
+        return proj(product, rng.sample(range(4), 2))
+    combiner = (union, diff, intersect)[kind % 3]
+    return combiner(random_query(rng, depth - 1), random_query(rng, depth - 1))
+
+
+class TestCachedResultsEquivalent:
+    """Cached-plan results must stay Mod-equal to cold-path results."""
+
+    def test_randomized_tables_and_queries(self):
+        rng = random.Random(23)
+        engine = Engine()
+        for trial in range(25):
+            table = random_ctable(rng)
+            query = random_query(rng, depth=2)
+            session = engine.session(V=table)
+            warmup = session.query(query).collect()
+            cached = session.query(query).collect()  # second run: cache hit
+            cold = Engine().session(V=table).query(query).collect()
+            assert cached == warmup, (trial, query)
+            assert ctables_equivalent(cached, cold), (trial, query)
+
+    def test_replan_after_register_stays_equivalent(self):
+        rng = random.Random(5)
+        engine = Engine()
+        session = engine.session(V=make_table())
+        for trial in range(10):
+            table = random_ctable(rng)
+            session.register("V", table)
+            query = random_query(rng, depth=2)
+            via_session = session.query(query).collect()
+            via_flat = Engine(optimize=False).session(V=table).query(query).collect()
+            assert ctables_equivalent(via_session, via_flat), (trial, query)

@@ -25,6 +25,7 @@ from repro.ctalgebra.lifted import (
 )
 from repro.ctalgebra.plan import (
     PlanNode,
+    StatsAccumulator,
     TableStats,
     collect_stats,
     estimate,
@@ -42,6 +43,7 @@ from repro.ctalgebra.translate import (
 
 __all__ = [
     "PlanNode",
+    "StatsAccumulator",
     "TableStats",
     "apply_query_to_ctable",
     "collect_stats",

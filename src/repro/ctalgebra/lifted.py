@@ -24,7 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, TableError
 from repro.logic.atoms import Const, Term, eq
-from repro.logic.syntax import BOTTOM, Formula, conj, disj, neg
+from repro.logic.syntax import BOTTOM, TOP, Formula, conj, disj, neg
 from repro.algebra.predicates import (
     check_predicate,
     instantiate_predicate,
@@ -99,13 +99,23 @@ def project_bar(table: CTable, columns: Sequence[int]) -> CTable:
 
 
 def select_bar(table: CTable, predicate: Formula) -> CTable:
-    """``σ̄_c``: conjoin the symbolically instantiated predicate."""
+    """``σ̄_c``: conjoin the symbolically instantiated predicate.
+
+    When the instantiated predicate folds to ``true`` the row is kept
+    *as-is* — same :class:`CRow`, same interned condition object — so
+    selective-free scans allocate no fresh conjunctions at all; a
+    ``false`` instantiation drops the row immediately.
+    """
     check_predicate(predicate, table.arity)
-    rows = [
-        CRow(row.values, conj(row.condition,
-                              instantiate_predicate(predicate, row.values)))
-        for row in table.rows
-    ]
+    rows = []
+    for row in table.rows:
+        instantiated = instantiate_predicate(predicate, row.values)
+        if instantiated is TOP:
+            rows.append(row)
+            continue
+        condition = conj(row.condition, instantiated)
+        if condition is not BOTTOM:
+            rows.append(CRow(row.values, condition))
     return CTable(
         rows,
         arity=table.arity,

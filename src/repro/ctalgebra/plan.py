@@ -418,6 +418,88 @@ def _formula_size(formula: Formula) -> int:
     return sum(1 for _ in walk(formula))
 
 
+class StatsAccumulator:
+    """Mutable per-table counters behind :class:`TableStats`.
+
+    ``TableStats.from_ctable`` walks every row (and every row's
+    condition formula) from scratch; a session re-registering a large
+    table that changed by a handful of rows pays that full walk again.
+    The accumulator keeps the raw integer counters — row count,
+    per-column constant refcounts, total condition nodes — so a
+    re-registration can be absorbed as a *row delta*: only the added and
+    removed rows are walked.  :meth:`stats` performs the same final
+    divisions as ``from_ctable``, so the resulting :class:`TableStats`
+    is bit-identical (the statistics fingerprint in plan/result cache
+    keys depends on it).
+    """
+
+    __slots__ = ("arity", "rows", "constant_counts", "constant_refs", "condition_nodes")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.rows = 0
+        self.constant_counts = [0] * arity
+        #: Per column: constant value -> number of rows holding it.
+        self.constant_refs: List[Dict[object, int]] = [
+            {} for _ in range(arity)
+        ]
+        self.condition_nodes = 0
+
+    @classmethod
+    def from_ctable(cls, table: CTable) -> "StatsAccumulator":
+        accumulator = cls(table.arity)
+        accumulator.add_rows(table.rows)
+        return accumulator
+
+    def add_rows(self, rows) -> None:
+        for row in rows:
+            self.rows += 1
+            self.condition_nodes += _formula_size(row.condition)
+            for index, term in enumerate(row.values):
+                if isinstance(term, Const):
+                    self.constant_counts[index] += 1
+                    refs = self.constant_refs[index]
+                    refs[term.value] = refs.get(term.value, 0) + 1
+
+    def remove_rows(self, rows) -> None:
+        for row in rows:
+            self.rows -= 1
+            self.condition_nodes -= _formula_size(row.condition)
+            for index, term in enumerate(row.values):
+                if isinstance(term, Const):
+                    self.constant_counts[index] -= 1
+                    refs = self.constant_refs[index]
+                    remaining = refs[term.value] - 1
+                    if remaining:
+                        refs[term.value] = remaining
+                    else:
+                        del refs[term.value]
+
+    def apply_delta(self, old_rows, new_rows) -> None:
+        """Shift the counters from the *old_rows* multiset to *new_rows*."""
+        from collections import Counter
+
+        before = Counter(old_rows)
+        after = Counter(new_rows)
+        self.add_rows((after - before).elements())
+        self.remove_rows((before - after).elements())
+
+    def stats(self) -> TableStats:
+        """The equivalent ``TableStats.from_ctable`` result."""
+        total = self.rows
+        if total == 0:
+            return TableStats(
+                0, tuple(ColumnStats(1.0, 0) for _ in range(self.arity)), 0.0
+            )
+        columns = tuple(
+            ColumnStats(
+                self.constant_counts[i] / total, len(self.constant_refs[i])
+            )
+            for i in range(self.arity)
+        )
+        return TableStats(total, columns, self.condition_nodes / total)
+
+
 @dataclass(frozen=True)
 class Estimate:
     """Planner estimate for one node: output rows, condition size, columns."""
@@ -667,7 +749,12 @@ def explain(
 # Execution
 # ----------------------------------------------------------------------
 
-def _resolve_scan(node: Scan, tables: Mapping[str, CTable]) -> CTable:
+def resolve_scan(node: Scan, tables: Mapping[str, CTable]) -> CTable:
+    """The bound table of a :class:`Scan`, arity-checked.
+
+    Shared with the physical runtime (:mod:`repro.physical`), which
+    resolves leaves the same way before columnar-izing them.
+    """
     table = tables.get(node.name)
     if table is None:
         raise QueryError(f"no c-table bound for name {node.name!r}")
@@ -679,12 +766,13 @@ def _resolve_scan(node: Scan, tables: Mapping[str, CTable]) -> CTable:
     return table
 
 
-def _const_table(instance: Instance) -> CTable:
+def const_table(instance: Instance) -> CTable:
+    """A constant relation as a variable-free c-table."""
     rows = [make_row(row) for row in instance]
     return CTable(rows, arity=instance.arity)
 
 
-def _empty_table(node: EmptyNode, tables: Mapping[str, CTable]) -> CTable:
+def empty_table(node: EmptyNode, tables: Mapping[str, CTable]) -> CTable:
     """The empty c-table carrying the pruned region's domains and globals.
 
     Mirrors what folding the region's operators through
@@ -697,9 +785,9 @@ def _empty_table(node: EmptyNode, tables: Mapping[str, CTable]) -> CTable:
     global_condition = TOP
     for source in node.sources:
         if isinstance(source, Scan):
-            table = _resolve_scan(source, tables)
+            table = resolve_scan(source, tables)
         elif isinstance(source, ConstScan):
-            table = _const_table(source.instance)
+            table = const_table(source.instance)
         else:
             raise QueryError(f"unexpected pruned source {source!r}")
         if table.domains is None and table.variables():
@@ -738,11 +826,11 @@ def execute_plan(
 
     def recurse(node: PlanNode) -> CTable:
         if isinstance(node, Scan):
-            return _resolve_scan(node, tables)
+            return resolve_scan(node, tables)
         if isinstance(node, ConstScan):
-            return _const_table(node.instance)
+            return const_table(node.instance)
         if isinstance(node, EmptyNode):
-            return _empty_table(node, tables)
+            return empty_table(node, tables)
         if isinstance(node, ProjectNode):
             result = project_bar(recurse(node.child), node.columns)
         elif isinstance(node, SelectNode):

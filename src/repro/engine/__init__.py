@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.engine.cache import PlanCache
+from repro.engine.cache import PlanCache, ResultCache
 from repro.engine.config import ExecutionConfig
 from repro.engine.session import (
     Dataset,
@@ -63,6 +63,7 @@ __all__ = [
     "ExecutionConfig",
     "PlanCache",
     "PreparedQuery",
+    "ResultCache",
     "Session",
     "bind_single_table",
     "default_engine",

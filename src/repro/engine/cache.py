@@ -1,4 +1,4 @@
-"""The LRU plan cache behind prepared queries.
+"""The LRU caches behind prepared queries: plans and answer tables.
 
 A cache entry is an optimized :class:`~repro.ctalgebra.plan.PlanNode`
 keyed on everything the planner's output depends on: the (interned)
@@ -12,6 +12,12 @@ contract observable.
 Entries also record which relation names they depend on, per scope (one
 scope per :class:`~repro.engine.Session`), so ``session.register`` can
 evict exactly the entries whose inputs changed and leave the rest warm.
+
+:class:`ResultCache` reuses the identical machinery for *answer tables*
+(``q̄(T)`` results): c-tables are immutable values and the only way a
+session's inputs change is ``register``, which invalidates by relation
+name — so a repeated identical read can be served without touching the
+physical plan at all.
 """
 
 from __future__ import annotations
@@ -113,3 +119,19 @@ class PlanCache:
                 bucket.discard(key)
                 if not bucket:
                     del self._by_dependency[(scope, name)]
+
+
+class ResultCache(PlanCache):
+    """A bounded LRU mapping read keys to answer :class:`CTable` objects.
+
+    Keys mirror the plan cache's — (session scope, interned query,
+    schema + statistics fingerprint, the config fields that shape the
+    answer) — and entries are invalidated per relation on re-register.
+    Correctness rests on that synchronous invalidation: the statistics
+    fingerprint narrows accidental key reuse but is an aggregate two
+    distinct tables can share, so any new table-mutation path MUST call
+    ``invalidate`` like ``Session.register`` does.  Within an unchanged
+    registry, c-table immutability makes sharing the cached answer safe.
+    """
+
+    __slots__ = ()

@@ -31,8 +31,17 @@ class ExecutionConfig:
       per-call overrides.)
     - ``simplify_conditions`` — run the condition simplifier after every
       lifted operator; trades execution time for smaller conditions.
+    - ``executor`` — ``"vectorized"`` runs plans through the physical
+      batch runtime of :mod:`repro.physical` (the default);
+      ``"interpreted"`` keeps the recursive lifted-operator evaluation
+      as the oracle.  The two produce structurally identical answer
+      tables, so the knob is purely about speed.
     - ``plan_cache_size`` — LRU capacity of the engine's prepared-plan
       cache; ``0`` disables plan caching entirely.
+    - ``result_cache_size`` — LRU capacity of the engine's answer-table
+      cache (memoizes ``q̄(T)`` across datasets for repeated identical
+      reads; invalidated per relation on re-``register``); ``0``
+      disables result caching.
     - ``max_candidates`` — guard on the candidate pool of symbolic
       certain/possible answers (see
       :mod:`repro.worlds.symbolic_answers`).
@@ -40,13 +49,24 @@ class ExecutionConfig:
 
     optimize: bool = True
     simplify_conditions: bool = False
+    executor: str = "vectorized"
     plan_cache_size: int = 128
+    result_cache_size: int = 64
     max_candidates: int = 100_000
 
     def __post_init__(self) -> None:
+        if self.executor not in ("interpreted", "vectorized"):
+            raise ValueError(
+                f"executor must be 'interpreted' or 'vectorized', "
+                f"got {self.executor!r}"
+            )
         if self.plan_cache_size < 0:
             raise ValueError(
                 f"plan_cache_size must be >= 0, got {self.plan_cache_size}"
+            )
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be >= 0, got {self.result_cache_size}"
             )
         if self.max_candidates <= 0:
             raise ValueError(

@@ -44,14 +44,22 @@ from repro.tables.ctable import CTable, make_row
 from repro.tables.convert import ctable_of
 from repro.ctalgebra.plan import (
     PlanNode,
+    StatsAccumulator,
     TableStats,
     collect_stats,
     execute_plan,
     explain as explain_plan,
 )
 from repro.ctalgebra.translate import build_plan
+from repro.physical import (
+    PhysicalOp,
+    execute_physical,
+    execute_plan_vectorized,
+    explain_physical,
+    lower,
+)
 from repro.prob.pctable import PCTable
-from repro.engine.cache import PlanCache
+from repro.engine.cache import PlanCache, ResultCache
 from repro.engine.config import ExecutionConfig
 
 
@@ -101,13 +109,25 @@ def _merge_distribution_sources(sources) -> Dict[str, Dict[Hashable, Fraction]]:
 class _Registered:
     """One registry entry: the coerced c-table plus cached derived data."""
 
-    __slots__ = ("source", "ctable", "stats", "distributions")
+    __slots__ = ("source", "ctable", "stats", "accumulator", "distributions")
 
-    def __init__(self, source, ctable, stats, distributions):
+    def __init__(self, source, ctable, stats, accumulator, distributions):
         self.source = source
         self.ctable = ctable
         self.stats = stats
+        self.accumulator = accumulator
         self.distributions = distributions
+
+
+class _PlanEntry:
+    """What the plan cache stores per key: the logical plan, and the
+    physical plan lowered from it on first vectorized execution."""
+
+    __slots__ = ("logical", "physical")
+
+    def __init__(self, logical: PlanNode) -> None:
+        self.logical = logical
+        self.physical: Optional[PhysicalOp] = None
 
 
 class Engine:
@@ -123,6 +143,7 @@ class Engine:
             config = ExecutionConfig()
         self._config = config.with_options(**options)
         self._plan_cache = PlanCache(self._config.plan_cache_size)
+        self._result_cache = ResultCache(self._config.result_cache_size)
         self._query_interning: Dict[Query, Query] = {}
 
     @property
@@ -135,6 +156,13 @@ class Engine:
 
     def clear_plan_cache(self) -> None:
         self._plan_cache.clear()
+
+    def result_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/invalidation counters of the result cache."""
+        return self._result_cache.stats()
+
+    def clear_result_cache(self) -> None:
+        self._result_cache.clear()
 
     def session(
         self, tables: Optional[Mapping[str, object]] = None, **named
@@ -156,6 +184,7 @@ class Engine:
         *,
         simplify_conditions: Optional[bool] = None,
         optimize: Optional[bool] = None,
+        executor: Optional[str] = None,
     ) -> CTable:
         """Evaluate ``q̄`` against ad-hoc bindings.
 
@@ -164,11 +193,27 @@ class Engine:
         :class:`Session` for repeated queries.
         """
         config = self._config.with_options(
-            simplify_conditions=simplify_conditions, optimize=optimize
+            simplify_conditions=simplify_conditions,
+            optimize=optimize,
+            executor=executor,
         )
-        plan = build_plan(
-            query, lambda: collect_stats(tables), config.optimize
-        )
+        collected: Dict[str, TableStats] = {}
+
+        def stats_thunk():
+            collected.update(collect_stats(tables))
+            return collected
+
+        plan = build_plan(query, stats_thunk, config.optimize)
+        if config.executor == "vectorized":
+            # When the optimizer ran, its statistics are reused to guide
+            # lowering (build sides, filter strategies); an unoptimized
+            # ad-hoc call stays estimate-blind rather than paying a
+            # statistics pass nothing else would amortize.
+            return execute_plan_vectorized(
+                plan, tables,
+                simplify_conditions=config.simplify_conditions,
+                stats=collected or None,
+            )
         return execute_plan(
             plan, tables, simplify_conditions=config.simplify_conditions
         )
@@ -266,8 +311,11 @@ class Session:
     def register(self, name: str, table) -> "Session":
         """Register (or replace) *table* under *name*; returns ``self``.
 
-        Replacing a name invalidates exactly the cached plans that read
-        it — statistics of the other registered tables stay warm.
+        Replacing a name invalidates exactly the cached plans *and
+        cached answer tables* that read it — statistics of the other
+        registered tables stay warm, and a replacement of the same
+        schema refreshes the cached statistics incrementally from the
+        row delta.
         """
         distributions = None
         source = table
@@ -301,14 +349,26 @@ class Session:
                 f"cannot register {type(table).__name__!r}: expected a "
                 "representation-system table, a PCTable, or an Instance"
             )
+        previous = self._registry.get(name)
+        if previous is not None and previous.ctable.arity == ctable.arity:
+            # Incremental refresh: absorb the row delta into the cached
+            # accumulator instead of re-walking the whole table (and
+            # every condition formula) from scratch.  A schema change
+            # falls through to the full rebuild below.
+            accumulator = previous.accumulator
+            accumulator.apply_delta(previous.ctable.rows, ctable.rows)
+        else:
+            accumulator = StatsAccumulator.from_ctable(ctable)
         self._registry[name] = _Registered(
             source,
             ctable,
-            TableStats.from_ctable(ctable),
+            accumulator.stats(),
+            accumulator,
             distributions,
         )
         self._merged_distributions = None
         self._engine._plan_cache.invalidate(self._id, (name,))
+        self._engine._result_cache.invalidate(self._id, (name,))
         return self
 
     def table(self, name: str) -> CTable:
@@ -453,8 +513,8 @@ class PreparedQuery:
     def session(self) -> Session:
         return self._session
 
-    def plan(self) -> PlanNode:
-        """The (cached) plan this query executes."""
+    def _plan_entry(self) -> _PlanEntry:
+        """The cached (logical, lazily-lowered physical) plan pair."""
         session = self._session
         engine = session.engine
         key = (
@@ -464,27 +524,90 @@ class PreparedQuery:
             self._config.optimize,
         )
         cache = engine._plan_cache
-        plan = cache.get(key)
-        if plan is None:
+        entry = cache.get(key)
+        if entry is None:
             names = frozenset(self._query.relation_names())
-            plan = build_plan(
+            logical = build_plan(
                 self._query,
                 lambda: {name: session.stats(name) for name in names},
                 self._config.optimize,
             )
-            cache.put(key, plan, session._id, names)
-        return plan
+            entry = _PlanEntry(logical)
+            cache.put(key, entry, session._id, names)
+        return entry
 
-    def execute(self) -> CTable:
-        """Evaluate the plan against the registry's current tables."""
-        return execute_plan(
-            self.plan(),
-            self._session._bindings(self._query),
-            simplify_conditions=self._config.simplify_conditions,
+    def plan(self) -> PlanNode:
+        """The (cached) logical plan this query executes."""
+        return self._plan_entry().logical
+
+    def physical_plan(self) -> PhysicalOp:
+        """The physical plan, lowered once and cached alongside the
+        logical one (same cache entry, same invalidation)."""
+        entry = self._plan_entry()
+        if entry.physical is None:
+            stats = {
+                name: self._session.stats(name)
+                for name in self._query.relation_names()
+            }
+            entry.physical = lower(entry.logical, stats)
+        return entry.physical
+
+    def _result_key(self):
+        session = self._session
+        config = self._config
+        return (
+            "result",
+            session._id,
+            self._query,
+            session._fingerprint(self._query),
+            config.optimize,
+            config.simplify_conditions,
+            config.executor,
         )
 
-    def explain(self) -> str:
-        """Render the cached plan with cardinality/condition estimates."""
+    def execute(self) -> CTable:
+        """Evaluate the plan against the registry's current tables.
+
+        A repeated identical read — same session state, same query, same
+        config — is served from the engine's result cache without
+        executing (or even lowering) any plan; ``register`` invalidates
+        per relation name.
+        """
+        engine = self._session.engine
+        results = engine._result_cache
+        key = self._result_key()
+        answered = results.get(key)
+        if answered is not None:
+            return answered
+        bindings = self._session._bindings(self._query)
+        if self._config.executor == "vectorized":
+            answered = execute_physical(
+                self.physical_plan(),
+                bindings,
+                simplify_conditions=self._config.simplify_conditions,
+            )
+        else:
+            answered = execute_plan(
+                self.plan(),
+                bindings,
+                simplify_conditions=self._config.simplify_conditions,
+            )
+        results.put(
+            key,
+            answered,
+            self._session._id,
+            frozenset(self._query.relation_names()),
+        )
+        return answered
+
+    def explain(self, physical: bool = False) -> str:
+        """Render the cached plan with cardinality/condition estimates.
+
+        ``physical=True`` renders the lowered operator tree instead —
+        the hash-join build sides and filter strategies actually chosen.
+        """
+        if physical:
+            return explain_physical(self.physical_plan())
         stats = {
             name: self._session.stats(name)
             for name in self._query.relation_names()
@@ -570,17 +693,20 @@ class Dataset:
             )
         return PCTable(answered, distributions)
 
-    def explain(self) -> str:
+    def explain(self, physical: bool = False) -> str:
         """The executed plan, annotated with estimates.
 
         Once the dataset has collected, the plan and statistics are part
         of its snapshot: the rendering describes the plan that produced
         the memoized answer, not whatever a later ``register`` would
-        plan.
+        plan.  ``physical=True`` renders the lowered physical operator
+        tree (build sides, filter strategies) instead of the logical one.
         """
         if self._plan is not None:
+            if physical:
+                return explain_physical(lower(self._plan, self._stats))
             return explain_plan(self._plan, self._stats)
-        return self._prepared.explain()
+        return self._prepared.explain(physical=physical)
 
     # ------------------------------------------------------------------
     # Certain / possible answers

@@ -1,0 +1,216 @@
+"""Lowering: optimized logical plans → physical operator trees.
+
+``lower()`` walks a :class:`~repro.ctalgebra.plan.PlanNode` tree and
+picks a physical operator per logical node, consulting the logical
+plan's own cardinality/condition estimates when table statistics are
+supplied:
+
+- a :class:`~repro.ctalgebra.plan.JoinNode` whose predicate contains
+  cross-operand column equalities becomes a
+  :class:`~repro.physical.operators.HashJoinOp` with the **build side
+  on the smaller estimated input**; without equijoin keys it lowers to
+  the ``FilterOp``-over-``ProductOp`` pipeline (the nested-loop shape
+  ``join_bar`` falls back to);
+- a :class:`~repro.ctalgebra.plan.SelectNode` becomes a
+  :class:`~repro.physical.operators.FilterOp`; the per-signature
+  residual memo is disabled when the estimates predict nearly every row
+  carries a distinct constant signature (the memo would only miss);
+- the remaining operators map one-to-one.
+
+Every choice preserves the structural-identity contract: whatever the
+lowering picks, the materialized answer equals the interpreted
+``execute_plan`` result row-for-row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import QueryError
+from repro.tables.ctable import CTable
+from repro.algebra.predicates import check_predicate, split_equijoin
+from repro.ctalgebra.plan import (
+    ConstScan,
+    DifferenceNode,
+    EmptyNode,
+    Estimate,
+    IntersectionNode,
+    JoinNode,
+    PlanNode,
+    ProductNode,
+    ProjectNode,
+    Scan,
+    SelectNode,
+    TableStats,
+    UnionNode,
+    estimate,
+)
+from repro.physical.operators import (
+    ConstScanOp,
+    DifferenceOp,
+    EmptyOp,
+    ExecContext,
+    FilterOp,
+    HashJoinOp,
+    IntersectOp,
+    PhysicalOp,
+    ProductOp,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+)
+
+
+#: Below this estimated input size a memo cannot pay for its probes.
+_MEMO_MIN_ROWS = 8.0
+
+
+def _expected_signatures(node: SelectNode, found: Estimate) -> float:
+    """Crude count of distinct constant signatures the filter will see."""
+    from repro.algebra.predicates import predicate_columns
+
+    distinct = 1.0
+    for index in sorted(predicate_columns(node.predicate)):
+        if index < len(found.columns):
+            column = found.columns[index]
+            # Variable terms add (at most) one signature family each;
+            # weigh them in through the non-constant fraction.
+            spread = max(1, column.distinct_constants)
+            distinct *= spread + (1.0 - column.constant_fraction) * spread
+        else:
+            distinct *= _MEMO_MIN_ROWS
+    return distinct
+
+
+def lower(
+    plan: PlanNode,
+    stats: Optional[Mapping[str, TableStats]] = None,
+    _memo: Optional[Dict[PlanNode, Estimate]] = None,
+) -> PhysicalOp:
+    """Choose physical operators for *plan* (estimates-guided when given)."""
+    if _memo is None:
+        _memo = {}
+
+    def found(node: PlanNode) -> Optional[Estimate]:
+        if stats is None:
+            return None
+        return estimate(node, stats, _memo)
+
+    def recurse(node: PlanNode) -> PhysicalOp:
+        if isinstance(node, Scan):
+            op: PhysicalOp = ScanOp(node.name, node.rel_arity)
+        elif isinstance(node, ConstScan):
+            op = ConstScanOp(node.instance)
+        elif isinstance(node, EmptyNode):
+            op = EmptyOp(node.empty_arity, node.sources)
+        elif isinstance(node, ProjectNode):
+            bad = [
+                c for c in node.columns if c < 0 or c >= node.child.arity
+            ]
+            if bad:
+                from repro.errors import ArityError
+
+                raise ArityError(
+                    f"projection columns {bad} out of range for arity "
+                    f"{node.child.arity}"
+                )
+            op = ProjectOp(recurse(node.child), node.columns)
+        elif isinstance(node, SelectNode):
+            check_predicate(node.predicate, node.child.arity)
+            child_estimate = found(node.child)
+            memoize = True
+            if child_estimate is not None and child_estimate.rows >= _MEMO_MIN_ROWS:
+                memoize = (
+                    _expected_signatures(node, child_estimate)
+                    < 0.5 * child_estimate.rows
+                )
+            op = FilterOp(recurse(node.child), node.predicate, memoize=memoize)
+        elif isinstance(node, JoinNode):
+            check_predicate(node.predicate, node.arity)
+            pairs, residual = split_equijoin(node.predicate, node.left.arity)
+            left_op = recurse(node.left)
+            right_op = recurse(node.right)
+            if not pairs:
+                # join_bar's fallback: the blind nested loop, expressed
+                # as the same Filter-over-Product pipeline (conj
+                # flattening makes the conditions structurally equal).
+                op = FilterOp(ProductOp(left_op, right_op), node.predicate)
+            else:
+                build_side = "right"
+                left_estimate = found(node.left)
+                right_estimate = found(node.right)
+                if (
+                    left_estimate is not None
+                    and right_estimate is not None
+                    and left_estimate.rows < right_estimate.rows
+                ):
+                    build_side = "left"
+                op = HashJoinOp(
+                    left_op,
+                    right_op,
+                    node.predicate,
+                    residual,
+                    tuple(i for i, _ in pairs),
+                    tuple(j for _, j in pairs),
+                    build_side=build_side,
+                )
+        elif isinstance(node, ProductNode):
+            op = ProductOp(recurse(node.left), recurse(node.right))
+        elif isinstance(node, UnionNode):
+            op = UnionOp(recurse(node.left), recurse(node.right))
+        elif isinstance(node, DifferenceNode):
+            op = DifferenceOp(recurse(node.left), recurse(node.right))
+        elif isinstance(node, IntersectionNode):
+            op = IntersectOp(recurse(node.left), recurse(node.right))
+        else:
+            raise QueryError(f"unknown plan node {node!r}")
+        node_estimate = found(node)
+        if node_estimate is not None:
+            op.est_rows = node_estimate.rows
+        return op
+
+    return recurse(plan)
+
+
+def execute_physical(
+    physical: PhysicalOp,
+    tables: Mapping[str, CTable],
+    simplify_conditions: bool = False,
+) -> CTable:
+    """Run a lowered operator tree against bound tables."""
+    context = ExecContext(tables, simplify_conditions=simplify_conditions)
+    return physical.execute(context).to_ctable()
+
+
+def execute_plan_vectorized(
+    plan: PlanNode,
+    tables: Mapping[str, CTable],
+    simplify_conditions: bool = False,
+    stats: Optional[Mapping[str, TableStats]] = None,
+) -> CTable:
+    """Lower *plan* and execute it — the one-shot convenience entry."""
+    return execute_physical(
+        lower(plan, stats), tables, simplify_conditions=simplify_conditions
+    )
+
+
+def explain_physical(physical: PhysicalOp) -> str:
+    """Render a physical tree, with the stamped cardinality estimates."""
+    lines = []
+
+    def annotate(op: PhysicalOp) -> str:
+        if op.est_rows is None:
+            return op.label()
+        return f"{op.label()}  rows≈{op.est_rows:.1f}"
+
+    def render(op: PhysicalOp, prefix: str, child_prefix: str) -> None:
+        lines.append(prefix + annotate(op))
+        children = op.children()
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            render(child, child_prefix + connector, child_prefix + extension)
+
+    render(physical, "", "")
+    return "\n".join(lines)

@@ -22,17 +22,29 @@ physical plan at all.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Set, Tuple
 
 
 class PlanCache:
-    """A bounded LRU mapping plan keys to planned :class:`PlanNode` trees."""
+    """A bounded LRU mapping plan keys to planned :class:`PlanNode` trees.
+
+    Thread safety: an engine (and its caches) may be shared by many
+    application threads and by morsel-parallel sessions, so every public
+    operation runs under one re-entrant lock.  ``get``'s
+    ``move_to_end``, ``put``'s eviction sweep, and ``invalidate``'s
+    two-structure walk each mutate the ``OrderedDict`` *and* the
+    dependency index — interleaving them across threads corrupts the
+    LRU order or leaks index entries, which a single GIL-atomic dict
+    operation cannot protect against.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self._capacity = capacity
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, Tuple[object, Hashable, FrozenSet[str]]]" = (
             OrderedDict()
         )
@@ -48,17 +60,19 @@ class PlanCache:
         return self._capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable):
         """Return the cached plan for *key*, or ``None`` (LRU-touching)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
 
     def put(
         self,
@@ -70,43 +84,47 @@ class PlanCache:
         """Insert *plan*, evicting the least-recently-used entry if full."""
         if self._capacity == 0:
             return
-        if key in self._entries:
-            self._unindex(key)
-            self._entries.pop(key)
-        self._entries[key] = (plan, scope, dependencies)
-        for name in dependencies:
-            self._by_dependency.setdefault((scope, name), set()).add(key)
-        while len(self._entries) > self._capacity:
-            oldest = next(iter(self._entries))
-            self._unindex(oldest)  # before the pop: _unindex reads the entry
-            del self._entries[oldest]
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._unindex(key)
+                self._entries.pop(key)
+            self._entries[key] = (plan, scope, dependencies)
+            for name in dependencies:
+                self._by_dependency.setdefault((scope, name), set()).add(key)
+            while len(self._entries) > self._capacity:
+                oldest = next(iter(self._entries))
+                self._unindex(oldest)  # before the pop: _unindex reads the entry
+                del self._entries[oldest]
+                self._evictions += 1
 
     def invalidate(self, scope: Hashable, names) -> int:
         """Evict entries of *scope* that read any of *names*; return count."""
-        stale: Set[Hashable] = set()
-        for name in names:
-            stale |= self._by_dependency.get((scope, name), set())
-        for key in stale:
-            self._unindex(key)
-            self._entries.pop(key, None)
-        self._invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale: Set[Hashable] = set()
+            for name in names:
+                stale |= self._by_dependency.get((scope, name), set())
+            for key in stale:
+                self._unindex(key)
+                self._entries.pop(key, None)
+            self._invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._by_dependency.clear()
+        with self._lock:
+            self._entries.clear()
+            self._by_dependency.clear()
 
     def stats(self) -> Dict[str, int]:
         """Counters since construction (``clear`` does not reset them)."""
-        return {
-            "entries": len(self._entries),
-            "capacity": self._capacity,
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "invalidations": self._invalidations,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
 
     def _unindex(self, key: Hashable) -> None:
         entry = self._entries.get(key)

@@ -11,11 +11,44 @@ site that needs a deviation derives a new config with
 The config is an immutable value (frozen dataclass): two engines with
 equal configs behave identically, and a config can safely participate in
 cache keys.
+
+Environment overrides
+---------------------
+
+The executor knobs read their *defaults* from the environment so a whole
+test run (or deployment) can be flipped without touching code — CI uses
+this to exercise the entire tier-1 suite under the morsel-parallel
+executor:
+
+- ``REPRO_EXECUTOR`` — default for ``executor``
+  (``interpreted`` / ``vectorized`` / ``parallel``);
+- ``REPRO_NUM_WORKERS`` — default for ``num_workers``;
+- ``REPRO_MORSEL_SIZE`` — default for ``morsel_size``.
+
+Explicit constructor arguments always win over the environment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+import os
+from dataclasses import dataclass, field, fields, replace
+
+
+def _env_executor() -> str:
+    # An empty value means "unset" so CI matrices can blank the knob.
+    return os.environ.get("REPRO_EXECUTOR") or "vectorized"
+
+
+def _env_int(name: str, default: int):
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError as error:
+        raise ValueError(
+            f"environment variable {name}={value!r} is not an integer"
+        ) from error
 
 
 @dataclass(frozen=True)
@@ -33,9 +66,16 @@ class ExecutionConfig:
       lifted operator; trades execution time for smaller conditions.
     - ``executor`` — ``"vectorized"`` runs plans through the physical
       batch runtime of :mod:`repro.physical` (the default);
+      ``"parallel"`` adds the morsel-driven scheduler of
+      :mod:`repro.physical.parallel` on top of it;
       ``"interpreted"`` keeps the recursive lifted-operator evaluation
-      as the oracle.  The two produce structurally identical answer
+      as the oracle.  All three produce structurally identical answer
       tables, so the knob is purely about speed.
+    - ``num_workers`` — width of the shared morsel worker pool
+      (``executor="parallel"`` only).
+    - ``morsel_size`` — rows per morsel; also the threshold below which
+      ``lower()`` marks an operator serial (``executor="parallel"``
+      only).  The answer never depends on either knob.
     - ``plan_cache_size`` — LRU capacity of the engine's prepared-plan
       cache; ``0`` disables plan caching entirely.
     - ``result_cache_size`` — LRU capacity of the engine's answer-table
@@ -49,16 +89,30 @@ class ExecutionConfig:
 
     optimize: bool = True
     simplify_conditions: bool = False
-    executor: str = "vectorized"
+    executor: str = field(default_factory=_env_executor)
+    num_workers: int = field(
+        default_factory=lambda: _env_int("REPRO_NUM_WORKERS", 4)
+    )
+    morsel_size: int = field(
+        default_factory=lambda: _env_int("REPRO_MORSEL_SIZE", 256)
+    )
     plan_cache_size: int = 128
     result_cache_size: int = 64
     max_candidates: int = 100_000
 
     def __post_init__(self) -> None:
-        if self.executor not in ("interpreted", "vectorized"):
+        if self.executor not in ("interpreted", "vectorized", "parallel"):
             raise ValueError(
-                f"executor must be 'interpreted' or 'vectorized', "
-                f"got {self.executor!r}"
+                f"executor must be 'interpreted', 'vectorized', or "
+                f"'parallel', got {self.executor!r}"
+            )
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.morsel_size < 1:
+            raise ValueError(
+                f"morsel_size must be >= 1, got {self.morsel_size}"
             )
         if self.plan_cache_size < 0:
             raise ValueError(

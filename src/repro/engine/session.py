@@ -52,8 +52,11 @@ from repro.ctalgebra.plan import (
 )
 from repro.ctalgebra.translate import build_plan
 from repro.physical import (
+    ParallelSpec,
     PhysicalOp,
+    execute_parallel,
     execute_physical,
+    execute_plan_parallel,
     execute_plan_vectorized,
     explain_physical,
     lower,
@@ -120,14 +123,22 @@ class _Registered:
 
 
 class _PlanEntry:
-    """What the plan cache stores per key: the logical plan, and the
-    physical plan lowered from it on first vectorized execution."""
+    """What the plan cache stores per key: the logical plan, plus the
+    physical plans lowered from it on first physical execution.
+
+    Lowered trees are keyed by morsel size (``None`` for the serial
+    vectorized lowering): the parallel/serial decisions are stamped on
+    the operator objects, so one tree per morsel size keeps prepared
+    queries with different parallel configs from fighting over the
+    stamps.  The worker count deliberately does not partition — it
+    cannot change the lowering, only who runs it.
+    """
 
     __slots__ = ("logical", "physical")
 
     def __init__(self, logical: PlanNode) -> None:
         self.logical = logical
-        self.physical: Optional[PhysicalOp] = None
+        self.physical: Dict[Optional[int], PhysicalOp] = {}
 
 
 class Engine:
@@ -213,6 +224,14 @@ class Engine:
                 plan, tables,
                 simplify_conditions=config.simplify_conditions,
                 stats=collected or None,
+            )
+        if config.executor == "parallel":
+            return execute_plan_parallel(
+                plan, tables,
+                stats=collected or None,
+                num_workers=config.num_workers,
+                morsel_size=config.morsel_size,
+                simplify_conditions=config.simplify_conditions,
             )
         return execute_plan(
             plan, tables, simplify_conditions=config.simplify_conditions
@@ -422,8 +441,16 @@ class Session:
         *,
         simplify_conditions: Optional[bool] = None,
         optimize: Optional[bool] = None,
+        executor: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> "PreparedQuery":
-        """Normalize, bind, and wrap *query* for repeated execution."""
+        """Normalize, bind, and wrap *query* for repeated execution.
+
+        The executor knobs (``executor``/``num_workers``/``morsel_size``)
+        override the engine config per prepared query; the answer is
+        identical whichever executor runs it.
+        """
         if isinstance(query, str):
             query = self.parse(query)
         query = self._engine.intern_query(query)
@@ -438,7 +465,11 @@ class Session:
                 f"registered names are {list(self.names())}"
             )
         config = self._engine.config.with_options(
-            simplify_conditions=simplify_conditions, optimize=optimize
+            simplify_conditions=simplify_conditions,
+            optimize=optimize,
+            executor=executor,
+            num_workers=num_workers,
+            morsel_size=morsel_size,
         )
         return PreparedQuery(self, query, config)
 
@@ -540,17 +571,33 @@ class PreparedQuery:
         """The (cached) logical plan this query executes."""
         return self._plan_entry().logical
 
+    def _parallel_spec(self) -> Optional[ParallelSpec]:
+        """The morsel spec of this query's config (None when serial)."""
+        config = self._config
+        if config.executor != "parallel":
+            return None
+        return ParallelSpec(config.num_workers, config.morsel_size)
+
     def physical_plan(self) -> PhysicalOp:
-        """The physical plan, lowered once and cached alongside the
-        logical one (same cache entry, same invalidation)."""
+        """The physical plan, lowered once per morsel size and cached
+        alongside the logical one (same cache entry, same invalidation).
+
+        Under ``executor="parallel"`` the tree carries the per-operator
+        parallel/serial decisions for the config's morsel size — visible
+        through ``explain(physical=True)``.
+        """
         entry = self._plan_entry()
-        if entry.physical is None:
+        spec = self._parallel_spec()
+        key = None if spec is None else spec.morsel_size
+        lowered = entry.physical.get(key)
+        if lowered is None:
             stats = {
                 name: self._session.stats(name)
                 for name in self._query.relation_names()
             }
-            entry.physical = lower(entry.logical, stats)
-        return entry.physical
+            lowered = lower(entry.logical, stats, parallel=spec)
+            entry.physical[key] = lowered
+        return lowered
 
     def _result_key(self):
         session = self._session
@@ -584,6 +631,14 @@ class PreparedQuery:
             answered = execute_physical(
                 self.physical_plan(),
                 bindings,
+                simplify_conditions=self._config.simplify_conditions,
+            )
+        elif self._config.executor == "parallel":
+            answered = execute_parallel(
+                self.physical_plan(),
+                bindings,
+                num_workers=self._config.num_workers,
+                morsel_size=self._config.morsel_size,
                 simplify_conditions=self._config.simplify_conditions,
             )
         else:
@@ -704,7 +759,13 @@ class Dataset:
         """
         if self._plan is not None:
             if physical:
-                return explain_physical(lower(self._plan, self._stats))
+                return explain_physical(
+                    lower(
+                        self._plan,
+                        self._stats,
+                        parallel=self._prepared._parallel_spec(),
+                    )
+                )
             return explain_plan(self._plan, self._stats)
         return self._prepared.explain(physical=physical)
 

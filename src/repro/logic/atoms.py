@@ -137,6 +137,17 @@ def ne(left, right) -> Formula:
     return neg(eq(left, right))
 
 
+def boolvar(name: str) -> Formula:
+    """Build a boolean variable atom through the interning table.
+
+    Unlike the raw ``BoolVar(name)`` constructor (structural equality
+    only), this returns the canonical node even when called from
+    concurrent threads — table embeddings use it so conditions built
+    during a threaded ``Session.register`` keep the identity invariant.
+    """
+    return hashcons(BoolVar, name)
+
+
 def atom_terms(atom: Formula) -> "tuple[Term, ...]":
     """Return the terms of an equality atom; raise for other formulas."""
     if isinstance(atom, Eq):

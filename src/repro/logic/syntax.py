@@ -42,6 +42,7 @@ That lives in :mod:`repro.logic.simplify` and
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Tuple
@@ -51,6 +52,23 @@ from typing import FrozenSet, Iterable, Iterator, Tuple
 #: it ever built; keys hold the children, which are themselves alive
 #: while any parent is.
 _INTERN_TABLE: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+#: Serializes the construct-and-insert miss path of :func:`hashcons`.
+#: Without it, two threads racing to build the same formula could both
+#: miss the table and each return a *different* object for one structural
+#: formula — breaking the "structural equality implies identity"
+#: invariant that the morsel-parallel executor (and every ``is``-based
+#: memo) relies on.  Hits stay lock-free: once a canonical node is in the
+#: table it is never replaced while referenced, so a stale read can only
+#: return the canonical object.
+#:
+#: Scope: the guarantee covers nodes built through :func:`hashcons` (the
+#: smart constructors, :func:`repro.logic.atoms.eq`/``boolvar``, …).
+#: Raw dataclass construction (``BoolVar("b0")``, ``And((a, b))``)
+#: bypasses the lock and keeps its documented weaker contract —
+#: structural equality, identity best-effort — so threaded code that
+#: needs identity must build through the smart constructors.
+_INTERN_LOCK = threading.Lock()
 
 _intern_hits = 0
 _intern_misses = 0
@@ -262,13 +280,23 @@ def hashcons(cls, *fields) -> Formula:
     consults the intern table itself), but this entry point returns a hit
     without re-entering the dataclass ``__init__``, so the smart
     constructors pay only a dictionary probe on the hot path.
+
+    The miss path re-checks under :data:`_INTERN_LOCK` before
+    constructing, so concurrent builders of one structural formula all
+    receive the same canonical object (morsel workers compose conditions
+    concurrently).
     """
     global _intern_hits
     node = _INTERN_TABLE.get((cls, fields))
     if node is not None:
         _intern_hits += 1
         return node
-    return cls(*fields)
+    with _INTERN_LOCK:
+        node = _INTERN_TABLE.get((cls, fields))
+        if node is not None:
+            _intern_hits += 1
+            return node
+        return cls(*fields)
 
 
 def interning_stats() -> dict:

@@ -33,6 +33,13 @@ class Batch:
     The arity is stored explicitly rather than derived from the column
     count: an arity-0 batch (a boolean query, e.g. ``π̄_∅``) has no
     columns but still carries one empty value-tuple per condition.
+
+    Concurrency contract: a batch is immutable after construction —
+    columns, conditions, and metadata are never reassigned — so the
+    morsel-parallel scheduler shares one batch across worker threads
+    that each read a disjoint row range, with no coordination.  The one
+    lazily-computed slot (:meth:`variables`) is a deterministic memo: a
+    racing recomputation stores an equal value, never a different one.
     """
 
     __slots__ = (

@@ -25,11 +25,22 @@ Where the speed comes from:
 - :class:`DifferenceOp`/:class:`IntersectOp` reuse the constant-tuple
   hash-bucket scheme of the lifted operators and memoize the whole
   membership condition per distinct left value-tuple.
+
+Each operator's work is split three ways so the morsel-driven scheduler
+of :mod:`repro.physical.parallel` can reuse it: ``compute`` consumes
+already-materialized input batches (``execute`` only adds the pull-based
+recursion over children), the build-once shared state (hash-join
+partitions, membership indexes, composer memos) is constructed by
+separate helpers, and the per-row loops are *range kernels* that accept
+an arbitrary row range — the serial path runs them over ``range(n)``,
+the parallel scheduler over morsel slices, and both seal the merged
+results through the same helpers, which is what keeps the outputs
+structurally identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, QueryError
 from repro.logic.atoms import Const, Term, eq
@@ -118,12 +129,21 @@ def _finish(
 class PhysicalOp:
     """Base class of physical operators (a small pull-based tree)."""
 
-    __slots__ = ("est_rows",)
+    __slots__ = ("est_rows", "par_decision", "est_morsels")
 
     def __init__(self) -> None:
         #: Planner cardinality estimate, stamped by ``lower()`` when
         #: statistics are available; rendered by ``explain_physical``.
         self.est_rows: Optional[float] = None
+        #: ``lower()``'s parallelism decision for this operator when a
+        #: morsel spec was supplied: ``"parallel"`` (morselize when the
+        #: input clears the morsel size at runtime) or ``"serial"``
+        #: (the estimates say splitting never pays).  ``None`` for
+        #: leaves/serial lowering; rendered by ``explain_physical``.
+        self.par_decision: Optional[str] = None
+        #: Estimated morsel count at the chosen morsel size (``None``
+        #: without statistics).
+        self.est_morsels: Optional[int] = None
 
     @property
     def arity(self) -> int:
@@ -133,6 +153,12 @@ class PhysicalOp:
         return ()
 
     def execute(self, ctx: ExecContext) -> Batch:
+        """Pull the children and process them — the serial path."""
+        inputs = tuple(child.execute(ctx) for child in self.children())
+        return self.compute(ctx, inputs)
+
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        """Process already-materialized input batches."""
         raise NotImplementedError
 
     def label(self) -> str:
@@ -162,7 +188,7 @@ class ScanOp(PhysicalOp):
     def arity(self) -> int:
         return self.rel_arity
 
-    def execute(self, ctx: ExecContext) -> Batch:
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
         return ctx.scan_batch(self.name, self.rel_arity)
 
     def label(self) -> str:
@@ -182,7 +208,7 @@ class ConstScanOp(PhysicalOp):
     def arity(self) -> int:
         return self.instance.arity
 
-    def execute(self, ctx: ExecContext) -> Batch:
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
         from repro.ctalgebra.plan import const_table
 
         return Batch.from_ctable(const_table(self.instance))
@@ -205,7 +231,7 @@ class EmptyOp(PhysicalOp):
     def arity(self) -> int:
         return self.empty_arity
 
-    def execute(self, ctx: ExecContext) -> Batch:
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
         from repro.ctalgebra.plan import EmptyNode, empty_table
 
         node = EmptyNode(self.empty_arity, self.sources)
@@ -256,22 +282,42 @@ class FilterOp(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Batch:
-        child = self.child.execute(ctx)
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        (child,) = inputs
+        memo: Dict[Tuple[Term, ...], Formula] = {}
+        keep, kept_conditions, unchanged = self.filter_range(
+            child, range(len(child.conditions)), memo
+        )
+        return self.seal(ctx, child, keep, kept_conditions, unchanged)
+
+    def filter_range(
+        self,
+        child: Batch,
+        rows: Iterable[int],
+        memo: Dict[Tuple[Term, ...], Formula],
+    ) -> Tuple[List[int], List[Formula], bool]:
+        """The filter kernel over an arbitrary row range of *child*.
+
+        Returns the kept row indexes, their composed conditions, and
+        whether every visited row survived with its original interned
+        condition object.  *memo* may be shared across concurrent range
+        invocations: residuals are interned formulas, so a racing
+        recomputation stores the identical object.
+        """
         signature_columns = [child.columns[c] for c in self._pred_columns]
         conditions = child.conditions
         predicate = self.predicate
         names = self._names
-        memo: Dict[Tuple[Term, ...], Formula] = {}
+        memoize = self.memoize
         keep: List[int] = []
         kept_conditions: List[Formula] = []
         unchanged = True
-        for row in range(len(conditions)):
+        for row in rows:
             signature = tuple(column[row] for column in signature_columns)
-            residual = memo.get(signature) if self.memoize else None
+            residual = memo.get(signature) if memoize else None
             if residual is None:
                 residual = substitute(predicate, dict(zip(names, signature)))
-                if self.memoize:
+                if memoize:
                     memo[signature] = residual
             if residual is TOP:
                 keep.append(row)
@@ -285,6 +331,19 @@ class FilterOp(PhysicalOp):
             kept_conditions.append(condition)
             if condition is not conditions[row]:
                 unchanged = False
+        return keep, kept_conditions, unchanged
+
+    def seal(
+        self,
+        ctx: ExecContext,
+        child: Batch,
+        keep: Sequence[int],
+        kept_conditions: Sequence[Formula],
+        unchanged: bool,
+    ) -> Batch:
+        """Materialize the kernel results (the ``select_bar`` fast exit:
+        a fully-unchanged batch is returned as the child object)."""
+        conditions = child.conditions
         if unchanged and len(keep) == len(conditions):
             if not ctx.simplify_conditions:
                 return child
@@ -296,7 +355,7 @@ class FilterOp(PhysicalOp):
                 tuple(column[row] for row in keep) for column in child.columns
             ]
         return _finish(
-            ctx, columns, kept_conditions, self.arity,
+            ctx, columns, list(kept_conditions), self.arity,
             child.domains, child.global_condition,
         )
 
@@ -331,13 +390,22 @@ class ProjectOp(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Batch:
-        child = self.child.execute(ctx)
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        (child,) = inputs
+        order, grouped = self.group_range(
+            child, range(len(child.conditions))
+        )
+        return self.seal(ctx, child, order, grouped)
+
+    def group_range(
+        self, child: Batch, rows: Iterable[int]
+    ) -> Tuple[List[Tuple[Term, ...]], Dict[Tuple[Term, ...], List[Formula]]]:
+        """Group a row range by projected value-tuple, in row order."""
         projected = [child.columns[index] for index in self.columns]
         grouped: Dict[Tuple[Term, ...], List[Formula]] = {}
         order: List[Tuple[Term, ...]] = []
         conditions = child.conditions
-        for row in range(len(conditions)):
+        for row in rows:
             key = tuple(column[row] for column in projected)
             bucket = grouped.get(key)
             if bucket is None:
@@ -345,6 +413,15 @@ class ProjectOp(PhysicalOp):
                 order.append(key)
             else:
                 bucket.append(conditions[row])
+        return order, grouped
+
+    def seal(
+        self,
+        ctx: ExecContext,
+        child: Batch,
+        order: Sequence[Tuple[Term, ...]],
+        grouped: Mapping[Tuple[Term, ...], List[Formula]],
+    ) -> Batch:
         merged = [disj(*grouped[key]) for key in order]
         columns = (
             list(zip(*order))
@@ -529,33 +606,56 @@ class HashJoinOp(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
-    def execute(self, ctx: ExecContext) -> Batch:
-        left = self.left.execute(ctx)
-        right = self.right.execute(ctx)
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
         composer = _PairComposer(self.predicate, self.residual, left, right)
         if self.build_side == "right":
-            pairs = self._probe_left(left, right, composer)
+            build = self.build(right, self.right_keys)
+            pairs = self.probe_left(
+                left, right, composer, build, range(len(left))
+            )
         else:
-            pairs = self._probe_right(left, right, composer)
-        columns, conditions = _gather_pairs(left, right, pairs)
-        domains, global_condition = merge_metadata(left, right)
-        return _finish(
-            ctx, columns, conditions, self.arity, domains, global_condition
-        )
+            build = self.build(left, self.left_keys)
+            ranked = self.probe_right(
+                left, right, composer, build, range(len(right))
+            )
+            pairs = self.restore_order(ranked)
+        return self.seal(ctx, left, right, pairs)
 
-    def _probe_left(self, left: Batch, right: Batch, composer) -> list:
-        """Build on the right, probe left rows in order (join_bar's loop)."""
+    @staticmethod
+    def build(batch: Batch, keys: Tuple[int, ...]):
+        """Hash-partition the build side once: (buckets, symbolic, keyed).
+
+        ``keyed[row]`` is False exactly for the symbolic rows — the
+        probe-right rank pass needs it per probed row, so it is derived
+        here once rather than per probe range.  The returned structures
+        are read-only during probing, so morsel workers may share them
+        without coordination.
+        """
         buckets: Dict[tuple, List[int]] = {}
         symbolic: List[int] = []
-        for j in range(len(right)):
-            key = _constant_key(right.columns, self.right_keys, j)
+        keyed = [True] * len(batch)
+        for row in range(len(batch)):
+            key = _constant_key(batch.columns, keys, row)
             if key is None:
-                symbolic.append(j)
+                symbolic.append(row)
+                keyed[row] = False
             else:
-                buckets.setdefault(key, []).append(j)
+                buckets.setdefault(key, []).append(row)
+        return buckets, symbolic, keyed
+
+    def probe_left(
+        self, left: Batch, right: Batch, composer, build, rows: Iterable[int]
+    ) -> list:
+        """Probe left rows in order against a right build (join_bar's loop).
+
+        Emitted pairs are left-major, so concatenating the outputs of
+        consecutive row ranges reproduces the full-range output exactly.
+        """
+        buckets, symbolic, _ = build
         all_right = range(len(right))
         pairs = []
-        for i in range(len(left)):
+        for i in rows:
             key = _constant_key(left.columns, self.left_keys, i)
             if key is None:
                 for j in all_right:
@@ -577,29 +677,23 @@ class HashJoinOp(PhysicalOp):
                     pairs.append((i, j, condition))
         return pairs
 
-    def _probe_right(self, left: Batch, right: Batch, composer) -> list:
-        """Build on the left, probe right; restore the probe-left order.
+    def probe_right(
+        self, left: Batch, right: Batch, composer, build, rows: Iterable[int]
+    ) -> list:
+        """Build on the left, probe right rows; emit *ranked* pairs.
 
         A pair survives iff the left key is symbolic, the right key is
         symbolic, or both constants agree — the same set either way.  The
         probe-left output ranks pair (i, j) by ``(i, flag, j)`` where
         *flag* puts a symbolic right row after a keyed left row's bucket
-        matches; sorting the collected pairs by that rank reproduces the
-        exact row order.
+        matches; :meth:`restore_order` sorts by that (unique) rank, so
+        ranked pairs collected from disjoint right-row ranges merge into
+        the exact probe-left row order regardless of range boundaries.
         """
-        buckets: Dict[tuple, List[int]] = {}
-        symbolic: List[int] = []
-        left_keyed = [False] * len(left)
-        for i in range(len(left)):
-            key = _constant_key(left.columns, self.left_keys, i)
-            if key is None:
-                symbolic.append(i)
-            else:
-                left_keyed[i] = True
-                buckets.setdefault(key, []).append(i)
+        buckets, symbolic, left_keyed = build
         all_left = range(len(left))
         ranked = []
-        for j in range(len(right)):
+        for j in rows:
             key = _constant_key(right.columns, self.right_keys, j)
             if key is None:
                 for i in all_left:
@@ -619,8 +713,20 @@ class HashJoinOp(PhysicalOp):
                 condition = composer.condition(i, j)
                 if condition is not BOTTOM:
                     ranked.append((i, 0, j, condition))
+        return ranked
+
+    @staticmethod
+    def restore_order(ranked: list) -> list:
+        """Sort ranked pairs back into the deterministic probe-left order."""
         ranked.sort(key=lambda pair: pair[:3])
         return [(i, j, condition) for i, _, j, condition in ranked]
+
+    def seal(self, ctx: ExecContext, left: Batch, right: Batch, pairs) -> Batch:
+        columns, conditions = _gather_pairs(left, right, pairs)
+        domains, global_condition = merge_metadata(left, right)
+        return _finish(
+            ctx, columns, conditions, self.arity, domains, global_condition
+        )
 
     def label(self) -> str:
         return f"HashJoin[{self.predicate!r}] build={self.build_side}"
@@ -643,13 +749,29 @@ class ProductOp(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
-    def execute(self, ctx: ExecContext) -> Batch:
-        left = self.left.execute(ctx)
-        right = self.right.execute(ctx)
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
         memo: Dict[Tuple[Formula, Formula], Formula] = {}
+        pairs = self.pairs_range(left, right, memo, range(len(left)))
+        return self.seal(ctx, left, right, pairs)
+
+    @staticmethod
+    def pairs_range(
+        left: Batch,
+        right: Batch,
+        memo: Dict[Tuple[Formula, Formula], Formula],
+        rows: Iterable[int],
+    ) -> list:
+        """Pair a range of left rows with every right row, left-major.
+
+        *memo* may be shared across concurrent ranges: ``conj`` interns,
+        so racing stores write the identical object.
+        """
         pairs = []
+        left_conditions = left.conditions
         right_conditions = right.conditions
-        for i, left_condition in enumerate(left.conditions):
+        for i in rows:
+            left_condition = left_conditions[i]
             for j, right_condition in enumerate(right_conditions):
                 key = (left_condition, right_condition)
                 condition = memo.get(key)
@@ -658,6 +780,9 @@ class ProductOp(PhysicalOp):
                     memo[key] = condition
                 if condition is not BOTTOM:
                     pairs.append((i, j, condition))
+        return pairs
+
+    def seal(self, ctx: ExecContext, left: Batch, right: Batch, pairs) -> Batch:
         columns, conditions = _gather_pairs(left, right, pairs)
         domains, global_condition = merge_metadata(left, right)
         return _finish(
@@ -697,9 +822,8 @@ class UnionOp(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
-    def execute(self, ctx: ExecContext) -> Batch:
-        left = self.left.execute(ctx)
-        right = self.right.execute(ctx)
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
         columns = [
             left_column + right_column
             for left_column, right_column in zip(left.columns, right.columns)
@@ -803,21 +927,46 @@ class _SetDifferenceBase(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
-    def execute(self, ctx: ExecContext) -> Batch:
-        left = self.left.execute(ctx)
-        right = self.right.execute(ctx)
+    def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
         index = _MembershipIndex(right)
+        keep, conditions = self.membership_range(
+            left, index, range(len(left.conditions))
+        )
+        return self.seal(ctx, left, right, keep, conditions)
+
+    def membership_range(
+        self, left: Batch, index: "_MembershipIndex", rows: Iterable[int]
+    ) -> Tuple[List[int], List[Formula]]:
+        """Compose membership conditions for a range of left rows.
+
+        The index's buckets are read-only after construction; its
+        condition memos are interning-idempotent, so morsel workers may
+        probe one shared index concurrently.
+        """
         keep: List[int] = []
         conditions: List[Formula] = []
         left_columns = left.columns
-        for i, left_condition in enumerate(left.conditions):
+        left_conditions = left.conditions
+        negated = self._negated
+        for i in rows:
             values = tuple(column[i] for column in left_columns)
             condition = conj(
-                left_condition, index.membership(values, self._negated)
+                left_conditions[i], index.membership(values, negated)
             )
             if condition is not BOTTOM:
                 keep.append(i)
                 conditions.append(condition)
+        return keep, conditions
+
+    def seal(
+        self,
+        ctx: ExecContext,
+        left: Batch,
+        right: Batch,
+        keep: Sequence[int],
+        conditions: Sequence[Formula],
+    ) -> Batch:
         if len(keep) == len(left.conditions):
             columns: Sequence[Sequence[Term]] = left.columns
         else:
@@ -826,7 +975,8 @@ class _SetDifferenceBase(PhysicalOp):
             ]
         domains, global_condition = merge_metadata(left, right)
         return _finish(
-            ctx, columns, conditions, self.arity, domains, global_condition
+            ctx, columns, list(conditions), self.arity, domains,
+            global_condition,
         )
 
 

@@ -1,0 +1,358 @@
+"""Morsel-driven parallel execution of physical operator trees.
+
+The vectorized runtime of :mod:`repro.physical.operators` already made
+the batch the unit of work; this module makes it the unit of
+*scheduling*.  A :class:`MorselScheduler` walks a lowered operator tree
+bottom-up and, for every operator ``lower()`` marked ``parallel``,
+splits the probe input into fixed-size **morsels** (contiguous row
+ranges of the batch), runs the operator's range kernel over the morsels
+on a shared :class:`~concurrent.futures.ThreadPoolExecutor` pool, and
+merges the per-morsel outputs with a deterministic order-restoration
+pass:
+
+- filter / product / hash-join *probe-left* / difference / intersect
+  kernels emit rows (or pairs) in probe-row order, so concatenating the
+  morsel outputs in morsel order *is* the serial output;
+- a *build-left* hash join emits rank-annotated pairs whose rank is
+  unique per pair, so one global sort over the concatenated morsel
+  outputs reproduces the serial probe-left order exactly (the same sort
+  the serial path runs);
+- a parallel projection merges the per-morsel group maps left to right,
+  appending condition lists in morsel order, so the final disjunction
+  per output row sees its inputs in original row order.
+
+Shared build-once state — hash-join partitions, the
+difference/intersect membership index, the condition-composition and
+residual-instantiation memos — is constructed a single time on the
+scheduling thread and then probed concurrently.  The buckets are
+read-only during probing; the memos are *interning-idempotent* caches: a
+racing recomputation produces the identical interned formula object (the
+miss path of the interning table itself is serialized by a lock in
+:mod:`repro.logic.syntax`), so the worst a race can do is waste a
+little work, never change an answer.
+
+The result is the runtime contract every executor mode obeys: the final
+:class:`~repro.physical.batch.Batch` is **structurally identical** to
+the serial vectorized result — same rows, same interned condition
+objects, same order — for every ``num_workers`` and ``morsel_size``.
+The differential fuzzing harness (``tests/harness.py``) pins this for
+all three executors against the interpreted oracle.
+
+On free-threaded CPython builds the morsel workers run truly
+concurrently; under the GIL they interleave, which still keeps the
+executor correct (and exercised by CI) while the speedup story waits on
+the hardware — see benchmarks E31–E33.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.tables.ctable import CTable
+from repro.physical.batch import Batch
+from repro.physical.operators import (
+    DifferenceOp,
+    ExecContext,
+    FilterOp,
+    HashJoinOp,
+    IntersectOp,
+    PhysicalOp,
+    ProductOp,
+    ProjectOp,
+    _MembershipIndex,
+    _PairComposer,
+)
+
+#: Default number of rows per morsel.  Small enough that a few thousand
+#: input rows split across a worker pool, large enough that the
+#: per-morsel scheduling overhead stays amortized.
+DEFAULT_MORSEL_SIZE = 256
+
+#: Default worker-pool width.
+DEFAULT_NUM_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ParallelSpec:
+    """The two knobs of morsel-driven execution, as one value.
+
+    ``lower()`` consults ``morsel_size`` for its parallel/serial
+    decision per operator; the scheduler uses both.  The spec is frozen
+    and hashable so prepared queries can cache one lowered tree per
+    morsel size.
+    """
+
+    num_workers: int = DEFAULT_NUM_WORKERS
+    morsel_size: int = DEFAULT_MORSEL_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.morsel_size < 1:
+            raise ValueError(
+                f"morsel_size must be >= 1, got {self.morsel_size}"
+            )
+
+
+def morsel_ranges(total: int, morsel_size: int) -> List[range]:
+    """Split ``range(total)`` into consecutive ranges of *morsel_size*."""
+    return [
+        range(start, min(start + morsel_size, total))
+        for start in range(0, total, morsel_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker pools
+# ----------------------------------------------------------------------
+
+#: Process-wide pools keyed by worker count.  Spawning threads per query
+#: would dominate small executions (and the engine runs many); morsel
+#: tasks are leaf work — they never submit nested tasks — so sharing one
+#: pool across queries and caller threads cannot deadlock.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def worker_pool(num_workers: int) -> ThreadPoolExecutor:
+    """The shared morsel pool for *num_workers* (created on first use)."""
+    pool = _POOLS.get(num_workers)
+    if pool is None:
+        with _POOLS_LOCK:
+            pool = _POOLS.get(num_workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=num_workers,
+                    thread_name_prefix=f"repro-morsel-{num_workers}",
+                )
+                _POOLS[num_workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down every shared pool (tests; process exit joins them too)."""
+    with _POOLS_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown(wait=True)
+        _POOLS.clear()
+
+
+class MorselScheduler:
+    """Executes a physical tree, morselizing the operators lower() chose.
+
+    One scheduler serves one execution: it owns the
+    :class:`~repro.physical.operators.ExecContext` (table bindings plus
+    the simplify memo) and borrows the shared worker pool.  Operators
+    stamped ``par_decision == "parallel"`` whose probe input yields at
+    least two morsels run their range kernel across the pool; everything
+    else falls through to the operator's own serial ``compute``.
+    """
+
+    __slots__ = ("context", "pool", "morsel_size")
+
+    def __init__(
+        self,
+        context: ExecContext,
+        pool: ThreadPoolExecutor,
+        morsel_size: int,
+    ) -> None:
+        if morsel_size < 1:
+            raise ValueError(f"morsel_size must be >= 1, got {morsel_size}")
+        self.context = context
+        self.pool = pool
+        self.morsel_size = morsel_size
+
+    # ------------------------------------------------------------------
+    # Tree walk
+    # ------------------------------------------------------------------
+
+    def execute(self, op: PhysicalOp) -> Batch:
+        inputs = tuple(self.execute(child) for child in op.children())
+        if op.par_decision == "parallel":
+            handler = _HANDLERS.get(type(op))
+            if handler is not None:
+                return handler(self, op, inputs)
+        return op.compute(self.context, inputs)
+
+    def _map(self, kernel: Callable, ranges: Sequence[range]) -> list:
+        """Run *kernel* over row ranges on the pool; results in morsel order.
+
+        The first range runs on the scheduling thread itself — with
+        ``num_workers == 1`` plus pool overhead that keeps the common
+        two-morsel case from paying a full round trip for both halves.
+        """
+        futures = [self.pool.submit(kernel, rows) for rows in ranges[1:]]
+        results = [kernel(ranges[0])]
+        results.extend(future.result() for future in futures)
+        return results
+
+    def _morsels(self, total: int) -> Optional[List[range]]:
+        """The morsel split of *total* rows, or None when a single morsel
+        would cover them (splitting would be pure overhead)."""
+        if total <= self.morsel_size:
+            return None
+        return morsel_ranges(total, self.morsel_size)
+
+    # ------------------------------------------------------------------
+    # Per-operator morsel handlers
+    # ------------------------------------------------------------------
+
+    def _filter(self, op: FilterOp, inputs: Tuple[Batch, ...]) -> Batch:
+        (child,) = inputs
+        ranges = self._morsels(len(child.conditions))
+        if ranges is None:
+            return op.compute(self.context, inputs)
+        memo: dict = {}
+        parts = self._map(
+            lambda rows: op.filter_range(child, rows, memo), ranges
+        )
+        keep: List[int] = []
+        kept_conditions: list = []
+        unchanged = True
+        for part_keep, part_conditions, part_unchanged in parts:
+            keep.extend(part_keep)
+            kept_conditions.extend(part_conditions)
+            unchanged = unchanged and part_unchanged
+        return op.seal(self.context, child, keep, kept_conditions, unchanged)
+
+    def _project(self, op: ProjectOp, inputs: Tuple[Batch, ...]) -> Batch:
+        (child,) = inputs
+        ranges = self._morsels(len(child.conditions))
+        if ranges is None:
+            return op.compute(self.context, inputs)
+        parts = self._map(lambda rows: op.group_range(child, rows), ranges)
+        # Order-restoring merge: first-seen key order and per-key
+        # condition order both follow original row order because the
+        # morsels are consecutive and merged left to right.
+        order: list = []
+        grouped: dict = {}
+        for part_order, part_grouped in parts:
+            for key in part_order:
+                bucket = grouped.get(key)
+                if bucket is None:
+                    grouped[key] = part_grouped[key]
+                    order.append(key)
+                else:
+                    bucket.extend(part_grouped[key])
+        return op.seal(self.context, child, order, grouped)
+
+    def _hash_join(self, op: HashJoinOp, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
+        probe_rows = len(left) if op.build_side == "right" else len(right)
+        ranges = self._morsels(probe_rows)
+        if ranges is None:
+            return op.compute(self.context, inputs)
+        composer = _PairComposer(op.predicate, op.residual, left, right)
+        if op.build_side == "right":
+            build = op.build(right, op.right_keys)
+            parts = self._map(
+                lambda rows: op.probe_left(left, right, composer, build, rows),
+                ranges,
+            )
+            pairs = [pair for part in parts for pair in part]
+        else:
+            build = op.build(left, op.left_keys)
+            parts = self._map(
+                lambda rows: op.probe_right(
+                    left, right, composer, build, rows
+                ),
+                ranges,
+            )
+            ranked = [pair for part in parts for pair in part]
+            pairs = op.restore_order(ranked)
+        return op.seal(self.context, left, right, pairs)
+
+    def _product(self, op: ProductOp, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
+        ranges = self._morsels(len(left))
+        if ranges is None:
+            return op.compute(self.context, inputs)
+        memo: dict = {}
+        parts = self._map(
+            lambda rows: op.pairs_range(left, right, memo, rows), ranges
+        )
+        pairs = [pair for part in parts for pair in part]
+        return op.seal(self.context, left, right, pairs)
+
+    def _membership(self, op, inputs: Tuple[Batch, ...]) -> Batch:
+        left, right = inputs
+        ranges = self._morsels(len(left.conditions))
+        if ranges is None:
+            return op.compute(self.context, inputs)
+        index = _MembershipIndex(right)
+        parts = self._map(
+            lambda rows: op.membership_range(left, index, rows), ranges
+        )
+        keep: List[int] = []
+        conditions: list = []
+        for part_keep, part_conditions in parts:
+            keep.extend(part_keep)
+            conditions.extend(part_conditions)
+        return op.seal(self.context, left, right, keep, conditions)
+
+
+_HANDLERS: Dict[type, Callable] = {
+    FilterOp: MorselScheduler._filter,
+    ProjectOp: MorselScheduler._project,
+    HashJoinOp: MorselScheduler._hash_join,
+    ProductOp: MorselScheduler._product,
+    DifferenceOp: MorselScheduler._membership,
+    IntersectOp: MorselScheduler._membership,
+}
+
+#: Operator types the scheduler can morselize; ``lower()`` only stamps a
+#: parallel/serial decision on these.
+PARALLELIZABLE_OPS = tuple(_HANDLERS)
+
+
+def execute_parallel(
+    physical: PhysicalOp,
+    tables: Mapping[str, CTable],
+    *,
+    num_workers: int = DEFAULT_NUM_WORKERS,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
+    simplify_conditions: bool = False,
+) -> CTable:
+    """Run a lowered operator tree with the morsel-driven scheduler.
+
+    The tree should have been lowered with a
+    :class:`ParallelSpec` so operators carry their parallel/serial
+    decisions; a serially-lowered tree executes correctly but entirely
+    serially (no decision, no morselization).
+    """
+    context = ExecContext(tables, simplify_conditions=simplify_conditions)
+    scheduler = MorselScheduler(
+        context, worker_pool(num_workers), morsel_size
+    )
+    return scheduler.execute(physical).to_ctable()
+
+
+def execute_plan_parallel(
+    plan,
+    tables: Mapping[str, CTable],
+    *,
+    stats=None,
+    num_workers: int = DEFAULT_NUM_WORKERS,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
+    simplify_conditions: bool = False,
+) -> CTable:
+    """Lower *plan* with a parallel spec and execute it — the one-shot entry."""
+    from repro.physical.lower import lower
+
+    physical = lower(
+        plan,
+        stats,
+        parallel=ParallelSpec(num_workers, morsel_size),
+    )
+    return execute_parallel(
+        physical,
+        tables,
+        num_workers=num_workers,
+        morsel_size=morsel_size,
+        simplify_conditions=simplify_conditions,
+    )

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.errors import TableError
-from repro.logic.atoms import BoolVar, Const, Var, eq
+from repro.logic.atoms import BoolVar, Const, Var, boolvar, eq
 from repro.logic.syntax import TOP, Formula, conj, disj, walk
 from repro.tables.codd import CoddTable
 from repro.tables.ctable import BooleanCTable, CRow, CTable
@@ -100,7 +100,7 @@ def qtable_to_boolean_ctable(table: QTable, prefix: str = "b") -> BooleanCTable:
     rows = []
     for row in table.rows:
         if row.optional:
-            condition: Formula = BoolVar(f"{prefix}{counter}")
+            condition: Formula = boolvar(f"{prefix}{counter}")
             counter += 1
         else:
             condition = TOP

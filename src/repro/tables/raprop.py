@@ -18,7 +18,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 from repro.errors import TableError
 from repro.core.instance import Instance
 from repro.core.idatabase import IDatabase
-from repro.logic.atoms import BoolVar, is_boolean_condition
+from repro.logic.atoms import BoolVar, boolvar, is_boolean_condition
 from repro.logic.evaluation import evaluate
 from repro.logic.syntax import TOP, Formula
 from repro.tables.base import Table
@@ -27,7 +27,7 @@ from repro.tables.orset import OrSetRow
 
 def presence_var(position: int) -> BoolVar:
     """Return the presence variable for tuple position *position*."""
-    return BoolVar(f"t{position}")
+    return boolvar(f"t{position}")
 
 
 class RAPropTable(Table):

@@ -1,0 +1,369 @@
+"""Reusable differential/metamorphic fuzzing harness for executor modes.
+
+Every executor the engine grows — the interpreted lifted operators (the
+oracle), the serial vectorized batch runtime, the morsel-parallel
+scheduler — must satisfy one contract: **structural identity**.  Same
+rows, composed of the same interned condition objects, in the same
+order.  This module is the one place that contract is generated and
+checked from, so a new executor (or a new operator strategy inside an
+existing one) gets the whole randomized surface by adding one entry to
+:data:`EXECUTORS`-style lists at its call sites.
+
+The generators are seeded and fully reproducible: a failing case is
+replayed by its ``(seed, trial)`` coordinates, which every assertion
+message carries.  Profiles control the knobs that matter for coverage —
+table sizes, variable-sharing density (one small variable pool shared by
+values *and* conditions across all relations, so join answers correlate
+through shared variables), and the operator mix over the paper's lifted
+algebra (σ̄ / π̄ / ×̄ / ⋈̄ / ∪̄ / −̄ / ∩̄).
+
+Sizes are deliberately small: ``ctables_equivalent`` enumerates ``Mod``
+over a witness domain, which is exponential in the number of distinct
+variables, so profiles keep the pool at ≤ 3 variables.  Structural
+identity is checked at every size; Mod-level equivalence only where the
+enumeration is tractable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro import (
+    CTable,
+    Var,
+    col_eq,
+    col_eq_const,
+    col_ne,
+    col_ne_const,
+    conj,
+    ctables_equivalent,
+    diff,
+    eq,
+    intersect,
+    ne,
+    proj,
+    prod,
+    rel,
+    sel,
+    union,
+)
+from repro.logic.syntax import TOP
+from repro.ctalgebra.plan import collect_stats, execute_plan
+from repro.ctalgebra.translate import plan_for_query
+from repro.physical import execute_plan_parallel, execute_plan_vectorized
+
+#: Every executor mode the engine supports, oracle first.
+EXECUTORS = ("interpreted", "vectorized", "parallel")
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Shape of the generated c-tables.
+
+    ``variables`` is one *shared* pool: the smaller it is, the denser
+    the variable sharing between values and conditions, within and
+    across relations — which is exactly what stresses condition
+    composition and the interning-identity contract.  Keep it at ≤ 3
+    names wherever ``ctables_equivalent`` runs (Mod enumeration is
+    exponential in distinct variables).
+    """
+
+    arity: int = 2
+    min_rows: int = 1
+    max_rows: int = 5
+    variables: Tuple[str, ...] = ("x", "y", "z")
+    constants: int = 3
+    variable_density: float = 0.3
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Shape of the generated queries: relations, depth, operator mix.
+
+    ``weights`` picks the operator at each level; ``join`` produces the
+    equijoin shape the planner fuses into a hash join (with an optional
+    residual disequality), ``product`` the keyless fallback.
+    """
+
+    relations: Tuple[Tuple[str, int], ...] = (("V", 2), ("W", 2))
+    min_depth: int = 1
+    max_depth: int = 3
+    weights: Tuple[Tuple[str, float], ...] = (
+        ("project", 2.0),
+        ("select", 4.0),
+        ("join", 2.0),
+        ("product", 1.0),
+        ("union", 1.0),
+        ("difference", 1.0),
+        ("intersect", 1.0),
+    )
+
+
+DEFAULT_TABLES = TableProfile()
+DEFAULT_QUERIES = QueryProfile()
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def random_condition(rng: random.Random, profile: TableProfile = DEFAULT_TABLES):
+    """A small row condition over the profile's shared variable pool."""
+
+    def atom():
+        variable = Var(rng.choice(profile.variables))
+        constant = rng.randrange(profile.constants)
+        return (
+            eq(variable, constant)
+            if rng.random() < 0.5
+            else ne(variable, constant)
+        )
+
+    roll = rng.random()
+    if roll < 0.15:
+        return TOP
+    if roll < 0.6:
+        return atom()
+    if roll < 0.85:
+        return atom() | atom()
+    return conj(atom(), atom())
+
+
+def random_ctable(
+    rng: random.Random, profile: TableProfile = DEFAULT_TABLES
+) -> CTable:
+    """A random c-table drawn from *profile*."""
+    rows = []
+    for _ in range(rng.randint(profile.min_rows, profile.max_rows)):
+        values = tuple(
+            Var(rng.choice(profile.variables))
+            if rng.random() < profile.variable_density
+            else rng.randrange(profile.constants)
+            for _ in range(profile.arity)
+        )
+        rows.append((values, random_condition(rng, profile)))
+    return CTable(rows, arity=profile.arity)
+
+
+def _random_predicate(rng: random.Random, constants: int):
+    """A selection predicate over a binary operand."""
+    return rng.choice(
+        [
+            col_eq(0, 1),
+            col_eq_const(0, rng.randrange(constants)),
+            col_eq_const(1, rng.randrange(constants)),
+            col_ne_const(0, rng.randrange(constants)),
+            col_ne(0, 1),
+        ]
+    )
+
+
+def random_query(
+    rng: random.Random,
+    profile: QueryProfile = DEFAULT_QUERIES,
+    depth: Optional[int] = None,
+    constants: int = 3,
+):
+    """A random arity-2 query over the profile's relations.
+
+    Binary combinators recurse on both sides; ``join``/``product``
+    project their four columns back down to two so every sub-query keeps
+    arity 2 and set operators always line up.
+    """
+    if depth is None:
+        depth = rng.randint(profile.min_depth, profile.max_depth)
+    operators = [name for name, _ in profile.weights]
+    weights = [weight for _, weight in profile.weights]
+
+    def leaf():
+        name, arity = profile.relations[rng.randrange(len(profile.relations))]
+        return rel(name, arity)
+
+    def go(level: int):
+        if level == 0:
+            return leaf()
+        operator = rng.choices(operators, weights=weights)[0]
+        if operator == "project":
+            return proj(go(level - 1), [rng.randrange(2), 0])
+        if operator == "select":
+            return sel(go(level - 1), _random_predicate(rng, constants))
+        if operator == "join":
+            paired = prod(go(level - 1), go(level - 1))
+            predicate = col_eq(rng.randrange(2), 2 + rng.randrange(2))
+            if rng.random() < 0.3:
+                predicate = conj(predicate, col_ne(0, 3))
+            return proj(sel(paired, predicate), rng.sample(range(4), 2))
+        if operator == "product":
+            paired = prod(go(level - 1), go(level - 1))
+            return proj(paired, rng.sample(range(4), 2))
+        combiner = {
+            "union": union, "difference": diff, "intersect": intersect,
+        }[operator]
+        return combiner(go(level - 1), go(level - 1))
+
+    return go(depth)
+
+
+def random_case(
+    rng: random.Random,
+    table_profile: TableProfile = DEFAULT_TABLES,
+    query_profile: QueryProfile = DEFAULT_QUERIES,
+):
+    """One (query, tables) pair: every relation the profile names gets a
+    table, whether or not the query ends up reading it."""
+    tables = {
+        name: random_ctable(rng, replace(table_profile, arity=arity))
+        for name, arity in query_profile.relations
+    }
+    query = random_query(rng, query_profile)
+    return query, tables
+
+
+# ----------------------------------------------------------------------
+# Execution + assertions
+# ----------------------------------------------------------------------
+
+def evaluate(
+    query,
+    tables: Mapping[str, CTable],
+    executor: str,
+    *,
+    optimize: bool = True,
+    simplify_conditions: bool = False,
+    num_workers: int = 2,
+    morsel_size: int = 2,
+) -> CTable:
+    """Evaluate ``q̄`` through one executor mode.
+
+    The default ``morsel_size=2`` is deliberately tiny so the parallel
+    executor actually morselizes the small generated tables (a realistic
+    morsel size would fall back to the serial kernels and test nothing).
+    """
+    plan = plan_for_query(query, tables, optimize=optimize)
+    if executor == "interpreted":
+        return execute_plan(
+            plan, tables, simplify_conditions=simplify_conditions
+        )
+    stats = collect_stats(tables)
+    if executor == "vectorized":
+        return execute_plan_vectorized(
+            plan,
+            tables,
+            simplify_conditions=simplify_conditions,
+            stats=stats,
+        )
+    if executor == "parallel":
+        return execute_plan_parallel(
+            plan,
+            tables,
+            stats=stats,
+            num_workers=num_workers,
+            morsel_size=morsel_size,
+            simplify_conditions=simplify_conditions,
+        )
+    raise ValueError(f"unknown executor {executor!r}: one of {EXECUTORS}")
+
+
+def assert_structurally_identical(
+    reference: CTable, candidate: CTable, context: str = ""
+) -> None:
+    """Same rows, same order, same interned condition *objects*."""
+    note = f" [{context}]" if context else ""
+    assert len(candidate.rows) == len(reference.rows), (
+        f"row count {len(candidate.rows)} != {len(reference.rows)}{note}"
+    )
+    for position, (expected, actual) in enumerate(
+        zip(reference.rows, candidate.rows)
+    ):
+        assert actual.values == expected.values, (
+            f"row {position}: values {actual.values!r} != "
+            f"{expected.values!r}{note}"
+        )
+        assert actual.condition is expected.condition, (
+            f"row {position}: condition {actual.condition!r} is not the "
+            f"interned object {expected.condition!r}{note}"
+        )
+    assert candidate.arity == reference.arity, note
+    assert candidate.domains == reference.domains, note
+    assert candidate.global_condition is reference.global_condition, note
+
+
+def assert_executors_agree(
+    query,
+    tables: Mapping[str, CTable],
+    *,
+    executors: Sequence[str] = EXECUTORS,
+    check_mod: bool = True,
+    context: str = "",
+    **options,
+) -> Dict[str, CTable]:
+    """Evaluate through every executor; the first is the oracle.
+
+    Asserts pairwise structural identity against the oracle and — when
+    *check_mod* — Mod-level equivalence (``ctables_equivalent``), which
+    is the Theorem-4 guarantee structural identity strengthens.
+    """
+    results: Dict[str, CTable] = {}
+    oracle_name = executors[0]
+    oracle = evaluate(query, tables, oracle_name, **options)
+    results[oracle_name] = oracle
+    for executor in executors[1:]:
+        answered = evaluate(query, tables, executor, **options)
+        results[executor] = answered
+        assert_structurally_identical(
+            oracle,
+            answered,
+            context=f"{context} {oracle_name} vs {executor}".strip(),
+        )
+    if check_mod and len(executors) > 1:
+        last = executors[-1]
+        assert ctables_equivalent(oracle, results[last]), (
+            f"Mod-level divergence between {oracle_name} and {last}"
+            f"{' [' + context + ']' if context else ''}"
+        )
+    return results
+
+
+def run_differential(
+    seed: int,
+    trials: int,
+    *,
+    table_profile: TableProfile = DEFAULT_TABLES,
+    query_profile: QueryProfile = DEFAULT_QUERIES,
+    executors: Sequence[str] = EXECUTORS,
+    check_mod: bool = True,
+    vary_options: bool = True,
+    **options,
+) -> int:
+    """The main differential loop: *trials* seeded (query, tables) pairs.
+
+    ``vary_options`` additionally draws ``optimize`` and (one trial in
+    five) ``simplify_conditions`` from the stream, so both planner modes
+    and both sealing modes stay covered without a separate sweep.
+    Returns the number of cases run (for callers that count coverage).
+    """
+    rng = random.Random(seed)
+    for trial in range(trials):
+        query, tables = random_case(rng, table_profile, query_profile)
+        case_options = dict(options)
+        if vary_options:
+            case_options.setdefault("optimize", rng.random() < 0.5)
+            case_options.setdefault(
+                "simplify_conditions", rng.random() < 0.2
+            )
+        context = f"seed={seed} trial={trial} query={query!r}"
+        assert_executors_agree(
+            query,
+            tables,
+            executors=executors,
+            check_mod=check_mod,
+            context=context,
+            **case_options,
+        )
+    return trials

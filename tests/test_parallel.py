@@ -1,0 +1,339 @@
+"""Tests for the morsel-driven parallel executor and its thread safety.
+
+Three layers of guarantees:
+
+1. **Determinism** — repeated runs of one prepared query, across worker
+   counts, are byte-identical: same ``explain(physical=True)`` text,
+   same row order, the same interned condition objects.
+2. **Scheduling decisions** — ``lower()`` stamps parallel/serial per
+   operator from the estimates vs the morsel size, and the scheduler's
+   runtime gate keeps single-morsel inputs serial.
+3. **Concurrency regressions** — one ``Session`` hammered from worker
+   threads (reads racing re-registers), the locked plan/result caches,
+   and the interning table's construct-and-insert race.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import (
+    CTable,
+    Engine,
+    Var,
+    col_eq,
+    col_eq_const,
+    eq,
+    ne,
+    proj,
+    prod,
+    rel,
+    sel,
+)
+from repro.engine.cache import PlanCache, ResultCache
+from repro.engine.config import ExecutionConfig
+from repro.ctalgebra.plan import collect_stats, morsel_count
+from repro.ctalgebra.translate import plan_for_query
+from repro.physical import (
+    FilterOp,
+    HashJoinOp,
+    ParallelSpec,
+    ProjectOp,
+    explain_physical,
+    lower,
+    morsel_ranges,
+)
+
+X, Y = Var("x"), Var("y")
+
+QUERY = proj(
+    sel(
+        prod(rel("V", 2), rel("V", 2)),
+        col_eq(1, 2),
+    ),
+    [0, 3],
+)
+
+
+def mixed_table(rows=40):
+    entries = [((i % 3, i % 5), ne(X, i % 2)) for i in range(rows)]
+    entries.append(((X, 0), eq(X, 1)))
+    entries.append(((1, Y), ne(Y, 2)))
+    return CTable(entries, arity=2)
+
+
+def parallel_engine(num_workers, **options):
+    # Result caching off: every run must actually execute, otherwise
+    # the determinism assertions would only test the cache.
+    return Engine(
+        executor="parallel",
+        num_workers=num_workers,
+        morsel_size=options.pop("morsel_size", 4),
+        result_cache_size=0,
+        **options,
+    )
+
+
+class TestDeterminism:
+    """Same prepared query, 20 runs, workers in {1, 2, 8}: bit-stable."""
+
+    def test_twenty_runs_identical_across_worker_counts(self):
+        table = mixed_table()
+        reference_rows = None
+        reference_explain = None
+        for num_workers in (1, 2, 8):
+            session = parallel_engine(num_workers).session(V=table)
+            prepared = session.prepare(QUERY)
+            rendered = prepared.explain(physical=True)
+            assert "[parallel" in rendered or "[serial" in rendered
+            if reference_explain is None:
+                reference_explain = rendered
+            else:
+                # Byte-identical explain: the decisions depend on the
+                # morsel size and the statistics, never on the pool.
+                assert rendered == reference_explain, num_workers
+            for run in range(20):
+                answered = prepared.execute()
+                rows = [
+                    (row.values, row.condition) for row in answered.rows
+                ]
+                if reference_rows is None:
+                    reference_rows = rows
+                    continue
+                assert len(rows) == len(reference_rows), (num_workers, run)
+                for position, (values, condition) in enumerate(rows):
+                    expected_values, expected_condition = reference_rows[
+                        position
+                    ]
+                    assert values == expected_values, (num_workers, run)
+                    # The *object*, not an equal formula.
+                    assert condition is expected_condition, (
+                        num_workers,
+                        run,
+                        position,
+                    )
+
+    def test_explain_stable_across_repeated_preparation(self):
+        session = parallel_engine(2).session(V=mixed_table())
+        first = session.prepare(QUERY).explain(physical=True)
+        second = session.prepare(QUERY).explain(physical=True)
+        assert first == second
+
+
+class TestSchedulingDecisions:
+    def test_large_inputs_marked_parallel_with_morsel_counts(self):
+        tables = {"V": mixed_table(100)}
+        plan = plan_for_query(QUERY, tables, optimize=True)
+        lowered = lower(
+            plan, collect_stats(tables), parallel=ParallelSpec(4, 8)
+        )
+        joins = [op for op in lowered.walk() if isinstance(op, HashJoinOp)]
+        assert joins and joins[0].par_decision == "parallel"
+        assert joins[0].est_morsels == morsel_count(
+            joins[0].children()[0].est_rows, 8
+        )
+        rendered = explain_physical(lowered)
+        assert "[parallel, morsels≈" in rendered
+
+    def test_small_inputs_marked_serial(self):
+        tables = {"V": mixed_table(3)}
+        plan = plan_for_query(QUERY, tables, optimize=True)
+        lowered = lower(
+            plan, collect_stats(tables), parallel=ParallelSpec(4, 64)
+        )
+        decisions = {
+            op.par_decision
+            for op in lowered.walk()
+            if op.par_decision is not None
+        }
+        assert decisions == {"serial"}
+        assert "[serial" in explain_physical(lowered)
+
+    def test_no_spec_means_no_decisions(self):
+        tables = {"V": mixed_table(100)}
+        plan = plan_for_query(QUERY, tables, optimize=True)
+        lowered = lower(plan, collect_stats(tables))
+        assert all(op.par_decision is None for op in lowered.walk())
+        assert "[parallel" not in explain_physical(lowered)
+
+    def test_estimate_blind_lowering_stays_runtime_gated(self):
+        tables = {"V": mixed_table(100)}
+        plan = plan_for_query(QUERY, tables, optimize=False)
+        lowered = lower(plan, None, parallel=ParallelSpec(2, 8))
+        eligible = [
+            op
+            for op in lowered.walk()
+            if isinstance(op, (FilterOp, ProjectOp, HashJoinOp))
+        ]
+        assert eligible
+        assert all(op.par_decision == "parallel" for op in eligible)
+        assert all(op.est_morsels is None for op in eligible)
+
+    def test_morsel_ranges_cover_exactly(self):
+        for total in (0, 1, 7, 8, 9, 64):
+            for size in (1, 3, 8):
+                ranges = morsel_ranges(total, size)
+                flat = [row for rows in ranges for row in rows]
+                assert flat == list(range(total)), (total, size)
+
+    def test_morsel_count_bounds(self):
+        assert morsel_count(0, 8) == 0
+        assert morsel_count(8, 8) == 1
+        assert morsel_count(8.5, 8) == 2
+        assert morsel_count(100, 8) == 13
+        with pytest.raises(ValueError):
+            morsel_count(10, 0)
+
+
+class TestConfigKnobs:
+    def test_parallel_executor_accepted(self):
+        config = ExecutionConfig(
+            executor="parallel", num_workers=2, morsel_size=16
+        )
+        assert config.executor == "parallel"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(executor="gpu")
+        with pytest.raises(ValueError):
+            ExecutionConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(morsel_size=0)
+
+    def test_environment_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "parallel")
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "2")
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "32")
+        config = ExecutionConfig()
+        assert config.executor == "parallel"
+        assert config.num_workers == 2
+        assert config.morsel_size == 32
+        # Explicit arguments beat the environment.
+        assert ExecutionConfig(executor="interpreted").executor == (
+            "interpreted"
+        )
+
+    def test_environment_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "many")
+        with pytest.raises(ValueError):
+            ExecutionConfig()
+
+    def test_prepare_overrides_executor_knobs(self):
+        session = Engine(result_cache_size=0).session(V=mixed_table())
+        prepared = session.prepare(
+            QUERY, executor="parallel", num_workers=2, morsel_size=4
+        )
+        assert prepared.config.executor == "parallel"
+        serial = session.prepare(QUERY, executor="vectorized").execute()
+        assert prepared.execute() == serial
+
+
+class TestSessionConcurrency:
+    """The PR-5 bugfix: shared caches under concurrent session use."""
+
+    def test_hammer_one_session_from_worker_threads(self):
+        table = mixed_table(24)
+        engine = Engine(executor="parallel", num_workers=2, morsel_size=4)
+        session = engine.session(V=table)
+        reference = (
+            Engine(executor="interpreted").session(V=table).query(QUERY).collect()
+        )
+        queries = [
+            QUERY,
+            proj(rel("V", 2), [1, 0]),
+            sel(rel("V", 2), col_eq_const(0, 1)),
+        ]
+        references = {
+            query: Engine(executor="interpreted")
+            .session(V=table)
+            .query(query)
+            .collect()
+            for query in queries
+        }
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            barrier.wait()
+            try:
+                for step in range(30):
+                    if worker_id == 0 and step % 10 == 5:
+                        # Re-register the same rows: invalidates the
+                        # caches without changing any answer.
+                        session.register("V", table)
+                        continue
+                    query = rng.choice(queries)
+                    answered = session.query(query).collect()
+                    expected = references[query]
+                    assert answered == expected, (worker_id, step)
+            except Exception as error:  # noqa: BLE001 - collected for report
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert session.query(QUERY).collect() == reference
+
+    def test_plan_and_result_cache_thread_hammer(self):
+        for cache in (PlanCache(16), ResultCache(16)):
+            barrier = threading.Barrier(6)
+
+            def worker(worker_id, cache=cache, barrier=barrier):
+                rng = random.Random(worker_id)
+                barrier.wait()
+                for step in range(200):
+                    key = f"k{rng.randrange(24)}"
+                    action = rng.random()
+                    if action < 0.5:
+                        cache.get(key)
+                    elif action < 0.8:
+                        cache.put(
+                            key,
+                            f"value-{worker_id}-{step}",
+                            scope=worker_id % 2,
+                            dependencies=frozenset({key[:2]}),
+                        )
+                    elif action < 0.95:
+                        cache.invalidate(worker_id % 2, (key[:2],))
+                    else:
+                        cache.stats()
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                list(pool.map(worker, range(6)))
+            stats = cache.stats()
+            assert stats["entries"] <= 16
+            # The dependency index must not leak evicted/invalidated keys.
+            live = set(cache._entries)
+            indexed = set().union(*cache._by_dependency.values(), set())
+            assert indexed <= live
+
+
+class TestInterningUnderThreads:
+    def test_concurrent_construction_yields_one_canonical_object(self):
+        from repro.logic.syntax import conj as conj_
+
+        # Fresh, never-interned formulas per trial: every thread builds
+        # the same conjunction simultaneously; all must get one object.
+        for trial in range(20):
+            a = eq(Var("race_a"), 7000 + trial)
+            b = ne(Var("race_b"), 9000 + trial)
+            barrier = threading.Barrier(4)
+
+            def build():
+                barrier.wait()
+                return conj_(a, b)
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(pool.map(lambda _: build(), range(4)))
+            first = results[0]
+            assert all(result is first for result in results), trial

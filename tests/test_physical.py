@@ -53,7 +53,7 @@ from repro.physical import (
     lower,
 )
 
-X, Y, Z = Var("x"), Var("y"), Var("z")
+X, Y = Var("x"), Var("y")
 
 
 def both_ways(query, tables, optimize=True, simplify_conditions=False):
@@ -303,62 +303,21 @@ class TestBuildSideSelection:
                 assert row.condition is expected[row.values], side
 
 
-def random_ctable(rng: random.Random, arity: int = 2) -> CTable:
-    rows = []
-    for _ in range(rng.randrange(1, 6)):
-        values = tuple(
-            rng.choice([rng.randrange(3), X, Y, Z]) for _ in range(arity)
-        )
-        condition = rng.choice(
-            [
-                eq(X, rng.randrange(3)),
-                ne(Y, rng.randrange(3)),
-                eq(Z, rng.randrange(2)) | ne(X, 1),
-            ]
-        )
-        rows.append((values, condition))
-    return CTable(rows, arity=arity)
-
-
-def random_query(rng: random.Random, depth: int):
-    if depth == 0:
-        return rel("V", 2) if rng.random() < 0.8 else rel("W", 2)
-    kind = rng.randrange(7)
-    if kind == 0:
-        return proj(random_query(rng, depth - 1), [rng.randrange(2), 0])
-    if kind in (1, 2):
-        return sel(
-            random_query(rng, depth - 1),
-            rng.choice(
-                [
-                    col_eq(0, 1),
-                    col_eq_const(1, rng.randrange(3)),
-                    col_ne_const(0, rng.randrange(3)),
-                ]
-            ),
-        )
-    if kind == 3:
-        product = prod(
-            random_query(rng, depth - 1), random_query(rng, depth - 1)
-        )
-        return proj(product, rng.sample(range(4), 2))
-    combiner = (union, diff, intersect)[kind % 3]
-    return combiner(random_query(rng, depth - 1), random_query(rng, depth - 1))
-
-
 class TestRandomizedEquivalence:
     """Randomized plans over ≤3-variable tables: structural identity and
-    Mod-level equivalence of the two executors."""
+    Mod-level equivalence of the two executors.
+
+    Cases come from the shared differential harness (``tests/harness.py``),
+    which also sweeps the parallel executor in ``test_differential.py``.
+    """
 
     @pytest.mark.parametrize("optimize", [False, True])
     def test_randomized(self, optimize):
+        from harness import random_case
+
         rng = random.Random(97 + optimize)
         for trial in range(30):
-            tables = {
-                "V": random_ctable(rng),
-                "W": random_ctable(rng),
-            }
-            query = random_query(rng, depth=rng.randrange(1, 4))
+            query, tables = random_case(rng)
             interpreted, vectorized = both_ways(
                 query, tables, optimize=optimize
             )

@@ -11,22 +11,18 @@ from repro import (
     Engine,
     Var,
     col_eq,
-    col_eq_const,
     ctables_equivalent,
-    diff,
     eq,
-    intersect,
     ne,
     proj,
     prod,
     rel,
     sel,
-    union,
 )
 from repro.engine.cache import PlanCache
 
 
-X, Y = Var("x"), Var("y")
+X = Var("x")
 
 QUERY = proj(sel(prod(rel("V", 2), rel("V", 2)), col_eq(1, 2)), [0, 3])
 
@@ -155,35 +151,18 @@ class TestPlanCacheUnit:
         assert len(cache) == 0
 
 
-def random_ctable(rng: random.Random, arity: int = 2) -> CTable:
-    rows = []
-    for index in range(rng.randrange(1, 5)):
-        values = tuple(
-            rng.choice([rng.randrange(3), X, Y]) for _ in range(arity)
-        )
-        condition = rng.choice(
-            [eq(X, rng.randrange(3)), ne(Y, rng.randrange(3))]
-        )
-        rows.append((values, condition))
-    return CTable(rows, arity=arity)
+#: Single-relation shape for the cache tests, via the shared harness
+#: generators (``tests/harness.py``) — the same pool the differential
+#: executor suite draws from.
+def _single_v_case(rng: random.Random):
+    from harness import QueryProfile, TableProfile, random_ctable, random_query
 
-
-def random_query(rng: random.Random, depth: int):
-    if depth == 0:
-        return rel("V", 2)
-    kind = rng.randrange(6)
-    if kind == 0:
-        return proj(random_query(rng, depth - 1), [rng.randrange(2), 0])
-    if kind == 1:
-        return sel(
-            random_query(rng, depth - 1),
-            rng.choice([col_eq(0, 1), col_eq_const(1, rng.randrange(3))]),
-        )
-    if kind == 2:
-        product = prod(random_query(rng, depth - 1), random_query(rng, depth - 1))
-        return proj(product, rng.sample(range(4), 2))
-    combiner = (union, diff, intersect)[kind % 3]
-    return combiner(random_query(rng, depth - 1), random_query(rng, depth - 1))
+    profile = TableProfile(max_rows=4, variables=("x", "y"))
+    table = random_ctable(rng, profile)
+    query = random_query(
+        rng, QueryProfile(relations=(("V", 2),)), depth=2
+    )
+    return table, query
 
 
 class TestCachedResultsEquivalent:
@@ -193,8 +172,7 @@ class TestCachedResultsEquivalent:
         rng = random.Random(23)
         engine = Engine()
         for trial in range(25):
-            table = random_ctable(rng)
-            query = random_query(rng, depth=2)
+            table, query = _single_v_case(rng)
             session = engine.session(V=table)
             warmup = session.query(query).collect()
             cached = session.query(query).collect()  # second run: cache hit
@@ -207,9 +185,8 @@ class TestCachedResultsEquivalent:
         engine = Engine()
         session = engine.session(V=make_table())
         for trial in range(10):
-            table = random_ctable(rng)
+            table, query = _single_v_case(rng)
             session.register("V", table)
-            query = random_query(rng, depth=2)
             via_session = session.query(query).collect()
             via_flat = Engine(optimize=False).session(V=table).query(query).collect()
             assert ctables_equivalent(via_session, via_flat), (trial, query)

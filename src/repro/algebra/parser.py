@@ -33,7 +33,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
 
-from repro.errors import QueryError
+from repro.errors import QueryError, nearest_name
 from repro.core.instance import Instance
 from repro.logic.atoms import Const
 from repro.logic.syntax import Formula, conj as conj_, disj as disj_, neg
@@ -185,9 +185,10 @@ class _Parser:
             self._advance()
             arity = self._relations.get(token.text)
             if arity is None:
+                hint = nearest_name(token.text, sorted(self._relations))
                 raise QueryError(
                     f"unknown relation {token.text!r} at column "
-                    f"{token.position}; declare its arity"
+                    f"{token.position}; declare its arity{hint}"
                 )
             return RelVar(token.text, arity)
         raise QueryError(

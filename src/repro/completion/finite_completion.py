@@ -26,7 +26,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.errors import UnsupportedOperationError
 from repro.core.instance import Instance
 from repro.core.idatabase import IDatabase
-from repro.logic.atoms import BoolVar
+from repro.logic.atoms import boolvar
 from repro.logic.syntax import TOP, Formula, conj, disj, neg
 from repro.algebra.ast import ConstRel, Query
 from repro.algebra.builders import (
@@ -69,7 +69,7 @@ def _code_condition(code: int, bits: int, prefix: str) -> Formula:
     """The conjunction selecting binary *code* over *bits* variables."""
     literals = []
     for position in range(bits):
-        variable = BoolVar(f"{prefix}{position}")
+        variable = boolvar(f"{prefix}{position}")
         if code >> position & 1:
             literals.append(variable)
         else:

@@ -20,7 +20,7 @@ Lemma 1, which the property tests check against random valuations.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, TableError
 from repro.logic.atoms import Const, Term, eq
@@ -62,7 +62,9 @@ def _merge_domains(left: CTable, right: CTable) -> Optional[Dict[str, tuple]]:
     return merged
 
 
-def _combine(left: CTable, right: CTable, rows, arity: int) -> CTable:
+def _combine(
+    left: CTable, right: CTable, rows: Iterable[CRow], arity: int
+) -> CTable:
     return CTable(
         rows,
         arity=arity,
@@ -139,7 +141,7 @@ def product_bar(left: CTable, right: CTable) -> CTable:
     return _combine(left, right, rows, left.arity + right.arity)
 
 
-def _join_key(row: CRow, columns) -> Optional[tuple]:
+def _join_key(row: CRow, columns: Iterable[int]) -> Optional[tuple]:
     """The row's constant values at *columns*, or None if any is a Var."""
     key = []
     for index in columns:
@@ -226,7 +228,9 @@ def _constant_row_key(row: CRow) -> Optional[tuple]:
     return tuple(key)
 
 
-def _matching_right_rows(right: CTable):
+def _matching_right_rows(
+    right: CTable,
+) -> Callable[[CRow], Sequence[CRow]]:
     """Index the right operand for ``−̄``/``∩̄`` tuple-equality pairing.
 
     Two all-constant rows with syntactically unequal tuples have a

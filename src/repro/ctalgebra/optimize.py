@@ -32,7 +32,16 @@ applies only the fusion rule and is the default, verbatim-shaped path of
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.logic.equality_sat import is_satisfiable_skeleton
 from repro.logic.evaluation import substitute
@@ -58,6 +67,9 @@ from repro.ctalgebra.plan import (
     plan_cost,
     predicate_selectivity,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ctalgebra.verify import PlanVerifier
 
 _MAX_PASSES = 8
 
@@ -145,7 +157,9 @@ def _rebuild(node: PlanNode, children: Sequence[PlanNode]) -> PlanNode:
 # The verbatim path: join fusion only
 # ----------------------------------------------------------------------
 
-def fuse_joins(plan: PlanNode) -> PlanNode:
+def fuse_joins(
+    plan: PlanNode, verifier: Optional["PlanVerifier"] = None
+) -> PlanNode:
     """Fuse each selection directly above a product into a join.
 
     This reproduces the seed dispatch of ``translate_query`` — the
@@ -154,10 +168,13 @@ def fuse_joins(plan: PlanNode) -> PlanNode:
     path and per-operator simplification compose instead of excluding
     each other.
     """
-    children = [fuse_joins(child) for child in plan.children()]
+    children = [fuse_joins(child, verifier) for child in plan.children()]
     plan = _rebuild(plan, children)
     if isinstance(plan, SelectNode) and isinstance(plan.child, ProductNode):
-        return JoinNode(plan.child.left, plan.child.right, plan.predicate)
+        fused = JoinNode(plan.child.left, plan.child.right, plan.predicate)
+        if verifier is not None:
+            verifier.verify_rewrite("fuse_joins", plan, fused)
+        return fused
     return plan
 
 
@@ -319,21 +336,45 @@ def _rewrite_structural(node: PlanNode) -> PlanNode:
     return node
 
 
-def _rewrite_once(plan: PlanNode, sat: _SatCache) -> PlanNode:
-    """One bottom-up pass of the local rules."""
-    children = [_rewrite_once(child, sat) for child in plan.children()]
+def _apply_local_rule(
+    node: PlanNode, sat: _SatCache
+) -> Tuple[str, PlanNode]:
+    """Dispatch one local rule; returns ``(rule_name, rewritten)``.
+
+    The rule functions are resolved through module globals on purpose:
+    the verifier's mutation tests monkeypatch them to seed deliberately
+    broken rewrites.
+    """
+    if isinstance(node, SelectNode):
+        return "rewrite_select", _rewrite_select(node, sat)
+    if isinstance(node, JoinNode):
+        return "rewrite_join", _rewrite_join(node, sat)
+    if isinstance(node, ProjectNode):
+        return "rewrite_project", _rewrite_project(node)
+    return "rewrite_structural", _rewrite_structural(node)
+
+
+def _rewrite_once(
+    plan: PlanNode,
+    sat: _SatCache,
+    verifier: Optional["PlanVerifier"] = None,
+) -> PlanNode:
+    """One bottom-up pass of the local rules.
+
+    With a *verifier*, every individual rule application is checked the
+    moment it fires, so a violation names the offending rule and the
+    exact before/after pair — not the fully-optimized wreckage.
+    """
+    children = [
+        _rewrite_once(child, sat, verifier) for child in plan.children()
+    ]
     node = _rebuild(plan, children)
     for _ in range(_MAX_PASSES):
-        if isinstance(node, SelectNode):
-            rewritten = _rewrite_select(node, sat)
-        elif isinstance(node, JoinNode):
-            rewritten = _rewrite_join(node, sat)
-        elif isinstance(node, ProjectNode):
-            rewritten = _rewrite_project(node)
-        else:
-            rewritten = _rewrite_structural(node)
+        rule, rewritten = _apply_local_rule(node, sat)
         if rewritten == node:
             return node
+        if verifier is not None:
+            verifier.verify_rewrite(rule, node, rewritten)
         node = rewritten
     return node
 
@@ -463,7 +504,9 @@ def _greedy_order(
 
 
 def reorder_joins(
-    plan: PlanNode, stats: Mapping[str, TableStats]
+    plan: PlanNode,
+    stats: Mapping[str, TableStats],
+    verifier: Optional["PlanVerifier"] = None,
 ) -> PlanNode:
     """Reorder flattened join regions by estimated cardinality.
 
@@ -475,21 +518,28 @@ def reorder_joins(
         conjuncts: List[Formula] = []
         _flatten_region(plan, 0, flat, conjuncts)
         flat = [
-            (reorder_joins(operand, stats), start) for operand, start in flat
+            (reorder_joins(operand, stats, verifier), start)
+            for operand, start in flat
         ]
         identity = list(range(len(flat)))
         rebuilt = _build_in_order(flat, conjuncts, identity, plan.arity)
+        if verifier is not None and rebuilt != plan:
+            verifier.verify_rewrite("reorder_joins", plan, rebuilt)
         if len(flat) < 3:
             return rebuilt
         order = _greedy_order(flat, conjuncts, stats)
         if order == identity:
             return rebuilt
         candidate = _build_in_order(flat, conjuncts, order, plan.arity)
+        if verifier is not None:
+            verifier.verify_rewrite("reorder_joins", plan, candidate)
         memo: Dict[PlanNode, object] = {}
         if plan_cost(candidate, stats, memo) < plan_cost(rebuilt, stats, memo):
             return candidate
         return rebuilt
-    children = [reorder_joins(child, stats) for child in plan.children()]
+    children = [
+        reorder_joins(child, stats, verifier) for child in plan.children()
+    ]
     return _rebuild(plan, children)
 
 
@@ -501,17 +551,22 @@ def optimize_plan(
     plan: PlanNode,
     stats: Optional[Mapping[str, TableStats]] = None,
     max_passes: int = _MAX_PASSES,
+    verifier: Optional["PlanVerifier"] = None,
 ) -> PlanNode:
     """Run the rewrite rules to a (bounded) fixpoint.
 
     Sound by Theorem 4: the optimized plan's ``Mod`` equals the verbatim
     plan's, which the planner property tests check on randomized tables.
+    With a *verifier* (``ExecutionConfig.verify_plans``), every single
+    rule application is re-checked against the structural conservation
+    laws and a violation raises
+    :class:`~repro.errors.PlanVerificationError` naming the rule.
     """
     stats = stats or {}
     sat = _SatCache()
     for _ in range(max_passes):
-        rewritten = _rewrite_once(plan, sat)
-        rewritten = reorder_joins(rewritten, stats)
+        rewritten = _rewrite_once(plan, sat, verifier)
+        rewritten = reorder_joins(rewritten, stats, verifier)
         if rewritten == plan:
             break
         plan = rewritten

@@ -31,9 +31,18 @@ and :func:`explain` renders a plan with its estimates for inspection::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import QueryError, TableError
+from repro.errors import QueryError, TableError, nearest_name
 from repro.core.instance import Instance
 from repro.logic.atoms import Const, Eq
 from repro.logic.syntax import (
@@ -59,7 +68,7 @@ from repro.algebra.ast import (
     Union,
 )
 from repro.algebra.predicates import is_column_var, column_index
-from repro.tables.ctable import CTable, make_row
+from repro.tables.ctable import CRow, CTable, make_row
 from repro.ctalgebra.lifted import (
     difference_bar,
     intersection_bar,
@@ -92,7 +101,7 @@ class PlanNode:
     def children(self) -> Tuple["PlanNode", ...]:
         return ()
 
-    def walk(self):
+    def walk(self) -> Iterator["PlanNode"]:
         """Yield every node of the plan, pre-order."""
         yield self
         for child in self.children():
@@ -451,7 +460,7 @@ class StatsAccumulator:
         accumulator.add_rows(table.rows)
         return accumulator
 
-    def add_rows(self, rows) -> None:
+    def add_rows(self, rows: Iterable[CRow]) -> None:
         for row in rows:
             self.rows += 1
             self.condition_nodes += _formula_size(row.condition)
@@ -461,7 +470,7 @@ class StatsAccumulator:
                     refs = self.constant_refs[index]
                     refs[term.value] = refs.get(term.value, 0) + 1
 
-    def remove_rows(self, rows) -> None:
+    def remove_rows(self, rows: Iterable[CRow]) -> None:
         for row in rows:
             self.rows -= 1
             self.condition_nodes -= _formula_size(row.condition)
@@ -475,7 +484,9 @@ class StatsAccumulator:
                     else:
                         del refs[term.value]
 
-    def apply_delta(self, old_rows, new_rows) -> None:
+    def apply_delta(
+        self, old_rows: Iterable[CRow], new_rows: Iterable[CRow]
+    ) -> None:
         """Shift the counters from the *old_rows* multiset to *new_rows*."""
         from collections import Counter
 
@@ -772,7 +783,11 @@ def resolve_scan(node: Scan, tables: Mapping[str, CTable]) -> CTable:
     """
     table = tables.get(node.name)
     if table is None:
-        raise QueryError(f"no c-table bound for name {node.name!r}")
+        hint = nearest_name(node.name, sorted(tables))
+        raise QueryError(
+            f"no c-table bound for name {node.name!r}; bound names are "
+            f"{sorted(tables)}{hint}"
+        )
     if table.arity != node.rel_arity:
         raise QueryError(
             f"c-table {node.name!r} has arity {table.arity}, "

@@ -34,13 +34,26 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from typing import Callable, Dict, Optional
+
 from repro.algebra.ast import Query
 from repro.tables.ctable import CTable
-from repro.ctalgebra.plan import PlanNode, collect_stats, plan_from_query
+from repro.ctalgebra.plan import (
+    PlanNode,
+    TableStats,
+    collect_stats,
+    plan_from_query,
+)
 from repro.ctalgebra.optimize import fuse_joins, optimize_plan
+from repro.ctalgebra.verify import PlanVerifier
 
 
-def build_plan(query: Query, stats_thunk, optimize: bool) -> PlanNode:
+def build_plan(
+    query: Query,
+    stats_thunk: Callable[[], Dict[str, TableStats]],
+    optimize: bool,
+    verify: bool = False,
+) -> PlanNode:
     """The one plan-construction pipeline, shared with the engine.
 
     *stats_thunk* supplies table statistics lazily — they are only
@@ -48,26 +61,50 @@ def build_plan(query: Query, stats_thunk, optimize: bool) -> PlanNode:
     :func:`plan_for_query` and :class:`repro.engine.Engine` delegate
     here, so the plan the engine executes is by construction the plan
     ``explain``/``plan_for_query`` describe.
+
+    With ``verify=True`` (``ExecutionConfig.verify_plans``) a
+    :class:`~repro.ctalgebra.verify.PlanVerifier` checks the verbatim
+    plan, then re-checks after every individual rewrite rule, and
+    finally certifies the plan that leaves the pipeline.
     """
     plan = plan_from_query(query)
     if optimize:
-        return optimize_plan(plan, stats_thunk())
-    return fuse_joins(plan)
+        stats = stats_thunk()
+        verifier: Optional[PlanVerifier] = (
+            PlanVerifier(stats) if verify else None
+        )
+        if verifier is not None:
+            verifier.verify_plan(plan, rule="plan_from_query")
+        optimized = optimize_plan(plan, stats, verifier=verifier)
+        if verifier is not None:
+            verifier.verify_plan(optimized, rule="optimize_plan")
+        return optimized
+    verifier = PlanVerifier() if verify else None
+    if verifier is not None:
+        verifier.verify_plan(plan, rule="plan_from_query")
+    fused = fuse_joins(plan, verifier)
+    if verifier is not None:
+        verifier.verify_plan(fused, rule="fuse_joins")
+    return fused
 
 
 def plan_for_query(
     query: Query,
     tables: Mapping[str, CTable],
     optimize: bool = False,
+    verify: bool = False,
 ) -> PlanNode:
     """The plan ``translate_query`` would execute for *query*.
 
     With ``optimize=False`` this is the verbatim plan with selections
     over products fused into joins (the seed evaluation order); with
     ``optimize=True`` the full rewrite pipeline runs against statistics
-    of the bound tables.
+    of the bound tables.  ``verify=True`` runs the plan verifier along
+    the pipeline.
     """
-    return build_plan(query, lambda: collect_stats(tables), optimize)
+    return build_plan(
+        query, lambda: collect_stats(tables), optimize, verify=verify
+    )
 
 
 def translate_query(

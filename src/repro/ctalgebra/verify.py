@@ -1,0 +1,625 @@
+"""Static verification of queries, logical plans, and physical plans.
+
+The optimizer's soundness argument (Theorem 4: classically equivalent
+plans share one ``Mod``) only covers rewrites that *are* classically
+equivalent — a buggy rule that drops a residual conjunct, pushes a
+predicate to the wrong product side, or truncates a projection produces
+a well-formed tree that silently answers a different query.  Before this
+module such bugs were caught probabilistically, by the differential
+fuzzer, after the fact.  :class:`PlanVerifier` catches them at rewrite
+time, structurally:
+
+- **arity** — every operator's input/output arities are consistent, and
+  every rewrite preserves the arity of the node it replaced;
+- **scope** — plan predicates reference only column variables below the
+  operand arity; a :class:`~repro.logic.atoms.BoolVar` or free domain
+  variable inside a plan predicate is a scoping leak, and every variable
+  of a c-table's conditions is covered by its domain metadata;
+- **interning** — every condition/predicate sub-formula is the canonical
+  node of the hash-consing table (the "structural equality ⇒ identity"
+  invariant the morsel-parallel executor and the ``is``-keyed memos
+  rely on);
+- **conjunct-conservation** — a rewrite neither drops nor invents atoms:
+  the normalized atom keys of the output predicates are exactly those of
+  the input, modulo the two legal folds (a contradiction collapsing to
+  ``false``, and column-equalities folding to ``true`` through a
+  duplicated projection column);
+- **leaf-conservation** — a rewrite touches operators, never leaves: the
+  set of scanned relations/constants (including those remembered by an
+  :class:`~repro.ctalgebra.plan.EmptyNode`) is preserved;
+- **unsat-prune** — a rewrite may introduce an ``EmptyNode`` only when
+  its input already contained one or its predicate is genuinely
+  unsatisfiable (re-decided independently);
+- **estimates** — cardinality/condition estimates are finite,
+  non-negative, and shaped like the node's schema;
+- **lowering** — physical trees carry parallel/serial stamps only on
+  morselizable operators, morsel counts match the estimates they were
+  derived from, and hash-join build sides agree with the estimates.
+
+Verification is wired through :class:`repro.engine.config.ExecutionConfig`
+(``verify_plans`` / env ``REPRO_VERIFY_PLANS``): the optimizer then
+re-verifies after **every individual rewrite rule** and names the
+offending rule in the raised
+:class:`~repro.errors.PlanVerificationError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Set, Tuple
+
+from repro.errors import PlanVerificationError, QueryError, nearest_name
+from repro.logic.atoms import Const, Eq, Term, Var
+from repro.logic.equality_sat import is_satisfiable_skeleton
+from repro.logic.syntax import Bottom, Formula, is_atom, is_interned, walk
+from repro.algebra.ast import Query, RelVar
+from repro.algebra.predicates import column_index, is_column_var
+from repro.ctalgebra.plan import (
+    ConstScan,
+    DifferenceNode,
+    EmptyNode,
+    Estimate,
+    IntersectionNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    Scan,
+    SelectNode,
+    TableStats,
+    UnionNode,
+    estimate,
+    morsel_count,
+)
+from repro.tables.ctable import CTable
+
+if TYPE_CHECKING:  # pragma: no cover - layering: imported lazily at runtime
+    from repro.physical.operators import PhysicalOp
+
+#: Logical operators that carry a column-space predicate.
+_PREDICATED = (SelectNode, JoinNode)
+
+#: Binary operators whose operands must agree on arity.
+_SAME_ARITY = (UnionNode, DifferenceNode, IntersectionNode)
+
+
+def _term_key(term: Term) -> str:
+    """Normalize a predicate term for conjunct-conservation comparison.
+
+    Column indexes are deliberately erased: pushdown and reordering remap
+    them legitimately, while the *shape* of an atom (column-to-column,
+    column-to-constant, which constant) must survive every rewrite.
+    """
+    if is_column_var(term):
+        return "col"
+    if isinstance(term, Const):
+        return f"const:{term.value!r}"
+    return f"var:{term.name}"
+
+
+def _atom_key(atom: Eq) -> Tuple[str, str]:
+    first, second = _term_key(atom.left), _term_key(atom.right)
+    return (first, second) if first <= second else (second, first)
+
+
+def _atom_keys(plan: PlanNode) -> Set[Tuple[str, str]]:
+    """Normalized keys of every equality atom in the plan's predicates."""
+    keys: Set[Tuple[str, str]] = set()
+    for node in plan.walk():
+        if isinstance(node, _PREDICATED):
+            for atom in node.predicate.atoms():
+                if isinstance(atom, Eq):
+                    keys.add(_atom_key(atom))
+    return keys
+
+
+def _leaf_keys(plan: PlanNode) -> Set[PlanNode]:
+    """The set of leaf nodes, looking through ``EmptyNode`` memories."""
+    leaves: Set[PlanNode] = set()
+    for node in plan.walk():
+        if isinstance(node, (Scan, ConstScan)):
+            leaves.add(node)
+        elif isinstance(node, EmptyNode):
+            leaves.update(node.sources)
+    return leaves
+
+
+def _has_empty(plan: PlanNode) -> bool:
+    return any(isinstance(node, EmptyNode) for node in plan.walk())
+
+
+def _has_bottom_predicate(plan: PlanNode) -> bool:
+    return any(
+        isinstance(node, _PREDICATED) and isinstance(node.predicate, Bottom)
+        for node in plan.walk()
+    )
+
+
+def _has_duplicated_projection(plan: PlanNode) -> bool:
+    return any(
+        isinstance(node, ProjectNode)
+        and len(set(node.columns)) != len(node.columns)
+        for node in plan.walk()
+    )
+
+
+class PlanVerifier:
+    """Checks the structural invariants of plans and rewrites.
+
+    One verifier is created per planning pipeline (its estimate memo is
+    plan-identity keyed, so it must not outlive the statistics it was
+    given).  All ``verify_*`` methods raise
+    :class:`~repro.errors.PlanVerificationError` on the first violation
+    and return ``None`` on success; :meth:`verify_query` raises plain
+    :class:`~repro.errors.QueryError` since a malformed *query* is the
+    caller's bug, not the planner's.
+    """
+
+    def __init__(
+        self, stats: Optional[Mapping[str, TableStats]] = None
+    ) -> None:
+        self._stats = stats
+        self._memo: Dict[PlanNode, Estimate] = {}
+
+    # ------------------------------------------------------------------
+    # Queries (pre-translation)
+    # ------------------------------------------------------------------
+
+    def verify_query(self, query: Query, schema: Mapping[str, int]) -> None:
+        """Check every relation reference against *schema* before planning.
+
+        Unknown relations raise a :class:`~repro.errors.QueryError` that
+        names the relation and its nearest registered match, instead of
+        a deep ``KeyError`` inside translation.
+        """
+        for node in query.walk():
+            if not isinstance(node, RelVar):
+                continue
+            declared = schema.get(node.name)
+            if declared is None:
+                hint = nearest_name(node.name, sorted(schema))
+                raise QueryError(
+                    f"query references unknown relation {node.name!r}; "
+                    f"known relations are {sorted(schema)}{hint}"
+                )
+            if declared != node.rel_arity:
+                raise QueryError(
+                    f"query uses relation {node.name!r} with arity "
+                    f"{node.rel_arity}, but it is declared with arity "
+                    f"{declared}"
+                )
+
+    # ------------------------------------------------------------------
+    # Logical plans
+    # ------------------------------------------------------------------
+
+    def verify_plan(
+        self, plan: PlanNode, *, rule: Optional[str] = None
+    ) -> None:
+        """Check arity, predicate scoping, interning, and estimates."""
+        for node in plan.walk():
+            self._verify_node(node, rule)
+        if self._stats is not None:
+            self._verify_estimates(plan, rule)
+
+    def _verify_node(self, node: PlanNode, rule: Optional[str]) -> None:
+        if isinstance(node, Scan):
+            if node.rel_arity < 0:
+                raise PlanVerificationError(
+                    "arity",
+                    f"scan of {node.name!r} declares negative arity "
+                    f"{node.rel_arity}",
+                    rule=rule,
+                    node=node,
+                )
+        elif isinstance(node, ProjectNode):
+            child_arity = node.child.arity
+            bad = [
+                column
+                for column in node.columns
+                if column < 0 or column >= child_arity
+            ]
+            if bad:
+                raise PlanVerificationError(
+                    "arity",
+                    f"projection references columns {bad} outside the "
+                    f"child arity {child_arity}",
+                    rule=rule,
+                    node=node,
+                )
+        elif isinstance(node, _PREDICATED):
+            self._verify_predicate(node.predicate, node.arity, rule, node)
+        elif isinstance(node, _SAME_ARITY):
+            if node.left.arity != node.right.arity:
+                raise PlanVerificationError(
+                    "arity",
+                    f"{node.label()} operands have arities "
+                    f"{node.left.arity} and {node.right.arity}",
+                    rule=rule,
+                    node=node,
+                )
+        elif isinstance(node, EmptyNode):
+            if node.empty_arity < 0:
+                raise PlanVerificationError(
+                    "arity",
+                    f"empty node declares negative arity {node.empty_arity}",
+                    rule=rule,
+                    node=node,
+                )
+            bad_sources = [
+                source
+                for source in node.sources
+                if not isinstance(source, (Scan, ConstScan))
+            ]
+            if bad_sources:
+                raise PlanVerificationError(
+                    "leaf-conservation",
+                    f"empty node remembers non-leaf sources {bad_sources}",
+                    rule=rule,
+                    node=node,
+                )
+
+    def _verify_predicate(
+        self,
+        predicate: Formula,
+        arity: int,
+        rule: Optional[str],
+        node: object,
+    ) -> None:
+        for part in walk(predicate):
+            if not is_interned(part):
+                raise PlanVerificationError(
+                    "interning",
+                    f"predicate sub-formula {part!r} is not the canonical "
+                    "interned node; build conditions through the smart "
+                    "constructors",
+                    rule=rule,
+                    node=node,
+                )
+            if isinstance(part, Eq):
+                for term in (part.left, part.right):
+                    if isinstance(term, Var) and not is_column_var(term):
+                        raise PlanVerificationError(
+                            "scope",
+                            f"predicate references non-column variable "
+                            f"{term!r}; plan predicates scope over columns "
+                            "only",
+                            rule=rule,
+                            node=node,
+                        )
+                    if is_column_var(term):
+                        index = column_index(term)
+                        if index < 0 or index >= arity:
+                            raise PlanVerificationError(
+                                "arity",
+                                f"predicate references column {index} but "
+                                f"the operand arity is {arity}",
+                                rule=rule,
+                                node=node,
+                            )
+            elif is_atom(part):
+                raise PlanVerificationError(
+                    "scope",
+                    f"predicate contains non-equality atom {part!r} "
+                    "(boolean condition variables scope to table rows, "
+                    "not plans)",
+                    rule=rule,
+                    node=node,
+                )
+
+    def _verify_estimates(self, plan: PlanNode, rule: Optional[str]) -> None:
+        stats = self._stats
+        assert stats is not None
+        for node in plan.walk():
+            found = estimate(node, stats, self._memo)
+            if not math.isfinite(found.rows) or found.rows < 0:
+                raise PlanVerificationError(
+                    "estimates",
+                    f"estimated cardinality {found.rows!r} is not a finite "
+                    "non-negative number",
+                    rule=rule,
+                    node=node,
+                )
+            if (
+                not math.isfinite(found.condition_size)
+                or found.condition_size < 0
+            ):
+                raise PlanVerificationError(
+                    "estimates",
+                    f"estimated condition size {found.condition_size!r} is "
+                    "not a finite non-negative number",
+                    rule=rule,
+                    node=node,
+                )
+            if len(found.columns) != node.arity:
+                raise PlanVerificationError(
+                    "estimates",
+                    f"estimate carries {len(found.columns)} column summaries "
+                    f"for a node of arity {node.arity}",
+                    rule=rule,
+                    node=node,
+                )
+
+    # ------------------------------------------------------------------
+    # Rewrites
+    # ------------------------------------------------------------------
+
+    def verify_rewrite(
+        self, rule: str, before: PlanNode, after: PlanNode
+    ) -> PlanNode:
+        """Check one rewrite rule application; returns *after* on success.
+
+        Beyond re-verifying the rewritten tree, the rewrite itself must
+        preserve arity, the leaf set, and the predicate atoms (modulo
+        provable folds) — the conservation laws every Theorem-4-sound
+        rewrite obeys.
+        """
+        if after.arity != before.arity:
+            raise PlanVerificationError(
+                "arity",
+                f"rewrite changed the arity from {before.arity} to "
+                f"{after.arity}",
+                rule=rule,
+                node=after,
+            )
+        self.verify_plan(after, rule=rule)
+
+        before_leaves = _leaf_keys(before)
+        after_leaves = _leaf_keys(after)
+        if before_leaves != after_leaves:
+            dropped = before_leaves - after_leaves
+            added = after_leaves - before_leaves
+            raise PlanVerificationError(
+                "leaf-conservation",
+                f"rewrite changed the leaf set (dropped {sorted(map(repr, dropped))}, "
+                f"added {sorted(map(repr, added))})",
+                rule=rule,
+                node=after,
+            )
+
+        collapsed = isinstance(after, EmptyNode) and not isinstance(
+            before, EmptyNode
+        )
+        before_keys = _atom_keys(before)
+        after_keys = _atom_keys(after)
+        invented = after_keys - before_keys
+        if invented:
+            raise PlanVerificationError(
+                "conjunct-conservation",
+                f"rewrite invented predicate atoms {sorted(invented)}",
+                rule=rule,
+                node=after,
+            )
+        missing = before_keys - after_keys
+        if missing and not collapsed and not _has_bottom_predicate(after):
+            if _has_duplicated_projection(before):
+                # A non-injective projection remap may legally fold
+                # column-to-column equalities to ``true``.
+                missing = {key for key in missing if key != ("col", "col")}
+            if missing:
+                raise PlanVerificationError(
+                    "conjunct-conservation",
+                    f"rewrite dropped predicate atoms {sorted(missing)} "
+                    "without folding the region to empty",
+                    rule=rule,
+                    node=after,
+                )
+
+        if collapsed or (_has_empty(after) and not _has_empty(before)):
+            self._verify_prune(rule, before, after)
+        return after
+
+    def _verify_prune(
+        self, rule: str, before: PlanNode, after: PlanNode
+    ) -> None:
+        """An introduced ``EmptyNode`` needs an independent justification."""
+        if _has_empty(before):
+            # Collapsing an operator over an already-empty region: the
+            # empty operand is the justification.
+            return
+        if isinstance(before, _PREDICATED):
+            predicate = before.predicate
+            if isinstance(predicate, Bottom):
+                return
+            if not is_satisfiable_skeleton(predicate):
+                return
+            raise PlanVerificationError(
+                "unsat-prune",
+                f"rewrite pruned a region whose predicate {predicate!r} "
+                "is satisfiable",
+                rule=rule,
+                node=after,
+            )
+        raise PlanVerificationError(
+            "unsat-prune",
+            "rewrite introduced an empty node below an operator with no "
+            "unsatisfiable predicate and no empty operand",
+            rule=rule,
+            node=after,
+        )
+
+    # ------------------------------------------------------------------
+    # Physical plans
+    # ------------------------------------------------------------------
+
+    def verify_physical(
+        self,
+        op: "PhysicalOp",
+        *,
+        morsel_size: Optional[int] = None,
+        rule: Optional[str] = None,
+    ) -> None:
+        """Check lowering invariants of a physical operator tree.
+
+        *morsel_size* is the :class:`~repro.physical.parallel.ParallelSpec`
+        size the tree was lowered for (``None`` for serial lowering).
+        """
+        # Lazy import: ctalgebra sits below physical in the layering; the
+        # verifier is handed physical trees by the lowering hook only.
+        from repro.physical.lower import _probe_child
+        from repro.physical.operators import HashJoinOp, FilterOp, ProjectOp
+        from repro.physical.parallel import PARALLELIZABLE_OPS
+
+        for node in op.walk():
+            decision = node.par_decision
+            if decision not in (None, "parallel", "serial"):
+                raise PlanVerificationError(
+                    "lowering",
+                    f"unknown parallel decision {decision!r}",
+                    rule=rule,
+                    node=node,
+                )
+            if decision is not None and not isinstance(
+                node, PARALLELIZABLE_OPS
+            ):
+                raise PlanVerificationError(
+                    "lowering",
+                    f"{node.label()} carries a parallel decision but is not "
+                    "a morselizable operator",
+                    rule=rule,
+                    node=node,
+                )
+            rows = node.est_rows
+            if rows is not None and (not math.isfinite(rows) or rows < 0):
+                raise PlanVerificationError(
+                    "estimates",
+                    f"physical estimate {rows!r} is not a finite "
+                    "non-negative number",
+                    rule=rule,
+                    node=node,
+                )
+            probe = _probe_child(node)
+            probe_rows = probe.est_rows if probe is not None else None
+            if (
+                morsel_size is not None
+                and decision is not None
+                and probe_rows is not None
+            ):
+                expected = "parallel" if probe_rows > morsel_size else "serial"
+                if decision != expected:
+                    raise PlanVerificationError(
+                        "lowering",
+                        f"{node.label()} is stamped {decision!r} but its "
+                        f"probe input estimates {probe_rows:.1f} rows "
+                        f"against morsel size {morsel_size} "
+                        f"(expected {expected!r})",
+                        rule=rule,
+                        node=node,
+                    )
+                if node.est_morsels is not None and node.est_morsels != (
+                    morsel_count(probe_rows, morsel_size)
+                ):
+                    raise PlanVerificationError(
+                        "lowering",
+                        f"{node.label()} is stamped with {node.est_morsels} "
+                        f"morsels but the estimates give "
+                        f"{morsel_count(probe_rows, morsel_size)}",
+                        rule=rule,
+                        node=node,
+                    )
+            if isinstance(node, HashJoinOp):
+                self._verify_hash_join(node, rule)
+            if isinstance(node, FilterOp):
+                self._verify_predicate(
+                    node.predicate, node.arity, rule, node
+                )
+            if isinstance(node, ProjectOp):
+                child_arity = node.child.arity
+                bad = [
+                    column
+                    for column in node.columns
+                    if column < 0 or column >= child_arity
+                ]
+                if bad:
+                    raise PlanVerificationError(
+                        "arity",
+                        f"physical projection references columns {bad} "
+                        f"outside the child arity {child_arity}",
+                        rule=rule,
+                        node=node,
+                    )
+
+    def _verify_hash_join(self, node: "PhysicalOp", rule: Optional[str]) -> None:
+        if node.build_side not in ("left", "right"):
+            raise PlanVerificationError(
+                "lowering",
+                f"hash join build side must be 'left' or 'right', got "
+                f"{node.build_side!r}",
+                rule=rule,
+                node=node,
+            )
+        left_arity = node.left.arity
+        right_arity = node.right.arity
+        bad_left = [key for key in node.left_keys if key >= left_arity]
+        bad_right = [key for key in node.right_keys if key >= right_arity]
+        if bad_left or bad_right:
+            raise PlanVerificationError(
+                "arity",
+                f"hash join keys out of range (left {bad_left} of arity "
+                f"{left_arity}, right {bad_right} of arity {right_arity})",
+                rule=rule,
+                node=node,
+            )
+        left_rows = node.left.est_rows
+        right_rows = node.right.est_rows
+        if left_rows is not None and right_rows is not None:
+            expected = "left" if left_rows < right_rows else "right"
+            if node.build_side != expected:
+                raise PlanVerificationError(
+                    "estimates",
+                    f"hash join builds on the {node.build_side} side but "
+                    f"the estimates ({left_rows:.1f} vs {right_rows:.1f} "
+                    f"rows) pick {expected!r} — stale or inconsistent "
+                    "estimates",
+                    rule=rule,
+                    node=node,
+                )
+        self._verify_predicate(node.predicate, node.arity, rule, node)
+        self._verify_predicate(node.residual, node.arity, rule, node)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def verify_ctable(self, name: str, table: CTable) -> None:
+        """Check condition canonicity and domain coverage of one c-table.
+
+        Run at registration time (under ``verify_plans``) so that every
+        condition entering the engine satisfies the identity invariant
+        the parallel executor assumes.
+        """
+        domains = table.domains
+        covered = None if domains is None else set(domains)
+        self._verify_condition(
+            name, table.global_condition, covered, "global condition"
+        )
+        for position, row in enumerate(table.rows):
+            self._verify_condition(
+                name, row.condition, covered, f"row {position}"
+            )
+
+    def _verify_condition(
+        self,
+        name: str,
+        condition: Formula,
+        covered: Optional[Set[str]],
+        where: str,
+    ) -> None:
+        for part in walk(condition):
+            if not is_interned(part):
+                raise PlanVerificationError(
+                    "interning",
+                    f"table {name!r} {where} holds non-canonical "
+                    f"sub-formula {part!r}; build conditions through the "
+                    "smart constructors (conj/disj/neg/eq/boolvar)",
+                    node=condition,
+                )
+        if covered is not None:
+            missing = sorted(condition.variables() - covered)
+            if missing:
+                raise PlanVerificationError(
+                    "scope",
+                    f"table {name!r} {where} mentions variables {missing} "
+                    "absent from the table's domain metadata",
+                    node=condition,
+                )
+

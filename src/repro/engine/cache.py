@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Hashable, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Set, Tuple
 
 
 class PlanCache:
@@ -47,13 +47,15 @@ class PlanCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, Tuple[object, Hashable, FrozenSet[str]]]" = (
             OrderedDict()
-        )
+        )  # guarded-by: _lock
         # (scope, relation name) -> keys of entries reading that relation.
-        self._by_dependency: Dict[Tuple[Hashable, str], Set[Hashable]] = {}
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
+        self._by_dependency: Dict[
+            Tuple[Hashable, str], Set[Hashable]
+        ] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:
@@ -63,7 +65,7 @@ class PlanCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: Hashable):
+    def get(self, key: Hashable) -> Any:
         """Return the cached plan for *key*, or ``None`` (LRU-touching)."""
         with self._lock:
             entry = self._entries.get(key)
@@ -77,7 +79,7 @@ class PlanCache:
     def put(
         self,
         key: Hashable,
-        plan,
+        plan: object,
         scope: Hashable,
         dependencies: FrozenSet[str],
     ) -> None:
@@ -97,7 +99,7 @@ class PlanCache:
                 del self._entries[oldest]
                 self._evictions += 1
 
-    def invalidate(self, scope: Hashable, names) -> int:
+    def invalidate(self, scope: Hashable, names: Iterable[str]) -> int:
         """Evict entries of *scope* that read any of *names*; return count."""
         with self._lock:
             stale: Set[Hashable] = set()
@@ -126,7 +128,7 @@ class PlanCache:
                 "invalidations": self._invalidations,
             }
 
-    def _unindex(self, key: Hashable) -> None:
+    def _unindex(self, key: Hashable) -> None:  # requires-lock: _lock
         entry = self._entries.get(key)
         if entry is None:
             return

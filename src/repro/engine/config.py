@@ -23,7 +23,9 @@ executor:
 - ``REPRO_EXECUTOR`` — default for ``executor``
   (``interpreted`` / ``vectorized`` / ``parallel``);
 - ``REPRO_NUM_WORKERS`` — default for ``num_workers``;
-- ``REPRO_MORSEL_SIZE`` — default for ``morsel_size``.
+- ``REPRO_MORSEL_SIZE`` — default for ``morsel_size``;
+- ``REPRO_VERIFY_PLANS`` — default for ``verify_plans``
+  (truthy values: ``1``, ``true``, ``yes``, ``on``).
 
 Explicit constructor arguments always win over the environment.
 """
@@ -39,7 +41,7 @@ def _env_executor() -> str:
     return os.environ.get("REPRO_EXECUTOR") or "vectorized"
 
 
-def _env_int(name: str, default: int):
+def _env_int(name: str, default: int) -> int:
     value = os.environ.get(name)
     if not value:
         return default
@@ -49,6 +51,20 @@ def _env_int(name: str, default: int):
         raise ValueError(
             f"environment variable {name}={value!r} is not an integer"
         ) from error
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if not value:
+        return default
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"environment variable {name}={value!r} is not a boolean flag"
+    )
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,13 @@ class ExecutionConfig:
     - ``max_candidates`` — guard on the candidate pool of symbolic
       certain/possible answers (see
       :mod:`repro.worlds.symbolic_answers`).
+    - ``verify_plans`` — run the static plan verifier
+      (:class:`repro.ctalgebra.verify.PlanVerifier`) along the whole
+      pipeline: registered tables at registration, the verbatim plan,
+      every individual optimizer rewrite (violations name the rule),
+      and the lowered physical tree.  Off by default (it re-walks plans
+      per rewrite); CI flips it on for a full tier-1 run via
+      ``REPRO_VERIFY_PLANS=1``.
     """
 
     optimize: bool = True
@@ -99,6 +122,9 @@ class ExecutionConfig:
     plan_cache_size: int = 128
     result_cache_size: int = 64
     max_candidates: int = 100_000
+    verify_plans: bool = field(
+        default_factory=lambda: _env_flag("REPRO_VERIFY_PLANS", False)
+    )
 
     def __post_init__(self) -> None:
         if self.executor not in ("interpreted", "vectorized", "parallel"):
@@ -127,7 +153,7 @@ class ExecutionConfig:
                 f"max_candidates must be positive, got {self.max_candidates}"
             )
 
-    def with_options(self, **options) -> "ExecutionConfig":
+    def with_options(self, **options: object) -> "ExecutionConfig":
         """Return a copy with the given fields replaced.
 
         ``None`` values mean "keep the current setting", so per-call

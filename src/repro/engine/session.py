@@ -29,10 +29,24 @@ so existing code and the paper-artifact tests run unchanged.
 from __future__ import annotations
 
 import itertools
+import threading
 from fractions import Fraction
-from typing import Dict, Hashable, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from repro.errors import ProbabilityError, QueryError, TableError
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.idatabase import IDatabase
+
+from repro.errors import ProbabilityError, QueryError, TableError, nearest_name
 from repro.core.domain import Domain
 from repro.core.instance import Instance, Row
 from repro.logic.syntax import Formula
@@ -51,6 +65,7 @@ from repro.ctalgebra.plan import (
     explain as explain_plan,
 )
 from repro.ctalgebra.translate import build_plan
+from repro.ctalgebra.verify import PlanVerifier
 from repro.physical import (
     ParallelSpec,
     PhysicalOp,
@@ -94,7 +109,13 @@ def bind_single_table(query: Query, table: CTable) -> Dict[str, CTable]:
     return {name: table for name in names}
 
 
-def _merge_distribution_sources(sources) -> Dict[str, Dict[Hashable, Fraction]]:
+#: The variable-distribution maps pc-tables contribute.
+_Distributions = Dict[str, Dict[Hashable, Fraction]]
+
+
+def _merge_distribution_sources(
+    sources: Iterable[Mapping[str, Mapping[Hashable, Fraction]]],
+) -> _Distributions:
     """Merge per-table variable distributions; conflicting names raise."""
     merged: Dict[str, Dict[Hashable, Fraction]] = {}
     for distributions in sources:
@@ -114,7 +135,14 @@ class _Registered:
 
     __slots__ = ("source", "ctable", "stats", "accumulator", "distributions")
 
-    def __init__(self, source, ctable, stats, accumulator, distributions):
+    def __init__(
+        self,
+        source: object,
+        ctable: CTable,
+        stats: TableStats,
+        accumulator: StatsAccumulator,
+        distributions: Optional[Mapping[str, Mapping[Hashable, Fraction]]],
+    ) -> None:
         self.source = source
         self.ctable = ctable
         self.stats = stats
@@ -149,13 +177,20 @@ class Engine:
     backs the legacy top-level functions.
     """
 
-    def __init__(self, config: Optional[ExecutionConfig] = None, **options):
+    def __init__(
+        self, config: Optional[ExecutionConfig] = None, **options: object
+    ) -> None:
         if config is None:
             config = ExecutionConfig()
         self._config = config.with_options(**options)
         self._plan_cache = PlanCache(self._config.plan_cache_size)
         self._result_cache = ResultCache(self._config.result_cache_size)
-        self._query_interning: Dict[Query, Query] = {}
+        self._intern_lock = threading.Lock()
+        # An engine may be shared across application threads; interning
+        # is get-then-insert over a plain dict plus a bounding clear, so
+        # it runs under its own small lock (the GIL does not make the
+        # compound read-modify-write atomic).
+        self._query_interning: Dict[Query, Query] = {}  # guarded-by: _intern_lock
 
     @property
     def config(self) -> ExecutionConfig:
@@ -176,7 +211,7 @@ class Engine:
         self._result_cache.clear()
 
     def session(
-        self, tables: Optional[Mapping[str, object]] = None, **named
+        self, tables: Optional[Mapping[str, object]] = None, **named: object
     ) -> "Session":
         """Create a :class:`Session`, optionally pre-registering tables."""
         session = Session(self)
@@ -210,11 +245,22 @@ class Engine:
         )
         collected: Dict[str, TableStats] = {}
 
-        def stats_thunk():
+        def stats_thunk() -> Dict[str, TableStats]:
             collected.update(collect_stats(tables))
             return collected
 
-        plan = build_plan(query, stats_thunk, config.optimize)
+        verifier: Optional[PlanVerifier] = None
+        if config.verify_plans:
+            verifier = PlanVerifier()
+            verifier.verify_query(
+                query,
+                {name: table.arity for name, table in tables.items()},
+            )
+            for name, table in tables.items():
+                verifier.verify_ctable(name, table)
+        plan = build_plan(
+            query, stats_thunk, config.optimize, verify=config.verify_plans
+        )
         if config.executor == "vectorized":
             # When the optimizer ran, its statistics are reused to guide
             # lowering (build sides, filter strategies); an unoptimized
@@ -224,6 +270,7 @@ class Engine:
                 plan, tables,
                 simplify_conditions=config.simplify_conditions,
                 stats=collected or None,
+                verifier=verifier,
             )
         if config.executor == "parallel":
             return execute_plan_parallel(
@@ -232,6 +279,7 @@ class Engine:
                 num_workers=config.num_workers,
                 morsel_size=config.morsel_size,
                 simplify_conditions=config.simplify_conditions,
+                verifier=verifier,
             )
         return execute_plan(
             plan, tables, simplify_conditions=config.simplify_conditions
@@ -284,14 +332,16 @@ class Engine:
         the one interned object, so plan-cache keys compare by identity
         fast-path and equal queries share cache entries.
         """
-        canonical = self._query_interning.get(query)
-        if canonical is None:
-            # Bound the interning table; queries are tiny but unbounded
-            # growth across a long-lived engine would still be a leak.
-            if len(self._query_interning) >= 4096:
-                self._query_interning.clear()
-            self._query_interning[query] = query
-            canonical = query
+        with self._intern_lock:
+            canonical = self._query_interning.get(query)
+            if canonical is None:
+                # Bound the interning table; queries are tiny but
+                # unbounded growth across a long-lived engine would
+                # still be a leak.
+                if len(self._query_interning) >= 4096:
+                    self._query_interning.clear()
+                self._query_interning[query] = query
+                canonical = query
         return canonical
 
 
@@ -327,7 +377,7 @@ class Session:
     def __contains__(self, name: str) -> bool:
         return name in self._registry
 
-    def register(self, name: str, table) -> "Session":
+    def register(self, name: str, table: object) -> "Session":
         """Register (or replace) *table* under *name*; returns ``self``.
 
         Replacing a name invalidates exactly the cached plans *and
@@ -368,6 +418,11 @@ class Session:
                 f"cannot register {type(table).__name__!r}: expected a "
                 "representation-system table, a PCTable, or an Instance"
             )
+        if self._engine.config.verify_plans:
+            # Conditions entering the engine must satisfy the identity
+            # invariant (canonical interned formulas) and stay inside
+            # the declared domain metadata.
+            PlanVerifier().verify_ctable(name, ctable)
         previous = self._registry.get(name)
         if previous is not None and previous.ctable.arity == ctable.arity:
             # Incremental refresh: absorb the row delta into the cached
@@ -394,7 +449,7 @@ class Session:
         """The registered table's (cached) c-table embedding."""
         return self._entry(name).ctable
 
-    def source(self, name: str):
+    def source(self, name: str) -> object:
         """The originally registered object (pre-coercion)."""
         return self._entry(name).source
 
@@ -415,12 +470,15 @@ class Session:
         self._merged_distributions = merged
         return merged
 
-    def _distribution_sources(self):
+    def _distribution_sources(
+        self,
+    ) -> Tuple[Mapping[str, Mapping[Hashable, Fraction]], ...]:
         """The registered pc-tables' distribution maps, in name order."""
         return tuple(
-            self._registry[name].distributions
+            distributions
             for name in sorted(self._registry)
-            if self._registry[name].distributions is not None
+            if (distributions := self._registry[name].distributions)
+            is not None
         )
 
     # ------------------------------------------------------------------
@@ -454,16 +512,16 @@ class Session:
         if isinstance(query, str):
             query = self.parse(query)
         query = self._engine.intern_query(query)
-        missing = sorted(
-            name
-            for name in query.relation_names()
-            if name not in self._registry
+        # Structured pre-translation diagnostics: unknown relations and
+        # arity mismatches surface here, naming the nearest registered
+        # relation, instead of as a KeyError deep inside planning.
+        PlanVerifier().verify_query(
+            query,
+            {
+                name: entry.ctable.arity
+                for name, entry in self._registry.items()
+            },
         )
-        if missing:
-            raise QueryError(
-                f"query references unregistered relations {missing}; "
-                f"registered names are {list(self.names())}"
-            )
         config = self._engine.config.with_options(
             simplify_conditions=simplify_conditions,
             optimize=optimize,
@@ -473,7 +531,7 @@ class Session:
         )
         return PreparedQuery(self, query, config)
 
-    def query(self, query: Union[Query, str], **options) -> "Dataset":
+    def query(self, query: Union[Query, str], **options: Any) -> "Dataset":
         """The lazy entry point: ``session.query(q).certain()`` etc."""
         return self.prepare(query, **options).dataset()
 
@@ -495,9 +553,10 @@ class Session:
     def _entry(self, name: str) -> _Registered:
         entry = self._registry.get(name)
         if entry is None:
+            hint = nearest_name(name, self.names())
             raise QueryError(
                 f"no table registered under {name!r}; registered names "
-                f"are {list(self.names())}"
+                f"are {list(self.names())}{hint}"
             )
         return entry
 
@@ -507,9 +566,11 @@ class Session:
             for name in query.relation_names()
         }
 
-    def _fingerprint(self, query: Query):
+    def _fingerprint(
+        self, query: Query
+    ) -> Tuple[Tuple[str, int, TableStats], ...]:
         """(schema, statistics) parts of the plan-cache key."""
-        parts = []
+        parts: list[Tuple[str, int, TableStats]] = []
         for name in sorted(query.relation_names()):
             entry = self._entry(name)
             parts.append((name, entry.ctable.arity, entry.stats))
@@ -527,7 +588,9 @@ class PreparedQuery:
 
     __slots__ = ("_session", "_query", "_config")
 
-    def __init__(self, session: Session, query: Query, config: ExecutionConfig):
+    def __init__(
+        self, session: Session, query: Query, config: ExecutionConfig
+    ) -> None:
         self._session = session
         self._query = query
         self._config = config
@@ -562,6 +625,7 @@ class PreparedQuery:
                 self._query,
                 lambda: {name: session.stats(name) for name in names},
                 self._config.optimize,
+                verify=self._config.verify_plans,
             )
             entry = _PlanEntry(logical)
             cache.put(key, entry, session._id, names)
@@ -595,11 +659,16 @@ class PreparedQuery:
                 name: self._session.stats(name)
                 for name in self._query.relation_names()
             }
-            lowered = lower(entry.logical, stats, parallel=spec)
+            verifier = (
+                PlanVerifier(stats) if self._config.verify_plans else None
+            )
+            lowered = lower(
+                entry.logical, stats, parallel=spec, verifier=verifier
+            )
             entry.physical[key] = lowered
         return lowered
 
-    def _result_key(self):
+    def _result_key(self) -> Tuple[object, ...]:
         session = self._session
         config = self._config
         return (
@@ -698,13 +767,13 @@ class Dataset:
         "_stats",
     )
 
-    def __init__(self, prepared: PreparedQuery):
+    def __init__(self, prepared: PreparedQuery) -> None:
         self._prepared = prepared
         self._collected: Optional[CTable] = None
-        self._distribution_sources = None
-        self._distributions: Optional[
-            Dict[str, Dict[Hashable, Fraction]]
+        self._distribution_sources: Optional[
+            Tuple[Mapping[str, Mapping[Hashable, Fraction]], ...]
         ] = None
+        self._distributions: Optional[_Distributions] = None
         self._plan: Optional[PlanNode] = None
         self._stats: Optional[Dict[str, TableStats]] = None
 
@@ -877,7 +946,9 @@ class Dataset:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _check_method_options(method: str, domain, max_candidates) -> None:
+    def _check_method_options(
+        method: str, domain: object, max_candidates: Optional[int]
+    ) -> None:
         """Reject options the chosen method cannot honor, loudly.
 
         Silently dropping ``domain`` under the symbolic method (or
@@ -917,7 +988,7 @@ class Dataset:
         return self._prepared.config.max_candidates
 
     @staticmethod
-    def _worlds(answered: CTable, domain):
+    def _worlds(answered: CTable, domain: Any) -> "IDatabase":
         from repro.worlds.answers import mod_of
 
         return mod_of(answered, domain)

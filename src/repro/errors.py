@@ -32,6 +32,66 @@ class QueryError(ReproError):
     """A relational-algebra expression is malformed."""
 
 
+class PlanError(ReproError):
+    """A logical or physical plan is structurally malformed."""
+
+
+class PlanVerificationError(PlanError):
+    """A plan (or a single rewrite) violates a verified invariant.
+
+    Raised by :class:`repro.ctalgebra.verify.PlanVerifier`.  The message
+    is assembled from structured parts so diagnostics are uniform and a
+    test (or a user) can see *which rule* produced the bad tree and
+    *which check* rejected it:
+
+    - ``check`` — the invariant that failed (``"arity"``, ``"scope"``,
+      ``"interning"``, ``"estimates"``, ``"lowering"``,
+      ``"conjunct-conservation"``, ``"leaf-conservation"``,
+      ``"unsat-prune"``);
+    - ``rule`` — the optimizer rule (or pipeline stage) whose output was
+      being verified, when known;
+    - ``node`` — a short rendering of the offending node;
+    - ``detail`` — the human explanation.
+    """
+
+    def __init__(
+        self,
+        check: str,
+        detail: str,
+        *,
+        rule: "str | None" = None,
+        node: "object | None" = None,
+    ) -> None:
+        self.check = check
+        self.rule = rule
+        self.node = node
+        self.detail = detail
+        parts = [f"plan verification failed [{check}]"]
+        if rule is not None:
+            parts.append(f"after rule {rule!r}")
+        message = " ".join(parts) + f": {detail}"
+        if node is not None:
+            rendered = repr(node)
+            if len(rendered) > 200:
+                rendered = rendered[:200] + "…"
+            message += f" (node: {rendered})"
+        super().__init__(message)
+
+
+def nearest_name(name: str, candidates: "list[str] | tuple[str, ...]") -> str:
+    """A ``"; did you mean 'x'?"`` suffix for unknown-name diagnostics.
+
+    Returns the empty string when nothing in *candidates* is close, so
+    callers can append the result unconditionally.
+    """
+    import difflib
+
+    close = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    if not close:
+        return ""
+    return f"; did you mean {close[0]!r}?"
+
+
 class FragmentError(QueryError):
     """A query does not belong to the relational-algebra fragment required."""
 

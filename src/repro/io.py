@@ -25,7 +25,7 @@ from fractions import Fraction
 from typing import Any, Dict, Hashable, List
 
 from repro.errors import ReproError
-from repro.logic.atoms import BoolVar, Const, Eq, Term, Var
+from repro.logic.atoms import BoolVar, Const, Eq, Term, Var, boolvar
 from repro.logic.syntax import (
     BOTTOM,
     TOP,
@@ -115,7 +115,7 @@ def formula_from_json(data: Any) -> Formula:
 
         return eq_(term_from_json(left), term_from_json(right))
     if "bool" in data:
-        return BoolVar(data["bool"])
+        return boolvar(data["bool"])
     if "not" in data:
         return neg(formula_from_json(data["not"]))
     if "and" in data:

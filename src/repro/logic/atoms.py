@@ -14,7 +14,7 @@ attribute values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Hashable, Union
+from typing import FrozenSet, Hashable, Union, cast
 
 from repro.errors import ConditionError
 from repro.logic.syntax import Formula, Not, hashcons, neg
@@ -47,7 +47,7 @@ class Const:
 Term = Union[Var, Const]
 
 
-def as_term(value) -> Term:
+def as_term(value: object) -> Term:
     """Coerce *value* into a :class:`Term`.
 
     Strings are ambiguous (variable name or string constant?), so only
@@ -112,7 +112,7 @@ def _ordered(left: Term, right: Term) -> "tuple[Term, Term]":
     return (left, right) if repr(left) <= repr(right) else (right, left)
 
 
-def eq(left, right) -> Formula:
+def eq(left: object, right: object) -> Formula:
     """Build an equality atom between two terms with normalization.
 
     Identical terms fold to ``true``; distinct constants fold to
@@ -132,12 +132,12 @@ def eq(left, right) -> Formula:
     return hashcons(Eq, first, second)
 
 
-def ne(left, right) -> Formula:
+def ne(left: object, right: object) -> Formula:
     """Build a disequality, represented as a negated equality atom."""
     return neg(eq(left, right))
 
 
-def boolvar(name: str) -> Formula:
+def boolvar(name: str) -> BoolVar:
     """Build a boolean variable atom through the interning table.
 
     Unlike the raw ``BoolVar(name)`` constructor (structural equality
@@ -145,7 +145,7 @@ def boolvar(name: str) -> Formula:
     concurrent threads — table embeddings use it so conditions built
     during a threaded ``Session.register`` keep the identity invariant.
     """
-    return hashcons(BoolVar, name)
+    return cast(BoolVar, hashcons(BoolVar, name))
 
 
 def atom_terms(atom: Formula) -> "tuple[Term, ...]":

@@ -312,7 +312,9 @@ class Bdd:
         return assignment
 
 
-def formula_to_bdd(formula: Formula, order: Optional[Sequence[str]] = None):
+def formula_to_bdd(
+    formula: Formula, order: Optional[Sequence[str]] = None
+) -> "Tuple[Bdd, int]":
     """Convenience: build a manager (sorted order by default) and compile.
 
     Returns the ``(manager, node)`` pair.

@@ -23,7 +23,7 @@ All arithmetic uses :class:`fractions.Fraction` for exactness.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Hashable, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, Mapping, Sequence, Tuple, Union
 
 from repro.errors import ProbabilityError
 from repro.logic.evaluation import evaluate, partial_evaluate
@@ -144,7 +144,7 @@ def uniform(values: Sequence[Hashable]) -> Dict[Hashable, Fraction]:
     return {value: share for value in values}
 
 
-def bernoulli(weight) -> Dict[bool, Fraction]:
+def bernoulli(weight: Union[int, float, str, Fraction]) -> Dict[bool, Fraction]:
     """Return a boolean distribution with P[True] = *weight*."""
     weight = Fraction(weight)
     if not 0 <= weight <= 1:

@@ -24,7 +24,7 @@ induced equality constraints for consistency with a union-find
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Sequence, Tuple
 
 from repro.logic.atoms import BoolVar, Const, Eq
 from repro.logic.cnf import AtomMap, tseitin_clauses
@@ -210,7 +210,9 @@ def equivalence_classes(
     return [frozenset(group) for group in groups.values()]
 
 
-def all_partitions(items: Sequence[str]):
+def all_partitions(
+    items: Sequence[str],
+) -> Iterator[List[FrozenSet[str]]]:
     """Yield every partition of *items* into non-empty blocks.
 
     Used by exhaustive separation proofs (benchmark E19): valuations over

@@ -30,7 +30,7 @@ be disabled with :func:`set_evaluation_cache` — benchmark
 from __future__ import annotations
 
 import weakref
-from typing import Hashable, Mapping
+from typing import Callable, Hashable, Mapping, Tuple, TypeVar
 
 from repro.errors import ValuationError
 from repro.logic.atoms import BoolVar, Const, Eq, Term, Var
@@ -49,6 +49,8 @@ from repro.logic.syntax import (
 )
 
 Valuation = Mapping[str, Hashable]
+
+_T = TypeVar("_T")
 
 #: Sentinel marking a variable the valuation does not cover.
 _MISSING = object()
@@ -121,7 +123,12 @@ def _node_memo(formula: Formula, slot: str) -> dict:
         return memo
 
 
-def _memoized(formula: Formula, slot: str, compute, valuation: Valuation):
+def _memoized(
+    formula: Formula,
+    slot: str,
+    compute: "Callable[[Formula, Valuation], _T]",
+    valuation: Valuation,
+) -> _T:
     """Memoize ``compute(formula, valuation)`` on the node's *slot* dict,
     keyed by the values the valuation assigns to the node's variables."""
     memo = _node_memo(formula, slot)
@@ -139,7 +146,9 @@ def _memoized(formula: Formula, slot: str, compute, valuation: Valuation):
     return result
 
 
-def _term_value(term: Term, valuation: Valuation, strict: bool):
+def _term_value(
+    term: Term, valuation: Valuation, strict: bool
+) -> "Tuple[bool, Hashable]":
     if isinstance(term, Const):
         return True, term.value
     if term.name in valuation:

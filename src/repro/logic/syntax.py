@@ -51,7 +51,9 @@ from typing import FrozenSet, Iterable, Iterator, Tuple
 #: referenced so a long-running process does not accumulate every formula
 #: it ever built; keys hold the children, which are themselves alive
 #: while any parent is.
-_INTERN_TABLE: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+_INTERN_TABLE: "weakref.WeakValueDictionary" = (  # guarded-by: _INTERN_LOCK [writes]
+    weakref.WeakValueDictionary()
+)
 
 #: Serializes the construct-and-insert miss path of :func:`hashcons`.
 #: Without it, two threads racing to build the same formula could both
@@ -70,8 +72,38 @@ _INTERN_TABLE: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 #: needs identity must build through the smart constructors.
 _INTERN_LOCK = threading.Lock()
 
-_intern_hits = 0
-_intern_misses = 0
+
+class _Counters:
+    """Hit/miss tallies owned by exactly one thread (no shared writes)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+_COUNTERS_LOCK = threading.Lock()
+
+#: Every thread's private counter object, for aggregation.  The interning
+#: hot path increments only its own thread's object, so the counters stay
+#: exact without taking a lock per formula construction (the previous
+#: module-global ints lost increments under concurrent morsel workers).
+#: Entries of finished threads are kept: their tallies remain part of the
+#: process totals.
+_ALL_COUNTERS: list = []  # guarded-by: _COUNTERS_LOCK
+
+
+class _LocalCounters(threading.local):
+    """Thread-local handle; registers each thread's counters globally."""
+
+    def __init__(self) -> None:
+        self.counters = _Counters()
+        with _COUNTERS_LOCK:
+            _ALL_COUNTERS.append(self.counters)
+
+
+_LOCAL = _LocalCounters()
 
 
 class Formula:
@@ -96,20 +128,23 @@ class Formula:
         "__weakref__",
     )
 
-    def __new__(cls, *fields, **kwfields):
+    def __new__(cls, *fields: object, **kwfields: object) -> "Formula":
         # Hash-consing: positional construction of an already-known node
         # returns the canonical instance (its fields are then re-assigned
         # to equal values by the dataclass __init__, which is harmless).
-        global _intern_hits, _intern_misses
+        counters = _LOCAL.counters
         if not kwfields:
             node = _INTERN_TABLE.get((cls, fields))
             if node is not None:
-                _intern_hits += 1
+                counters.hits += 1
                 return node
-        _intern_misses += 1
+        counters.misses += 1
         return object.__new__(cls)
 
     def __post_init__(self) -> None:
+        # unguarded-ok: raw constructors keep the weaker best-effort
+        # identity contract; setdefault is atomic, so the canonical node
+        # is never displaced — a racing raw build just isn't it.
         _INTERN_TABLE.setdefault((self.__class__, self._fields()), self)
 
     def _fields(self) -> tuple:
@@ -273,7 +308,7 @@ class Or(Formula):
         return "(" + " | ".join(repr(c) for c in self.children) + ")"
 
 
-def hashcons(cls, *fields) -> Formula:
+def hashcons(cls: type, *fields: object) -> Formula:
     """Return the canonical node ``cls(*fields)``, creating it if needed.
 
     Plain positional construction is equivalent (``Formula.__new__``
@@ -286,26 +321,46 @@ def hashcons(cls, *fields) -> Formula:
     receive the same canonical object (morsel workers compose conditions
     concurrently).
     """
-    global _intern_hits
+    counters = _LOCAL.counters
     node = _INTERN_TABLE.get((cls, fields))
     if node is not None:
-        _intern_hits += 1
+        counters.hits += 1
         return node
     with _INTERN_LOCK:
         node = _INTERN_TABLE.get((cls, fields))
         if node is not None:
-            _intern_hits += 1
+            counters.hits += 1
             return node
         return cls(*fields)
 
 
 def interning_stats() -> dict:
-    """Return live-size and hit/miss counters of the intern table."""
+    """Return live-size and hit/miss counters of the intern table.
+
+    Hits/misses are summed over every thread's private counters, so the
+    totals are exact even with concurrent morsel workers interning.
+    """
+    with _COUNTERS_LOCK:
+        hits = sum(counters.hits for counters in _ALL_COUNTERS)
+        misses = sum(counters.misses for counters in _ALL_COUNTERS)
     return {
         "live_nodes": len(_INTERN_TABLE),
-        "hits": _intern_hits,
-        "misses": _intern_misses,
+        "hits": hits,
+        "misses": misses,
     }
+
+
+def is_interned(formula: Formula) -> bool:
+    """True when *formula* is the canonical node for its structure.
+
+    Nodes built through the smart constructors (or positional raw
+    construction) are canonical; a node can fail this check only when it
+    was built around the intern table — e.g. keyword-argument dataclass
+    construction racing an existing canonical node.  The plan verifier
+    uses this to certify the "structural equality ⇒ identity" invariant
+    the morsel-parallel executor depends on.
+    """
+    return _INTERN_TABLE.get((formula.__class__, formula._fields())) is formula
 
 
 def is_atom(formula: Formula) -> bool:

@@ -37,7 +37,11 @@ row-for-row.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ctalgebra.verify import PlanVerifier
+    from repro.physical.parallel import ParallelSpec
 
 from repro.errors import QueryError
 from repro.tables.ctable import CTable
@@ -131,14 +135,19 @@ def _expected_signatures(node: SelectNode, found: Estimate) -> float:
 def lower(
     plan: PlanNode,
     stats: Optional[Mapping[str, TableStats]] = None,
-    parallel=None,
+    parallel: Optional["ParallelSpec"] = None,
     _memo: Optional[Dict[PlanNode, Estimate]] = None,
+    verifier: Optional["PlanVerifier"] = None,
 ) -> PhysicalOp:
     """Choose physical operators for *plan* (estimates-guided when given).
 
     *parallel* is a :class:`~repro.physical.parallel.ParallelSpec`;
     when given, every morselizable operator is stamped with the
-    parallel/serial decision the morsel scheduler honors.
+    parallel/serial decision the morsel scheduler honors.  With a
+    *verifier* (``ExecutionConfig.verify_plans``) the lowered tree is
+    checked for the lowering invariants — stamps only on morselizable
+    operators, morsel counts and build sides consistent with the
+    estimates — before it is returned.
     """
     if _memo is None:
         _memo = {}
@@ -234,7 +243,14 @@ def lower(
             _stamp_parallel_decision(op, parallel.morsel_size)
         return op
 
-    return recurse(plan)
+    root = recurse(plan)
+    if verifier is not None:
+        verifier.verify_physical(
+            root,
+            morsel_size=None if parallel is None else parallel.morsel_size,
+            rule="lower",
+        )
+    return root
 
 
 def execute_physical(
@@ -252,10 +268,13 @@ def execute_plan_vectorized(
     tables: Mapping[str, CTable],
     simplify_conditions: bool = False,
     stats: Optional[Mapping[str, TableStats]] = None,
+    verifier: Optional["PlanVerifier"] = None,
 ) -> CTable:
     """Lower *plan* and execute it — the one-shot convenience entry."""
     return execute_physical(
-        lower(plan, stats), tables, simplify_conditions=simplify_conditions
+        lower(plan, stats, verifier=verifier),
+        tables,
+        simplify_conditions=simplify_conditions,
     )
 
 

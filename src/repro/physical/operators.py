@@ -40,14 +40,34 @@ structurally identical.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import ArityError, QueryError
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.instance import Instance
+    from repro.ctalgebra.plan import PlanNode
+
+from repro.errors import ArityError, QueryError, nearest_name
 from repro.logic.atoms import Const, Term, eq
 from repro.logic.syntax import BOTTOM, TOP, Formula, conj, disj, neg
 from repro.logic.evaluation import substitute
 from repro.tables.ctable import CTable
 from repro.physical.batch import Batch, merge_metadata
+
+#: (left row, right row, composed condition) emitted by join/product loops.
+_Pair = Tuple[int, int, Formula]
+
+#: Hash-partitioned build side: (buckets, symbolic row ids, keyed flags).
+_BuildIndex = Tuple[Dict[tuple, List[int]], List[int], List[bool]]
 
 
 class ExecContext:
@@ -72,7 +92,11 @@ class ExecContext:
         if batch is None:
             table = self.tables.get(name)
             if table is None:
-                raise QueryError(f"no c-table bound for name {name!r}")
+                hint = nearest_name(name, sorted(self.tables))
+                raise QueryError(
+                    f"no c-table bound for name {name!r}; bound names are "
+                    f"{sorted(self.tables)}{hint}"
+                )
             batch = Batch.from_ctable(table)
             self._scan_batches[name] = batch
         if batch.arity != rel_arity:
@@ -98,7 +122,7 @@ def _finish(
     columns: Sequence[Sequence[Term]],
     conditions: Sequence[Formula],
     arity: int,
-    domains,
+    domains: Optional[Dict[str, tuple]],
     global_condition: Formula,
 ) -> Batch:
     """Seal an operator's output, mirroring ``execute_plan``'s optional
@@ -164,7 +188,7 @@ class PhysicalOp:
     def label(self) -> str:
         raise NotImplementedError
 
-    def walk(self):
+    def walk(self) -> Iterator["PhysicalOp"]:
         yield self
         for child in self.children():
             yield from child.walk()
@@ -200,7 +224,7 @@ class ConstScanOp(PhysicalOp):
 
     __slots__ = ("instance",)
 
-    def __init__(self, instance) -> None:
+    def __init__(self, instance: "Instance") -> None:
         super().__init__()
         self.instance = instance
 
@@ -222,7 +246,9 @@ class EmptyOp(PhysicalOp):
 
     __slots__ = ("empty_arity", "sources")
 
-    def __init__(self, empty_arity: int, sources) -> None:
+    def __init__(
+        self, empty_arity: int, sources: "Tuple[PlanNode, ...]"
+    ) -> None:
         super().__init__()
         self.empty_arity = empty_arity
         self.sources = sources
@@ -490,7 +516,9 @@ class _PairComposer:
         self._conj: Dict[tuple, Formula] = {}
 
     @staticmethod
-    def _spec(predicate: Formula, left_arity: int):
+    def _spec(
+        predicate: Formula, left_arity: int
+    ) -> Tuple[Formula, Tuple[str, ...], Tuple[int, ...], Tuple[int, ...]]:
         """(predicate, ``@i`` names, left columns, right columns)."""
         from repro.algebra.predicates import col, predicate_columns
 
@@ -502,7 +530,13 @@ class _PairComposer:
         )
         return (predicate, names, left_pred, right_pred)
 
-    def _instantiate(self, spec, memo, i: int, j: int) -> Formula:
+    def _instantiate(
+        self,
+        spec: Tuple[Formula, Tuple[str, ...], Tuple[int, ...], Tuple[int, ...]],
+        memo: Dict[tuple, Formula],
+        i: int,
+        j: int,
+    ) -> Formula:
         predicate, names, left_pred, right_pred = spec
         signature = tuple(
             self.left.columns[c][i] for c in left_pred
@@ -623,7 +657,7 @@ class HashJoinOp(PhysicalOp):
         return self.seal(ctx, left, right, pairs)
 
     @staticmethod
-    def build(batch: Batch, keys: Tuple[int, ...]):
+    def build(batch: Batch, keys: Tuple[int, ...]) -> _BuildIndex:
         """Hash-partition the build side once: (buckets, symbolic, keyed).
 
         ``keyed[row]`` is False exactly for the symbolic rows — the
@@ -645,8 +679,13 @@ class HashJoinOp(PhysicalOp):
         return buckets, symbolic, keyed
 
     def probe_left(
-        self, left: Batch, right: Batch, composer, build, rows: Iterable[int]
-    ) -> list:
+        self,
+        left: Batch,
+        right: Batch,
+        composer: "_PairComposer",
+        build: _BuildIndex,
+        rows: Iterable[int],
+    ) -> List[_Pair]:
         """Probe left rows in order against a right build (join_bar's loop).
 
         Emitted pairs are left-major, so concatenating the outputs of
@@ -678,8 +717,13 @@ class HashJoinOp(PhysicalOp):
         return pairs
 
     def probe_right(
-        self, left: Batch, right: Batch, composer, build, rows: Iterable[int]
-    ) -> list:
+        self,
+        left: Batch,
+        right: Batch,
+        composer: "_PairComposer",
+        build: _BuildIndex,
+        rows: Iterable[int],
+    ) -> List[Tuple[int, int, int, Formula]]:
         """Build on the left, probe right rows; emit *ranked* pairs.
 
         A pair survives iff the left key is symbolic, the right key is
@@ -721,7 +765,13 @@ class HashJoinOp(PhysicalOp):
         ranked.sort(key=lambda pair: pair[:3])
         return [(i, j, condition) for i, _, j, condition in ranked]
 
-    def seal(self, ctx: ExecContext, left: Batch, right: Batch, pairs) -> Batch:
+    def seal(
+        self,
+        ctx: ExecContext,
+        left: Batch,
+        right: Batch,
+        pairs: Sequence[_Pair],
+    ) -> Batch:
         columns, conditions = _gather_pairs(left, right, pairs)
         domains, global_condition = merge_metadata(left, right)
         return _finish(
@@ -782,7 +832,13 @@ class ProductOp(PhysicalOp):
                     pairs.append((i, j, condition))
         return pairs
 
-    def seal(self, ctx: ExecContext, left: Batch, right: Batch, pairs) -> Batch:
+    def seal(
+        self,
+        ctx: ExecContext,
+        left: Batch,
+        right: Batch,
+        pairs: Sequence[_Pair],
+    ) -> Batch:
         columns, conditions = _gather_pairs(left, right, pairs)
         domains, global_condition = merge_metadata(left, right)
         return _finish(

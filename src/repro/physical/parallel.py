@@ -49,9 +49,22 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.tables.ctable import CTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ctalgebra.plan import PlanNode, TableStats
+    from repro.ctalgebra.verify import PlanVerifier
 from repro.physical.batch import Batch
 from repro.physical.operators import (
     DifferenceOp,
@@ -115,7 +128,10 @@ def morsel_ranges(total: int, morsel_size: int) -> List[range]:
 #: would dominate small executions (and the engine runs many); morsel
 #: tasks are leaf work — they never submit nested tasks — so sharing one
 #: pool across queries and caller threads cannot deadlock.
-_POOLS: Dict[int, ThreadPoolExecutor] = {}
+#: The read in :func:`worker_pool` is deliberately lock-free: pools are
+#: only ever inserted (never replaced) while the process lives, so a
+#: stale read misses and falls into the locked slow path.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}  # guarded-by: _POOLS_LOCK [writes]
 _POOLS_LOCK = threading.Lock()
 
 
@@ -279,7 +295,7 @@ class MorselScheduler:
         pairs = [pair for part in parts for pair in part]
         return op.seal(self.context, left, right, pairs)
 
-    def _membership(self, op, inputs: Tuple[Batch, ...]) -> Batch:
+    def _membership(self, op: PhysicalOp, inputs: Tuple[Batch, ...]) -> Batch:
         left, right = inputs
         ranges = self._morsels(len(left.conditions))
         if ranges is None:
@@ -333,13 +349,14 @@ def execute_parallel(
 
 
 def execute_plan_parallel(
-    plan,
+    plan: "PlanNode",
     tables: Mapping[str, CTable],
     *,
-    stats=None,
+    stats: Optional[Mapping[str, "TableStats"]] = None,
     num_workers: int = DEFAULT_NUM_WORKERS,
     morsel_size: int = DEFAULT_MORSEL_SIZE,
     simplify_conditions: bool = False,
+    verifier: Optional["PlanVerifier"] = None,
 ) -> CTable:
     """Lower *plan* with a parallel spec and execute it — the one-shot entry."""
     from repro.physical.lower import lower
@@ -348,6 +365,7 @@ def execute_plan_parallel(
         plan,
         stats,
         parallel=ParallelSpec(num_workers, morsel_size),
+        verifier=verifier,
     )
     return execute_parallel(
         physical,

@@ -18,7 +18,7 @@ from fractions import Fraction
 from typing import List
 
 from repro.errors import ProbabilityError
-from repro.logic.atoms import BoolVar
+from repro.logic.atoms import boolvar
 from repro.logic.counting import bernoulli
 from repro.logic.syntax import conj, neg
 from repro.tables.ctable import CRow, make_row
@@ -38,9 +38,9 @@ def boolean_pctable_for(
     distributions = {}
     cumulative = Fraction(0)
     for index, (instance, weight) in enumerate(items):
-        earlier_off = [neg(BoolVar(f"{prefix}{j}")) for j in range(index)]
+        earlier_off = [neg(boolvar(f"{prefix}{j}")) for j in range(index)]
         if index < k - 1:
-            guard = conj(*earlier_off, BoolVar(f"{prefix}{index}"))
+            guard = conj(*earlier_off, boolvar(f"{prefix}{index}"))
             remaining = 1 - cumulative
             if remaining <= 0:
                 raise ProbabilityError(

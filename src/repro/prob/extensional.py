@@ -32,7 +32,7 @@ from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
 
 from repro.errors import ProbabilityError, QueryError, UnsupportedOperationError
 from repro.core.instance import Row
-from repro.logic.atoms import BoolVar
+from repro.logic.atoms import BoolVar, boolvar
 from repro.logic.counting import bernoulli, probability
 from repro.logic.syntax import BOTTOM, Formula, conj, disj
 
@@ -309,7 +309,7 @@ def safe_plan_probability(
 # ----------------------------------------------------------------------
 
 def _tuple_event(relation: str, row: Row) -> BoolVar:
-    return BoolVar(f"{relation}:{row!r}")
+    return boolvar(f"{relation}:{row!r}")
 
 
 def cq_lineage(

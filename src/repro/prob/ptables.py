@@ -27,7 +27,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple, Uni
 
 from repro.errors import ProbabilityError, TableError
 from repro.core.instance import Instance, Row
-from repro.logic.atoms import BoolVar, Const, Var
+from repro.logic.atoms import Const, Var, boolvar
 from repro.logic.counting import bernoulli
 from repro.logic.syntax import TOP
 from repro.prob.pdatabase import PDatabase
@@ -169,7 +169,7 @@ class PQTable:
         for index, row in enumerate(sorted(self._rows, key=repr)):
             name = f"{prefix}{index}"
             rows.append(
-                CRow(tuple(Const(v) for v in row), BoolVar(name))
+                CRow(tuple(Const(v) for v in row), boolvar(name))
             )
             distributions[name] = bernoulli(self._rows[row])
         return BooleanPCTable(rows, distributions, arity=self._arity)

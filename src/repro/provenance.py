@@ -31,7 +31,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.errors import QueryError, UnsupportedOperationError
 from repro.core.instance import Instance, Row
-from repro.logic.atoms import BoolVar
+from repro.logic.atoms import BoolVar, boolvar
 from repro.logic.models import boolean_domains, enumerate_models
 from repro.logic.syntax import BOTTOM, Formula, conj, disj
 from repro.algebra.ast import (
@@ -140,7 +140,7 @@ def minimal_witnesses(provenance: WhyProvenance) -> WhyProvenance:
 
 def tuple_event(row: Row) -> BoolVar:
     """The canonical event variable asserting input tuple *row* is present."""
-    return BoolVar(f"t:{row!r}")
+    return boolvar(f"t:{row!r}")
 
 
 def lineage_formula(provenance: WhyProvenance) -> Formula:

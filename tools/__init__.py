@@ -1,0 +1,1 @@
+"""Developer tooling that is not part of the installable package."""

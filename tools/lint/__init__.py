@@ -1,0 +1,39 @@
+"""Custom stdlib-ast source lints for the repository.
+
+Run locally (or in CI) with::
+
+    python -m tools.lint [paths...]
+
+Defaults to linting ``src/``.  Exit status 1 when any finding is
+reported.  See the individual modules for the lint rules:
+
+- :mod:`tools.lint.interning` — INT001, raw condition constructors;
+- :mod:`tools.lint.locks` — LCK001/LCK002, ``guarded-by`` discipline;
+- :mod:`tools.lint.defaults` — MUT001, mutable default arguments;
+- :mod:`tools.lint.typed` — TYP001, typed-core signature coverage.
+"""
+
+from tools.lint.common import Finding, Source, iter_python_files, run_linters
+from tools.lint.defaults import lint_mutable_defaults
+from tools.lint.interning import lint_interning
+from tools.lint.locks import lint_locks
+from tools.lint.typed import lint_typed_core
+
+ALL_LINTERS = (
+    lint_interning,
+    lint_locks,
+    lint_mutable_defaults,
+    lint_typed_core,
+)
+
+__all__ = [
+    "ALL_LINTERS",
+    "Finding",
+    "Source",
+    "iter_python_files",
+    "lint_interning",
+    "lint_locks",
+    "lint_mutable_defaults",
+    "lint_typed_core",
+    "run_linters",
+]

@@ -1,0 +1,23 @@
+"""Command-line entry: ``python -m tools.lint [paths...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.lint import ALL_LINTERS, run_linters
+
+
+def main(argv: list) -> int:
+    roots = argv or ["src"]
+    findings = run_linters(roots, ALL_LINTERS)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("no findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

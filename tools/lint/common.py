@@ -1,0 +1,84 @@
+"""Shared machinery for the repository's custom source lints.
+
+Every lint in :mod:`tools.lint` is a pure function from a parsed module
+to a list of :class:`Finding` values — stdlib :mod:`ast` only, no
+third-party dependencies, so the lints run in any environment that can
+run the code they check (ruff/mypy complement them in CI but are not
+required locally).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Source:
+    """A parsed module plus the per-line comment index the lints share."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    comments: Dict[int, str]  # line number -> comment text (sans '#')
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "Source":
+        tree = ast.parse(text, filename=path)
+        comments: Dict[int, str] = {}
+        reader = io.StringIO(text).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string.lstrip("#").strip()
+        except tokenize.TokenError:  # pragma: no cover - parse succeeded
+            pass
+        return cls(path=path, text=text, tree=tree, comments=comments)
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+
+#: A lint: Source in, findings out.
+Linter = Callable[[Source], List[Finding]]
+
+
+def iter_python_files(roots: Sequence[str]) -> Iterator[Path]:
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def run_linters(
+    roots: Sequence[str], linters: Iterable[Linter]
+) -> List[Finding]:
+    """Run every lint over every ``.py`` file under *roots*."""
+    linters = list(linters)
+    findings: List[Finding] = []
+    for path in iter_python_files(roots):
+        source = Source.parse(str(path), path.read_text())
+        for lint in linters:
+            findings.extend(lint(source))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

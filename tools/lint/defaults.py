@@ -1,0 +1,60 @@
+"""MUT001 — mutable default argument values.
+
+A ``def f(x, acc=[])`` default is evaluated once at definition time and
+shared across every call; mutating it leaks state between calls.  The
+lint flags list/dict/set displays and ``list()``/``dict()``/``set()``
+calls used as parameter defaults.  Deliberate sentinels can be waived
+with ``# mutable-default-ok: <reason>`` on the ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Union
+
+from tools.lint.common import Finding, Source
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_mutable(default: ast.expr) -> bool:
+    if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                            ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(default, ast.Call)
+        and isinstance(default.func, ast.Name)
+        and default.func.id in _MUTABLE_CALLS
+        and not default.args
+        and not default.keywords
+    )
+
+
+def lint_mutable_defaults(source: Source) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if source.comment_on(node.lineno).startswith("mutable-default-ok"):
+            continue
+        arguments = node.args
+        defaults = list(arguments.defaults) + [
+            d for d in arguments.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable(default):
+                findings.append(
+                    Finding(
+                        path=source.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        code="MUT001",
+                        message=(
+                            f"mutable default argument in {node.name}(); "
+                            "defaults are shared across calls — use None "
+                            "and construct inside the body"
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,99 @@
+"""INT001 — interning discipline for condition formulas.
+
+The engine's identity invariant ("structurally equal formulas are the
+same object") holds only for formulas built through the smart
+constructors (``conj``/``disj``/``neg``/``eq``/``ne``/``boolvar``), which
+route through the hash-consing table under its lock.  Calling the raw
+dataclass constructors — ``BoolVar(...)``, ``Not(...)``, ``And(...)``,
+``Or(...)``, ``Eq(...)`` — from concurrent threads can mint duplicate
+nodes that break ``is``-keyed memos and the plan verifier's canonicity
+check.
+
+This lint flags every *call* to one of the raw constructor names that
+was imported from :mod:`repro.logic.syntax`/:mod:`repro.logic.atoms`
+(or reached through an imported module alias), outside the two defining
+modules themselves.  A deliberate raw construction can be waived with a
+``# interned-ok: <reason>`` comment on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from tools.lint.common import Finding, Source
+
+#: Raw constructors whose direct use breaks the canonicity invariant.
+RAW_CONSTRUCTORS = frozenset({"BoolVar", "Not", "And", "Or", "Eq"})
+
+#: Modules whose names the constructors live in.
+_DEFINING_MODULES = ("repro.logic.syntax", "repro.logic.atoms", "repro.logic")
+
+#: The defining modules themselves may (must) touch the raw constructors.
+_EXEMPT_SUFFIXES = ("logic/syntax.py", "logic/atoms.py")
+
+
+def _is_defining_module(module: str) -> bool:
+    return any(
+        module == defining or module.startswith(defining + ".")
+        for defining in _DEFINING_MODULES
+    )
+
+
+def lint_interning(source: Source) -> List[Finding]:
+    if source.path.replace("\\", "/").endswith(_EXEMPT_SUFFIXES):
+        return []
+
+    # Local names bound to raw constructors, and local names bound to
+    # the defining modules (for attribute-style calls).
+    constructor_aliases: Dict[str, str] = {}
+    module_aliases: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if _is_defining_module(node.module):
+                for alias in node.names:
+                    if alias.name in RAW_CONSTRUCTORS:
+                        constructor_aliases[
+                            alias.asname or alias.name
+                        ] = alias.name
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_defining_module(alias.name):
+                    module_aliases.add(
+                        alias.asname or alias.name.split(".")[0]
+                    )
+
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in constructor_aliases:
+            name = constructor_aliases[func.id]
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in RAW_CONSTRUCTORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_aliases
+        ):
+            name = func.attr
+        if name is None:
+            continue
+        if source.comment_on(node.lineno).startswith("interned-ok"):
+            continue
+        findings.append(
+            Finding(
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code="INT001",
+                message=(
+                    f"raw constructor {name}(...) bypasses the interning "
+                    f"table; use the smart constructor "
+                    f"({name.lower() if name == 'BoolVar' else 'conj/disj/neg/eq'}) "
+                    f"or waive with '# interned-ok: <reason>'"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,396 @@
+"""LCK001/LCK002 — lock discipline driven by ``# guarded-by:`` comments.
+
+Shared mutable state in this codebase is annotated at its definition::
+
+    self._entries = OrderedDict()      # guarded-by: _lock
+    _POOLS: Dict[int, Executor] = {}   # guarded-by: _POOLS_LOCK [writes]
+
+- ``guarded-by: <lock>`` — every read and write of the attribute (or
+  module-level variable) outside ``with <lock>:`` is flagged;
+- ``guarded-by: <lock> [writes]`` — only writes and mutator-method calls
+  need the lock (double-checked/read-mostly patterns: lock-free reads
+  are part of the design);
+- ``# requires-lock: <lock>`` on a ``def`` documents that callers hold
+  the lock; the body is checked with the lock assumed held, and calls
+  to such a method *without* the lock are flagged (LCK002);
+- ``# unguarded-ok: <reason>`` on the access line (or in the comment
+  block immediately above it) waives one access.
+
+Instance attributes may be freely initialized inside ``__init__`` (the
+object is not yet shared); module-level code runs once at import, so
+only accesses inside functions are checked for module-level variables.
+
+The lint is annotation-driven: attributes without a ``guarded-by``
+comment are not checked, so it imposes no policy on code that has no
+concurrency contract to state.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from tools.lint.common import Finding, Source
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "extend",
+        "discard",
+        "remove",
+        "insert",
+        "move_to_end",
+    }
+)
+
+_GUARDED_BY = re.compile(
+    r"guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*(?P<writes>\[writes\])?"
+)
+_REQUIRES_LOCK = re.compile(
+    r"requires-lock:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)"
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Guard:
+    """The concurrency contract of one annotated variable."""
+
+    lock: str
+    writes_only: bool
+
+
+def _span_comment_match(
+    source: Source, node: ast.stmt, pattern: "re.Pattern[str]"
+) -> Optional["re.Match[str]"]:
+    """Match *pattern* against any comment on the lines *node* spans."""
+    for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+        comment = source.comment_on(line)
+        if comment:
+            match = pattern.search(comment)
+            if match:
+                return match
+    return None
+
+
+def _signature_comment_match(
+    source: Source, node: _FunctionNode, pattern: "re.Pattern[str]"
+) -> Optional["re.Match[str]"]:
+    """Match *pattern* in the comments of a ``def``'s signature lines."""
+    for line in range(node.lineno, node.body[0].lineno):
+        comment = source.comment_on(line)
+        if comment:
+            match = pattern.search(comment)
+            if match:
+                return match
+    return None
+
+
+def _waived(source: Source, line: int) -> bool:
+    """True when the access is excused by an ``unguarded-ok`` comment.
+
+    The comment may sit on the access line itself or anywhere in the
+    contiguous comment block immediately above it.
+    """
+    if source.comment_on(line).startswith("unguarded-ok"):
+        return True
+    above = line - 1
+    while above > 0 and above in source.comments:
+        if source.comments[above].startswith("unguarded-ok"):
+            return True
+        above -= 1
+    return False
+
+
+def _assign_target_names(node: ast.stmt) -> List[Tuple[str, bool]]:
+    """(name, is_self_attribute) for each simple assignment target."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names: List[Tuple[str, bool]] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append((target.id, False))
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            names.append((target.attr, True))
+    return names
+
+
+def _lock_name(expr: ast.expr) -> Optional[str]:
+    """The lock a ``with`` item acquires, as annotated: bare or self-qualified."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+class _Access:
+    """One use of a guarded variable: where, and whether it writes."""
+
+    __slots__ = ("name", "line", "col", "write", "held")
+
+    def __init__(
+        self, name: str, line: int, col: int, write: bool, held: Set[str]
+    ) -> None:
+        self.name = name
+        self.line = line
+        self.col = col
+        self.write = write
+        self.held = held
+
+
+def _collect_accesses(
+    func: _FunctionNode,
+    names: Set[str],
+    attr_mode: bool,
+    base_held: Set[str],
+) -> Tuple[List[_Access], List[Tuple[str, int, int, Set[str]]]]:
+    """Walk *func* tracking ``with`` blocks; report uses of *names*.
+
+    *attr_mode* selects whether *names* are ``self.<name>`` attributes or
+    bare module-level variables.  Also returns every ``self.<m>()`` call
+    with the lock set held at the call site, for LCK002.
+    """
+    accesses: List[_Access] = []
+    calls: List[Tuple[str, int, int, Set[str]]] = []
+    seen: Set[Tuple[int, int]] = set()
+
+    def matches(expr: ast.expr) -> Optional[str]:
+        if attr_mode:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in names
+            ):
+                return expr.attr
+        elif isinstance(expr, ast.Name) and expr.id in names:
+            return expr.id
+        return None
+
+    def record(expr: ast.expr, write: bool, held: Set[str]) -> None:
+        name = matches(expr)
+        if name is None:
+            return
+        key = (expr.lineno, expr.col_offset)
+        if key in seen and not write:
+            return
+        seen.add(key)
+        accesses.append(
+            _Access(name, expr.lineno, expr.col_offset, write, set(held))
+        )
+
+    def visit(node: ast.AST, held: Set[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                lock = _lock_name(item.context_expr)
+                if lock is not None:
+                    inner.add(lock)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, under whatever locks *its* caller
+            # holds — not the locks held at definition time.
+            for stmt in node.body:
+                visit(stmt, set())
+            return
+        if isinstance(node, ast.Call):
+            func_expr = node.func
+            # Mutator call on the guarded object: d.setdefault(...), l.append(...)
+            if isinstance(func_expr, ast.Attribute):
+                if func_expr.attr in MUTATORS:
+                    record(func_expr.value, True, held)
+                # self.method(...) — collected for requires-lock checking.
+                if (
+                    isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id == "self"
+                ):
+                    calls.append(
+                        (
+                            func_expr.attr,
+                            node.lineno,
+                            node.col_offset,
+                            set(held),
+                        )
+                    )
+        if isinstance(node, (ast.Subscript, ast.Attribute, ast.Name)):
+            context = getattr(node, "ctx", None)
+            if isinstance(context, (ast.Store, ast.Del)):
+                # d[k] = v / del d[k] / x = v — the written base object.
+                base = node.value if isinstance(node, ast.Subscript) else node
+                record(base, True, held)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                record(node, False, held)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    held = set(base_held)
+    for stmt in func.body:
+        visit(stmt, held)
+    return accesses, calls
+
+
+def lint_locks(source: Source) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # Module-level guarded variables.
+    module_guards: Dict[str, Guard] = {}
+    for stmt in source.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            match = _span_comment_match(source, stmt, _GUARDED_BY)
+            if match is None:
+                continue
+            guard = Guard(
+                lock=match.group("lock"),
+                writes_only=match.group("writes") is not None,
+            )
+            for name, is_attr in _assign_target_names(stmt):
+                if not is_attr:
+                    module_guards[name] = guard
+
+    # All functions anywhere in the module (methods included) — except
+    # defs nested inside another def: the enclosing function's traversal
+    # already visits them (with the held-lock set reset), so checking
+    # them again would double-report every access.
+    nested: Set[ast.AST] = set()
+    for outer in ast.walk(source.tree):
+        if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner)
+    functions: List[_FunctionNode] = [
+        node
+        for node in ast.walk(source.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node not in nested
+    ]
+
+    def required_lock(func: _FunctionNode) -> Optional[str]:
+        match = _signature_comment_match(source, func, _REQUIRES_LOCK)
+        return None if match is None else match.group("lock")
+
+    def check(
+        func: _FunctionNode,
+        guards: Dict[str, Guard],
+        attr_mode: bool,
+        requires: Dict[str, str],
+    ) -> None:
+        assumed = set()
+        held_lock = required_lock(func)
+        if held_lock is not None:
+            assumed.add(held_lock)
+        accesses, calls = _collect_accesses(
+            func, set(guards), attr_mode, assumed
+        )
+        for access in accesses:
+            guard = guards[access.name]
+            if guard.writes_only and not access.write:
+                continue
+            if guard.lock in access.held:
+                continue
+            if _waived(source, access.line):
+                continue
+            kind = "write to" if access.write else "read of"
+            findings.append(
+                Finding(
+                    path=source.path,
+                    line=access.line,
+                    col=access.col,
+                    code="LCK001",
+                    message=(
+                        f"{kind} {access.name!r} outside 'with "
+                        f"{guard.lock}' (declared guarded-by: {guard.lock})"
+                    ),
+                )
+            )
+        if attr_mode:
+            for method, line, col, held in calls:
+                needed = requires.get(method)
+                if needed is None or needed in held:
+                    continue
+                if _waived(source, line):
+                    continue
+                findings.append(
+                    Finding(
+                        path=source.path,
+                        line=line,
+                        col=col,
+                        code="LCK002",
+                        message=(
+                            f"call to {method}() requires {needed!r} "
+                            f"(declared requires-lock: {needed}) but the "
+                            f"lock is not held here"
+                        ),
+                    )
+                )
+
+    # Module-variable discipline: every function in the file.
+    if module_guards:
+        for func in functions:
+            check(func, module_guards, attr_mode=False, requires={})
+
+    # Instance-attribute discipline: per class, annotations read from
+    # __init__ assignments; __init__ itself is exempt (construction is
+    # single-threaded), every other method is checked.
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods: List[_FunctionNode] = [
+            item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        init = next((m for m in methods if m.name == "__init__"), None)
+        if init is None:
+            continue
+        attr_guards: Dict[str, Guard] = {}
+        for stmt in ast.walk(init):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                match = _span_comment_match(source, stmt, _GUARDED_BY)
+                if match is None:
+                    continue
+                guard = Guard(
+                    lock=match.group("lock"),
+                    writes_only=match.group("writes") is not None,
+                )
+                for name, is_attr in _assign_target_names(stmt):
+                    if is_attr:
+                        attr_guards[name] = guard
+        if not attr_guards:
+            continue
+        requires = {
+            method.name: lock
+            for method in methods
+            if (lock := required_lock(method)) is not None
+        }
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            check(method, attr_guards, attr_mode=True, requires=requires)
+    return findings

@@ -92,6 +92,24 @@ Three things happen:
    recording the scaling curve) but the wall-clock gate is skipped,
    because threads cannot beat the GIL on CPU-bound work.
 
+7. the **symbolic-equivalence workloads E34–E36** run (written to
+   ``--equivalence-output``, default ``BENCH_pr7.json``), pitting the
+   SAT/BDD condition-equivalence engine against witness-domain world
+   enumeration:
+
+   - ``e34_equivalence_scaling`` — a 100-variable boolean c-table pair
+     (``~1.3e30`` worlds per side, far beyond any enumerable witness
+     domain) decided symbolically in milliseconds: ``True`` on the
+     Mod-equal reordered ring, ``False`` on the strengthened ring; an
+     enumeration oracle cross-check runs at a feasible variable count.
+   - ``e35_semantic_verify_overhead`` — the optimizing planner timed
+     unverified, with the syntactic verifier, and with the semantic
+     (translation-validation) verifier proving condition equivalence
+     after every rewrite.
+   - ``e36_symbolic_scaling`` — runtime curves: enumeration climbing
+     ``2^variables`` on small counts vs the symbolic engine flat-ish out
+     to 100 variables.
+
 The workloads are sized so the full run finishes in a couple of minutes;
 ``--quick`` shrinks them for CI.
 """
@@ -147,8 +165,10 @@ from repro.ctalgebra.lifted import (  # noqa: E402
 )
 from repro.ctalgebra.translate import (  # noqa: E402
     apply_query_to_ctable,
+    plan_for_query,
     translate_query,
 )
+from repro.logic.atoms import boolvar  # noqa: E402
 from repro.worlds.compare import ctables_equivalent  # noqa: E402
 from repro.logic.evaluation import (  # noqa: E402
     clear_evaluation_caches,
@@ -1068,6 +1088,242 @@ def run_parallel_suite(quick: bool, repeats: int) -> dict:
     return workloads
 
 
+# ----------------------------------------------------------------------
+# Workloads: symbolic equivalence & semantic verification (E34–E36)
+# ----------------------------------------------------------------------
+
+def _flag_ring_tables(variables: int):
+    """Three boolean c-tables over a ring of presence flags.
+
+    ``same`` guards row ``i`` with ``pᵢ ∧ pᵢ₊₁`` (indices mod
+    *variables*); ``reordered`` lists the identical rows in reverse
+    order (Mod-equal, syntactically shuffled); ``strengthened`` conjoins
+    one extra flag onto the last row, dropping exactly the worlds where
+    that flag is false — a genuine Mod difference hiding in one corner
+    of a ``2^variables`` valuation space.
+    """
+    flags = [boolvar(f"p{index:03d}") for index in range(variables)]
+
+    def ring_rows(strengthen: bool = False):
+        rows = []
+        for index in range(variables):
+            condition = conj(flags[index], flags[(index + 1) % variables])
+            if strengthen and index == variables - 1:
+                condition = conj(condition, flags[variables // 2])
+            rows.append(((index, index + 1), condition))
+        return rows
+
+    same = CTable(ring_rows(), arity=2)
+    reordered = CTable(list(reversed(ring_rows())), arity=2)
+    strengthened = CTable(ring_rows(strengthen=True), arity=2)
+    return same, reordered, strengthened
+
+
+def run_e34_equivalence_scaling(
+    variables: int, crosscheck_variables: int, repeats: int
+) -> dict:
+    """Symbolic equivalence at a scale no enumeration can touch.
+
+    The headline pair has *variables* boolean variables, so its witness
+    enumeration would visit ``2^variables`` valuations per side; the
+    symbolic engine decides both the equivalent (reordered) and the
+    inequivalent (strengthened) pair in milliseconds.  A cross-check at
+    *crosscheck_variables* — where enumeration still terminates —
+    asserts the two engines agree.
+    """
+    same, reordered, strengthened = _flag_ring_tables(variables)
+
+    equivalent_verdict = ctables_equivalent(same, reordered, enumerate=False)
+    strengthened_verdict = ctables_equivalent(
+        same, strengthened, enumerate=False
+    )
+    symbolic_equivalent = _timed(
+        lambda: ctables_equivalent(same, reordered, enumerate=False), repeats
+    )
+    symbolic_strengthened = _timed(
+        lambda: ctables_equivalent(same, strengthened, enumerate=False),
+        repeats,
+    )
+
+    small = _flag_ring_tables(crosscheck_variables)
+    pairs = ((small[0], small[1]), (small[0], small[2]))
+    agreement = all(
+        ctables_equivalent(left, right, enumerate=False)
+        == ctables_equivalent(left, right, enumerate=True)  # enumeration-ok: oracle cross-check at feasible scale
+        for left, right in pairs
+    )
+    enumeration_seconds = _timed(
+        lambda: [
+            ctables_equivalent(left, right, enumerate=True)  # enumeration-ok: oracle cross-check at feasible scale
+            for left, right in pairs
+        ],
+        repeats,
+    )
+    symbolic_small_seconds = _timed(
+        lambda: [
+            ctables_equivalent(left, right, enumerate=False)
+            for left, right in pairs
+        ],
+        repeats,
+    )
+    return {
+        "variables": variables,
+        "equivalent_pair_verdict": equivalent_verdict,
+        "strengthened_pair_verdict": strengthened_verdict,
+        "symbolic_seconds_equivalent_pair": symbolic_equivalent,
+        "symbolic_seconds_strengthened_pair": symbolic_strengthened,
+        "enumeration_worlds_at_scale": float(2 ** variables),
+        "enumeration_feasible_at_scale": variables <= 20,
+        "crosscheck_variables": crosscheck_variables,
+        "crosscheck_agrees": agreement,
+        "crosscheck_enumeration_seconds": enumeration_seconds,
+        "crosscheck_symbolic_seconds": symbolic_small_seconds,
+        "crosscheck_speedup": (
+            enumeration_seconds / symbolic_small_seconds
+            if symbolic_small_seconds
+            else float("inf")
+        ),
+    }
+
+
+def run_e35_semantic_verify_overhead(
+    rows: int, iters: int, repeats: int
+) -> dict:
+    """Cost of translation validation along the optimizing planner.
+
+    The same join-heavy query is planned *iters* times unverified, with
+    the syntactic verifier, and with the semantic verifier (condition-
+    equivalence proofs after every rewrite).  ``plan_for_query`` raises
+    on any failed proof, so completing the semantic arm certifies every
+    rewrite the optimizer fired on this plan.
+    """
+    left, right = _join_tables(rows)
+    tables = {"L": left, "R": right}
+    query = proj(sel(prod(rel("L", 2), rel("R", 2)), col_eq(1, 2)), [0, 3])
+
+    def planning(verify: bool, mode: str):
+        def loop():
+            for _ in range(iters):
+                plan_for_query(
+                    query, tables, optimize=True,
+                    verify=verify, verify_mode=mode,
+                )
+        return loop
+
+    baseline = _timed(planning(False, "syntactic"), repeats)
+    syntactic = _timed(planning(True, "syntactic"), repeats)
+    semantic = _timed(planning(True, "semantic"), repeats)
+    return {
+        "rows_per_table": rows + 1,
+        "iterations": iters,
+        "baseline_seconds": baseline,
+        "syntactic_seconds": syntactic,
+        "semantic_seconds": semantic,
+        "syntactic_overhead": (
+            syntactic / baseline if baseline else float("inf")
+        ),
+        "semantic_overhead": (
+            semantic / baseline if baseline else float("inf")
+        ),
+        "semantic_verified": True,
+    }
+
+
+def run_e36_symbolic_scaling(
+    enumeration_points, symbolic_points, repeats: int
+) -> dict:
+    """Runtime curves: enumeration vs symbolic as variables grow.
+
+    Enumeration is timed on the (small) counts where it terminates and
+    grows as ``2^variables``; the symbolic engine is timed far past
+    enumeration's horizon and grows with condition size only.  Every
+    timed pair is the Mod-equal reordered ring, so all verdicts must be
+    ``True``.
+    """
+    enumeration_curve = {}
+    for variables in enumeration_points:
+        same, reordered, _ = _flag_ring_tables(variables)
+        enumeration_curve[str(variables)] = _timed(
+            lambda: ctables_equivalent(same, reordered, enumerate=True),  # enumeration-ok: scaling-curve baseline
+            repeats,
+        )
+    symbolic_curve = {}
+    verdicts = []
+    for variables in symbolic_points:
+        same, reordered, _ = _flag_ring_tables(variables)
+        verdicts.append(ctables_equivalent(same, reordered, enumerate=False))
+        symbolic_curve[str(variables)] = _timed(
+            lambda: ctables_equivalent(same, reordered, enumerate=False),
+            repeats,
+        )
+    deepest = str(max(enumeration_points))
+    largest = str(max(symbolic_points))
+    return {
+        "enumeration_curve_seconds": enumeration_curve,
+        "symbolic_curve_seconds": symbolic_curve,
+        "verdicts_all_equivalent": all(verdicts),
+        "symbolic_largest_vs_enumeration_deepest": (
+            enumeration_curve[deepest] / symbolic_curve[largest]
+            if symbolic_curve[largest]
+            else float("inf")
+        ),
+    }
+
+
+def run_equivalence_suite(quick: bool, repeats: int) -> dict:
+    workloads = {}
+
+    print("== e34_equivalence_scaling (symbolic proof vs enumeration) ==")
+    e34 = run_e34_equivalence_scaling(
+        variables=100,
+        crosscheck_variables=6 if quick else 10,
+        repeats=repeats,
+    )
+    workloads["e34_equivalence_scaling"] = e34
+    print(
+        f"   {e34['variables']} variables "
+        f"(~{e34['enumeration_worlds_at_scale']:.1e} worlds/side): "
+        f"equivalent pair {e34['symbolic_seconds_equivalent_pair']*1000:.1f}ms, "
+        f"strengthened pair "
+        f"{e34['symbolic_seconds_strengthened_pair']*1000:.1f}ms; "
+        f"{e34['crosscheck_variables']}-var oracle cross-check "
+        f"agrees={e34['crosscheck_agrees']} "
+        f"({e34['crosscheck_speedup']:.1f}x over enumeration)"
+    )
+
+    print("== e35_semantic_verify_overhead (translation validation) ==")
+    e35 = run_e35_semantic_verify_overhead(
+        60 if quick else 250, 2 if quick else 5, repeats
+    )
+    workloads["e35_semantic_verify_overhead"] = e35
+    print(
+        f"   plan-only {e35['baseline_seconds']*1000:.1f}ms, "
+        f"syntactic {e35['syntactic_seconds']*1000:.1f}ms "
+        f"({e35['syntactic_overhead']:.1f}x), "
+        f"semantic {e35['semantic_seconds']*1000:.1f}ms "
+        f"({e35['semantic_overhead']:.1f}x)"
+    )
+
+    print("== e36_symbolic_scaling (runtime vs variable count) ==")
+    e36 = run_e36_symbolic_scaling(
+        (4, 6) if quick else (4, 6, 8, 10),
+        (10, 50, 100) if quick else (10, 25, 50, 100),
+        repeats,
+    )
+    workloads["e36_symbolic_scaling"] = e36
+    enum_curve = ", ".join(
+        f"{count}v {seconds*1000:.1f}ms"
+        for count, seconds in e36["enumeration_curve_seconds"].items()
+    )
+    sym_curve = ", ".join(
+        f"{count}v {seconds*1000:.1f}ms"
+        for count, seconds in e36["symbolic_curve_seconds"].items()
+    )
+    print(f"   enumeration: {enum_curve}")
+    print(f"   symbolic:    {sym_curve}")
+    return workloads
+
+
 def run_physical_suite(quick: bool, repeats: int) -> dict:
     sizes = {
         # workload: (rows, iterations) — each sized to its own shape.
@@ -1201,6 +1457,11 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pr5.json"),
         help="where to write the morsel-parallel (E31–E33) JSON report",
     )
+    parser.add_argument(
+        "--equivalence-output",
+        default=str(REPO_ROOT / "BENCH_pr7.json"),
+        help="where to write the symbolic-equivalence (E34–E36) JSON report",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -1291,6 +1552,15 @@ def main(argv=None) -> int:
         "workloads": run_parallel_suite(args.quick, repeats),
     }
 
+    equivalence_report = {
+        "meta": {
+            "label": Path(args.equivalence_output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+        },
+        "workloads": run_equivalence_suite(args.quick, repeats),
+    }
+
     if not args.skip_suite:
         print("== E01–E20 suite ==")
         suite = run_suite(args.quick)
@@ -1318,6 +1588,12 @@ def main(argv=None) -> int:
     parallel_output = Path(args.parallel_output)
     parallel_output.write_text(json.dumps(parallel_report, indent=2) + "\n")
     print(f"wrote {parallel_output}")
+
+    equivalence_output = Path(args.equivalence_output)
+    equivalence_output.write_text(
+        json.dumps(equivalence_report, indent=2) + "\n"
+    )
+    print(f"wrote {equivalence_output}")
 
     planner_workloads = planner_report["workloads"].values()
     best_planner_speedup = max(
@@ -1347,6 +1623,24 @@ def main(argv=None) -> int:
         or not parallel_capable()
         or parallel_report["workloads"]["e31_parallel_scan"]["speedup"] >= 2.0
     )
+    # E34–E36: the symbolic engine must decide the 100-variable pair no
+    # witness enumeration can touch (True on the reordered ring, False
+    # on the strengthened one), agree with the enumeration oracle where
+    # both run, and the semantic verifier must certify the optimizer's
+    # rewrites end to end.
+    e34 = equivalence_report["workloads"]["e34_equivalence_scaling"]
+    e36 = equivalence_report["workloads"]["e36_symbolic_scaling"]
+    symbolic_at_scale = (
+        e34["variables"] >= 100
+        and e34["equivalent_pair_verdict"] is True
+        and e34["strengthened_pair_verdict"] is False
+        and not e34["enumeration_feasible_at_scale"]
+        and e34["crosscheck_agrees"]
+        and e36["verdicts_all_equivalent"]
+        and equivalence_report["workloads"]["e35_semantic_verify_overhead"][
+            "semantic_verified"
+        ]
+    )
     failed = (
         report["suite"].get("exit_code", 0) != 0
         or report["workloads"]["join_heavy"]["speedup"] < 1.0
@@ -1363,6 +1657,7 @@ def main(argv=None) -> int:
         or not result_cache_served
         or not parallel_identity
         or not parallel_fast_enough
+        or not symbolic_at_scale
     )
     return 1 if failed else 0
 

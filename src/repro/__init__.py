@@ -127,6 +127,7 @@ from repro.worlds import (
     certain_answer_table,
     closure_holds,
     ctables_equivalent,
+    ctables_equivalent_symbolic,
     lemma1_holds,
     possible_answer,
     possible_answer_symbolic,
@@ -201,7 +202,8 @@ __all__ = [
     "certain_answer", "certain_answer_symbolic",
     "certain_answer_table", "closure_holds", "normalize",
     "possible_answer_symbolic",
-    "ctables_equivalent", "lemma1_holds", "possible_answer",
+    "ctables_equivalent", "ctables_equivalent_symbolic",
+    "lemma1_holds", "possible_answer",
     "possible_answer_table",
     # prob
     "BooleanPCTable", "ConjunctiveQuery", "FiniteProbSpace", "PCTable",

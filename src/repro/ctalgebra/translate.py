@@ -53,6 +53,7 @@ def build_plan(
     stats_thunk: Callable[[], Dict[str, TableStats]],
     optimize: bool,
     verify: bool = False,
+    verify_mode: str = "syntactic",
 ) -> PlanNode:
     """The one plan-construction pipeline, shared with the engine.
 
@@ -65,13 +66,16 @@ def build_plan(
     With ``verify=True`` (``ExecutionConfig.verify_plans``) a
     :class:`~repro.ctalgebra.verify.PlanVerifier` checks the verbatim
     plan, then re-checks after every individual rewrite rule, and
-    finally certifies the plan that leaves the pipeline.
+    finally certifies the plan that leaves the pipeline.  *verify_mode*
+    (``ExecutionConfig.verify_mode``) selects the syntactic conservation
+    checks alone or, with ``"semantic"``, additionally certifies every
+    rewrite by symbolic translation validation.
     """
     plan = plan_from_query(query)
     if optimize:
         stats = stats_thunk()
         verifier: Optional[PlanVerifier] = (
-            PlanVerifier(stats) if verify else None
+            PlanVerifier(stats, mode=verify_mode) if verify else None
         )
         if verifier is not None:
             verifier.verify_plan(plan, rule="plan_from_query")
@@ -79,7 +83,7 @@ def build_plan(
         if verifier is not None:
             verifier.verify_plan(optimized, rule="optimize_plan")
         return optimized
-    verifier = PlanVerifier() if verify else None
+    verifier = PlanVerifier(mode=verify_mode) if verify else None
     if verifier is not None:
         verifier.verify_plan(plan, rule="plan_from_query")
     fused = fuse_joins(plan, verifier)
@@ -93,6 +97,7 @@ def plan_for_query(
     tables: Mapping[str, CTable],
     optimize: bool = False,
     verify: bool = False,
+    verify_mode: str = "syntactic",
 ) -> PlanNode:
     """The plan ``translate_query`` would execute for *query*.
 
@@ -100,10 +105,14 @@ def plan_for_query(
     over products fused into joins (the seed evaluation order); with
     ``optimize=True`` the full rewrite pipeline runs against statistics
     of the bound tables.  ``verify=True`` runs the plan verifier along
-    the pipeline.
+    the pipeline (*verify_mode* as in :func:`build_plan`).
     """
     return build_plan(
-        query, lambda: collect_stats(tables), optimize, verify=verify
+        query,
+        lambda: collect_stats(tables),
+        optimize,
+        verify=verify,
+        verify_mode=verify_mode,
     )
 
 

@@ -36,11 +36,25 @@ time, structurally:
   morselizable operators, morsel counts match the estimates they were
   derived from, and hash-join build sides agree with the estimates.
 
+The checks above are purely *syntactic* and share one documented blind
+spot: a shape-preserving predicate applied to the wrong join side keeps
+every conjunct key, every leaf, and every arity intact.  In
+``mode="semantic"`` the verifier therefore also performs **translation
+validation**: each rewrite's before/after sub-plans are executed on
+small *symbolic abstract tables* (fresh variable tuples, one boolean
+row-presence flag per row) through the interpreted lifted operators,
+and the two result tables must have per-tuple *equivalent conditions*
+— decided by the cross-validated SAT+BDD engines of
+:mod:`repro.logic.equivalence`, never by world enumeration.  A predicate
+on the wrong side lands on the wrong tuple's fresh variables, so the
+certificate fails by construction.
+
 Verification is wired through :class:`repro.engine.config.ExecutionConfig`
-(``verify_plans`` / env ``REPRO_VERIFY_PLANS``): the optimizer then
-re-verifies after **every individual rewrite rule** and names the
-offending rule in the raised
-:class:`~repro.errors.PlanVerificationError`.
+(``verify_plans`` / env ``REPRO_VERIFY_PLANS``, with
+``verify_mode`` / env ``REPRO_VERIFY_MODE`` selecting
+``"syntactic"`` or ``"semantic"``): the optimizer then re-verifies after
+**every individual rewrite rule** and names the offending rule in the
+raised :class:`~repro.errors.PlanVerificationError`.
 """
 
 from __future__ import annotations
@@ -49,7 +63,7 @@ import math
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Set, Tuple
 
 from repro.errors import PlanVerificationError, QueryError, nearest_name
-from repro.logic.atoms import Const, Eq, Term, Var
+from repro.logic.atoms import Const, Eq, Term, Var, boolvar
 from repro.logic.equality_sat import is_satisfiable_skeleton
 from repro.logic.syntax import Bottom, Formula, is_atom, is_interned, walk
 from repro.algebra.ast import Query, RelVar
@@ -68,9 +82,18 @@ from repro.ctalgebra.plan import (
     TableStats,
     UnionNode,
     estimate,
+    execute_plan,
     morsel_count,
 )
-from repro.tables.ctable import CTable
+from repro.tables.ctable import CTable, make_row
+
+#: Valid :class:`PlanVerifier` modes.
+VERIFY_MODES = ("syntactic", "semantic")
+
+#: Rows per relation in the semantic-certificate abstract tables.  Two
+#: rows exercise duplication/cross effects (joins see every pairing)
+#: while keeping the per-rewrite proof obligations tiny.
+_ABSTRACT_ROWS = 2
 
 if TYPE_CHECKING:  # pragma: no cover - layering: imported lazily at runtime
     from repro.physical.operators import PhysicalOp
@@ -155,10 +178,23 @@ class PlanVerifier:
     """
 
     def __init__(
-        self, stats: Optional[Mapping[str, TableStats]] = None
+        self,
+        stats: Optional[Mapping[str, TableStats]] = None,
+        mode: str = "syntactic",
     ) -> None:
+        if mode not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {mode!r}; expected one of {VERIFY_MODES}"
+            )
         self._stats = stats
+        self._mode = mode
         self._memo: Dict[PlanNode, Estimate] = {}
+        self._abstract: Dict[Tuple[str, int], CTable] = {}
+
+    @property
+    def mode(self) -> str:
+        """The active verification mode (``"syntactic"`` or ``"semantic"``)."""
+        return self._mode
 
     # ------------------------------------------------------------------
     # Queries (pre-translation)
@@ -406,7 +442,80 @@ class PlanVerifier:
 
         if collapsed or (_has_empty(after) and not _has_empty(before)):
             self._verify_prune(rule, before, after)
+
+        if self._mode == "semantic":
+            self._verify_semantics(rule, before, after)
         return after
+
+    # ------------------------------------------------------------------
+    # Semantic translation validation
+    # ------------------------------------------------------------------
+
+    def _abstract_table(self, name: str, arity: int) -> CTable:
+        """A small symbolic c-table standing in for relation *name*.
+
+        Every cell is a fresh domain variable and every row carries a
+        fresh boolean presence flag, so executing a plan over these
+        tables computes the *most general* per-tuple conditions the plan
+        can produce — any concrete table is a substitution instance.
+        Cached per verifier: both occurrences of a self-joined relation
+        (and the before/after sides of a rewrite) must see the same
+        symbols.
+        """
+        key = (name, arity)
+        cached = self._abstract.get(key)
+        if cached is None:
+            rows = [
+                make_row(
+                    tuple(
+                        Var(f"{name}.r{index}c{column}")
+                        for column in range(arity)
+                    ),
+                    boolvar(f"{name}.row{index}"),
+                )
+                for index in range(_ABSTRACT_ROWS)
+            ]
+            cached = CTable(rows, arity=arity)
+            self._abstract[key] = cached
+        return cached
+
+    def _verify_semantics(
+        self, rule: str, before: PlanNode, after: PlanNode
+    ) -> None:
+        """Certify one rewrite by symbolic execution on abstract tables.
+
+        Both sub-plans are interpreted over the shared abstract tables
+        and the result tables are compared tuple-by-tuple with the
+        cross-validated SAT+BDD equivalence engines — translation
+        validation of the individual rewrite, catching semantic bugs
+        (e.g. a predicate pushed to the wrong join side) that preserve
+        every syntactic conservation law.  No world enumeration is
+        involved, so the certificate cost scales with plan size, not
+        ``2^variables``.
+        """
+        # Lazy import: worlds.compare sits above ctalgebra in the
+        # layering (it imports translate, which builds verifiers).
+        from repro.worlds.compare import ctables_equivalent_symbolic
+
+        tables = {}
+        for leaf in _leaf_keys(before):
+            if isinstance(leaf, Scan):
+                tables[leaf.name] = self._abstract_table(
+                    leaf.name, leaf.rel_arity
+                )
+        before_result = execute_plan(before, tables)
+        after_result = execute_plan(after, tables)
+        if not ctables_equivalent_symbolic(
+            before_result, after_result, engine="both", strict=False
+        ):
+            raise PlanVerificationError(
+                "semantics",
+                "rewrite is not Mod-preserving: applied to symbolic "
+                "abstract tables, the before/after plans produce tuples "
+                "with inequivalent conditions",
+                rule=rule,
+                node=after,
+            )
 
     def _verify_prune(
         self, rule: str, before: PlanNode, after: PlanNode

@@ -25,7 +25,9 @@ executor:
 - ``REPRO_NUM_WORKERS`` — default for ``num_workers``;
 - ``REPRO_MORSEL_SIZE`` — default for ``morsel_size``;
 - ``REPRO_VERIFY_PLANS`` — default for ``verify_plans``
-  (truthy values: ``1``, ``true``, ``yes``, ``on``).
+  (truthy values: ``1``, ``true``, ``yes``, ``on``);
+- ``REPRO_VERIFY_MODE`` — default for ``verify_mode``
+  (``syntactic`` / ``semantic``).
 
 Explicit constructor arguments always win over the environment.
 """
@@ -51,6 +53,18 @@ def _env_int(name: str, default: int) -> int:
         raise ValueError(
             f"environment variable {name}={value!r} is not an integer"
         ) from error
+
+
+def _env_choice(name: str, default: str, choices: tuple) -> str:
+    value = os.environ.get(name)
+    if not value:
+        return default
+    lowered = value.strip().lower()
+    if lowered in choices:
+        return lowered
+    raise ValueError(
+        f"environment variable {name}={value!r} is not one of {choices}"
+    )
 
 
 def _env_flag(name: str, default: bool) -> bool:
@@ -108,6 +122,14 @@ class ExecutionConfig:
       and the lowered physical tree.  Off by default (it re-walks plans
       per rewrite); CI flips it on for a full tier-1 run via
       ``REPRO_VERIFY_PLANS=1``.
+    - ``verify_mode`` — depth of rewrite verification when
+      ``verify_plans`` is on.  ``"syntactic"`` (the default) runs the
+      structural conservation checks; ``"semantic"`` additionally
+      certifies every individual rewrite by translation validation —
+      symbolic execution on abstract tables plus SAT/BDD condition
+      equivalence (:mod:`repro.logic.equivalence`) — closing the
+      wrong-side-pushdown class of bugs the syntactic keys cannot see.
+      CI's verified matrix entry runs ``REPRO_VERIFY_MODE=semantic``.
     """
 
     optimize: bool = True
@@ -124,6 +146,11 @@ class ExecutionConfig:
     max_candidates: int = 100_000
     verify_plans: bool = field(
         default_factory=lambda: _env_flag("REPRO_VERIFY_PLANS", False)
+    )
+    verify_mode: str = field(
+        default_factory=lambda: _env_choice(
+            "REPRO_VERIFY_MODE", "syntactic", ("syntactic", "semantic")
+        )
     )
 
     def __post_init__(self) -> None:
@@ -151,6 +178,11 @@ class ExecutionConfig:
         if self.max_candidates <= 0:
             raise ValueError(
                 f"max_candidates must be positive, got {self.max_candidates}"
+            )
+        if self.verify_mode not in ("syntactic", "semantic"):
+            raise ValueError(
+                f"verify_mode must be 'syntactic' or 'semantic', got "
+                f"{self.verify_mode!r}"
             )
 
     def with_options(self, **options: object) -> "ExecutionConfig":

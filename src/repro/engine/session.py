@@ -251,7 +251,7 @@ class Engine:
 
         verifier: Optional[PlanVerifier] = None
         if config.verify_plans:
-            verifier = PlanVerifier()
+            verifier = PlanVerifier(mode=config.verify_mode)
             verifier.verify_query(
                 query,
                 {name: table.arity for name, table in tables.items()},
@@ -259,7 +259,11 @@ class Engine:
             for name, table in tables.items():
                 verifier.verify_ctable(name, table)
         plan = build_plan(
-            query, stats_thunk, config.optimize, verify=config.verify_plans
+            query,
+            stats_thunk,
+            config.optimize,
+            verify=config.verify_plans,
+            verify_mode=config.verify_mode,
         )
         if config.executor == "vectorized":
             # When the optimizer ran, its statistics are reused to guide
@@ -422,7 +426,9 @@ class Session:
             # Conditions entering the engine must satisfy the identity
             # invariant (canonical interned formulas) and stay inside
             # the declared domain metadata.
-            PlanVerifier().verify_ctable(name, ctable)
+            PlanVerifier(mode=self._engine.config.verify_mode).verify_ctable(
+                name, ctable
+            )
         previous = self._registry.get(name)
         if previous is not None and previous.ctable.arity == ctable.arity:
             # Incremental refresh: absorb the row delta into the cached
@@ -626,6 +632,7 @@ class PreparedQuery:
                 lambda: {name: session.stats(name) for name in names},
                 self._config.optimize,
                 verify=self._config.verify_plans,
+                verify_mode=self._config.verify_mode,
             )
             entry = _PlanEntry(logical)
             cache.put(key, entry, session._id, names)
@@ -660,7 +667,9 @@ class PreparedQuery:
                 for name in self._query.relation_names()
             }
             verifier = (
-                PlanVerifier(stats) if self._config.verify_plans else None
+                PlanVerifier(stats, mode=self._config.verify_mode)
+                if self._config.verify_plans
+                else None
             )
             lowered = lower(
                 entry.logical, stats, parallel=spec, verifier=verifier

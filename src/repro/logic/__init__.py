@@ -19,6 +19,8 @@ rest of the library needs to manipulate such conditions:
   procedures for equality logic over an infinite domain,
 - :mod:`repro.logic.bdd` — ordered binary decision diagrams with
   weighted model counting,
+- :mod:`repro.logic.equivalence` — SAT- and BDD-backed condition
+  equivalence (no world enumeration), cross-validated engines,
 - :mod:`repro.logic.counting` — Shannon-expansion probability
   computation for formulas over multi-valued distributed variables.
 
@@ -86,6 +88,13 @@ from repro.logic.equality_sat import (
 )
 from repro.logic.bdd import Bdd
 from repro.logic.counting import probability
+from repro.logic.equivalence import (
+    distinguishing_assignment,
+    equivalent_conditions,
+    is_contradiction,
+    is_tautology,
+    xor_condition,
+)
 
 __all__ = [
     "And",
@@ -108,6 +117,8 @@ __all__ = [
     "constants_of",
     "count_models",
     "disj",
+    "distinguishing_assignment",
+    "equivalent_conditions",
     "evaluation_cache_stats",
     "interning_stats",
     "set_evaluation_cache",
@@ -115,9 +126,11 @@ __all__ = [
     "eq",
     "equivalent_infinite",
     "evaluate",
+    "is_contradiction",
     "is_satisfiable_clauses",
     "is_satisfiable_finite",
     "is_satisfiable_infinite",
+    "is_tautology",
     "is_valid_infinite",
     "ne",
     "neg",
@@ -128,4 +141,5 @@ __all__ = [
     "solve_clauses",
     "substitute",
     "witness_domain",
+    "xor_condition",
 ]

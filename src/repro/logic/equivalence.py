@@ -1,0 +1,262 @@
+"""Symbolic condition equivalence: SAT- and BDD-backed, no enumeration.
+
+Deciding whether two c-table conditions admit exactly the same valuations
+is the primitive behind Mod-level table comparison
+(:mod:`repro.worlds.compare`) and semantic plan verification
+(:mod:`repro.ctalgebra.verify`).  The historical route — enumerate every
+valuation over a witness domain — is exponential in the number of
+variables and caps table sizes across the differential harness and the
+benchmarks.  This module replaces it with two independent symbolic
+provers over the *symmetric difference* ``(φ ∧ ¬ψ) ∨ (¬φ ∧ ψ)``:
+
+- **SAT engine** — Tseitin-encode the difference
+  (:func:`repro.logic.cnf.tseitin_clauses`), enumerate propositional
+  models with the DPLL solver, and reject models whose induced
+  equality/disequality constraints are inconsistent under
+  :mod:`repro.logic.equality_sat`'s union-find theory closure.  The
+  formulas are equivalent over the countably infinite domain iff no
+  theory-consistent model of the difference exists — complete for
+  equality logic by the small-model property.
+- **BDD engine** — map every atom (``Eq`` or ``BoolVar``) to an opaque
+  propositional variable, compile both conditions into one shared
+  :class:`repro.logic.bdd.Bdd` manager, and XOR the two nodes.  A ``⊥``
+  difference proves equivalence outright; otherwise each root-to-``⊤``
+  path is a partial atom assignment that is checked against the same
+  theory closure.  A theory-consistent partial assignment always extends
+  to a full infinite-domain valuation (assign each congruence class a
+  distinct fresh value), so path-level checking is exact.
+
+The two engines share nothing beyond the atom numbering, which makes
+``engine="both"`` a genuine cross-validation: any disagreement raises
+:class:`~repro.errors.ConditionError` instead of silently picking a
+winner.  Mixed conditions are handled exactly — ``BoolVar`` atoms are
+free two-valued propositions, ``Eq`` atoms are interpreted over the
+infinite domain.
+
+Callers that need a witness rather than a verdict use
+:func:`distinguishing_assignment`, which returns a theory-consistent
+truth assignment to the genuine atoms on which the two conditions
+disagree (``None`` when they are equivalent; note the witness may be the
+*empty* assignment when the difference is a ground tautology, so compare
+against ``None`` rather than truthiness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConditionError
+from repro.logic.atoms import Eq
+from repro.logic.bdd import ONE, ZERO, Bdd
+from repro.logic.cnf import AtomMap, tseitin_clauses
+
+# The union-find theory closure is deliberately shared with
+# is_satisfiable_skeleton so both satisfiability and equivalence agree on
+# what "realizable over infinite D" means.
+from repro.logic.equality_sat import _theory_consistent
+from repro.logic.sat import Solver
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    is_atom,
+    neg,
+)
+
+ENGINES: Tuple[str, ...] = ("sat", "bdd", "both")
+
+DEFAULT_ENGINE: str = "sat"
+
+
+def xor_condition(left: Formula, right: Formula) -> Formula:
+    """Return the symmetric difference ``(left ∧ ¬right) ∨ (¬left ∧ right)``.
+
+    The smart constructors fold the obvious cases: identical (interned)
+    inputs collapse to ``⊥`` without ever reaching a solver.
+    """
+    return disj(conj(left, neg(right)), conj(neg(left), right))
+
+
+# ----------------------------------------------------------------------
+# SAT engine
+# ----------------------------------------------------------------------
+
+def distinguishing_assignment(
+    left: Formula, right: Formula
+) -> Optional[Dict[Formula, bool]]:
+    """Return a theory-consistent atom assignment separating the conditions.
+
+    ``None`` means the conditions are equivalent over the infinite
+    domain.  Otherwise the returned mapping assigns truth values to the
+    genuine atoms (``Eq`` / ``BoolVar``) of a propositional model of the
+    symmetric difference whose equality constraints are realizable; it
+    may be empty when the difference holds under every valuation.
+    """
+    difference = xor_condition(left, right)
+    if difference is BOTTOM:
+        return None
+    clauses, atom_map, _ = tseitin_clauses(difference)
+    for assignment in Solver().enumerate(clauses):
+        if _theory_consistent(assignment, atom_map):
+            return {
+                atom: assignment[atom_map.index_of(atom)]
+                for atom in atom_map.atoms()
+                if atom_map.index_of(atom) in assignment
+            }
+    return None
+
+
+def _sat_equivalent(left: Formula, right: Formula) -> bool:
+    return distinguishing_assignment(left, right) is None
+
+
+# ----------------------------------------------------------------------
+# BDD engine
+# ----------------------------------------------------------------------
+
+def _compile_opaque(
+    manager: Bdd, names: Dict[Formula, str], formula: Formula
+) -> int:
+    """Compile *formula* treating every atom as an opaque BDD variable.
+
+    ``Bdd.from_formula`` refuses ``Eq`` atoms by design; here equality
+    atoms are precisely what the theory closure later reinterprets, so
+    they compile to plain variables like any ``BoolVar``.
+    """
+    if isinstance(formula, Top):
+        return manager.true()
+    if isinstance(formula, Bottom):
+        return manager.false()
+    if is_atom(formula):
+        return manager.var(names[formula])
+    if isinstance(formula, Not):
+        return manager.neg(_compile_opaque(manager, names, formula.child))
+    if isinstance(formula, And):
+        node = ONE
+        for child in formula.children:
+            node = manager.conj(node, _compile_opaque(manager, names, child))
+            if node == ZERO:
+                return ZERO
+        return node
+    if isinstance(formula, Or):
+        node = ZERO
+        for child in formula.children:
+            node = manager.disj(node, _compile_opaque(manager, names, child))
+            if node == ONE:
+                return ONE
+        return node
+    raise ConditionError(f"cannot compile {formula!r} into an opaque BDD")
+
+
+def _find_theory_path(
+    manager: Bdd,
+    node: int,
+    index_of: Dict[str, int],
+    atom_map: AtomMap,
+) -> Optional[Dict[int, bool]]:
+    """Return a theory-consistent root-to-⊤ path of *node*, if any.
+
+    Paths are explored via public cofactoring only; a variable whose two
+    cofactors coincide is skipped, so each discovered assignment is
+    exactly the partial assignment of one reduced-BDD path.
+    """
+    order = manager.order
+
+    def go(
+        current: int, position: int, path: Dict[int, bool]
+    ) -> Optional[Dict[int, bool]]:
+        if current == ZERO:
+            return None
+        if current == ONE:
+            assignment = dict(path)
+            if _theory_consistent(assignment, atom_map):
+                return assignment
+            return None
+        name = order[position]
+        low = manager.restrict(current, name, False)
+        high = manager.restrict(current, name, True)
+        if low == high:
+            return go(low, position + 1, path)
+        for value, child in ((False, low), (True, high)):
+            path[index_of[name]] = value
+            found = go(child, position + 1, path)
+            if found is not None:
+                return found
+            del path[index_of[name]]
+        return None
+
+    return go(node, 0, {})
+
+
+def _bdd_equivalent(left: Formula, right: Formula) -> bool:
+    atom_map = AtomMap()
+    atoms = sorted(left.atoms() | right.atoms(), key=repr)
+    names: Dict[Formula, str] = {}
+    for atom in atoms:
+        names[atom] = f"a{atom_map.index_of(atom)}"
+    manager = Bdd([names[atom] for atom in atoms])
+    left_node = _compile_opaque(manager, names, left)
+    right_node = _compile_opaque(manager, names, right)
+    difference = manager.disj(
+        manager.conj(left_node, manager.neg(right_node)),
+        manager.conj(manager.neg(left_node), right_node),
+    )
+    if difference == ZERO:
+        return True
+    if not any(isinstance(atom, Eq) for atom in atoms):
+        # Purely propositional: a non-⊥ reduced BDD has a real model.
+        return False
+    index_of = {name: atom_map.index_of(atom) for atom, name in names.items()}
+    return _find_theory_path(manager, difference, index_of, atom_map) is None
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def equivalent_conditions(
+    left: Formula, right: Formula, engine: str = DEFAULT_ENGINE
+) -> bool:
+    """Decide condition equivalence over the countably infinite domain.
+
+    *engine* selects the prover: ``"sat"`` (skeleton DPLL + theory
+    closure), ``"bdd"`` (shared-manager XOR + theory-checked paths), or
+    ``"both"`` (run both and raise on disagreement — the cross-validating
+    mode the property tests and the semantic plan verifier lean on).
+    """
+    if left is right:
+        return True
+    if engine == "sat":
+        return _sat_equivalent(left, right)
+    if engine == "bdd":
+        return _bdd_equivalent(left, right)
+    if engine == "both":
+        sat_verdict = _sat_equivalent(left, right)
+        bdd_verdict = _bdd_equivalent(left, right)
+        if sat_verdict != bdd_verdict:
+            raise ConditionError(
+                "equivalence engines disagree: "
+                f"sat={sat_verdict} bdd={bdd_verdict} "
+                f"on {left!r} vs {right!r}"
+            )
+        return sat_verdict
+    raise ConditionError(
+        f"unknown equivalence engine {engine!r}; expected one of {ENGINES}"
+    )
+
+
+def is_tautology(formula: Formula, engine: str = DEFAULT_ENGINE) -> bool:
+    """Decide whether *formula* holds under every infinite-domain valuation."""
+    return equivalent_conditions(formula, TOP, engine=engine)
+
+
+def is_contradiction(formula: Formula, engine: str = DEFAULT_ENGINE) -> bool:
+    """Decide whether *formula* holds under no infinite-domain valuation."""
+    return equivalent_conditions(formula, BOTTOM, engine=engine)

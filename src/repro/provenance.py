@@ -32,7 +32,6 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 from repro.errors import QueryError, UnsupportedOperationError
 from repro.core.instance import Instance, Row
 from repro.logic.atoms import BoolVar, boolvar
-from repro.logic.models import boolean_domains, enumerate_models
 from repro.logic.syntax import BOTTOM, Formula, conj, disj
 from repro.algebra.ast import (
     ConstRel,
@@ -188,15 +187,12 @@ def ctable_lineage(query: Query, instance: Instance, row: Row) -> Formula:
 
 
 def _boolean_equivalent(left: Formula, right: Formula) -> bool:
-    names = sorted(left.variables() | right.variables())
-    domains = boolean_domains(names)
-    from repro.logic.evaluation import evaluate
-    from repro.logic.models import enumerate_valuations
+    # Symbolic propositional equivalence (SAT on the XOR); lineage
+    # formulas carry one event variable per input tuple, so the old
+    # valuation enumeration was exponential in the instance size.
+    from repro.logic.equivalence import equivalent_conditions
 
-    for valuation in enumerate_valuations(domains):
-        if evaluate(left, valuation) != evaluate(right, valuation):
-            return False
-    return True
+    return equivalent_conditions(left, right)
 
 
 def ctable_lineage_matches_provenance(

@@ -20,9 +20,11 @@ from repro.worlds.symbolic_answers import (
 from repro.worlds.compare import (
     closure_holds,
     ctables_equivalent,
+    ctables_equivalent_symbolic,
     lemma1_holds,
     mod_equal_over,
     witness_domain_for,
+    worlds_signature,
 )
 
 __all__ = [
@@ -31,10 +33,12 @@ __all__ = [
     "certain_answer_table",
     "closure_holds",
     "ctables_equivalent",
+    "ctables_equivalent_symbolic",
     "lemma1_holds",
     "mod_equal_over",
     "possible_answer",
     "possible_answer_symbolic",
     "possible_answer_table",
     "witness_domain_for",
+    "worlds_signature",
 ]

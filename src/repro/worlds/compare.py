@@ -12,6 +12,17 @@ Comparing ``Mod`` restricted to that domain therefore decides full
 equality.  :func:`witness_domain_for` builds the domain;
 :func:`mod_equal_over` does the comparison.
 
+Enumerating the witness domain is still exponential in the number of
+variables, so it cannot scale past a handful of variables.
+:func:`ctables_equivalent_symbolic` avoids enumeration entirely: it
+groups rows by term tuple and proves per-tuple *condition* equivalence
+with the SAT/BDD engines of :mod:`repro.logic.equivalence` — a
+certificate of ``Mod``-equality whose cost scales with condition size,
+not ``2^variables``.  :func:`ctables_equivalent` dispatches between the
+two automatically: symbolic first, enumeration (with collapse-style
+canonical world hashing, :func:`worlds_signature`) only to settle
+negative symbolic answers within a small variable budget.
+
 For closure (Theorem 4), :func:`lemma1_holds` checks the per-valuation
 identity ``ν(q̄(T)) = q(ν(T))``, which is stronger than Mod-level
 equality and cheaper to test; :func:`closure_holds` checks the Mod-level
@@ -20,15 +31,35 @@ consequence.
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Optional, Sequence, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.domain import Domain
 from repro.core.idatabase import IDatabase
+from repro.core.instance import Instance
+from repro.errors import UnsupportedOperationError
+from repro.logic.atoms import Term, is_boolean_condition, is_equality_condition
 from repro.logic.equality_sat import fresh_values
+from repro.logic.equivalence import DEFAULT_ENGINE, equivalent_conditions
+from repro.logic.syntax import BOTTOM, Formula, conj, disj
 from repro.algebra.ast import Query
 from repro.algebra.evaluate import apply_query
 from repro.ctalgebra.translate import apply_query_to_ctable
 from repro.tables.ctable import CTable
+
+#: Above this many combined variables, :func:`ctables_equivalent` stops
+#: settling negative symbolic answers by enumeration and trusts the
+#: (conservative) symbolic verdict — enumeration is ``Θ(|domain|^vars)``.
+SYMBOLIC_VARIABLE_BUDGET = 8
 
 
 def witness_domain_for(
@@ -68,11 +99,160 @@ def mod_equal_over(
     return left.mod_over(domain) == right.mod_over(domain)
 
 
-def ctables_equivalent(left: CTable, right: CTable, extra: int = 0) -> bool:
-    """Decide ``Mod(left) = Mod(right)`` over the infinite domain."""
-    return mod_equal_over(
-        left, right, witness_domain_for(left, right, extra=extra)
+def world_signature(instance: Instance) -> Tuple[int, FrozenSet]:
+    """Return a canonical hashable key identifying one possible world.
+
+    Collapse-style canonicalization (after ``collapse()`` in the
+    folseparators model dedup): two valuations producing the same ground
+    relation map to the same key, so enumerated worlds dedup by set
+    membership without materializing :class:`IDatabase` objects.
+    """
+    return (instance.arity, instance.rows)
+
+
+def worlds_signature(
+    table: CTable, domain: Union[Domain, Sequence]
+) -> FrozenSet[Tuple[int, FrozenSet]]:
+    """Return the set of canonical world keys of ``Mod(table)`` over *domain*."""
+    return frozenset(
+        world_signature(world) for world in table.possible_worlds(domain)
     )
+
+
+def _symbolic_eligible(table: CTable) -> bool:
+    """True when symbolic condition equivalence matches Mod semantics.
+
+    Two shapes qualify: infinite-domain tables whose conditions are pure
+    equality logic (the paper's c-tables — decided by the small-model
+    theory closure), and boolean c-tables (two-valued variables — plain
+    propositional logic).  Finite-domain tables and infinite-domain
+    tables mixing ``BoolVar`` atoms into domain-valued valuations keep
+    the enumeration semantics.
+    """
+    if table.is_boolean():
+        return True
+    if table.domains is not None:
+        return False
+    return is_equality_condition(table.global_condition) and all(
+        is_equality_condition(row.condition) for row in table.rows
+    )
+
+
+def _membership_conditions(table: CTable) -> Dict[Tuple[Term, ...], Formula]:
+    """Group rows by term tuple; value = disjunction of the rows' conditions."""
+    grouped: Dict[Tuple[Term, ...], List[Formula]] = {}
+    for row in table.rows:
+        grouped.setdefault(row.values, []).append(row.condition)
+    return {values: disj(*conditions) for values, conditions in grouped.items()}
+
+
+def ctables_equivalent_symbolic(
+    left: CTable,
+    right: CTable,
+    engine: str = DEFAULT_ENGINE,
+    *,
+    strict: bool = True,
+) -> bool:
+    """Certify ``Mod(left) = Mod(right)`` by per-tuple condition equivalence.
+
+    Rows are grouped by term tuple under the combined variable set; the
+    tables are accepted when the global conditions are equivalent and,
+    for every term tuple, the disjunctions of its row conditions (each
+    taken under its table's global condition) are equivalent — a tuple
+    present on one side only must have unsatisfiable membership.  Under
+    every valuation the two tables then activate the same term tuples,
+    so their ``Mod`` sets coincide over any domain: ``True`` is a proof.
+
+    ``False`` is conservative: tables that disagree tuple-by-tuple can
+    still enumerate to equal world sets (e.g. ``{t: b}`` vs ``{t: ¬b}``
+    both describe "``t`` or nothing").  :func:`ctables_equivalent`
+    settles such answers by enumeration when the variable budget allows.
+
+    Cost scales with the number of distinct tuples and condition sizes —
+    never with ``2^variables`` — which is what lifts the table-size caps
+    in the differential harness (see the 100-variable pair in benchmark
+    E34, far beyond any enumerable witness domain).
+
+    With ``strict=False`` the Mod-semantics eligibility check is skipped
+    and every ``BoolVar`` is interpreted as a two-valued proposition —
+    the reading the semantic plan verifier wants for its abstract tables,
+    where boolean variables *are* symbolic row-presence flags rather
+    than domain-valued c-table variables.
+    """
+    if left.arity != right.arity:
+        return False
+    if strict:
+        for table in (left, right):
+            if not _symbolic_eligible(table):
+                raise UnsupportedOperationError(
+                    "symbolic equivalence needs pure-equality or boolean "
+                    f"conditions over an unrestricted domain; got {table!r}"
+                )
+    left_global = left.global_condition
+    right_global = right.global_condition
+    if not equivalent_conditions(left_global, right_global, engine=engine):
+        return False
+    left_by_tuple = _membership_conditions(left)
+    right_by_tuple = _membership_conditions(right)
+    for values in left_by_tuple.keys() | right_by_tuple.keys():
+        in_left = conj(left_global, left_by_tuple.get(values, BOTTOM))
+        in_right = conj(right_global, right_by_tuple.get(values, BOTTOM))
+        if not equivalent_conditions(in_left, in_right, engine=engine):
+            return False
+    return True
+
+
+def ctables_equivalent(
+    left: CTable,
+    right: CTable,
+    extra: int = 0,
+    *,
+    enumerate: Optional[bool] = None,
+    engine: str = DEFAULT_ENGINE,
+    variable_budget: int = SYMBOLIC_VARIABLE_BUDGET,
+) -> bool:
+    """Decide ``Mod(left) = Mod(right)`` over the infinite domain.
+
+    By default the symbolic certificate is tried first and settles the
+    question whenever it answers ``True``; a (conservative) ``False`` is
+    re-checked by witness-domain enumeration only while the combined
+    variable count stays within *variable_budget* — above it the
+    symbolic verdict stands, because enumeration is exponential in the
+    variables.  ``enumerate=True`` forces the enumeration engine
+    (flagged outside oracle modules by lint EXP001); ``enumerate=False``
+    forces the pure symbolic path.
+    """
+    if enumerate is True:
+        return _enumerated_equivalent(left, right, extra)
+    symbolic_ok = _symbolic_eligible(left) and _symbolic_eligible(right)
+    if enumerate is False:
+        return ctables_equivalent_symbolic(left, right, engine=engine)
+    if not symbolic_ok:
+        return _enumerated_equivalent(left, right, extra)
+    if left.arity == right.arity and ctables_equivalent_symbolic(
+        left, right, engine=engine
+    ):
+        return True
+    if len(left.variables() | right.variables()) <= variable_budget:
+        return _enumerated_equivalent(left, right, extra)
+    return False
+
+
+def _enumerated_equivalent(left: CTable, right: CTable, extra: int = 0) -> bool:
+    """Witness-domain enumeration with canonical world-signature dedup."""
+    if left.arity != right.arity:
+        return False
+    if left.is_boolean() and right.is_boolean():
+        # Boolean conditions see domain values only through truthiness,
+        # and the infinite domain realizes both truthiness classes, so
+        # ``{False, True}`` is the exact witness domain.  The
+        # equality-logic witness below (constants + fresh values) can
+        # happen to be all-truthy, which would silently fix every
+        # ``BoolVar`` to ⊤.
+        domain: Union[Domain, Sequence] = (False, True)
+    else:
+        domain = witness_domain_for(left, right, extra=extra)
+    return worlds_signature(left, domain) == worlds_signature(right, domain)
 
 
 def lemma1_holds(

@@ -17,11 +17,16 @@ values *and* conditions across all relations, so join answers correlate
 through shared variables), and the operator mix over the paper's lifted
 algebra (σ̄ / π̄ / ×̄ / ⋈̄ / ∪̄ / −̄ / ∩̄).
 
-Sizes are deliberately small: ``ctables_equivalent`` enumerates ``Mod``
-over a witness domain, which is exponential in the number of distinct
-variables, so profiles keep the pool at ≤ 3 variables.  Structural
-identity is checked at every size; Mod-level equivalence only where the
-enumeration is tractable.
+Mod-level checks are no longer capped by enumeration:
+``ctables_equivalent`` dispatches to symbolic per-tuple condition
+equivalence (:mod:`repro.logic.equivalence`) whose cost scales with
+condition size rather than ``2^variables``, so the
+:data:`LARGE_TABLES` profile fuzzes with a 72-name variable pool —
+dozens of distinct variables per case, far beyond any enumerable
+witness domain.  The default profiles stay small (≤ 3 variables) so
+the same sweeps remain cross-checkable against explicit world
+enumeration (``ctables_equivalent(..., enumerate=True)``), which is
+what keeps the symbolic engine honest.
 """
 
 from __future__ import annotations
@@ -69,9 +74,10 @@ class TableProfile:
     ``variables`` is one *shared* pool: the smaller it is, the denser
     the variable sharing between values and conditions, within and
     across relations — which is exactly what stresses condition
-    composition and the interning-identity contract.  Keep it at ≤ 3
-    names wherever ``ctables_equivalent`` runs (Mod enumeration is
-    exponential in distinct variables).
+    composition and the interning-identity contract.  Pools of any size
+    are fine for ``ctables_equivalent`` (it goes symbolic above its
+    variable budget); keep ≤ 3 names only where a sweep explicitly
+    cross-validates against ``enumerate=True`` world enumeration.
     """
 
     arity: int = 2
@@ -107,6 +113,23 @@ class QueryProfile:
 
 DEFAULT_TABLES = TableProfile()
 DEFAULT_QUERIES = QueryProfile()
+
+#: The enumeration-infeasible scale: a 72-name shared pool at high
+#: density puts 40–65 distinct variables into a typical case (witness
+#: domains of 8+ constants would mean ``~80^50`` worlds).  Mod checks at
+#: this scale only work because ``ctables_equivalent`` goes symbolic.
+LARGE_TABLES = TableProfile(
+    min_rows=16,
+    max_rows=28,
+    variables=tuple(f"v{index:02d}" for index in range(72)),
+    constants=8,
+    variable_density=0.6,
+)
+
+#: Single-operator queries for the large profile: one level keeps the
+#: worst case at a 28×28 product — nesting products of tables this wide
+#: would blow up the intermediate row count, not the variable count.
+FLAT_QUERIES = QueryProfile(min_depth=1, max_depth=1)
 
 
 # ----------------------------------------------------------------------
@@ -330,6 +353,25 @@ def assert_executors_agree(
     return results
 
 
+def assert_plan_modes_equivalent(
+    query, tables: Mapping[str, CTable], context: str = ""
+) -> None:
+    """The optimized and verbatim plans must answer Mod-equivalently.
+
+    Every optimizer rewrite is Mod-preserving (Theorem 4), so the two
+    answer tables — generally *not* structurally identical — must have
+    equal world sets.  ``ctables_equivalent`` decides this symbolically
+    above its variable budget, which is what lets this assertion run on
+    :data:`LARGE_TABLES`-scale cases no enumeration could touch.
+    """
+    optimized = evaluate(query, tables, "interpreted", optimize=True)
+    verbatim = evaluate(query, tables, "interpreted", optimize=False)
+    assert ctables_equivalent(optimized, verbatim), (
+        f"optimized and verbatim plans diverge at Mod level"
+        f"{' [' + context + ']' if context else ''}"
+    )
+
+
 def run_differential(
     seed: int,
     trials: int,
@@ -338,6 +380,7 @@ def run_differential(
     query_profile: QueryProfile = DEFAULT_QUERIES,
     executors: Sequence[str] = EXECUTORS,
     check_mod: bool = True,
+    check_plan_equivalence: bool = False,
     vary_options: bool = True,
     **options,
 ) -> int:
@@ -346,7 +389,9 @@ def run_differential(
     ``vary_options`` additionally draws ``optimize`` and (one trial in
     five) ``simplify_conditions`` from the stream, so both planner modes
     and both sealing modes stay covered without a separate sweep.
-    Returns the number of cases run (for callers that count coverage).
+    ``check_plan_equivalence`` adds the optimized-vs-verbatim Mod check
+    of :func:`assert_plan_modes_equivalent` to every case.  Returns the
+    number of cases run (for callers that count coverage).
     """
     rng = random.Random(seed)
     for trial in range(trials):
@@ -366,4 +411,6 @@ def run_differential(
             context=context,
             **case_options,
         )
+        if check_plan_equivalence:
+            assert_plan_modes_equivalent(query, tables, context=context)
     return trials

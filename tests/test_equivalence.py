@@ -1,0 +1,369 @@
+"""Tests for the symbolic condition-equivalence engine.
+
+Three layers of evidence that :mod:`repro.logic.equivalence` is an
+honest replacement for world enumeration:
+
+1. **Engine agreement** — randomized seeded formulas (propositional,
+   equality, and mixed) through the SAT and BDD provers independently,
+   plus ``engine="both"`` which raises on any disagreement.
+2. **Oracle agreement** — the same verdicts cross-checked against
+   brute-force valuation enumeration (propositional formulas) and
+   :func:`repro.logic.equality_sat.equivalent_infinite` (equality
+   formulas), the two pre-existing enumeration/small-model oracles.
+3. **Table level** — ``ctables_equivalent_symbolic`` against enumerated
+   world-set comparison on small corpora, the documented conservative
+   case, the dispatcher's ``enumerate=`` forcing knob, and a
+   100-variable pair no enumeration could ever decide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ConditionError, UnsupportedOperationError
+from repro.logic.atoms import Var, boolvar, eq, ne
+from repro.logic.equality_sat import equivalent_infinite
+from repro.logic.equivalence import (
+    ENGINES,
+    distinguishing_assignment,
+    equivalent_conditions,
+    is_contradiction,
+    is_tautology,
+    xor_condition,
+)
+from repro.logic.evaluation import evaluate
+from repro.logic.syntax import BOTTOM, TOP, conj, disj, neg
+from repro.tables.ctable import CTable
+from repro.worlds.compare import (
+    SYMBOLIC_VARIABLE_BUDGET,
+    ctables_equivalent,
+    ctables_equivalent_symbolic,
+)
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+A, B, C = boolvar("a"), boolvar("b"), boolvar("c")
+
+
+# ----------------------------------------------------------------------
+# Random formula generators (seeded, reproducible)
+# ----------------------------------------------------------------------
+
+def random_boolean_formula(rng, names=("a", "b", "c", "d"), depth=3):
+    if depth == 0 or rng.random() < 0.3:
+        return boolvar(rng.choice(names))
+    roll = rng.random()
+    if roll < 0.3:
+        return neg(random_boolean_formula(rng, names, depth - 1))
+    combiner = conj if roll < 0.65 else disj
+    return combiner(
+        random_boolean_formula(rng, names, depth - 1),
+        random_boolean_formula(rng, names, depth - 1),
+    )
+
+
+def random_equality_formula(rng, names=("x", "y", "z"), depth=3):
+    def atom():
+        variable = Var(rng.choice(names))
+        other = (
+            Var(rng.choice(names))
+            if rng.random() < 0.4
+            else rng.randrange(3)
+        )
+        return eq(variable, other) if rng.random() < 0.7 else ne(variable, other)
+
+    if depth == 0 or rng.random() < 0.3:
+        return atom()
+    roll = rng.random()
+    if roll < 0.25:
+        return neg(random_equality_formula(rng, names, depth - 1))
+    combiner = conj if roll < 0.6 else disj
+    return combiner(
+        random_equality_formula(rng, names, depth - 1),
+        random_equality_formula(rng, names, depth - 1),
+    )
+
+
+def boolean_truth_table(formula, names):
+    rows = []
+    for values in itertools.product([False, True], repeat=len(names)):
+        valuation = dict(zip(names, values))
+        rows.append(evaluate(formula, valuation))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Engine agreement on random formulas
+# ----------------------------------------------------------------------
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_sat_and_bdd_agree_on_boolean_formulas(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            left = random_boolean_formula(rng)
+            right = random_boolean_formula(rng)
+            # "both" raises ConditionError on any disagreement.
+            equivalent_conditions(left, right, engine="both")
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_sat_and_bdd_agree_on_equality_formulas(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            left = random_equality_formula(rng)
+            right = random_equality_formula(rng)
+            equivalent_conditions(left, right, engine="both")
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_sat_and_bdd_agree_on_mixed_formulas(self, seed):
+        # BoolVar and Eq atoms in one formula: booleans are free
+        # two-valued propositions, equalities go through the theory.
+        rng = random.Random(seed)
+        for _ in range(30):
+            left = conj(
+                random_boolean_formula(rng, depth=2),
+                random_equality_formula(rng, depth=2),
+            )
+            right = disj(
+                random_boolean_formula(rng, depth=2),
+                random_equality_formula(rng, depth=2),
+            )
+            equivalent_conditions(left, left, engine="both")
+            equivalent_conditions(left, right, engine="both")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConditionError, match="unknown"):
+            equivalent_conditions(A, B, engine="smt")
+        assert ENGINES == ("sat", "bdd", "both")
+
+
+# ----------------------------------------------------------------------
+# Oracle agreement: brute force and the small-model procedures
+# ----------------------------------------------------------------------
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("engine", ["sat", "bdd"])
+    @pytest.mark.parametrize("seed", [41, 42])
+    def test_boolean_verdicts_match_truth_tables(self, seed, engine):
+        names = ("a", "b", "c", "d")
+        rng = random.Random(seed)
+        for _ in range(30):
+            left = random_boolean_formula(rng, names)
+            right = random_boolean_formula(rng, names)
+            expected = boolean_truth_table(left, names) == boolean_truth_table(
+                right, names
+            )
+            assert (
+                equivalent_conditions(left, right, engine=engine) == expected
+            ), f"{left!r} vs {right!r}"
+
+    @pytest.mark.parametrize("engine", ["sat", "bdd"])
+    @pytest.mark.parametrize("seed", [51, 52])
+    def test_equality_verdicts_match_equivalent_infinite(self, seed, engine):
+        rng = random.Random(seed)
+        for _ in range(30):
+            left = random_equality_formula(rng)
+            right = random_equality_formula(rng)
+            expected = equivalent_infinite(left, right)
+            assert (
+                equivalent_conditions(left, right, engine=engine) == expected
+            ), f"{left!r} vs {right!r}"
+
+
+# ----------------------------------------------------------------------
+# Adversarial edge cases
+# ----------------------------------------------------------------------
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_de_morgan(self, engine):
+        left = neg(conj(A, B))
+        right = disj(neg(A), neg(B))
+        assert equivalent_conditions(left, right, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_xor_shape_not_equivalent_to_or(self, engine):
+        exclusive = xor_condition(A, B)
+        assert not equivalent_conditions(exclusive, disj(A, B), engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_contradiction_via_distinct_constants(self, engine):
+        # x=0 ∧ x=1 is unsat over any domain: the theory closure must
+        # reject the propositional model that sets both atoms true.
+        assert is_contradiction(conj(eq(X, 0), eq(X, 1)), engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_tautology_via_excluded_middle_on_equality(self, engine):
+        assert is_tautology(disj(eq(X, 0), ne(X, 0)), engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_infinite_domain_no_finite_cover(self, engine):
+        # x=0 ∨ x=1 covers a 2-value domain but not the infinite one —
+        # the classic place a finite-enumeration mindset goes wrong.
+        assert not is_tautology(disj(eq(X, 0), eq(X, 1)), engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_congruence_through_transitivity(self, engine):
+        # x=y ∧ y=z ∧ x≠z is unsat only through the union-find closure.
+        chain = conj(eq(X, Y), eq(Y, Z), ne(X, Z))
+        assert is_contradiction(chain, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_constants_pin_variable_equality(self, engine):
+        # Under x=1 ∧ y=1 the atom x=y is forced: the conjunctions with
+        # and without it are equivalent — but x=y alone is not implied.
+        pinned = conj(eq(X, 1), eq(Y, 1))
+        assert equivalent_conditions(
+            pinned, conj(pinned, eq(X, Y)), engine=engine
+        )
+        assert not equivalent_conditions(pinned, eq(X, Y), engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_boolvar_is_two_valued_not_domain_valued(self, engine):
+        # a ∨ ¬a is a tautology for propositions — no infinite-domain
+        # caveat applies to BoolVar atoms.
+        assert is_tautology(disj(A, neg(A)), engine=engine)
+
+    def test_distinguishing_assignment_is_a_real_witness(self):
+        left = conj(A, B)
+        right = A
+        witness = distinguishing_assignment(left, right)
+        assert witness is not None
+        valuation = {atom.name: value for atom, value in witness.items()}
+        assert evaluate(left, valuation) != evaluate(right, valuation)
+
+    def test_distinguishing_assignment_none_for_equivalent(self):
+        assert distinguishing_assignment(conj(A, B), conj(B, A)) is None
+
+    def test_empty_witness_means_comparing_against_none(self):
+        # TOP vs BOTTOM differ under *every* valuation: the witness is
+        # the empty assignment, which is falsy but not None.
+        witness = distinguishing_assignment(TOP, BOTTOM)
+        assert witness is not None
+        assert witness == {}
+
+
+# ----------------------------------------------------------------------
+# Table-level: ctables_equivalent_symbolic and the dispatcher
+# ----------------------------------------------------------------------
+
+class TestSymbolicTables:
+    def test_condition_reordering_is_equivalent(self):
+        rows = [((Var("x"), 1), conj(eq(X, 0), ne(Y, 2)))]
+        swapped = [((Var("x"), 1), conj(ne(Y, 2), eq(X, 0)))]
+        left = CTable(rows, arity=2)
+        right = CTable(swapped, arity=2)
+        assert ctables_equivalent_symbolic(left, right)
+
+    def test_split_row_condition_is_equivalent(self):
+        # One row under c is the same as two copies under c∧d and c∧¬d.
+        condition = eq(X, 0)
+        whole = CTable([((1, 2), condition)], arity=2)
+        split = CTable(
+            [
+                ((1, 2), conj(condition, eq(Y, 1))),
+                ((1, 2), conj(condition, ne(Y, 1))),
+            ],
+            arity=2,
+        )
+        assert ctables_equivalent_symbolic(whole, split)
+
+    def test_differing_ground_tuple_is_not_equivalent(self):
+        left = CTable([((1, 2), eq(X, 5))], arity=2)
+        right = CTable([((1, 3), eq(X, 5))], arity=2)
+        assert not ctables_equivalent_symbolic(left, right)
+        assert not ctables_equivalent(left, right)
+
+    def test_conservative_symmetric_case_settled_by_dispatch(self):
+        # {t: b} and {t: ¬b} both describe "t or nothing": per-tuple
+        # conditions are inequivalent (symbolic says False) but the
+        # world sets coincide — the dispatcher's enumeration fallback
+        # gets the Mod-level answer right.
+        left = CTable([((1, 2), A)], arity=2)
+        right = CTable([((1, 2), neg(A))], arity=2)
+        assert not ctables_equivalent_symbolic(left, right)
+        assert ctables_equivalent(left, right)
+        assert ctables_equivalent(left, right, enumerate=True)
+
+    def test_enumerate_false_forces_pure_symbolic(self):
+        left = CTable([((1, 2), A)], arity=2)
+        right = CTable([((1, 2), neg(A))], arity=2)
+        assert not ctables_equivalent(left, right, enumerate=False)
+
+    def test_budget_stops_enumeration_fallback(self):
+        # Same conservative pair, but the variable budget at zero keeps
+        # the dispatcher from enumerating — the symbolic verdict stands.
+        left = CTable([((1, 2), A)], arity=2)
+        right = CTable([((1, 2), neg(A))], arity=2)
+        assert not ctables_equivalent(left, right, variable_budget=0)
+        assert SYMBOLIC_VARIABLE_BUDGET >= 1
+
+    def test_strict_rejects_mixed_conditions(self):
+        # BoolVar conditions on a plain infinite-domain c-table with
+        # domain-valued variables in the rows are not symbolically
+        # decidable under Mod semantics (truthiness reading).
+        mixed = CTable([((Var("x"), 1), A)], arity=2)
+        pure = CTable([((Var("x"), 1), A)], arity=2)
+        with pytest.raises(UnsupportedOperationError):
+            ctables_equivalent_symbolic(mixed, pure)
+        assert ctables_equivalent_symbolic(mixed, pure, strict=False)
+
+    def test_arity_mismatch_is_false(self):
+        left = CTable([((1,), TOP)], arity=1)
+        right = CTable([((1, 2), TOP)], arity=2)
+        assert not ctables_equivalent_symbolic(left, right)
+
+    @pytest.mark.parametrize("seed", [61, 62])
+    def test_random_boolean_tables_agree_with_enumeration(self, seed):
+        # ≤ 4 boolean variables: 16 worlds, enumeration is exact.  The
+        # dispatcher must agree with forced enumeration on every pair.
+        rng = random.Random(seed)
+        names = ("a", "b", "c", "d")
+
+        def random_table():
+            rows = []
+            for _ in range(rng.randint(1, 4)):
+                values = (rng.randrange(2), rng.randrange(2))
+                rows.append((values, random_boolean_formula(rng, names, 2)))
+            return CTable(rows, arity=2)
+
+        for trial in range(25):
+            left, right = random_table(), random_table()
+            enumerated = ctables_equivalent(left, right, enumerate=True)
+            dispatched = ctables_equivalent(left, right)
+            assert dispatched == enumerated, f"trial={trial}"
+            if ctables_equivalent_symbolic(left, right):
+                assert enumerated, f"unsound symbolic True: trial={trial}"
+
+    def test_hundred_variable_pair_decided_symbolically(self):
+        # The scaling claim: 100 distinct boolean variables (≈10^30
+        # worlds) decided by per-tuple condition equivalence.  Both the
+        # positive direction (reordered conjunctions) and the negative
+        # (one strengthened condition) must come back right.
+        flags = [boolvar(f"p{index}") for index in range(100)]
+        same = CTable(
+            [
+                ((index, 0), conj(flags[index], flags[(index + 1) % 100]))
+                for index in range(100)
+            ],
+            arity=2,
+        )
+        reordered = CTable(
+            [
+                ((index, 0), conj(flags[(index + 1) % 100], flags[index]))
+                for index in range(100)
+            ],
+            arity=2,
+        )
+        assert ctables_equivalent_symbolic(same, reordered)
+        strengthened_rows = [
+            ((index, 0), conj(flags[index], flags[(index + 1) % 100]))
+            for index in range(99)
+        ] + [((99, 0), conj(flags[99], flags[0], flags[50]))]
+        strengthened = CTable(strengthened_rows, arity=2)
+        assert not ctables_equivalent_symbolic(same, strengthened)
+        # Above budget the dispatcher trusts the symbolic verdicts.
+        assert ctables_equivalent(same, reordered)
+        assert not ctables_equivalent(same, strengthened)

@@ -12,6 +12,7 @@ from pathlib import Path
 from tools.lint import (
     ALL_LINTERS,
     Source,
+    lint_enumeration,
     lint_interning,
     lint_locks,
     lint_mutable_defaults,
@@ -366,6 +367,94 @@ class TestTypedCore:
             path=CORE_PATH,
         )
         assert lint_typed_core(source) == []
+
+
+# ----------------------------------------------------------------------
+# EXP001 — world enumeration outside the oracle modules
+# ----------------------------------------------------------------------
+
+class TestEnumeration:
+    def test_possible_worlds_call_flagged(self):
+        source = parse(
+            "def check(table, domain):\n"
+            "    return list(table.possible_worlds(domain))\n"
+        )
+        findings = lint_enumeration(source)
+        assert codes(findings) == ["EXP001"]
+        assert ".possible_worlds(...)" in findings[0].message
+
+    def test_mod_and_mod_over_flagged(self):
+        source = parse(
+            "def check(table, domain):\n"
+            "    return table.mod() == table.mod_over(domain)\n"
+        )
+        assert codes(lint_enumeration(source)) == ["EXP001", "EXP001"]
+
+    def test_valuations_call_flagged(self):
+        source = parse(
+            "def sweep(table):\n"
+            "    for valuation in table.valuations():\n"
+            "        pass\n"
+        )
+        assert codes(lint_enumeration(source)) == ["EXP001"]
+
+    def test_enumerate_valuations_import_flagged(self):
+        source = parse(
+            "from repro.logic.models import enumerate_valuations\n"
+            "def sweep(domains):\n"
+            "    return list(enumerate_valuations(domains))\n"
+        )
+        findings = lint_enumeration(source)
+        assert codes(findings) == ["EXP001"]
+        assert "enumerate_valuations" in findings[0].message
+
+    def test_forced_enumeration_keyword_flagged(self):
+        source = parse(
+            "from repro.worlds.compare import ctables_equivalent\n"
+            "def check(left, right):\n"
+            "    return ctables_equivalent(left, right, enumerate=True)\n"
+        )
+        findings = lint_enumeration(source)
+        assert codes(findings) == ["EXP001"]
+        assert "enumerate=True" in findings[0].message
+
+    def test_symbolic_dispatch_passes(self):
+        source = parse(
+            "from repro.worlds.compare import ctables_equivalent\n"
+            "def check(left, right):\n"
+            "    return ctables_equivalent(left, right)\n"
+        )
+        assert lint_enumeration(source) == []
+
+    def test_explicit_symbolic_keyword_passes(self):
+        source = parse(
+            "from repro.worlds.compare import ctables_equivalent\n"
+            "def check(left, right):\n"
+            "    return ctables_equivalent(left, right, enumerate=False)\n"
+        )
+        assert lint_enumeration(source) == []
+
+    def test_unrelated_enumerate_builtin_passes(self):
+        source = parse(
+            "def number(rows):\n"
+            "    return list(enumerate(rows))\n"
+        )
+        assert lint_enumeration(source) == []
+
+    def test_waiver(self):
+        source = parse(
+            "def check(table):\n"
+            "    return table.mod()  # enumeration-ok: semantics oracle\n"
+        )
+        assert lint_enumeration(source) == []
+
+    def test_oracle_modules_exempt(self):
+        source = parse(
+            "def mod_equal(left, right, domain):\n"
+            "    return left.mod_over(domain) == right.mod_over(domain)\n",
+            path="src/repro/worlds/compare.py",
+        )
+        assert lint_enumeration(source) == []
 
 
 # ----------------------------------------------------------------------

@@ -10,16 +10,20 @@ reported.  See the individual modules for the lint rules:
 - :mod:`tools.lint.interning` — INT001, raw condition constructors;
 - :mod:`tools.lint.locks` — LCK001/LCK002, ``guarded-by`` discipline;
 - :mod:`tools.lint.defaults` — MUT001, mutable default arguments;
-- :mod:`tools.lint.typed` — TYP001, typed-core signature coverage.
+- :mod:`tools.lint.typed` — TYP001, typed-core signature coverage;
+- :mod:`tools.lint.enumeration` — EXP001, world enumeration outside
+  the oracle modules.
 """
 
 from tools.lint.common import Finding, Source, iter_python_files, run_linters
 from tools.lint.defaults import lint_mutable_defaults
+from tools.lint.enumeration import lint_enumeration
 from tools.lint.interning import lint_interning
 from tools.lint.locks import lint_locks
 from tools.lint.typed import lint_typed_core
 
 ALL_LINTERS = (
+    lint_enumeration,
     lint_interning,
     lint_locks,
     lint_mutable_defaults,
@@ -31,6 +35,7 @@ __all__ = [
     "Finding",
     "Source",
     "iter_python_files",
+    "lint_enumeration",
     "lint_interning",
     "lint_locks",
     "lint_mutable_defaults",

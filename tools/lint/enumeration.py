@@ -1,0 +1,121 @@
+"""EXP001 — world enumeration outside the oracle modules.
+
+The paper's point — and the repository's performance contract since the
+symbolic equivalence engine landed — is that no production path needs to
+materialize ``Mod(T)``: certain/possible answers, probabilities,
+lineage, plan verification, and table equivalence are all decided
+symbolically, with cost bounded by condition size rather than
+``|domain|^variables``.  World enumeration is still the *oracle* the
+symbolic engines are validated against, so it stays available — but a
+new call site silently reintroducing exponential enumeration into an
+engine path is a regression this lint makes loud.
+
+Flagged, outside the whitelisted oracle packages:
+
+- calls to the enumeration methods ``.possible_worlds(...)``,
+  ``.mod(...)``, ``.mod_over(...)``, ``.valuations(...)``;
+- calls to :func:`repro.logic.models.enumerate_valuations`;
+- ``ctables_equivalent(..., enumerate=True)`` — forcing the enumeration
+  engine past the symbolic dispatcher.
+
+A deliberate enumeration (e.g. a semantics-defining construction) is
+waived with an ``# enumeration-ok: <reason>`` comment on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from tools.lint.common import Finding, Source
+
+#: Attribute calls that materialize worlds or valuations.
+ENUMERATION_METHODS = frozenset(
+    {"possible_worlds", "mod", "mod_over", "valuations"}
+)
+
+#: Module-level enumeration entry points (flagged by imported name).
+ENUMERATION_FUNCTIONS = frozenset({"enumerate_valuations"})
+
+#: Packages that define or validate the world semantics: the tables'
+#: own ``mod`` implementations, the worlds/comparison oracles, the
+#: completion and probabilistic modules whose *outputs* are world sets,
+#: and the logic substrate.
+_EXEMPT_FRAGMENTS = (
+    "repro/tables/",
+    "repro/worlds/",
+    "repro/completion/",
+    "repro/prob/",
+    "repro/logic/",
+)
+
+
+def _is_exempt(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in _EXEMPT_FRAGMENTS)
+
+
+def _forces_enumeration(call: ast.Call) -> bool:
+    """True for ``ctables_equivalent(..., enumerate=True)``."""
+    for keyword in call.keywords:
+        if keyword.arg == "enumerate":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def lint_enumeration(source: Source) -> List[Finding]:
+    if _is_exempt(source.path):
+        return []
+
+    function_aliases: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("repro"):
+                for alias in node.names:
+                    if alias.name in ENUMERATION_FUNCTIONS:
+                        function_aliases.add(alias.asname or alias.name)
+
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        label = None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ENUMERATION_METHODS
+        ):
+            label = f".{func.attr}(...)"
+        elif isinstance(func, ast.Name) and func.id in function_aliases:
+            label = f"{func.id}(...)"
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "ctables_equivalent"
+            and _forces_enumeration(node)
+        ) or (
+            isinstance(func, ast.Attribute)
+            and func.attr == "ctables_equivalent"
+            and _forces_enumeration(node)
+        ):
+            label = "ctables_equivalent(..., enumerate=True)"
+        if label is None:
+            continue
+        if source.comment_on(node.lineno).startswith("enumeration-ok"):
+            continue
+        findings.append(
+            Finding(
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code="EXP001",
+                message=(
+                    f"{label} enumerates possible worlds "
+                    f"(exponential in variables) outside the oracle "
+                    f"modules; decide symbolically "
+                    f"(ctables_equivalent / repro.logic.equivalence) or "
+                    f"waive with '# enumeration-ok: <reason>'"
+                ),
+            )
+        )
+    return findings

@@ -110,6 +110,23 @@ Three things happen:
      ``2^variables`` on small counts vs the symbolic engine flat-ish out
      to 100 variables.
 
+8. the **probability-at-scale workloads E37–E39** run (written to
+   ``--probability-output``, default ``BENCH_pr8.json``), measuring the
+   knowledge-compilation route (d-DNNF + weighted model counting) that
+   makes Theorem-9 probabilities exact far past enumeration:
+
+   - ``e37_tuple_probability`` — ``P[t ∈ q(I)]`` on a 60-variable ring
+     lineage (``~1.15e18`` worlds) through the full engine stack: the
+     compiled WMC route must answer the exact fraction in under a
+     second and agree with memoized Shannon expansion; a reduced-scale
+     twin pins both to the Definition-13 product-space oracle.
+   - ``e38_probability_hot_loop`` — the prepared probability hot loop:
+     circuit-cache hits (memoized compiled conditions) vs cold
+     compiles, gated at ≥5× on the full-size run.
+   - ``e39_compile_scaling`` — compile-time/count-time/circuit-size
+     curves vs lineage width: linear circuit growth against
+     ``2^width`` world growth.
+
 The workloads are sized so the full run finishes in a couple of minutes;
 ``--quick`` shrinks them for CI.
 """
@@ -123,6 +140,7 @@ import statistics
 import subprocess
 import sys
 import time
+from fractions import Fraction
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -169,6 +187,8 @@ from repro.ctalgebra.translate import (  # noqa: E402
     translate_query,
 )
 from repro.logic.atoms import boolvar  # noqa: E402
+from repro.logic.counting import probability  # noqa: E402
+from repro.prob.wmc import compile_probability  # noqa: E402
 from repro.worlds.compare import ctables_equivalent  # noqa: E402
 from repro.logic.evaluation import (  # noqa: E402
     clear_evaluation_caches,
@@ -1324,6 +1344,213 @@ def run_equivalence_suite(quick: bool, repeats: int) -> dict:
     return workloads
 
 
+# ----------------------------------------------------------------------
+# Workloads: probability at scale — d-DNNF + WMC (E37–E39)
+# ----------------------------------------------------------------------
+
+def _ring_pctable(variables: int) -> PCTable:
+    """A pc-table whose one answer tuple has a *variables*-flag ring lineage.
+
+    Every row carries the same term tuple ``(0, 1)`` guarded by
+    ``pᵢ ∧ pᵢ₊₁`` (indices mod *variables*), so the tuple's membership
+    condition is the full ring disjunction over all flags — one lineage
+    formula spanning the whole variable set, with ``2^variables``
+    valuations behind it.
+    """
+    flags = [boolvar(f"p{index:03d}") for index in range(variables)]
+    rows = [
+        ((0, 1), conj(flags[index], flags[(index + 1) % variables]))
+        for index in range(variables)
+    ]
+    distributions = {
+        f"p{index:03d}": {True: Fraction(1, 3), False: Fraction(2, 3)}
+        for index in range(variables)
+    }
+    return PCTable(rows, distributions, arity=2)
+
+
+def run_e37_tuple_probability(
+    variables: int, twin_variables: int, repeats: int
+) -> dict:
+    """E37 — exact tuple probability on a lineage no enumeration can touch.
+
+    The full-scale arm asks ``P[(0, 1) ∈ q(I)]`` on the
+    *variables*-flag ring pc-table through the whole engine stack
+    (register → prepare → dataset → probability) under both the
+    compiled d-DNNF route and memoized Shannon expansion; the answers
+    must be the identical exact fraction.  The reduced-scale *twin* —
+    the same construction at *twin_variables* flags — is small enough
+    for the Definition-13 product-space oracle, which pins both
+    symbolic routes to the enumeration semantics.
+    """
+    query = sel(rel("V", 2), col_eq_const(0, 0))
+    row = (0, 1)
+
+    engine = Engine()
+    session = engine.session(V=_ring_pctable(variables))
+    prepared = session.prepare(query)
+    prepared.dataset().collect()  # exclude planning from the timings
+
+    def wmc_route():
+        engine.clear_circuit_cache()  # time cold compiles (E38 times hits)
+        return prepared.dataset().probability(row, strategy="wmc")
+
+    def shannon_route():
+        return prepared.dataset().probability(row, strategy="shannon")
+
+    wmc_seconds = _timed(wmc_route, repeats)
+    shannon_seconds = _timed(shannon_route, repeats)
+    wmc_answer = wmc_route()
+    shannon_answer = shannon_route()
+
+    twin_engine = Engine()
+    twin_session = twin_engine.session(V=_ring_pctable(twin_variables))
+    twin_dataset = twin_session.prepare(query).dataset()
+    enumeration_seconds = _timed(
+        lambda: twin_dataset.probability(row, strategy="enumerate"), repeats
+    )
+    twin_enumerated = twin_dataset.probability(row, strategy="enumerate")
+    twin_wmc = twin_dataset.probability(row, strategy="wmc")
+    twin_shannon = twin_dataset.probability(row, strategy="shannon")
+
+    return {
+        "variables": variables,
+        "worlds_at_scale": 2.0**variables,
+        "wmc_seconds": wmc_seconds,
+        "shannon_seconds": shannon_seconds,
+        "answer": str(wmc_answer),
+        "answer_float": float(wmc_answer),
+        "routes_agree_at_scale": wmc_answer == shannon_answer,
+        "twin_variables": twin_variables,
+        "twin_enumeration_seconds": enumeration_seconds,
+        "twin_agrees": twin_enumerated == twin_wmc == twin_shannon,
+    }
+
+
+def run_e38_probability_hot_loop(
+    variables: int, iters: int, repeats: int
+) -> dict:
+    """E38 — the prepared probability hot loop against the circuit cache.
+
+    Both arms ask the same prepared query for the same tuple's
+    probability *iters* times under ``prob_strategy="wmc"``.  The cold
+    arm clears the engine's circuit cache before every call, paying
+    compile + count each time; the hot arm hits the cached
+    :class:`~repro.prob.wmc.CompiledCondition`, whose memoized count
+    makes a hit pure lookup.  The ratio is the price of not caching.
+    """
+    query = sel(rel("V", 2), col_eq_const(0, 0))
+    row = (0, 1)
+    engine = Engine(prob_strategy="wmc")
+    session = engine.session(V=_ring_pctable(variables))
+    dataset = session.prepare(query).dataset()
+    expected = dataset.probability(row)  # warm: plan, collect, compile
+
+    def cold_loop():
+        for _ in range(iters):
+            engine.clear_circuit_cache()
+            assert dataset.probability(row) == expected
+
+    def hot_loop():
+        for _ in range(iters):
+            assert dataset.probability(row) == expected
+
+    cold_seconds = _timed(cold_loop, repeats)
+    hot_seconds = _timed(hot_loop, repeats)
+    stats = engine.circuit_cache_stats()
+    return {
+        "variables": variables,
+        "iterations": iters,
+        "baseline_seconds": cold_seconds,
+        "optimized_seconds": hot_seconds,
+        "speedup": cold_seconds / hot_seconds if hot_seconds else float("inf"),
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+    }
+
+
+def run_e39_compile_scaling(var_counts, repeats: int) -> dict:
+    """E39 — compile-time and count-time curves vs lineage width.
+
+    Ring lineages at each width: compile time is the d-DNNF
+    construction (:func:`repro.prob.wmc.compile_probability` is lazy
+    about counting), count time is one full circuit traversal
+    (:meth:`~repro.logic.compile.DDNNF.model_count`), and the recorded
+    circuit sizes show the representation growing linearly while the
+    world count grows as ``2^width``.
+    """
+    compile_curve = {}
+    count_curve = {}
+    size_curve = {}
+    agree = True
+    for count in var_counts:
+        pctable = _ring_pctable(count)
+        lineage = pctable.membership_condition((0, 1))
+        distributions = pctable.distributions
+        compile_curve[count] = _timed(
+            lambda: compile_probability(lineage, distributions), repeats
+        )
+        compiled = compile_probability(lineage, distributions)
+        count_curve[count] = _timed(
+            compiled.compiled.circuit.model_count, repeats
+        )
+        size_curve[count] = compiled.circuit_size()
+        agree = agree and compiled.probability() == probability(
+            lineage, distributions, strategy="shannon"
+        )
+    return {
+        "compile_curve_seconds": compile_curve,
+        "count_curve_seconds": count_curve,
+        "circuit_sizes": size_curve,
+        "shannon_agrees_everywhere": agree,
+    }
+
+
+def run_probability_suite(quick: bool, repeats: int) -> dict:
+    workloads = {}
+
+    print("== e37_tuple_probability (compiled WMC vs Shannon vs oracle) ==")
+    e37 = run_e37_tuple_probability(
+        variables=60,
+        twin_variables=10 if quick else 12,
+        repeats=repeats,
+    )
+    workloads["e37_tuple_probability"] = e37
+    print(
+        f"   {e37['variables']} variables "
+        f"(~{e37['worlds_at_scale']:.1e} worlds): "
+        f"wmc {e37['wmc_seconds']*1000:.1f}ms, "
+        f"shannon {e37['shannon_seconds']*1000:.1f}ms, "
+        f"agree={e37['routes_agree_at_scale']}; "
+        f"{e37['twin_variables']}-var oracle twin agrees={e37['twin_agrees']}"
+    )
+
+    print("== e38_probability_hot_loop (circuit cache hits vs cold) ==")
+    e38 = run_e38_probability_hot_loop(
+        24 if quick else 60, 5 if quick else 20, repeats
+    )
+    workloads["e38_probability_hot_loop"] = e38
+    print(
+        f"   cold {e38['baseline_seconds']*1000:.1f}ms -> "
+        f"hot {e38['optimized_seconds']*1000:.1f}ms "
+        f"({e38['speedup']:.1f}x), "
+        f"{e38['cache_hits']} hits / {e38['cache_misses']} misses"
+    )
+
+    print("== e39_compile_scaling (circuit growth vs variable count) ==")
+    e39 = run_e39_compile_scaling(
+        (10, 20, 40) if quick else (10, 20, 40, 60, 80), repeats
+    )
+    workloads["e39_compile_scaling"] = e39
+    compile_points = ", ".join(
+        f"{count}v {seconds*1000:.1f}ms/{e39['circuit_sizes'][count]}n"
+        for count, seconds in e39["compile_curve_seconds"].items()
+    )
+    print(f"   compile: {compile_points}")
+    print(f"   shannon agrees everywhere: {e39['shannon_agrees_everywhere']}")
+    return workloads
+
+
 def run_physical_suite(quick: bool, repeats: int) -> dict:
     sizes = {
         # workload: (rows, iterations) — each sized to its own shape.
@@ -1462,6 +1689,11 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pr7.json"),
         help="where to write the symbolic-equivalence (E34–E36) JSON report",
     )
+    parser.add_argument(
+        "--probability-output",
+        default=str(REPO_ROOT / "BENCH_pr8.json"),
+        help="where to write the probability/WMC (E37–E39) JSON report",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -1561,6 +1793,15 @@ def main(argv=None) -> int:
         "workloads": run_equivalence_suite(args.quick, repeats),
     }
 
+    probability_report = {
+        "meta": {
+            "label": Path(args.probability_output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+        },
+        "workloads": run_probability_suite(args.quick, repeats),
+    }
+
     if not args.skip_suite:
         print("== E01–E20 suite ==")
         suite = run_suite(args.quick)
@@ -1594,6 +1835,12 @@ def main(argv=None) -> int:
         json.dumps(equivalence_report, indent=2) + "\n"
     )
     print(f"wrote {equivalence_output}")
+
+    probability_output = Path(args.probability_output)
+    probability_output.write_text(
+        json.dumps(probability_report, indent=2) + "\n"
+    )
+    print(f"wrote {probability_output}")
 
     planner_workloads = planner_report["workloads"].values()
     best_planner_speedup = max(
@@ -1641,6 +1888,22 @@ def main(argv=None) -> int:
             "semantic_verified"
         ]
     )
+    # E37–E39: the 60-variable (~1.15e18 worlds) tuple probability must
+    # come back exact in under a second on the compiled route, agree
+    # with Shannon at full scale and with the enumeration oracle on the
+    # reduced twin, and the circuit cache must actually pay (≥5× hot
+    # over cold compiles on the full-size run).
+    e37 = probability_report["workloads"]["e37_tuple_probability"]
+    e38 = probability_report["workloads"]["e38_probability_hot_loop"]
+    e39 = probability_report["workloads"]["e39_compile_scaling"]
+    probability_at_scale = (
+        e37["variables"] >= 60
+        and e37["wmc_seconds"] < 1.0
+        and e37["routes_agree_at_scale"]
+        and e37["twin_agrees"]
+        and e38["speedup"] >= (2.0 if args.quick else 5.0)
+        and e39["shannon_agrees_everywhere"]
+    )
     failed = (
         report["suite"].get("exit_code", 0) != 0
         or report["workloads"]["join_heavy"]["speedup"] < 1.0
@@ -1658,6 +1921,7 @@ def main(argv=None) -> int:
         or not parallel_identity
         or not parallel_fast_enough
         or not symbolic_at_scale
+        or not probability_at_scale
     )
     return 1 if failed else 0
 

@@ -155,3 +155,21 @@ class ResultCache(PlanCache):
     """
 
     __slots__ = ()
+
+
+class CircuitCache(PlanCache):
+    """A bounded LRU mapping condition keys to compiled d-DNNF circuits.
+
+    Entries are :class:`repro.prob.wmc.CompiledCondition` objects keyed
+    on the interned lineage formula plus a fingerprint of the
+    distributions restricted to the formula's variables — the two inputs
+    that fully determine the probability.  The key therefore *proves*
+    correctness on its own (a hit can never be wrong); invalidation, per
+    relation scope alongside the result cache on ``Session.register``,
+    exists only to drop entries whose lineages can no longer be asked
+    for.  Because the cached object memoizes its count, a prepared
+    probability loop pays compile + count once and answers every
+    subsequent call from memory (benchmark E38).
+    """
+
+    __slots__ = ()

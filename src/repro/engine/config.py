@@ -27,7 +27,11 @@ executor:
 - ``REPRO_VERIFY_PLANS`` — default for ``verify_plans``
   (truthy values: ``1``, ``true``, ``yes``, ``on``);
 - ``REPRO_VERIFY_MODE`` — default for ``verify_mode``
-  (``syntactic`` / ``semantic``).
+  (``syntactic`` / ``semantic``);
+- ``REPRO_PROB_STRATEGY`` — default for ``prob_strategy``
+  (``auto`` / ``enumerate`` / ``shannon`` / ``wmc``).  CI's wmc matrix
+  entry runs the whole tier-1 suite with every probability terminal on
+  the compiled d-DNNF route.
 
 Explicit constructor arguments always win over the environment.
 """
@@ -130,6 +134,22 @@ class ExecutionConfig:
       equivalence (:mod:`repro.logic.equivalence`) — closing the
       wrong-side-pushdown class of bugs the syntactic keys cannot see.
       CI's verified matrix entry runs ``REPRO_VERIFY_MODE=semantic``.
+    - ``prob_strategy`` — how :meth:`repro.engine.session.Dataset.probability`
+      (and everything reaching :func:`repro.logic.counting.probability`
+      through the engine) counts condition probabilities.  ``"auto"``
+      (the default) uses memoized Shannon expansion up to
+      :data:`repro.logic.counting.PROB_VARIABLE_BUDGET` condition
+      variables and the compiled d-DNNF + weighted-model-counting route
+      (:mod:`repro.logic.compile` / :mod:`repro.prob.wmc`) beyond it;
+      ``"shannon"``, ``"wmc"`` and ``"enumerate"`` force one route.
+      All strategies return identical exact fractions, so the knob is
+      purely about speed — documented and env-overridable alongside
+      ``REPRO_VERIFY_MODE``.
+    - ``circuit_cache_size`` — LRU capacity of the engine's compiled
+      condition-circuit cache (d-DNNF circuits + memoized counts keyed
+      on the interned lineage and a distribution fingerprint;
+      invalidated with the result cache per relation on re-``register``);
+      ``0`` disables circuit caching.
     """
 
     optimize: bool = True
@@ -152,6 +172,14 @@ class ExecutionConfig:
             "REPRO_VERIFY_MODE", "syntactic", ("syntactic", "semantic")
         )
     )
+    prob_strategy: str = field(
+        default_factory=lambda: _env_choice(
+            "REPRO_PROB_STRATEGY",
+            "auto",
+            ("auto", "enumerate", "shannon", "wmc"),
+        )
+    )
+    circuit_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.executor not in ("interpreted", "vectorized", "parallel"):
@@ -183,6 +211,16 @@ class ExecutionConfig:
             raise ValueError(
                 f"verify_mode must be 'syntactic' or 'semantic', got "
                 f"{self.verify_mode!r}"
+            )
+        if self.prob_strategy not in ("auto", "enumerate", "shannon", "wmc"):
+            raise ValueError(
+                f"prob_strategy must be 'auto', 'enumerate', 'shannon', or "
+                f"'wmc', got {self.prob_strategy!r}"
+            )
+        if self.circuit_cache_size < 0:
+            raise ValueError(
+                f"circuit_cache_size must be >= 0, got "
+                f"{self.circuit_cache_size}"
             )
 
     def with_options(self, **options: object) -> "ExecutionConfig":

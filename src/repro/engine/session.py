@@ -35,6 +35,7 @@ from typing import (
     TYPE_CHECKING,
     Any,
     Dict,
+    FrozenSet,
     Hashable,
     Iterable,
     Mapping,
@@ -77,7 +78,7 @@ from repro.physical import (
     lower,
 )
 from repro.prob.pctable import PCTable
-from repro.engine.cache import PlanCache, ResultCache
+from repro.engine.cache import CircuitCache, PlanCache, ResultCache
 from repro.engine.config import ExecutionConfig
 
 
@@ -169,6 +170,34 @@ class _PlanEntry:
         self.physical: Dict[Optional[int], PhysicalOp] = {}
 
 
+def _distribution_fingerprint(
+    condition: Formula,
+    distributions: Mapping[str, Mapping[Hashable, Fraction]],
+) -> Tuple[Tuple[str, Optional[Tuple[Tuple[Hashable, Fraction], ...]]], ...]:
+    """A canonical key for the distributions *condition* depends on.
+
+    Restricted to the condition's own variables (anything else cannot
+    change its probability), with outcomes in repr-sorted order so
+    structurally equal distribution maps fingerprint identically.  A
+    variable without a distribution is recorded as ``None`` — the
+    compile path then raises the coverage error exactly once per key.
+    """
+    entries: list = []
+    for name in sorted(condition.variables()):
+        distribution = distributions.get(name)
+        if distribution is None:
+            entries.append((name, None))
+            continue
+        outcomes = tuple(
+            sorted(
+                ((value, Fraction(weight)) for value, weight in distribution.items()),
+                key=lambda item: repr(item[0]),
+            )
+        )
+        entries.append((name, outcomes))
+    return tuple(entries)
+
+
 class Engine:
     """Holds the execution config, the plan cache, and session factory.
 
@@ -185,6 +214,7 @@ class Engine:
         self._config = config.with_options(**options)
         self._plan_cache = PlanCache(self._config.plan_cache_size)
         self._result_cache = ResultCache(self._config.result_cache_size)
+        self._circuit_cache = CircuitCache(self._config.circuit_cache_size)
         self._intern_lock = threading.Lock()
         # An engine may be shared across application threads; interning
         # is get-then-insert over a plain dict plus a bounding clear, so
@@ -209,6 +239,68 @@ class Engine:
 
     def clear_result_cache(self) -> None:
         self._result_cache.clear()
+
+    def circuit_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/invalidation counters of the circuit cache."""
+        return self._circuit_cache.stats()
+
+    def clear_circuit_cache(self) -> None:
+        self._circuit_cache.clear()
+
+    def condition_probability(
+        self,
+        condition: Formula,
+        distributions: Mapping[str, Mapping[Hashable, Fraction]],
+        *,
+        strategy: Optional[str] = None,
+        scope: Hashable = None,
+        dependencies: FrozenSet[str] = frozenset(),
+    ) -> Fraction:
+        """Exact probability of *condition*, circuit-cached on the WMC route.
+
+        Dispatches like :func:`repro.logic.counting.probability` (with
+        the engine config's ``prob_strategy`` as the default), but when
+        the compiled d-DNNF route is chosen the
+        :class:`~repro.prob.wmc.CompiledCondition` is kept in the
+        engine's :class:`~repro.engine.cache.CircuitCache`, keyed on the
+        interned condition plus a fingerprint of the distributions
+        restricted to its variables.  Those two inputs fully determine
+        the answer, so a hit is always correct; since the cached object
+        memoizes its count, a prepared probability loop compiles once,
+        counts once, and then answers from memory.  *scope* and
+        *dependencies* (a session id and relation names) let
+        ``Session.register`` evict exactly the lineages whose inputs
+        changed.
+        """
+        from repro.logic.counting import (
+            PROB_STRATEGIES,
+            PROB_VARIABLE_BUDGET,
+            probability,
+        )
+
+        resolved = (strategy or self._config.prob_strategy).lower()
+        if resolved not in PROB_STRATEGIES:
+            raise ProbabilityError(
+                f"unknown probability strategy {resolved!r}; "
+                f"expected one of {PROB_STRATEGIES}"
+            )
+        if resolved == "auto":
+            if len(condition.variables()) <= PROB_VARIABLE_BUDGET:
+                resolved = "shannon"
+            else:
+                resolved = "wmc"
+        if resolved != "wmc" or self._config.circuit_cache_size == 0:
+            return probability(condition, distributions, strategy=resolved)
+        from repro.prob.wmc import compile_probability
+
+        key = (condition, _distribution_fingerprint(condition, distributions))
+        compiled = self._circuit_cache.get(key)
+        if compiled is None:
+            compiled = compile_probability(condition, distributions)
+            self._circuit_cache.put(
+                key, compiled, scope, frozenset(dependencies)
+            )
+        return compiled.probability()
 
     def session(
         self, tables: Optional[Mapping[str, object]] = None, **named: object
@@ -449,6 +541,7 @@ class Session:
         self._merged_distributions = None
         self._engine._plan_cache.invalidate(self._id, (name,))
         self._engine._result_cache.invalidate(self._id, (name,))
+        self._engine._circuit_cache.invalidate(self._id, (name,))
         return self
 
     def table(self, name: str) -> CTable:
@@ -936,10 +1029,20 @@ class Dataset:
             )
         return membership_condition(answered, row)
 
-    def probability(self, row: Row) -> Fraction:
-        """``P[row ∈ q(I)]`` by Shannon counting of the lineage."""
-        from repro.logic.counting import probability as formula_probability
+    def probability(
+        self, row: Row, strategy: Optional[str] = None
+    ) -> Fraction:
+        """``P[row ∈ q(I)]`` by counting the lineage condition.
 
+        *strategy* overrides the prepared config's ``prob_strategy``
+        (see :class:`~repro.engine.config.ExecutionConfig`): Shannon
+        expansion within the variable budget, the compiled
+        d-DNNF + weighted-model-counting route beyond it.  Compiled
+        circuits live in the engine's circuit cache keyed on the
+        interned lineage and the distribution snapshot, so a prepared
+        probability hot loop compiles once and answers from memory;
+        re-``register`` of any input relation evicts them.
+        """
         lineage = self.lineage(row)  # collects, snapshotting distributions
         distributions = self._merged_distributions()
         missing = sorted(lineage.variables() - set(distributions))
@@ -948,7 +1051,14 @@ class Dataset:
                 f"lineage mentions variables {missing} with no registered "
                 "distribution; register the inputs as PCTables"
             )
-        return formula_probability(lineage, distributions)
+        prepared = self._prepared
+        return prepared.session.engine.condition_probability(
+            lineage,
+            distributions,
+            strategy=strategy if strategy is not None else prepared.config.prob_strategy,
+            scope=prepared.session._id,
+            dependencies=frozenset(prepared.query.relation_names()),
+        )
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,626 @@
+"""Knowledge compilation: conditions → d-DNNF circuits via trace-recorded DPLL.
+
+The probability terminals of the pc-table stack (Definition 13, Theorem 9:
+"compute q̄(T), then read probabilities off conditions") reduce to weighted
+model counting of condition formulas.  Shannon expansion and valuation
+enumeration in :mod:`repro.logic.counting` are exponential in the number
+of variables; this module compiles a condition **once** into a circuit in
+*deterministic, decomposable negation normal form* (d-DNNF), on which
+weighted model counting is a single linear-time pass
+(:mod:`repro.prob.wmc`).
+
+Pipeline
+--------
+
+1. **Booleanize** (:func:`booleanize`): a condition over multi-valued
+   pc-table variables is translated into propositional logic over
+   :class:`_Indicator` atoms — the one-hot encoding pc-tables already
+   imply.  A variable with a two-value support uses a single proposition
+   (``x = v₀`` / its negation); larger supports get one indicator per
+   outcome plus exactly-one clauses.  Fixed (singleton-support) variables
+   fold away entirely.
+2. **Clausify**: the boolean formula goes through the existing Tseitin
+   transformation (:func:`repro.logic.cnf.tseitin_clauses`).  The full
+   biconditional encoding matters here: definition variables are
+   *functionally determined* by the atom variables, so the CNF has
+   exactly one model per model of the boolean formula and counting the
+   CNF counts the formula.
+3. **Compile** (:func:`compile_cnf`): an exhaustive DPLL whose trace is
+   recorded as a circuit.  Unit propagation contributes AND-conjoined
+   literal nodes (their variables provably vanish from the residual, so
+   the AND is decomposable); connected components of the residual clause
+   set compile independently (decomposable AND); branching on a variable
+   contributes a two-child OR whose children disagree on that variable
+   (deterministic OR).  Residual components are cached by their clause
+   set, so isomorphic subproblems — ubiquitous in the chain/ring lineage
+   shapes relational plans produce — compile once.  Pure-literal
+   elimination, which :mod:`repro.logic.sat` uses, is deliberately
+   **absent**: it preserves satisfiability but not model counts.
+
+The resulting trace is *not smooth* (an OR child may mention fewer
+variables than its sibling); :meth:`DDNNF.weighted_count` repairs this on
+the fly with gap factors ``w(v) + w(¬v)`` per missing variable, which is
+exact for arbitrary weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
+
+from repro.errors import ConditionError
+from repro.logic.atoms import BoolVar, Const, Eq, Var
+from repro.logic.cnf import Clause, tseitin_clauses
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    conj,
+    disj,
+    hashcons,
+    neg,
+)
+
+#: ``supports[x]`` is the tuple of outcomes variable ``x`` can take with
+#: positive probability, in a deterministic (repr-sorted) order.
+Supports = Mapping[str, Tuple[Hashable, ...]]
+
+
+@dataclass(frozen=True, eq=False)
+class _Indicator(Formula):
+    """Propositional atom asserting that pc-table variable *name* = *value*.
+
+    Interned like every other atom (:func:`indicator`), so booleanized
+    conditions share structure with each other and with the cache keys of
+    the engine's circuit cache.
+    """
+
+    name: str
+    value: Hashable
+
+    __slots__ = ("name", "value")
+
+    def _fields(self) -> tuple:
+        return (self.name, self.value)
+
+    def _variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return f"[{self.name}={self.value!r}]"
+
+
+def indicator(name: str, value: Hashable) -> Formula:
+    """Return the canonical indicator atom for ``name = value``."""
+    return hashcons(_Indicator, name, value)
+
+
+def indicator_fields(atom: Formula) -> Optional[Tuple[str, Hashable]]:
+    """Return ``(variable, value)`` for an indicator atom, else ``None``.
+
+    The weighted-model-counting layer uses this to recognize which CNF
+    variables encode pc-table outcomes (and must be weighted from the
+    distributions) versus Tseitin definitions (weighted ``(1, 1)``).
+    """
+    if isinstance(atom, _Indicator):
+        return (atom.name, atom.value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Booleanization: multi-valued conditions → propositional formulas
+# ---------------------------------------------------------------------------
+
+
+def _takes(name: str, value: Hashable, supports: Supports) -> Formula:
+    """Translate the assertion ``name = value`` under *supports*.
+
+    Singleton supports fold to a constant; two-value supports use one
+    proposition and its negation (no exactly-one clauses needed, and the
+    weight pair ``(p(v₀), p(v₁))`` sums to 1 so smoothing gaps are free);
+    larger supports use the one-hot indicator for *value*.
+    """
+    try:
+        support = supports[name]
+    except KeyError:
+        raise ConditionError(
+            f"no distribution covers condition variable {name!r}"
+        ) from None
+    if value not in support:
+        return BOTTOM
+    if len(support) == 1:
+        return TOP
+    if len(support) == 2:
+        base = indicator(name, support[0])
+        return base if value == support[0] else neg(base)
+    return indicator(name, value)
+
+
+def _support_of(name: str, supports: Supports) -> Tuple[Hashable, ...]:
+    try:
+        return supports[name]
+    except KeyError:
+        raise ConditionError(
+            f"no distribution covers condition variable {name!r}"
+        ) from None
+
+
+def booleanize(formula: Formula, supports: Supports) -> Formula:
+    """Translate *formula* into propositional logic over indicator atoms.
+
+    Equalities between a variable and a constant become ``_takes``;
+    equalities between two variables expand over the intersection of
+    their supports; a :class:`BoolVar` is the disjunction of its truthy
+    outcomes (matching the truthiness semantics of
+    :func:`repro.logic.evaluation.evaluate`).  The translation is exact:
+    a valuation drawn from the supports satisfies *formula* iff its
+    indicator image satisfies the result.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return neg(booleanize(formula.child, supports))
+    if isinstance(formula, And):
+        return conj(*(booleanize(child, supports) for child in formula.children))
+    if isinstance(formula, Or):
+        return disj(*(booleanize(child, supports) for child in formula.children))
+    if isinstance(formula, BoolVar):
+        return disj(
+            *(
+                _takes(formula.name, value, supports)
+                for value in _support_of(formula.name, supports)
+                if bool(value)
+            )
+        )
+    if isinstance(formula, Eq):
+        left, right = formula.left, formula.right
+        if isinstance(left, Const) and isinstance(right, Var):
+            left, right = right, left
+        if isinstance(left, Var) and isinstance(right, Const):
+            return _takes(left.name, right.value, supports)
+        if isinstance(left, Var) and isinstance(right, Var):
+            right_support = set(_support_of(right.name, supports))
+            return disj(
+                *(
+                    conj(
+                        _takes(left.name, value, supports),
+                        _takes(right.name, value, supports),
+                    )
+                    for value in _support_of(left.name, supports)
+                    if value in right_support
+                )
+            )
+        # Const = Const only reaches here through raw construction; the
+        # smart constructor folds it.
+        left_const = cast(Const, left)
+        right_const = cast(Const, right)
+        return TOP if left_const.value == right_const.value else BOTTOM
+    raise ConditionError(f"cannot booleanize atom {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# d-DNNF circuit nodes
+# ---------------------------------------------------------------------------
+
+
+class DNode:
+    """Base class of d-DNNF circuit nodes.
+
+    ``scope`` is the set of CNF variables the subcircuit depends on —
+    the smoothing pass in :meth:`DDNNF.weighted_count` compares child
+    scopes against their parents to find the variables it must repair.
+    """
+
+    __slots__ = ("scope",)
+
+    scope: FrozenSet[int]
+
+
+class DTrue(DNode):
+    """The constant-true circuit (one model over an empty scope)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self.scope = frozenset()
+
+    def __repr__(self) -> str:
+        return "dtrue"
+
+
+class DFalse(DNode):
+    """The constant-false circuit (zero models)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self.scope = frozenset()
+
+    def __repr__(self) -> str:
+        return "dfalse"
+
+
+D_TRUE = DTrue()
+D_FALSE = DFalse()
+
+
+class DLit(DNode):
+    """A literal node: CNF variable ``abs(literal)`` with its sign."""
+
+    __slots__ = ("literal",)
+
+    def __init__(self, literal: int) -> None:
+        self.literal = literal
+        self.scope = frozenset({abs(literal)})
+
+    def __repr__(self) -> str:
+        return f"lit({self.literal})"
+
+
+class DAnd(DNode):
+    """Decomposable conjunction: children have pairwise disjoint scopes."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[DNode, ...]) -> None:
+        self.children = children
+        self.scope = frozenset().union(*(child.scope for child in children))
+
+    def __repr__(self) -> str:
+        return f"and({len(self.children)})"
+
+
+class DOr(DNode):
+    """Deterministic disjunction: children are mutually exclusive.
+
+    Built only from the two branches of a DPLL decision, which disagree
+    on the decision variable, so determinism holds by construction.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[DNode, ...]) -> None:
+        self.children = children
+        self.scope = frozenset().union(*(child.scope for child in children))
+
+    def __repr__(self) -> str:
+        return f"or({len(self.children)})"
+
+
+def _dand(children: Sequence[DNode]) -> DNode:
+    """AND-combine *children*, flattening and folding constants."""
+    flat: List[DNode] = []
+    for child in children:
+        if isinstance(child, DFalse):
+            return D_FALSE
+        if isinstance(child, DTrue):
+            continue
+        if isinstance(child, DAnd):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return D_TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return DAnd(tuple(flat))
+
+
+# ---------------------------------------------------------------------------
+# The compiler: exhaustive DPLL with a recorded trace
+# ---------------------------------------------------------------------------
+
+
+def _propagate(
+    clauses: FrozenSet[Clause],
+) -> Tuple[Optional[FrozenSet[Clause]], List[int]]:
+    """Run unit propagation to fixpoint.
+
+    Returns ``(residual, implied_literals)``; residual is ``None`` on
+    conflict.  Every implied variable is eliminated from the residual,
+    which is what makes the caller's AND of literal nodes decomposable.
+    """
+    current: Set[Clause] = set(clauses)
+    implied: List[int] = []
+    if frozenset() in current:
+        return None, implied
+    while True:
+        unit = next((clause for clause in current if len(clause) == 1), None)
+        if unit is None:
+            return frozenset(current), implied
+        literal = next(iter(unit))
+        implied.append(literal)
+        reduced: Set[Clause] = set()
+        for clause in current:
+            if literal in clause:
+                continue
+            if -literal in clause:
+                clause = clause - {-literal}
+                if not clause:
+                    return None, implied
+            reduced.add(clause)
+        current = reduced
+
+
+def _components(clauses: FrozenSet[Clause]) -> List[FrozenSet[Clause]]:
+    """Partition *clauses* into connected components (shared variables)."""
+    remaining = list(clauses)
+    by_variable: Dict[int, List[int]] = {}
+    for position, clause in enumerate(remaining):
+        for literal in clause:
+            by_variable.setdefault(abs(literal), []).append(position)
+    seen: Set[int] = set()
+    components: List[FrozenSet[Clause]] = []
+    for start in range(len(remaining)):
+        if start in seen:
+            continue
+        stack = [start]
+        seen.add(start)
+        member_positions: List[int] = []
+        while stack:
+            position = stack.pop()
+            member_positions.append(position)
+            for literal in remaining[position]:
+                for neighbor in by_variable[abs(literal)]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+        components.append(frozenset(remaining[p] for p in member_positions))
+    return components
+
+
+def _branch_variable(clauses: FrozenSet[Clause]) -> int:
+    """Pick the lowest-index variable occurring in the residual.
+
+    The static order matters more than any dynamic score here: CNF
+    variables are numbered in formula order by Tseitin clausification,
+    so min-index branching sweeps the condition structurally — and
+    residuals left behind by different branches of the sweep *coincide*
+    whenever the formula has bounded interaction width (chains, rings,
+    lineages of localized queries).  The residual-keyed cache then turns
+    the trace into a transfer-matrix pass: linear in the sweep, not
+    ``2^variables``.  A dynamic most-frequent-variable score was
+    measurably catastrophic on exactly the shapes this compiler exists
+    for — it jumps around the formula, every jump fragments the ring
+    into differently-keyed arc residuals, and the cache never hits
+    (>100s for the 60-variable ring of benchmark E37 vs ~0.1s with the
+    static order).
+    """
+    return min(abs(literal) for clause in clauses for literal in clause)
+
+
+def _compile(
+    clauses: FrozenSet[Clause], cache: Dict[FrozenSet[Clause], DNode]
+) -> DNode:
+    residual, implied = _propagate(clauses)
+    if residual is None:
+        return D_FALSE
+    prefix: List[DNode] = [DLit(literal) for literal in implied]
+    if not residual:
+        return _dand(prefix)
+    node = cache.get(residual)
+    if node is None:
+        components = _components(residual)
+        if len(components) > 1:
+            node = _dand([_compile(component, cache) for component in components])
+        else:
+            variable = _branch_variable(residual)
+            positive = _compile(
+                residual | {frozenset({variable})}, cache
+            )
+            negative = _compile(
+                residual | {frozenset({-variable})}, cache
+            )
+            branches = tuple(
+                branch
+                for branch in (positive, negative)
+                if not isinstance(branch, DFalse)
+            )
+            if not branches:
+                node = D_FALSE
+            elif len(branches) == 1:
+                node = branches[0]
+            else:
+                node = DOr(branches)
+        cache[residual] = node
+    if isinstance(node, DFalse):
+        return D_FALSE
+    return _dand(prefix + [node])
+
+
+def compile_cnf(clauses: Iterable[Clause], num_vars: int) -> "DDNNF":
+    """Compile a CNF into a d-DNNF circuit counting over *num_vars* variables."""
+    cache: Dict[FrozenSet[Clause], DNode] = {}
+    root = _compile(frozenset(clauses), cache)
+    return DDNNF(root, num_vars)
+
+
+# ---------------------------------------------------------------------------
+# The compiled artifact
+# ---------------------------------------------------------------------------
+
+
+class DDNNF:
+    """A compiled circuit plus the variable universe it counts over.
+
+    Model counts and weighted counts are taken over **all** ``num_vars``
+    CNF variables: a variable outside the circuit's scope is free, and
+    smoothing multiplies in its gap factor ``w(v) + w(¬v)`` (which is
+    ``2`` for unweighted counting).  This matches
+    :meth:`repro.logic.bdd.Bdd.count_models`, which also counts over its
+    full variable order.
+    """
+
+    __slots__ = ("root", "num_vars")
+
+    def __init__(self, root: DNode, num_vars: int) -> None:
+        self.root = root
+        self.num_vars = num_vars
+
+    def size(self) -> int:
+        """Return the number of distinct nodes in the circuit DAG."""
+        seen: Set[int] = set()
+        stack: List[DNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, (DAnd, DOr)):
+                stack.extend(node.children)
+        return len(seen)
+
+    def model_count(self) -> int:
+        """Count satisfying assignments over all ``num_vars`` variables."""
+        one = Fraction(1)
+        weights = {v: one for v in range(1, self.num_vars + 1)}
+        count = self.weighted_count(weights, weights)
+        return int(count)
+
+    def weighted_count(
+        self,
+        pos: Mapping[int, Fraction],
+        neg: Mapping[int, Fraction],
+    ) -> Fraction:
+        """Exact weighted model count with on-the-fly smoothing.
+
+        *pos*/*neg* map every CNF variable to the weight of its positive
+        and negative literal.  The count is over complete assignments to
+        all ``num_vars`` variables; a variable missing from a branch's
+        scope (the trace is not smooth) contributes its gap factor
+        ``pos[v] + neg[v]`` exactly once per assignment family, which is
+        correct for arbitrary weights — not only probability pairs that
+        sum to 1.
+        """
+        total: Dict[int, Fraction] = {
+            v: pos[v] + neg[v] for v in range(1, self.num_vars + 1)
+        }
+        memo: Dict[int, Fraction] = {}
+
+        def value(node: DNode) -> Fraction:
+            cached = memo.get(id(node))
+            if cached is not None:
+                return cached
+            result: Fraction
+            if isinstance(node, DTrue):
+                result = Fraction(1)
+            elif isinstance(node, DFalse):
+                result = Fraction(0)
+            elif isinstance(node, DLit):
+                variable = abs(node.literal)
+                result = pos[variable] if node.literal > 0 else neg[variable]
+            elif isinstance(node, DAnd):
+                result = Fraction(1)
+                for child in node.children:
+                    result *= value(child)
+            elif isinstance(node, DOr):
+                result = Fraction(0)
+                for child in node.children:
+                    term = value(child)
+                    for variable in node.scope - child.scope:
+                        term *= total[variable]
+                    result += term
+            else:  # pragma: no cover - closed node hierarchy
+                raise ConditionError(f"unknown circuit node {node!r}")
+            memo[id(node)] = result
+            return result
+
+        count = value(self.root)
+        for variable in range(1, self.num_vars + 1):
+            if variable not in self.root.scope:
+                count *= total[variable]
+        return count
+
+
+class CompiledCircuit:
+    """A condition compiled end to end: circuit + encoding metadata.
+
+    ``var_atom`` maps each CNF variable that encodes a genuine atom
+    (indicator or boolean proposition) back to that atom; Tseitin
+    definition variables are absent from it.  :mod:`repro.prob.wmc`
+    uses the map to assign literal weights from the distributions.
+    """
+
+    __slots__ = ("circuit", "var_atom", "supports")
+
+    def __init__(
+        self,
+        circuit: DDNNF,
+        var_atom: Dict[int, Formula],
+        supports: Dict[str, Tuple[Hashable, ...]],
+    ) -> None:
+        self.circuit = circuit
+        self.var_atom = var_atom
+        self.supports = supports
+
+
+def compile_formula(formula: Formula) -> CompiledCircuit:
+    """Compile a pure-boolean condition, one CNF variable per atom.
+
+    Every atom is treated as an independent two-valued proposition —
+    the reading under which d-DNNF model counts must agree with
+    :meth:`repro.logic.bdd.Bdd.count_models` over the same variables.
+    The counting universe is anchored to *every* atom of the formula:
+    Tseitin clausification may simplify an atom away entirely (e.g. in
+    ``~(e & ~(c | e))``, which is valid), and an eliminated atom must
+    still count as a free variable — smoothing multiplies its gap
+    factor in, which is ``2`` for model counts and ``1`` for
+    probability weights.
+    """
+    clauses, atom_map, _root = tseitin_clauses(formula)
+    for atom in sorted(formula.atoms(), key=repr):
+        atom_map.index_of(atom)  # allocate atoms simplification removed
+    var_atom = {
+        atom_map.index_of(atom): atom for atom in atom_map.atoms()
+    }
+    circuit = compile_cnf(clauses, len(atom_map))
+    return CompiledCircuit(circuit, var_atom, {})
+
+
+def compile_condition(formula: Formula, supports: Supports) -> CompiledCircuit:
+    """Compile a (possibly multi-valued) condition under *supports*.
+
+    The condition is booleanized, Tseitin-clausified, extended with
+    exactly-one clauses for every referenced one-hot group, and compiled
+    to d-DNNF.  The returned metadata carries enough structure for
+    :mod:`repro.prob.wmc` to weight literals from the distributions.
+    """
+    boolean = booleanize(formula, supports)
+    clauses, atom_map, _root = tseitin_clauses(boolean)
+    used_supports: Dict[str, Tuple[Hashable, ...]] = {}
+    for atom in sorted(boolean.atoms(), key=repr):
+        if isinstance(atom, _Indicator):
+            used_supports[atom.name] = tuple(supports[atom.name])
+    for name, support in used_supports.items():
+        if len(support) <= 2:
+            continue
+        group = [
+            atom_map.index_of(indicator(name, value)) for value in support
+        ]
+        clauses.append(frozenset(group))
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                clauses.append(frozenset({-group[i], -group[j]}))
+    var_atom = {
+        atom_map.index_of(atom): atom for atom in atom_map.atoms()
+    }
+    circuit = compile_cnf(clauses, len(atom_map))
+    return CompiledCircuit(circuit, var_atom, used_supports)

@@ -8,22 +8,30 @@ against each other in E18:
 
 - :func:`probability_enumerate` — fold over *all* valuations (exact,
   exponential, the baseline),
-- :func:`probability` — recursive Shannon expansion with memoization on
-  the simplified residual formula: expand one variable at a time, weight
-  each branch, and share work across branches whose residuals coincide
-  (this generalizes BDD evaluation to multi-valued variables — in
-  knowledge-compilation terms it builds a free decision diagram on the
-  fly),
+- :func:`probability_shannon` — recursive Shannon expansion with
+  memoization on the simplified residual formula: expand one variable at
+  a time, weight each branch, and share work across branches whose
+  residuals coincide (this generalizes BDD evaluation to multi-valued
+  variables — in knowledge-compilation terms it builds a free decision
+  diagram on the fly),
+- ``strategy="wmc"`` — compile the condition to d-DNNF once
+  (:mod:`repro.logic.compile`) and weighted-model-count the circuit
+  (:mod:`repro.prob.wmc`); cost scales with condition and circuit size,
+  never ``2^variables``,
 - :meth:`repro.logic.bdd.Bdd.probability` — for purely boolean
   conditions, compile to an OBDD first.
 
-All arithmetic uses :class:`fractions.Fraction` for exactness.
+:func:`probability` dispatches between them, compiled-first past the
+variable budget (mirroring how ``ctables_equivalent`` in
+:mod:`repro.worlds.compare` dispatches symbolic-first).  All strategies
+return identical exact :class:`fractions.Fraction` values.
 """
 
 from __future__ import annotations
 
+import os
 from fractions import Fraction
-from typing import Dict, Hashable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProbabilityError
 from repro.logic.evaluation import evaluate, partial_evaluate
@@ -32,6 +40,32 @@ from repro.logic.syntax import BOTTOM, TOP, Formula
 # A distribution maps each outcome value to its probability.
 Distribution = Mapping[Hashable, Fraction]
 Distributions = Mapping[str, Distribution]
+
+#: The probability strategies :func:`probability` dispatches between.
+PROB_STRATEGIES = ("auto", "enumerate", "shannon", "wmc")
+
+#: Up to this many condition variables, ``strategy="auto"`` keeps the
+#: memoized Shannon expansion (cheap, no compilation overhead); above it
+#: the d-DNNF + WMC route takes over — the twin of
+#: ``SYMBOLIC_VARIABLE_BUDGET`` in :mod:`repro.worlds.compare`, which
+#: budgets enumeration for Mod-equivalence the same way.
+PROB_VARIABLE_BUDGET = 8
+
+
+def default_prob_strategy() -> str:
+    """Return the process-wide strategy from ``REPRO_PROB_STRATEGY``.
+
+    An empty or unset variable means ``"auto"``; anything else must name
+    one of :data:`PROB_STRATEGIES`.
+    """
+    value = os.environ.get("REPRO_PROB_STRATEGY", "").strip().lower()
+    if not value:
+        return "auto"
+    if value not in PROB_STRATEGIES:
+        raise ProbabilityError(
+            f"REPRO_PROB_STRATEGY={value!r} is not one of {PROB_STRATEGIES}"
+        )
+    return value
 
 
 def check_distribution(name: str, distribution: Distribution) -> None:
@@ -80,7 +114,53 @@ def probability_enumerate(
     return recurse(0, {})
 
 
-def probability(formula: Formula, distributions: Distributions) -> Fraction:
+def probability(
+    formula: Formula,
+    distributions: Distributions,
+    *,
+    strategy: Optional[str] = None,
+) -> Fraction:
+    """Exact probability of *formula* under independent *distributions*.
+
+    *strategy* picks the evaluation route (one of
+    :data:`PROB_STRATEGIES`); ``None`` defers to ``REPRO_PROB_STRATEGY``
+    (default ``"auto"``).  ``"auto"`` dispatches compiled-first: the
+    memoized Shannon expansion within :data:`PROB_VARIABLE_BUDGET`
+    condition variables, the d-DNNF + weighted-model-counting route
+    beyond it.  Every strategy returns the same exact
+    :class:`fractions.Fraction`.
+    """
+    resolved = _resolve_strategy(strategy, formula)
+    if resolved == "enumerate":
+        return probability_enumerate(formula, distributions)
+    if resolved == "wmc":
+        # Imported lazily: repro.prob sits above repro.logic in the
+        # package layering, and only this strategy needs it.
+        from repro.prob.wmc import wmc_probability
+
+        return wmc_probability(formula, distributions)
+    return probability_shannon(formula, distributions)
+
+
+def _resolve_strategy(strategy: Optional[str], formula: Formula) -> str:
+    if strategy is None:
+        strategy = default_prob_strategy()
+    strategy = strategy.lower()
+    if strategy not in PROB_STRATEGIES:
+        raise ProbabilityError(
+            f"unknown probability strategy {strategy!r}; "
+            f"expected one of {PROB_STRATEGIES}"
+        )
+    if strategy == "auto":
+        if len(formula.variables()) <= PROB_VARIABLE_BUDGET:
+            return "shannon"
+        return "wmc"
+    return strategy
+
+
+def probability_shannon(
+    formula: Formula, distributions: Distributions
+) -> Fraction:
     """Exact probability by memoized Shannon expansion.
 
     Variables are expanded in sorted-name order restricted to the

@@ -12,8 +12,11 @@ Sections 6–8 of the paper, executable:
   complete,
 - :mod:`repro.prob.closure` — Theorem 9: pc-tables are closed under RA,
 - :mod:`repro.prob.tuple_prob` — the tuple-probability problem of
-  [15, 22, 34], solved naively, by lineage + Shannon counting, and by
-  BDD compilation,
+  [15, 22, 34], solved naively, by lineage + Shannon counting, by
+  BDD compilation, and by d-DNNF + weighted model counting,
+- :mod:`repro.prob.wmc` — exact weighted model counting over compiled
+  d-DNNF circuits (:mod:`repro.logic.compile`): the route that scales
+  probability to 50–100-variable conditions,
 - :mod:`repro.prob.extensional` — the Dalvi–Suciu [9] extensional
   (safe-plan) evaluation for independent-tuple tables, including the
   hierarchical safety test.
@@ -30,6 +33,12 @@ from repro.prob.tuple_prob import (
     tuple_probability_bdd,
     tuple_probability_lineage,
     tuple_probability_naive,
+    tuple_probability_wmc,
+)
+from repro.prob.wmc import (
+    CompiledCondition,
+    compile_probability,
+    wmc_probability,
 )
 from repro.prob.bayes import DependentPCTable, VariableNetwork
 from repro.prob.possibilistic import (
@@ -48,6 +57,7 @@ from repro.prob.extensional import (
 
 __all__ = [
     "BooleanPCTable",
+    "CompiledCondition",
     "ConjunctiveQuery",
     "DependentPCTable",
     "FiniteProbSpace",
@@ -62,6 +72,7 @@ __all__ = [
     "answer_pctable",
     "atom",
     "boolean_pctable_for",
+    "compile_probability",
     "image_space",
     "is_hierarchical",
     "lineage_of",
@@ -71,6 +82,8 @@ __all__ = [
     "tuple_probability_bdd",
     "tuple_probability_lineage",
     "tuple_probability_naive",
+    "tuple_probability_wmc",
     "verify_possibilistic_closure",
     "verify_prob_closure",
+    "wmc_probability",
 ]

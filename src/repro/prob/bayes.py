@@ -138,7 +138,7 @@ class VariableNetwork:
         import itertools
 
         pools = [self.outcomes_of(parent) for parent in parents]
-        yield from itertools.product(*pools)
+        yield from itertools.product(*pools)  # enumeration-ok: parent-outcome combinations of one CPT row group, not a world space
 
     def joint(self) -> Iterator[Tuple[Dict[str, Hashable], Fraction]]:
         """Yield (valuation, probability) over the joint distribution.

@@ -60,4 +60,4 @@ def boolean_pctable_for(
 
 def verify_prob_completeness(pdb: PDatabase) -> bool:
     """Check the construction round-trips: ``Mod(construction) = pdb``."""
-    return boolean_pctable_for(pdb).mod() == pdb
+    return boolean_pctable_for(pdb).mod() == pdb  # enumeration-ok: Theorem 8 round-trip check is a whole-p-database comparison

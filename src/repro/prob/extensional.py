@@ -28,7 +28,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ProbabilityError, QueryError, UnsupportedOperationError
 from repro.core.instance import Row
@@ -319,7 +328,7 @@ def cq_lineage(
     variables = sorted(query.variables())
     domain = _active_domain(query, relations)
     disjuncts: List[Formula] = []
-    for combo in itertools.product(domain, repeat=len(variables)):
+    for combo in itertools.product(domain, repeat=len(variables)):  # enumeration-ok: grounding over the active domain (query variables, not pc-table variables) — the lineage itself is counted symbolically
         valuation = dict(zip(variables, combo))
         conjuncts: List[Formula] = []
         feasible = True
@@ -341,12 +350,18 @@ def cq_lineage(
 
 
 def lineage_probability_cq(
-    query: ConjunctiveQuery, relations: Mapping[str, ProbRelation]
+    query: ConjunctiveQuery,
+    relations: Mapping[str, ProbRelation],
+    strategy: Optional[str] = None,
 ) -> Fraction:
     """Exact probability of a boolean CQ via its lineage.
 
     Works for *every* CQ, safe or not — the ground truth the safe plans
-    are compared against.
+    are compared against.  *strategy* selects the counting route (see
+    :data:`repro.logic.counting.PROB_STRATEGIES`); the default ``auto``
+    switches from Shannon expansion to the compiled d-DNNF route once
+    the lineage has more tuple events than the variable budget, so
+    unsafe queries over large tables stay evaluable.
     """
     lineage = cq_lineage(query, relations)
     distributions = {}
@@ -359,4 +374,5 @@ def lineage_probability_cq(
     return probability(
         lineage,
         {name: dist for name, dist in distributions.items() if name in needed},
+        strategy=strategy,
     )

@@ -134,7 +134,7 @@ class PCTable:
         admissible = []
         from repro.logic.evaluation import evaluate
 
-        for combo in itertools.product(*pools):
+        for combo in itertools.product(*pools):  # enumeration-ok: Definition 13's product space, the semantics oracle
             valuation = {
                 name: value for name, (value, _) in zip(names, combo)
             }
@@ -154,14 +154,14 @@ class PCTable:
     def mod(self) -> PDatabase:
         """Return the p-database: image of V under ``g(ν) = ν(T)``."""
         weights: Dict[Instance, Fraction] = {}
-        for valuation, weight in self.valuation_space():
+        for valuation, weight in self.valuation_space():  # enumeration-ok: Mod() *is* the enumerated image, the Definition-13 oracle
             instance = self._table.apply_valuation(valuation)
             weights[instance] = weights.get(instance, Fraction(0)) + weight
         return PDatabase(weights, arity=self.arity)
 
     def incompleteness_skeleton(self) -> IDatabase:
         """Forget the probabilities: the underlying c-table's Mod."""
-        return self._table.mod()
+        return self._table.mod()  # enumeration-ok: the skeleton is the underlying c-table's world set by definition
 
     # ------------------------------------------------------------------
     # Tuple-level queries
@@ -189,10 +189,21 @@ class PCTable:
             branches.append(conj(crow.condition, matches))
         return conj(self._table.global_condition, disj(*branches))
 
-    def tuple_probability(self, row: Row) -> Fraction:
-        """Return ``P[row ∈ I]`` by Shannon counting of the condition."""
+    def tuple_probability(
+        self, row: Row, strategy: Optional[str] = None
+    ) -> Fraction:
+        """Return ``P[row ∈ I]`` by counting the membership condition.
+
+        *strategy* picks the counting route (see
+        :data:`repro.logic.counting.PROB_STRATEGIES`): the default
+        ``auto`` uses Shannon expansion within the variable budget and
+        the compiled d-DNNF + WMC route beyond it, so wide tables stay
+        polynomial in circuit size instead of ``2^variables``.
+        """
         return formula_probability(
-            self.membership_condition(row), self._distributions
+            self.membership_condition(row),
+            self._distributions,
+            strategy=strategy,
         )
 
 

@@ -6,6 +6,15 @@ numbers, which is why the probabilistic representation systems of
 Sections 7–8 exist; this class is nonetheless the *semantic* object all
 of them denote, and the equality tests of Theorems 8 and 9 compare
 p-databases.
+
+Everything here is, by its nature, enumeration over explicit worlds —
+this module is the **oracle** the scalable routes are differentially
+checked against.  Production paths answer probability questions from the
+*representation* instead: :meth:`repro.prob.pctable.PCTable.tuple_probability`
+and :meth:`repro.engine.session.Dataset.probability` count membership
+conditions symbolically (Shannon within the variable budget, compiled
+d-DNNF + weighted model counting beyond it — :mod:`repro.prob.wmc`),
+never materializing a :class:`PDatabase`.
 """
 
 from __future__ import annotations

@@ -225,7 +225,7 @@ class PossibilisticCTable:
         self,
     ) -> Iterator[Tuple[Dict[str, Hashable], Fraction]]:
         """Yield (valuation, min-combined degree) for positive degrees."""
-        for valuation in self._table.valuations():
+        for valuation in self._table.valuations():  # enumeration-ok: possibility degrees are defined valuation-by-valuation
             degree = Fraction(1)
             for name, value in valuation.items():
                 degree = min(degree, self._distributions[name][value])
@@ -271,8 +271,8 @@ def verify_possibilistic_closure(query, table: PossibilisticCTable) -> bool:
     """
     from repro.algebra.evaluate import apply_query
 
-    symbolic = table.answer(query).mod()
-    image = table.mod().map_instances(
+    symbolic = table.answer(query).mod()  # enumeration-ok: closure verification oracle compares full possibilistic images
+    image = table.mod().map_instances(  # enumeration-ok: closure verification oracle compares full possibilistic images
         lambda instance: apply_query(query, instance)
     )
     return symbolic == image

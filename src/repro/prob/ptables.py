@@ -112,7 +112,7 @@ class PQTable:
         """
         rows = sorted(self._rows, key=repr)
         weights: Dict[Instance, Fraction] = {}
-        for bits in itertools.product((False, True), repeat=len(rows)):
+        for bits in itertools.product((False, True), repeat=len(rows)):  # enumeration-ok: the tuple-independent semantics (Definition), the oracle the lineage route is checked against
             weight = Fraction(1)
             chosen: List[Row] = []
             for row, include in zip(rows, bits):
@@ -273,7 +273,7 @@ class POrSetTable:
                     choices_per_cell.append(list(cell))
                     positions.append((row_index, column))
         weights: Dict[Instance, Fraction] = {}
-        for combo in itertools.product(*choices_per_cell):
+        for combo in itertools.product(*choices_per_cell):  # enumeration-ok: the attribute-level choice-space semantics, the oracle construction
             weight = Fraction(1)
             for _, cell_weight in combo:
                 weight *= cell_weight

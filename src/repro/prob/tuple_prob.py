@@ -7,14 +7,18 @@ pc-tables the paper's answer is structural: compute ``q̄(T)``, read off
 the *condition* under which ``t`` appears (its lineage, as Section 9
 remarks), and compute that condition's probability.
 
-Three evaluation routes, cross-checked by the tests and raced in
-benchmark E18:
+Four evaluation routes, cross-checked by the tests and raced in
+benchmarks E18 and E37:
 
 - :func:`tuple_probability_naive` — materialize the whole p-database
   ``q(Mod(T))`` and sum over worlds containing ``t`` (exponential in the
-  number of variables, the baseline);
-- :func:`tuple_probability_lineage` — Shannon expansion of the lineage
-  formula with memoization (:mod:`repro.logic.counting`);
+  number of variables; the oracle the others are checked against);
+- :func:`tuple_probability_lineage` — count the lineage formula through
+  :func:`repro.logic.counting.probability`, whose *strategy* parameter
+  picks Shannon expansion, enumeration, or the compiled route;
+- :func:`tuple_probability_wmc` — force the d-DNNF + weighted
+  model counting route (:mod:`repro.prob.wmc`): the only one that
+  scales to the 50–100-variable lineages the engine produces;
 - :func:`tuple_probability_bdd` — for boolean pc-tables, compile the
   lineage to an OBDD and evaluate in one bottom-up pass.
 """
@@ -60,18 +64,45 @@ def tuple_probability_naive(
 ) -> Fraction:
     """P[t ∈ q(I)] by enumerating the answer p-database's worlds."""
     row = tuple(row)
-    answer_distribution = image_pdatabase(query, pctable.mod())
+    answer_distribution = image_pdatabase(
+        query, pctable.mod()  # enumeration-ok: the semantics oracle
+    )
     return answer_distribution.tuple_probability(row)
 
 
 def tuple_probability_lineage(
-    query: Query, pctable: PCTable, row: Row, optimize: bool = False
+    query: Query,
+    pctable: PCTable,
+    row: Row,
+    optimize: bool = False,
+    strategy: Optional[str] = None,
 ) -> Fraction:
-    """P[t ∈ q(I)] by Shannon counting of the lineage formula."""
+    """P[t ∈ q(I)] by counting the lineage formula.
+
+    *strategy* selects the counting route (see
+    :data:`repro.logic.counting.PROB_STRATEGIES`); the default ``auto``
+    keeps Shannon expansion within the variable budget and switches to
+    the compiled d-DNNF route beyond it.
+    """
     lineage = lineage_of(query, pctable, row, optimize=optimize)
     from repro.logic.counting import probability
 
-    return probability(lineage, pctable.distributions)
+    return probability(lineage, pctable.distributions, strategy=strategy)
+
+
+def tuple_probability_wmc(
+    query: Query, pctable: PCTable, row: Row, optimize: bool = False
+) -> Fraction:
+    """P[t ∈ q(I)] by d-DNNF compilation + weighted model counting.
+
+    Compiles the lineage once (:mod:`repro.logic.compile`) and counts
+    the circuit (:mod:`repro.prob.wmc`); exact on arbitrary pc-tables,
+    polynomial in the circuit size rather than ``2^variables``.
+    """
+    lineage = lineage_of(query, pctable, row, optimize=optimize)
+    from repro.prob.wmc import wmc_probability
+
+    return wmc_probability(lineage, pctable.distributions)
 
 
 def tuple_probability_bdd(

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from fractions import Fraction
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from repro import (
     CTable,
@@ -54,7 +55,8 @@ from repro import (
     sel,
     union,
 )
-from repro.logic.syntax import TOP
+from repro.logic.syntax import TOP, Formula, disj, neg
+from repro.prob import PCTable
 from repro.ctalgebra.plan import collect_stats, execute_plan
 from repro.ctalgebra.translate import plan_for_query
 from repro.physical import execute_plan_parallel, execute_plan_vectorized
@@ -370,6 +372,154 @@ def assert_plan_modes_equivalent(
         f"optimized and verbatim plans diverge at Mod level"
         f"{' [' + context + ']' if context else ''}"
     )
+
+
+# ----------------------------------------------------------------------
+# Probability profile: pc-tables, distributions, and multi-valued
+# conditions for the WMC/Shannon/enumeration differential suites
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProbabilityProfile:
+    """Shape of generated pc-tables and their variable distributions.
+
+    The small default keeps every case inside
+    :func:`repro.logic.counting.probability_enumerate`'s reach so all
+    four strategies (enumerate / Shannon / BDD model counting / compiled
+    d-DNNF WMC) can be compared exactly; :data:`WIDE_PROBABILITY` is the
+    enumeration-infeasible scale that only the symbolic counters handle.
+    """
+
+    arity: int = 2
+    min_rows: int = 1
+    max_rows: int = 4
+    variables: Tuple[str, ...] = ("x", "y", "z")
+    min_support: int = 2
+    max_support: int = 4
+    variable_density: float = 0.4
+    constants: int = 3
+    condition_depth: int = 2
+
+
+DEFAULT_PROBABILITY = ProbabilityProfile()
+
+#: 36 variables at support 2–3: the product space has ``>= 2^36``
+#: valuations, so enumeration is out and the differential check pits the
+#: two symbolic counters (Shannon expansion vs compiled d-DNNF WMC)
+#: against each other.
+WIDE_PROBABILITY = ProbabilityProfile(
+    min_rows=3,
+    max_rows=6,
+    variables=tuple(f"w{index:02d}" for index in range(36)),
+    min_support=2,
+    max_support=3,
+)
+
+#: Distribution outcomes.  Deliberately no ``True``/``False``: Python
+#: dict keys collapse ``1 == True`` and ``0 == False``, which would
+#: silently merge support entries and break the sums-to-one invariant
+#: (the same pitfall that makes ``BooleanPCTable`` use isinstance
+#: checks).  Boolean behaviour is still covered: conditions draw
+#: ``BoolVar``-free equality atoms, and truthiness enters through the
+#: dedicated boolean corpora in the tests.
+_OUTCOME_POOL: Tuple[Hashable, ...] = (0, 1, 2, 3, 4, "a", "b", "c")
+
+
+def random_distributions(
+    rng: random.Random, profile: ProbabilityProfile = DEFAULT_PROBABILITY
+) -> Dict[str, Dict[Hashable, Fraction]]:
+    """One exact (Fraction-weighted, sums-to-one) distribution per name."""
+    distributions: Dict[str, Dict[Hashable, Fraction]] = {}
+    for name in profile.variables:
+        size = rng.randint(profile.min_support, profile.max_support)
+        support = rng.sample(_OUTCOME_POOL, size)
+        weights = [rng.randint(1, 5) for _ in support]
+        total = sum(weights)
+        distributions[name] = {
+            value: Fraction(weight, total)
+            for value, weight in zip(support, weights)
+        }
+    return distributions
+
+
+def random_prob_condition(
+    rng: random.Random,
+    distributions: Mapping[str, Mapping[Hashable, Fraction]],
+    depth: int = 2,
+) -> Formula:
+    """A random condition whose atoms stay inside the given supports."""
+    names = sorted(distributions)
+
+    def atom() -> Formula:
+        name = rng.choice(names)
+        support = sorted(distributions[name], key=repr)
+        roll = rng.random()
+        if roll < 0.45:
+            return eq(Var(name), rng.choice(support))
+        if roll < 0.8:
+            return ne(Var(name), rng.choice(support))
+        return eq(Var(name), Var(rng.choice(names)))
+
+    def go(level: int) -> Formula:
+        if level == 0 or rng.random() < 0.35:
+            return atom()
+        roll = rng.random()
+        if roll < 0.4:
+            return conj(go(level - 1), go(level - 1))
+        if roll < 0.8:
+            return disj(go(level - 1), go(level - 1))
+        return neg(go(level - 1))
+
+    return go(depth)
+
+
+def random_wide_condition(
+    rng: random.Random,
+    distributions: Mapping[str, Mapping[Hashable, Fraction]],
+    width: int,
+) -> Formula:
+    """A condition over *width* distinct variables, ring-structured.
+
+    A disjunction of adjacent-pair conjunctions: every one of the
+    *width* variables occurs, the product space is ``2^width``-plus, yet
+    the low treewidth keeps both Shannon expansion (memoized) and d-DNNF
+    compilation polynomial — exactly the shape where symbolic counting
+    must win and enumeration cannot be run at all.
+    """
+    names = rng.sample(sorted(distributions), width)
+
+    def atom(name: str) -> Formula:
+        support = sorted(distributions[name], key=repr)
+        value = rng.choice(support)
+        if rng.random() < 0.5:
+            return eq(Var(name), value)
+        return ne(Var(name), value)
+
+    clauses = [
+        conj(atom(names[index]), atom(names[(index + 1) % width]))
+        for index in range(width)
+    ]
+    return disj(*clauses)
+
+
+def random_pctable(
+    rng: random.Random, profile: ProbabilityProfile = DEFAULT_PROBABILITY
+) -> PCTable:
+    """A random pc-table drawn from *profile* (Definition 13 shape)."""
+    distributions = random_distributions(rng, profile)
+    rows = []
+    for _ in range(rng.randint(profile.min_rows, profile.max_rows)):
+        values = tuple(
+            Var(rng.choice(profile.variables))
+            if rng.random() < profile.variable_density
+            else rng.randrange(profile.constants)
+            for _ in range(profile.arity)
+        )
+        condition = random_prob_condition(
+            rng, distributions, depth=profile.condition_depth
+        )
+        rows.append((values, condition))
+    return PCTable(rows, distributions, arity=profile.arity)
 
 
 def run_differential(

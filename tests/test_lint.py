@@ -456,6 +456,81 @@ class TestEnumeration:
         )
         assert lint_enumeration(source) == []
 
+    def test_probability_enumerate_import_flagged(self):
+        source = parse(
+            "from repro.logic.counting import probability_enumerate\n"
+            "def p(condition, distributions):\n"
+            "    return probability_enumerate(condition, distributions)\n"
+        )
+        findings = lint_enumeration(source)
+        assert codes(findings) == ["EXP001"]
+        assert "probability_enumerate" in findings[0].message
+
+    def test_tuple_probability_naive_attribute_call_flagged(self):
+        source = parse(
+            "import repro.prob.tuple_prob as tp\n"
+            "def p(query, pctable, row):\n"
+            "    return tp.tuple_probability_naive(query, pctable, row)\n"
+        )
+        findings = lint_enumeration(source)
+        assert codes(findings) == ["EXP001"]
+        assert "tuple_probability_naive" in findings[0].message
+
+    def test_valuation_space_call_flagged(self):
+        source = parse(
+            "def worlds(pctable):\n"
+            "    return list(pctable.valuation_space())\n"
+        )
+        assert codes(lint_enumeration(source)) == ["EXP001"]
+
+    def test_itertools_product_fenced_in_prob(self):
+        source = parse(
+            "import itertools\n"
+            "def space(pools):\n"
+            "    return list(itertools.product(*pools))\n",
+            path="src/repro/prob/newmodule.py",
+        )
+        findings = lint_enumeration(source)
+        assert codes(findings) == ["EXP001"]
+        assert "itertools.product" in findings[0].message
+
+    def test_imported_product_alias_fenced_in_prob(self):
+        source = parse(
+            "from itertools import product as cartesian\n"
+            "def space(pools):\n"
+            "    return list(cartesian(*pools))\n",
+            path="src/repro/prob/newmodule.py",
+        )
+        assert codes(lint_enumeration(source)) == ["EXP001"]
+
+    def test_itertools_product_allowed_outside_prob(self):
+        source = parse(
+            "import itertools\n"
+            "def pairs(rows):\n"
+            "    return list(itertools.product(rows, rows))\n",
+            path="src/repro/physical/kernels.py",
+        )
+        assert lint_enumeration(source) == []
+
+    def test_product_waiver_in_prob(self):
+        source = parse(
+            "import itertools\n"
+            "def space(pools):\n"
+            "    return list(itertools.product(*pools))"
+            "  # enumeration-ok: semantics oracle\n",
+            path="src/repro/prob/newmodule.py",
+        )
+        assert lint_enumeration(source) == []
+
+    def test_prob_space_module_exempt(self):
+        source = parse(
+            "import itertools\n"
+            "def space(pools):\n"
+            "    return list(itertools.product(*pools))\n",
+            path="src/repro/prob/space.py",
+        )
+        assert lint_enumeration(source) == []
+
 
 # ----------------------------------------------------------------------
 # Integration: the tree the CI lint job checks is clean

@@ -127,6 +127,20 @@ Three things happen:
      curves vs lineage width: linear circuit growth against
      ``2^width`` world growth.
 
+9. the **observability workloads E40–E42** run (written to
+   ``--obs-output``, default ``BENCH_pr9.json``), pricing and
+   exercising the ``repro.obs`` layer:
+
+   - ``e40_tracing_overhead`` — the identical join loop raw (bare
+     ``execute_physical``), with tracing disabled (≤5% over raw on the
+     full run), and with tracing enabled (≤25%).
+   - ``e41_estimate_drift`` — ``explain(analyze=True)`` on a
+     90%-skewed column: the estimated-vs-actual drift column must flag
+     the ≥4× planner miss.
+   - ``e42_cache_observability`` — prepared relational and probability
+     hot loops read back through one ``Engine.metrics_snapshot()``:
+     the unified cache stats must show the hits the loops generated.
+
 The workloads are sized so the full run finishes in a couple of minutes;
 ``--quick`` shrinks them for CI.
 """
@@ -196,7 +210,8 @@ from repro.logic.evaluation import (  # noqa: E402
     set_evaluation_cache,
 )
 from repro.logic.simplify import simplify  # noqa: E402
-from repro.logic.syntax import interning_stats  # noqa: E402
+from repro.logic.syntax import TOP, interning_stats  # noqa: E402
+from repro.physical.lower import execute_physical  # noqa: E402
 
 
 def _timed(callable_, repeats: int) -> float:
@@ -1506,6 +1521,168 @@ def run_e39_compile_scaling(var_counts, repeats: int) -> dict:
     }
 
 
+def _obs_join_tables(rows: int):
+    """Wide-fanout join inputs where per-row execution work dominates.
+
+    Joining on ``rows // 8`` distinct keys yields ~``8 * rows`` output
+    tuples, so the timed loops measure executor work rather than the
+    fixed per-call bookkeeping E40 is trying to bound.
+    """
+    keys = max(1, rows // 8)
+    left = CTable([((index, index % keys), TOP) for index in range(rows)])
+    right = CTable([((index % keys, index), TOP) for index in range(rows)])
+    return left, right
+
+
+def run_e40_tracing_overhead(rows: int, iters: int, repeats: int) -> dict:
+    """E40 — the per-query price of the observability layer.
+
+    Three arms run the identical lowered join plan *iters* times with
+    the result cache off, so every iteration actually executes:
+
+    - *raw*: ``execute_physical`` on the pre-lowered tree — no engine
+      bookkeeping, no tracing; the floor;
+    - *disabled*: ``PreparedQuery.execute()`` with ``trace=False`` —
+      the always-on surface (cache stats, query counters, the
+      one-integer-compare tracer gate) but no spans;
+    - *enabled*: the same with ``trace=True`` — spans, per-operator
+      actuals, and a stored JSON-able trace per execution.
+
+    The acceptance gates in ``main`` bound *disabled* within 5% of raw
+    and *enabled* within 25% on the full-size run; quick runs are
+    noise-dominated and get relaxed bounds.
+    """
+    query = proj(sel(prod(rel("L", 2), rel("R", 2)), col_eq(1, 2)), (0, 3))
+    left, right = _obs_join_tables(rows)
+    tables = {"L": left, "R": right}
+
+    engine = Engine(result_cache_size=0)
+    session = engine.session(**tables)
+    disabled = session.prepare(query, trace=False)
+    enabled = session.prepare(query, trace=True)
+    physical = disabled.physical_plan()
+
+    expected = execute_physical(physical, tables)
+    equivalent = ctables_equivalent(
+        expected, disabled.execute()
+    ) and ctables_equivalent(expected, enabled.execute())
+
+    def raw_loop():
+        for _ in range(iters):
+            execute_physical(physical, tables)
+
+    def disabled_loop():
+        for _ in range(iters):
+            disabled.execute()
+
+    def enabled_loop():
+        for _ in range(iters):
+            enabled.execute()
+
+    # The gate bounds a few-microsecond fixed cost against a multi-ms
+    # loop, so timing the arms in separate blocks (as _timed would)
+    # lets slow machine drift masquerade as overhead.  Interleave the
+    # arms round-robin and take per-arm medians instead.
+    samples = {"raw": [], "disabled": [], "enabled": []}
+    for _ in range(max(5, repeats)):
+        for name, loop in (
+            ("raw", raw_loop),
+            ("disabled", disabled_loop),
+            ("enabled", enabled_loop),
+        ):
+            start = time.perf_counter()
+            loop()
+            samples[name].append(time.perf_counter() - start)
+    raw_seconds = statistics.median(samples["raw"])
+    disabled_seconds = statistics.median(samples["disabled"])
+    enabled_seconds = statistics.median(samples["enabled"])
+    return {
+        "rows_per_table": rows,
+        "answer_rows": len(expected),
+        "iterations": iters,
+        "raw_seconds": raw_seconds,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "disabled_overhead": (
+            disabled_seconds / raw_seconds - 1.0 if raw_seconds else 0.0
+        ),
+        "enabled_overhead": (
+            enabled_seconds / raw_seconds - 1.0 if raw_seconds else 0.0
+        ),
+        "equivalent": equivalent,
+        "trace_recorded": engine.last_trace() is not None,
+    }
+
+
+def run_e41_estimate_drift(rows: int, repeats: int) -> dict:
+    """E41 — EXPLAIN ANALYZE surfaces estimator drift on skewed data.
+
+    The planner's selection estimate assumes near-uniform selectivity;
+    the table is built so 90% of its rows share one value in the
+    filtered column.  ``explain(analyze=True)`` then renders estimated
+    vs actual rows per operator and flags the ≥4× divergence in the
+    drift column — the feedback signal for revisiting a plan.
+    """
+    skew_value = 7
+    skewed = int(rows * 0.9)
+    table_rows = [((index, skew_value), TOP) for index in range(skewed)]
+    table_rows += [
+        ((skewed + offset, 1000 + offset), TOP)
+        for offset in range(rows - skewed)
+    ]
+    engine = Engine()
+    session = engine.session(S=CTable(table_rows, arity=2))
+    prepared = session.prepare(sel(rel("S", 2), col_eq_const(1, skew_value)))
+    rendered = prepared.explain(analyze=True)
+    seconds = _timed(lambda: prepared.explain(analyze=True), repeats)
+    return {
+        "rows": rows,
+        "skewed_fraction": skewed / rows,
+        "explain_seconds": seconds,
+        "drift_flagged": "[drift" in rendered,
+        "shows_estimates": "est≈" in rendered and "act=" in rendered,
+        "rendering": rendered.splitlines(),
+    }
+
+
+def run_e42_cache_observability(rows: int, iters: int, repeats: int) -> dict:
+    """E42 — hot caches observed end to end through one snapshot.
+
+    Runs two hot loops on a fresh engine — a prepared relational read
+    (result + plan caches) and a prepared tuple probability (circuit
+    cache) — then reads ``Engine.metrics_snapshot()`` once and checks
+    the unified per-cache hit/miss counters recorded the traffic the
+    loops actually generated.
+    """
+    left, right = _obs_join_tables(rows)
+    engine = Engine(prob_strategy="wmc")
+    session = engine.session(L=left, R=right, V=_ring_pctable(16))
+    prepared = session.prepare(
+        proj(sel(prod(rel("L", 2), rel("R", 2)), col_eq(1, 2)), (0, 3))
+    )
+    dataset = session.prepare(sel(rel("V", 2), col_eq_const(0, 0))).dataset()
+
+    def hot_loops():
+        for _ in range(iters):
+            prepared.execute()
+            dataset.probability((0, 1))
+
+    hot_loops()  # warm: plan, lower, compile
+    seconds = _timed(hot_loops, repeats)
+    snapshot = engine.metrics_snapshot()
+    caches = snapshot["caches"]
+    return {
+        "rows_per_table": rows,
+        "iterations": iters,
+        "loop_seconds": seconds,
+        "caches": caches,
+        "observed_hot": (
+            caches["result"]["hits"] >= iters
+            and caches["circuit"]["hits"] >= iters
+        ),
+    }
+
+
 def run_probability_suite(quick: bool, repeats: int) -> dict:
     workloads = {}
 
@@ -1548,6 +1725,45 @@ def run_probability_suite(quick: bool, repeats: int) -> dict:
     )
     print(f"   compile: {compile_points}")
     print(f"   shannon agrees everywhere: {e39['shannon_agrees_everywhere']}")
+    return workloads
+
+
+def run_obs_suite(quick: bool, repeats: int) -> dict:
+    workloads = {}
+
+    print("== e40_tracing_overhead (raw vs disabled vs enabled) ==")
+    e40 = run_e40_tracing_overhead(
+        400 if quick else 2400, 3 if quick else 10, repeats
+    )
+    workloads["e40_tracing_overhead"] = e40
+    print(
+        f"   raw {e40['raw_seconds']*1000:.1f}ms/loop, "
+        f"disabled {e40['disabled_overhead']*100:+.1f}%, "
+        f"enabled {e40['enabled_overhead']*100:+.1f}% "
+        f"({e40['answer_rows']} answer rows, "
+        f"equivalent={e40['equivalent']})"
+    )
+
+    print("== e41_estimate_drift (EXPLAIN ANALYZE on planted skew) ==")
+    e41 = run_e41_estimate_drift(100 if quick else 1000, repeats)
+    workloads["e41_estimate_drift"] = e41
+    print(
+        f"   drift flagged={e41['drift_flagged']}, "
+        f"render {e41['explain_seconds']*1000:.1f}ms"
+    )
+
+    print("== e42_cache_observability (hot loops through one snapshot) ==")
+    e42 = run_e42_cache_observability(
+        120 if quick else 600, 5 if quick else 25, repeats
+    )
+    workloads["e42_cache_observability"] = e42
+    result_stats = e42["caches"]["result"]
+    print(
+        f"   result cache {result_stats['hits']} hits / "
+        f"{result_stats['misses']} misses, "
+        f"circuit cache {e42['caches']['circuit']['hits']} hits; "
+        f"observed_hot={e42['observed_hot']}"
+    )
     return workloads
 
 
@@ -1694,6 +1910,11 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pr8.json"),
         help="where to write the probability/WMC (E37–E39) JSON report",
     )
+    parser.add_argument(
+        "--obs-output",
+        default=str(REPO_ROOT / "BENCH_pr9.json"),
+        help="where to write the observability (E40–E42) JSON report",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -1802,6 +2023,15 @@ def main(argv=None) -> int:
         "workloads": run_probability_suite(args.quick, repeats),
     }
 
+    obs_report = {
+        "meta": {
+            "label": Path(args.obs_output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+        },
+        "workloads": run_obs_suite(args.quick, repeats),
+    }
+
     if not args.skip_suite:
         print("== E01–E20 suite ==")
         suite = run_suite(args.quick)
@@ -1841,6 +2071,10 @@ def main(argv=None) -> int:
         json.dumps(probability_report, indent=2) + "\n"
     )
     print(f"wrote {probability_output}")
+
+    obs_output = Path(args.obs_output)
+    obs_output.write_text(json.dumps(obs_report, indent=2) + "\n")
+    print(f"wrote {obs_output}")
 
     planner_workloads = planner_report["workloads"].values()
     best_planner_speedup = max(
@@ -1904,6 +2138,24 @@ def main(argv=None) -> int:
         and e38["speedup"] >= (2.0 if args.quick else 5.0)
         and e39["shannon_agrees_everywhere"]
     )
+    # E40–E42: observability must be near-free when off and bounded
+    # when on — disabled tracing within 5% of the raw executor loop,
+    # full tracing within 25% (quick runs are noise-dominated and get
+    # loose bounds) — EXPLAIN ANALYZE must flag the planted ≥4×
+    # estimate drift, and the metrics snapshot must show the hot
+    # caches actually serving their loops.
+    e40 = obs_report["workloads"]["e40_tracing_overhead"]
+    e41 = obs_report["workloads"]["e41_estimate_drift"]
+    e42 = obs_report["workloads"]["e42_cache_observability"]
+    observability_ok = (
+        e40["equivalent"]
+        and e40["trace_recorded"]
+        and e40["disabled_overhead"] <= (0.60 if args.quick else 0.05)
+        and e40["enabled_overhead"] <= (2.00 if args.quick else 0.25)
+        and e41["drift_flagged"]
+        and e41["shows_estimates"]
+        and e42["observed_hot"]
+    )
     failed = (
         report["suite"].get("exit_code", 0) != 0
         or report["workloads"]["join_heavy"]["speedup"] < 1.0
@@ -1922,6 +2174,7 @@ def main(argv=None) -> int:
         or not parallel_fast_enough
         or not symbolic_at_scale
         or not probability_at_scale
+        or not observability_ok
     )
     return 1 if failed else 0
 

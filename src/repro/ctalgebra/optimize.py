@@ -68,10 +68,25 @@ from repro.ctalgebra.plan import (
     predicate_selectivity,
 )
 
+from repro.obs.metrics import counter
+from repro.obs.names import OPTIMIZER_RULES_TOTAL
+from repro.obs.trace import current_tracer
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ctalgebra.verify import PlanVerifier
 
 _MAX_PASSES = 8
+
+
+def _note_rule(rule: str, fired: bool) -> None:
+    """Account one rule application in the process-wide metrics, and —
+    when a query trace is active — on the innermost open span (the
+    ``optimize`` span on the planned path)."""
+    outcome = "fired" if fired else "no_fire"
+    counter(OPTIMIZER_RULES_TOTAL, labels={"outcome": outcome, "rule": rule})
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.count(f"{rule}.{outcome}")
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +187,7 @@ def fuse_joins(
     plan = _rebuild(plan, children)
     if isinstance(plan, SelectNode) and isinstance(plan.child, ProductNode):
         fused = JoinNode(plan.child.left, plan.child.right, plan.predicate)
+        _note_rule("fuse_joins", True)
         if verifier is not None:
             verifier.verify_rewrite("fuse_joins", plan, fused)
         return fused
@@ -371,7 +387,9 @@ def _rewrite_once(
     node = _rebuild(plan, children)
     for _ in range(_MAX_PASSES):
         rule, rewritten = _apply_local_rule(node, sat)
-        if rewritten == node:
+        fired = rewritten != node
+        _note_rule(rule, fired)
+        if not fired:
             return node
         if verifier is not None:
             verifier.verify_rewrite(rule, node, rewritten)
@@ -523,8 +541,10 @@ def reorder_joins(
         ]
         identity = list(range(len(flat)))
         rebuilt = _build_in_order(flat, conjuncts, identity, plan.arity)
-        if verifier is not None and rebuilt != plan:
-            verifier.verify_rewrite("reorder_joins", plan, rebuilt)
+        if rebuilt != plan:
+            _note_rule("reorder_joins", True)
+            if verifier is not None:
+                verifier.verify_rewrite("reorder_joins", plan, rebuilt)
         if len(flat) < 3:
             return rebuilt
         order = _greedy_order(flat, conjuncts, stats)
@@ -535,7 +555,9 @@ def reorder_joins(
             verifier.verify_rewrite("reorder_joins", plan, candidate)
         memo: Dict[PlanNode, object] = {}
         if plan_cost(candidate, stats, memo) < plan_cost(rebuilt, stats, memo):
+            _note_rule("reorder_joins", True)
             return candidate
+        _note_rule("reorder_joins", False)
         return rebuilt
     children = [
         reorder_joins(child, stats, verifier) for child in plan.children()

@@ -46,6 +46,21 @@ from repro.ctalgebra.plan import (
 )
 from repro.ctalgebra.optimize import fuse_joins, optimize_plan
 from repro.ctalgebra.verify import PlanVerifier
+from repro.obs.names import SPAN_OPTIMIZE, SPAN_VERIFY
+from repro.obs.trace import trace_span
+
+
+def _verified(
+    verifier: Optional[PlanVerifier],
+    plan: PlanNode,
+    rule: str,
+    verify_mode: str,
+) -> None:
+    """One pipeline-level verifier check, traced as a verify span."""
+    if verifier is None:
+        return
+    with trace_span(SPAN_VERIFY, mode=verify_mode, stage=rule):
+        verifier.verify_plan(plan, rule=rule)
 
 
 def build_plan(
@@ -77,18 +92,15 @@ def build_plan(
         verifier: Optional[PlanVerifier] = (
             PlanVerifier(stats, mode=verify_mode) if verify else None
         )
-        if verifier is not None:
-            verifier.verify_plan(plan, rule="plan_from_query")
-        optimized = optimize_plan(plan, stats, verifier=verifier)
-        if verifier is not None:
-            verifier.verify_plan(optimized, rule="optimize_plan")
+        _verified(verifier, plan, "plan_from_query", verify_mode)
+        with trace_span(SPAN_OPTIMIZE):
+            optimized = optimize_plan(plan, stats, verifier=verifier)
+        _verified(verifier, optimized, "optimize_plan", verify_mode)
         return optimized
     verifier = PlanVerifier(mode=verify_mode) if verify else None
-    if verifier is not None:
-        verifier.verify_plan(plan, rule="plan_from_query")
+    _verified(verifier, plan, "plan_from_query", verify_mode)
     fused = fuse_joins(plan, verifier)
-    if verifier is not None:
-        verifier.verify_plan(fused, rule="fuse_joins")
+    _verified(verifier, fused, "fuse_joins", verify_mode)
     return fused
 
 

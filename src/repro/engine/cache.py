@@ -26,6 +26,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, Set, Tuple
 
+from repro.obs.metrics import CacheStats
+
 
 class PlanCache:
     """A bounded LRU mapping plan keys to planned :class:`PlanNode` trees.
@@ -52,10 +54,11 @@ class PlanCache:
         self._by_dependency: Dict[
             Tuple[Hashable, str], Set[Hashable]
         ] = {}  # guarded-by: _lock
-        self._hits = 0  # guarded-by: _lock
-        self._misses = 0  # guarded-by: _lock
-        self._evictions = 0  # guarded-by: _lock
-        self._invalidations = 0  # guarded-by: _lock
+        # All hit/miss/eviction/invalidation accounting goes through the
+        # shared CacheStats helper, constructed over this cache's own
+        # (re-entrant) lock so counter updates from inside locked
+        # sections stay under the same lock — never a bare increment.
+        self._stats = CacheStats(lock=self._lock)
 
     @property
     def capacity(self) -> int:
@@ -70,10 +73,10 @@ class PlanCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
+                self._stats.miss()
                 return None
             self._entries.move_to_end(key)
-            self._hits += 1
+            self._stats.hit()
             return entry[0]
 
     def put(
@@ -97,7 +100,7 @@ class PlanCache:
                 oldest = next(iter(self._entries))
                 self._unindex(oldest)  # before the pop: _unindex reads the entry
                 del self._entries[oldest]
-                self._evictions += 1
+                self._stats.evicted()
 
     def invalidate(self, scope: Hashable, names: Iterable[str]) -> int:
         """Evict entries of *scope* that read any of *names*; return count."""
@@ -108,7 +111,7 @@ class PlanCache:
             for key in stale:
                 self._unindex(key)
                 self._entries.pop(key, None)
-            self._invalidations += len(stale)
+            self._stats.invalidated(len(stale))
             return len(stale)
 
     def clear(self) -> None:
@@ -116,17 +119,22 @@ class PlanCache:
             self._entries.clear()
             self._by_dependency.clear()
 
+    def contains(self, key: Hashable) -> bool:
+        """Whether *key* is present — no LRU touch, no counter update.
+
+        EXPLAIN ANALYZE uses this to report cache provenance without
+        perturbing the statistics it is reporting on.
+        """
+        with self._lock:
+            return key in self._entries
+
     def stats(self) -> Dict[str, int]:
         """Counters since construction (``clear`` does not reset them)."""
         with self._lock:
-            return {
-                "entries": len(self._entries),
-                "capacity": self._capacity,
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "invalidations": self._invalidations,
-            }
+            counters = self._stats.as_dict()
+            counters["entries"] = len(self._entries)
+            counters["capacity"] = self._capacity
+            return counters
 
     def _unindex(self, key: Hashable) -> None:  # requires-lock: _lock
         entry = self._entries.get(key)

@@ -32,6 +32,9 @@ executor:
   (``auto`` / ``enumerate`` / ``shannon`` / ``wmc``).  CI's wmc matrix
   entry runs the whole tier-1 suite with every probability terminal on
   the compiled d-DNNF route.
+- ``REPRO_TRACE`` — default for ``trace`` (truthy values as above).
+  CI's traced matrix entry runs the whole tier-1 suite with per-query
+  tracing on, so the instrumented paths stay continuously exercised.
 
 Explicit constructor arguments always win over the environment.
 """
@@ -150,6 +153,12 @@ class ExecutionConfig:
       on the interned lineage and a distribution fingerprint;
       invalidated with the result cache per relation on re-``register``);
       ``0`` disables circuit caching.
+    - ``trace`` — record a hierarchical span trace (parse → plan →
+      verify → lower → execute, with per-operator actuals) for every
+      query executed through a prepared query; read it back via
+      ``Engine.last_trace()``.  Off by default: the disabled path costs
+      one integer comparison per instrumentation point.  The knob never
+      changes answers, so it is excluded from result-cache keys.
     """
 
     optimize: bool = True
@@ -180,6 +189,9 @@ class ExecutionConfig:
         )
     )
     circuit_cache_size: int = 256
+    trace: bool = field(
+        default_factory=lambda: _env_flag("REPRO_TRACE", False)
+    )
 
     def __post_init__(self) -> None:
         if self.executor not in ("interpreted", "vectorized", "parallel"):

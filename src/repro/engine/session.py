@@ -29,8 +29,10 @@ so existing code and the paper-artifact tests run unchanged.
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 from fractions import Fraction
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -80,6 +82,17 @@ from repro.physical import (
 from repro.prob.pctable import PCTable
 from repro.engine.cache import CircuitCache, PlanCache, ResultCache
 from repro.engine.config import ExecutionConfig
+from repro.obs.explain import render_analyze
+from repro.obs.metrics import MetricsRegistry, global_metrics, render_prometheus
+from repro.obs.names import (
+    QUERIES_TOTAL,
+    QUERY_SECONDS,
+    SPAN_EXECUTE,
+    SPAN_LOWER,
+    SPAN_PARSE,
+    SPAN_PLAN,
+)
+from repro.obs.trace import TraceCollector, Tracer, current_tracer, trace_span
 
 
 def bind_single_table(query: Query, table: CTable) -> Dict[str, CTable]:
@@ -221,6 +234,11 @@ class Engine:
         # it runs under its own small lock (the GIL does not make the
         # compound read-modify-write atomic).
         self._query_interning: Dict[Query, Query] = {}  # guarded-by: _intern_lock
+        self._metrics = MetricsRegistry()
+        self._trace_lock = threading.Lock()
+        # The most recent per-query trace (JSON-ready dict), written by
+        # traced executions and EXPLAIN ANALYZE.
+        self._last_trace: Optional[Dict[str, Any]] = None  # guarded-by: _trace_lock
 
     @property
     def config(self) -> ExecutionConfig:
@@ -246,6 +264,57 @@ class Engine:
 
     def clear_circuit_cache(self) -> None:
         self._circuit_cache.clear()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This engine's metrics registry (query counters, latencies)."""
+        return self._metrics
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One stable dict of everything the engine can observe.
+
+        ``"caches"`` holds the unified hit/miss/size stats of all four
+        caches (plan, result, circuit, and the memoized evaluation
+        cache); ``"engine"`` this engine's own registry (per-query
+        counters and latency histograms); ``"process"`` the process-wide
+        registry the module-level subsystems report to — optimizer
+        rule fire/no-fire counts and SAT/BDD/DPLL/WMC solver-call
+        counters.  Key order is deterministic, so snapshots diff
+        cleanly across runs.
+        """
+        from repro.logic.evaluation import evaluation_cache_stats
+
+        return {
+            "caches": {
+                "circuit": self._circuit_cache.stats(),
+                "evaluation": evaluation_cache_stats(),
+                "plan": self._plan_cache.stats(),
+                "result": self._result_cache.stats(),
+            },
+            "engine": self._metrics.snapshot(),
+            "process": global_metrics().snapshot(),
+        }
+
+    def metrics_prometheus(self) -> str:
+        """The metrics snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.metrics_snapshot())
+
+    def last_trace(self) -> Optional[Dict[str, Any]]:
+        """The most recent per-query trace dict (``trace=True`` or
+        EXPLAIN ANALYZE), or None when nothing has been traced yet."""
+        with self._trace_lock:
+            return self._last_trace
+
+    def last_trace_json(self, indent: Optional[int] = 2) -> Optional[str]:
+        """The most recent trace as deterministic JSON (keys sorted)."""
+        trace = self.last_trace()
+        if trace is None:
+            return None
+        return json.dumps(trace, indent=indent, sort_keys=True, default=str)
+
+    def _store_trace(self, trace: Dict[str, Any]) -> None:
+        with self._trace_lock:
+            self._last_trace = trace
 
     def condition_probability(
         self,
@@ -601,15 +670,20 @@ class Session:
         executor: Optional[str] = None,
         num_workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> "PreparedQuery":
         """Normalize, bind, and wrap *query* for repeated execution.
 
         The executor knobs (``executor``/``num_workers``/``morsel_size``)
         override the engine config per prepared query; the answer is
-        identical whichever executor runs it.
+        identical whichever executor runs it.  ``trace=True`` records a
+        span trace per execution (see ``Engine.last_trace()``).
         """
+        parse_seconds: Optional[float] = None
         if isinstance(query, str):
+            started = perf_counter()
             query = self.parse(query)
+            parse_seconds = perf_counter() - started
         query = self._engine.intern_query(query)
         # Structured pre-translation diagnostics: unknown relations and
         # arity mismatches surface here, naming the nearest registered
@@ -627,8 +701,9 @@ class Session:
             executor=executor,
             num_workers=num_workers,
             morsel_size=morsel_size,
+            trace=trace,
         )
-        return PreparedQuery(self, query, config)
+        return PreparedQuery(self, query, config, parse_seconds)
 
     def query(self, query: Union[Query, str], **options: Any) -> "Dataset":
         """The lazy entry point: ``session.query(q).certain()`` etc."""
@@ -685,14 +760,21 @@ class PreparedQuery:
     :class:`Dataset` terminal — reuses the identical plan object.
     """
 
-    __slots__ = ("_session", "_query", "_config")
+    __slots__ = ("_session", "_query", "_config", "_parse_seconds")
 
     def __init__(
-        self, session: Session, query: Query, config: ExecutionConfig
+        self,
+        session: Session,
+        query: Query,
+        config: ExecutionConfig,
+        parse_seconds: Optional[float] = None,
     ) -> None:
         self._session = session
         self._query = query
         self._config = config
+        # Wall seconds spent parsing the query text (None when prepared
+        # from an AST); surfaces as the trace's parse span.
+        self._parse_seconds = parse_seconds
 
     @property
     def query(self) -> Query:
@@ -706,29 +788,38 @@ class PreparedQuery:
     def session(self) -> Session:
         return self._session
 
-    def _plan_entry(self) -> _PlanEntry:
-        """The cached (logical, lazily-lowered physical) plan pair."""
+    def _plan_key(self) -> Tuple[object, ...]:
         session = self._session
-        engine = session.engine
-        key = (
+        return (
             session._id,
             self._query,
             session._fingerprint(self._query),
             self._config.optimize,
         )
+
+    def _plan_entry(self) -> _PlanEntry:
+        """The cached (logical, lazily-lowered physical) plan pair."""
+        session = self._session
+        engine = session.engine
+        key = self._plan_key()
         cache = engine._plan_cache
         entry = cache.get(key)
         if entry is None:
             names = frozenset(self._query.relation_names())
-            logical = build_plan(
-                self._query,
-                lambda: {name: session.stats(name) for name in names},
-                self._config.optimize,
-                verify=self._config.verify_plans,
-                verify_mode=self._config.verify_mode,
-            )
+            with trace_span(SPAN_PLAN, cached=False):
+                logical = build_plan(
+                    self._query,
+                    lambda: {name: session.stats(name) for name in names},
+                    self._config.optimize,
+                    verify=self._config.verify_plans,
+                    verify_mode=self._config.verify_mode,
+                )
             entry = _PlanEntry(logical)
             cache.put(key, entry, session._id, names)
+        else:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.event(SPAN_PLAN, cached=True)
         return entry
 
     def plan(self) -> PlanNode:
@@ -764,9 +855,10 @@ class PreparedQuery:
                 if self._config.verify_plans
                 else None
             )
-            lowered = lower(
-                entry.logical, stats, parallel=spec, verifier=verifier
-            )
+            with trace_span(SPAN_LOWER, morsel_size=key):
+                lowered = lower(
+                    entry.logical, stats, parallel=spec, verifier=verifier
+                )
             entry.physical[key] = lowered
         return lowered
 
@@ -789,49 +881,117 @@ class PreparedQuery:
         A repeated identical read — same session state, same query, same
         config — is served from the engine's result cache without
         executing (or even lowering) any plan; ``register`` invalidates
-        per relation name.
+        per relation name.  With ``trace=True`` in the config, a span
+        trace of the execution lands in ``Engine.last_trace()``.
         """
+        if not self._config.trace:
+            return self._execute()
         engine = self._session.engine
-        results = engine._result_cache
-        key = self._result_key()
-        answered = results.get(key)
-        if answered is not None:
-            return answered
-        bindings = self._session._bindings(self._query)
-        if self._config.executor == "vectorized":
-            answered = execute_physical(
-                self.physical_plan(),
-                bindings,
-                simplify_conditions=self._config.simplify_conditions,
-            )
-        elif self._config.executor == "parallel":
-            answered = execute_parallel(
-                self.physical_plan(),
-                bindings,
-                num_workers=self._config.num_workers,
-                morsel_size=self._config.morsel_size,
-                simplify_conditions=self._config.simplify_conditions,
-            )
-        else:
-            answered = execute_plan(
-                self.plan(),
-                bindings,
-                simplify_conditions=self._config.simplify_conditions,
-            )
-        results.put(
-            key,
-            answered,
-            self._session._id,
-            frozenset(self._query.relation_names()),
-        )
+        tracer = Tracer(query=repr(self._query))
+        with tracer.activate():
+            if self._parse_seconds is not None:
+                tracer.event(SPAN_PARSE, seconds=self._parse_seconds)
+            answered = self._execute()
+        engine._store_trace(tracer.to_dict())
         return answered
 
-    def explain(self, physical: bool = False) -> str:
+    def _execute(
+        self,
+        collector: Optional[TraceCollector] = None,
+        use_result_cache: bool = True,
+    ) -> CTable:
+        """The execution body; runs under whatever tracer is active."""
+        engine = self._session.engine
+        config = self._config
+        results = engine._result_cache
+        key = self._result_key()
+        if use_result_cache:
+            answered = results.get(key)
+            if answered is not None:
+                engine._metrics.counter(
+                    QUERIES_TOTAL,
+                    labels={"cached": "true", "executor": config.executor},
+                )
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.event(
+                        SPAN_EXECUTE, cached=True, executor=config.executor
+                    )
+                return answered
+        bindings = self._session._bindings(self._query)
+        if (
+            collector is None
+            and config.executor != "interpreted"
+            and current_tracer() is not None
+        ):
+            collector = TraceCollector()
+        # Resolve planning and lowering before the execute span opens so
+        # the plan/lower spans render as siblings of execute, not inside
+        # it — and so the summary below never re-enters _plan_entry.
+        physical: Optional[PhysicalOp] = None
+        if config.executor == "interpreted":
+            logical = self.plan()
+        else:
+            physical = self.physical_plan()
+        started = perf_counter()
+        with trace_span(
+            SPAN_EXECUTE, cached=False, executor=config.executor
+        ) as span:
+            if physical is None:
+                answered = execute_plan(
+                    logical,
+                    bindings,
+                    simplify_conditions=config.simplify_conditions,
+                )
+            elif config.executor == "parallel":
+                answered = execute_parallel(
+                    physical,
+                    bindings,
+                    num_workers=config.num_workers,
+                    morsel_size=config.morsel_size,
+                    simplify_conditions=config.simplify_conditions,
+                    collector=collector,
+                )
+            else:
+                answered = execute_physical(
+                    physical,
+                    bindings,
+                    simplify_conditions=config.simplify_conditions,
+                    collector=collector,
+                )
+            if span is not None and collector is not None:
+                span.attrs["operators"] = collector.summary(physical)
+        engine._metrics.counter(
+            QUERIES_TOTAL,
+            labels={"cached": "false", "executor": config.executor},
+        )
+        engine._metrics.histogram(
+            QUERY_SECONDS,
+            perf_counter() - started,
+            labels={"executor": config.executor},
+        )
+        if use_result_cache:
+            results.put(
+                key,
+                answered,
+                self._session._id,
+                frozenset(self._query.relation_names()),
+            )
+        return answered
+
+    def explain(self, physical: bool = False, analyze: bool = False) -> str:
         """Render the cached plan with cardinality/condition estimates.
 
         ``physical=True`` renders the lowered operator tree instead —
         the hash-join build sides and filter strategies actually chosen.
+        ``analyze=True`` *executes* the query under tracing and renders
+        the physical tree with estimated-vs-actual cardinalities,
+        per-operator wall time, morsel counts, cache-hit provenance,
+        and a drift flag on operators whose actuals diverge ≥4× from
+        the estimates.
         """
+        if analyze:
+            return self._explain_analyze()
         if physical:
             return explain_physical(self.physical_plan())
         stats = {
@@ -839,6 +999,62 @@ class PreparedQuery:
             for name in self._query.relation_names()
         }
         return explain_plan(self.plan(), stats)
+
+    def _explain_analyze(self) -> str:
+        """Execute under full instrumentation and render the actuals.
+
+        Always re-executes (a memoized answer has no actuals to report)
+        and bypasses the result cache in both directions, so repeated
+        EXPLAIN ANALYZE calls measure real work and never pollute the
+        cache statistics they report on.  The interpreted executor has
+        no per-operator kernels to time, so it is analyzed through the
+        structurally identical vectorized lowering.
+        """
+        session = self._session
+        engine = session.engine
+        config = self._config
+        executor = (
+            config.executor if config.executor != "interpreted" else "vectorized"
+        )
+        result_cached = engine._result_cache.contains(self._result_key())
+        collector = TraceCollector()
+        tracer = Tracer(query=repr(self._query))
+        with tracer.activate():
+            if self._parse_seconds is not None:
+                tracer.event(SPAN_PARSE, seconds=self._parse_seconds)
+            physical_tree = self.physical_plan()
+            bindings = session._bindings(self._query)
+            with tracer.span(
+                SPAN_EXECUTE, cached=False, executor=executor
+            ) as span:
+                if executor == "parallel":
+                    execute_parallel(
+                        physical_tree,
+                        bindings,
+                        num_workers=config.num_workers,
+                        morsel_size=config.morsel_size,
+                        simplify_conditions=config.simplify_conditions,
+                        collector=collector,
+                    )
+                else:
+                    execute_physical(
+                        physical_tree,
+                        bindings,
+                        simplify_conditions=config.simplify_conditions,
+                        collector=collector,
+                    )
+                span.attrs["operators"] = collector.summary(physical_tree)
+        engine._store_trace(tracer.to_dict())
+        spec = self._parallel_spec()
+        return render_analyze(
+            physical_tree,
+            collector,
+            tracer,
+            executor=executor,
+            num_workers=None if spec is None else spec.num_workers,
+            morsel_size=None if spec is None else spec.morsel_size,
+            result_cached=result_cached,
+        )
 
     def dataset(self) -> "Dataset":
         return Dataset(self)
@@ -919,7 +1135,7 @@ class Dataset:
             )
         return PCTable(answered, distributions)
 
-    def explain(self, physical: bool = False) -> str:
+    def explain(self, physical: bool = False, analyze: bool = False) -> str:
         """The executed plan, annotated with estimates.
 
         Once the dataset has collected, the plan and statistics are part
@@ -927,7 +1143,13 @@ class Dataset:
         the memoized answer, not whatever a later ``register`` would
         plan.  ``physical=True`` renders the lowered physical operator
         tree (build sides, filter strategies) instead of the logical one.
+        ``analyze=True`` re-executes the query under tracing against the
+        session's *current* tables and renders estimated-vs-actual
+        cardinalities per operator (the memoized answer itself is
+        untouched).
         """
+        if analyze:
+            return self._prepared.explain(analyze=True)
         if self._plan is not None:
             if physical:
                 return explain_physical(

@@ -64,6 +64,8 @@ from typing import (
 from repro.errors import ConditionError
 from repro.logic.atoms import BoolVar, Const, Eq, Var
 from repro.logic.cnf import Clause, tseitin_clauses
+from repro.obs.metrics import counter
+from repro.obs.names import DDNNF_COMPILE_TOTAL, WMC_COUNT_TOTAL
 from repro.logic.syntax import (
     BOTTOM,
     TOP,
@@ -448,6 +450,7 @@ def _compile(
 
 def compile_cnf(clauses: Iterable[Clause], num_vars: int) -> "DDNNF":
     """Compile a CNF into a d-DNNF circuit counting over *num_vars* variables."""
+    counter(DDNNF_COMPILE_TOTAL)
     cache: Dict[FrozenSet[Clause], DNode] = {}
     root = _compile(frozenset(clauses), cache)
     return DDNNF(root, num_vars)
@@ -510,6 +513,7 @@ class DDNNF:
         correct for arbitrary weights — not only probability pairs that
         sum to 1.
         """
+        counter(WMC_COUNT_TOTAL)
         total: Dict[int, Fraction] = {
             v: pos[v] + neg[v] for v in range(1, self.num_vars + 1)
         }

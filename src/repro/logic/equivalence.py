@@ -55,6 +55,8 @@ from repro.logic.cnf import AtomMap, tseitin_clauses
 # what "realizable over infinite D" means.
 from repro.logic.equality_sat import _theory_consistent
 from repro.logic.sat import Solver
+from repro.obs.metrics import counter
+from repro.obs.names import EQUIV_BDD_TOTAL, EQUIV_SAT_TOTAL
 from repro.logic.syntax import (
     BOTTOM,
     TOP,
@@ -99,6 +101,7 @@ def distinguishing_assignment(
     symmetric difference whose equality constraints are realizable; it
     may be empty when the difference holds under every valuation.
     """
+    counter(EQUIV_SAT_TOTAL)
     difference = xor_condition(left, right)
     if difference is BOTTOM:
         return None
@@ -196,6 +199,7 @@ def _find_theory_path(
 
 
 def _bdd_equivalent(left: Formula, right: Formula) -> bool:
+    counter(EQUIV_BDD_TOTAL)
     atom_map = AtomMap()
     atoms = sorted(left.atoms() | right.atoms(), key=repr)
     names: Dict[Formula, str] = {}

@@ -34,6 +34,7 @@ from typing import Callable, Hashable, Mapping, Tuple, TypeVar
 
 from repro.errors import ValuationError
 from repro.logic.atoms import BoolVar, Const, Eq, Term, Var
+from repro.obs.metrics import CacheStats
 from repro.logic.syntax import (
     BOTTOM,
     TOP,
@@ -64,6 +65,13 @@ _CACHE_LIMIT = 1 << 12
 _memoized_nodes: "weakref.WeakSet" = weakref.WeakSet()
 _cache_enabled = True
 
+#: Unified hit/miss accounting for the memo caches, in the same
+#: `CacheStats` shape as the engine's plan/result/circuit caches.
+#: Evictions count entries dropped by wholesale memo flushes at
+#: ``_CACHE_LIMIT``; invalidations count entries dropped by
+#: :func:`clear_evaluation_caches`.
+_stats = CacheStats()
+
 
 def set_evaluation_cache(enabled: bool) -> None:
     """Enable or disable the evaluate/partial_evaluate memo caches.
@@ -78,17 +86,27 @@ def set_evaluation_cache(enabled: bool) -> None:
 
 def clear_evaluation_caches() -> None:
     """Drop every memoized evaluation result."""
+    dropped = 0
     for node in list(_memoized_nodes):
         for slot in ("_ememo", "_pmemo"):
             try:
-                getattr(node, slot).clear()
+                memo = getattr(node, slot)
             except AttributeError:
-                pass
+                continue
+            dropped += len(memo)
+            memo.clear()
     _memoized_nodes.clear()
+    if dropped:
+        _stats.invalidated(dropped)
 
 
 def evaluation_cache_stats() -> dict:
-    """Return current sizes of the evaluation memo caches."""
+    """Sizes plus unified hit/miss counters of the evaluation memo caches.
+
+    The counter keys (``hits``/``misses``/``evictions``/``invalidations``)
+    match the other engine caches, so ``Engine.metrics_snapshot()`` can
+    present all four caches uniformly.
+    """
     evaluate_entries = 0
     partial_entries = 0
     for node in _memoized_nodes:
@@ -100,11 +118,11 @@ def evaluation_cache_stats() -> dict:
             partial_entries += len(node._pmemo)
         except AttributeError:
             pass
-    return {
-        "enabled": _cache_enabled,
-        "evaluate_entries": evaluate_entries,
-        "partial_evaluate_entries": partial_entries,
-    }
+    stats: dict = dict(_stats.as_dict())
+    stats["enabled"] = _cache_enabled
+    stats["evaluate_entries"] = evaluate_entries
+    stats["partial_evaluate_entries"] = partial_entries
+    return stats
 
 
 def _node_memo(formula: Formula, slot: str) -> dict:
@@ -138,9 +156,12 @@ def _memoized(
     )
     cached = memo.get(key)
     if cached is not None:
+        _stats.hit()
         return cached
+    _stats.miss()
     result = compute(formula, valuation)
     if len(memo) >= _CACHE_LIMIT:
+        _stats.evicted(len(memo))
         memo.clear()
     memo[key] = result
     return result

@@ -16,6 +16,13 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
 
+from repro.obs.metrics import counter
+from repro.obs.names import (
+    DPLL_RECURSIONS_TOTAL,
+    SAT_ENUMERATE_TOTAL,
+    SAT_SOLVE_TOTAL,
+)
+
 Clause = FrozenSet[int]
 Assignment = Dict[int, bool]
 
@@ -34,6 +41,7 @@ class Solver:
         The returned assignment covers every variable occurring in the
         clauses (unconstrained variables default to False).
         """
+        counter(SAT_SOLVE_TOTAL)
         clause_list = [frozenset(clause) for clause in clauses]
         variables = {abs(lit) for clause in clause_list for lit in clause}
         assignment = _dpll(clause_list, {})
@@ -49,6 +57,7 @@ class Solver:
         Enumeration proceeds by solving, then blocking the found model and
         re-solving; fine for the small counts the tests need.
         """
+        counter(SAT_ENUMERATE_TOTAL)
         clause_list: List[Clause] = [frozenset(clause) for clause in clauses]
         variables = sorted(
             {abs(lit) for clause in clause_list for lit in clause}
@@ -119,6 +128,7 @@ def _choose_variable(clauses: List[Clause]) -> int:
 
 
 def _dpll(clauses: List[Clause], assignment: Assignment) -> Optional[Assignment]:
+    counter(DPLL_RECURSIONS_TOTAL)
     assignment = dict(assignment)
     simplified = _unit_propagate(list(clauses), assignment)
     if simplified is None:

@@ -1,0 +1,324 @@
+"""Thread-safe metrics: counters, gauges, histograms, and cache stats.
+
+Two registries exist: a process-wide default (module subsystems —
+optimizer, SAT solver, knowledge compiler — report here) and a
+per-`Engine` instance for query-level metrics.  Both are plain
+`MetricsRegistry` objects; `Engine.metrics_snapshot()` merges the two
+views together with the unified cache statistics.
+
+`CacheStats` is the single hit/miss/eviction/invalidation counter
+bundle shared by every cache in the system (plan, result, circuit, and
+the memoized evaluation cache).  It can wrap an externally owned lock
+so a cache that already serialises its structure can reuse the same
+lock for its counters — the counters are then updated under exactly
+the lock named by the cache's ``# guarded-by:`` annotations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
+
+
+class LockLike(Protocol):
+    """Structural type for `threading.Lock`/`RLock` used as context managers."""
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> object: ...
+
+
+#: Canonicalised label set: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+#: Accepted label values at call sites.
+Labels = Mapping[str, object]
+
+_EMPTY_LABELS: LabelKey = ()
+
+
+def _label_key(labels: Optional[Labels]) -> LabelKey:
+    if not labels:
+        return _EMPTY_LABELS
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _label_text(key: LabelKey) -> str:
+    return ",".join(f"{name}={value}" for name, value in key)
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max.
+
+    Mutated only by `MetricsRegistry` while holding the registry lock.
+    """
+
+    __slots__ = ("count", "maximum", "minimum", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        self.count += 1
+        self.total += value
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "max": self.maximum,
+            "min": self.minimum,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of labelled counters, gauges, and histograms."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[LabelKey, float]] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Dict[LabelKey, float]] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Dict[LabelKey, Histogram]] = {}  # guarded-by: _lock
+
+    def counter(
+        self, name: str, amount: float = 1.0, labels: Optional[Labels] = None
+    ) -> None:
+        """Increment the counter ``name`` (monotonic) by ``amount``."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + amount
+
+    def gauge(self, name: str, value: float, labels: Optional[Labels] = None) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = value
+
+    def histogram(
+        self, name: str, value: float, labels: Optional[Labels] = None
+    ) -> None:
+        """Record one observation of ``value`` under histogram ``name``."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            summary = series.get(key)
+            if summary is None:
+                summary = Histogram()
+                series[key] = summary
+            summary.observe(value)
+
+    def counter_value(self, name: str, labels: Optional[Labels] = None) -> float:
+        """Current value of one counter series (0.0 when never incremented)."""
+        key = _label_key(labels)
+        with self._lock:
+            return self._counters.get(name, {}).get(key, 0.0)
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Deterministic nested dict of every series, sorted by name/labels."""
+        with self._lock:
+            counters = {
+                name: dict(sorted(series.items()))
+                for name, series in sorted(self._counters.items())
+            }
+            gauges = {
+                name: dict(sorted(series.items()))
+                for name, series in sorted(self._gauges.items())
+            }
+            histograms = {
+                name: {key: summary.as_dict() for key, summary in sorted(series.items())}
+                for name, series in sorted(self._histograms.items())
+            }
+        return {
+            "counters": {
+                name: {_label_text(key): value for key, value in series.items()}
+                for name, series in counters.items()
+            },
+            "gauges": {
+                name: {_label_text(key): value for key, value in series.items()}
+                for name, series in gauges.items()
+            },
+            "histograms": {
+                name: {_label_text(key): summary for key, summary in series.items()}
+                for name, series in histograms.items()
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every recorded series (test isolation hook)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class CacheStats:
+    """Unified hit/miss/eviction/invalidation counters for one cache.
+
+    When ``lock`` is given (re-entrant for callers that mutate while
+    already holding it), the counters share the owning cache's lock;
+    otherwise a private lock is created.
+    """
+
+    __slots__ = ("_evictions", "_hits", "_invalidations", "_lock", "_misses")
+
+    def __init__(self, lock: Optional[LockLike] = None) -> None:
+        self._lock = lock if lock is not None else threading.RLock()
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
+
+    def hit(self) -> None:
+        with self._lock:
+            self._hits += 1
+
+    def miss(self) -> None:
+        with self._lock:
+            self._misses += 1
+
+    def evicted(self, count: int = 1) -> None:
+        with self._lock:
+            self._evictions += count
+
+    def invalidated(self, count: int = 1) -> None:
+        with self._lock:
+            self._invalidations += count
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "evictions": self._evictions,
+                "hits": self._hits,
+                "invalidations": self._invalidations,
+                "misses": self._misses,
+            }
+
+
+# The process-wide default registry.  Module-level subsystems (optimizer,
+# SAT solver, d-DNNF compiler) have no Engine handle, so they report here
+# via the free functions below; `Engine.metrics_snapshot()` folds this
+# registry into its "process" section.
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry shared by module-level subsystems."""
+    return _GLOBAL
+
+
+def counter(name: str, amount: float = 1.0, labels: Optional[Labels] = None) -> None:
+    """Increment a counter on the process-wide registry."""
+    _GLOBAL.counter(name, amount, labels)
+
+
+def gauge(name: str, value: float, labels: Optional[Labels] = None) -> None:
+    """Set a gauge on the process-wide registry."""
+    _GLOBAL.gauge(name, value, labels)
+
+
+def histogram(name: str, value: float, labels: Optional[Labels] = None) -> None:
+    """Record a histogram observation on the process-wide registry."""
+    _GLOBAL.histogram(name, value, labels)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition.
+# ---------------------------------------------------------------------------
+
+
+def _prometheus_labels(label_text: str) -> str:
+    if not label_text:
+        return ""
+    rendered = ",".join(
+        f'{pair.split("=", 1)[0]}="{pair.split("=", 1)[1]}"'
+        for pair in label_text.split(",")
+    )
+    return "{" + rendered + "}"
+
+
+def _registry_lines(
+    snapshot: Mapping[str, Mapping[str, Mapping[str, object]]], prefix: str
+) -> Iterator[str]:
+    for name, series in snapshot.get("counters", {}).items():
+        yield f"# TYPE {prefix}{name} counter"
+        for label_text, value in series.items():
+            yield f"{prefix}{name}{_prometheus_labels(label_text)} {value}"
+    for name, series in snapshot.get("gauges", {}).items():
+        yield f"# TYPE {prefix}{name} gauge"
+        for label_text, value in series.items():
+            yield f"{prefix}{name}{_prometheus_labels(label_text)} {value}"
+    for name, series in snapshot.get("histograms", {}).items():
+        yield f"# TYPE {prefix}{name} summary"
+        for label_text, summary in series.items():
+            if not isinstance(summary, Mapping):
+                continue
+            labels = _prometheus_labels(label_text)
+            yield f"{prefix}{name}_count{labels} {summary.get('count', 0.0)}"
+            yield f"{prefix}{name}_sum{labels} {summary.get('sum', 0.0)}"
+
+
+def render_prometheus(
+    snapshot: Mapping[str, object], prefix: str = "repro_"
+) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Accepts either a bare `MetricsRegistry.snapshot()` dict or the
+    nested `Engine.metrics_snapshot()` dict (detected by its ``caches``
+    key, whose per-cache stats become ``<prefix>cache_<stat>{cache=...}``
+    gauges).
+    """
+    lines: List[str] = []
+    caches = snapshot.get("caches")
+    if isinstance(caches, Mapping):
+        stat_names = sorted(
+            {
+                stat
+                for stats in caches.values()
+                if isinstance(stats, Mapping)
+                for stat, value in stats.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+        )
+        for stat in stat_names:
+            lines.append(f"# TYPE {prefix}cache_{stat} gauge")
+            for cache_name in sorted(caches):
+                stats = caches[cache_name]
+                if isinstance(stats, Mapping) and stat in stats:
+                    lines.append(
+                        f'{prefix}cache_{stat}{{cache="{cache_name}"}} {stats[stat]}'
+                    )
+        for section in ("engine", "process"):
+            registry = snapshot.get(section)
+            if isinstance(registry, Mapping):
+                lines.extend(_registry_lines(registry, prefix))
+    else:
+        lines.extend(_registry_lines(snapshot, prefix))  # type: ignore[arg-type]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = [
+    "CacheStats",
+    "Histogram",
+    "LabelKey",
+    "Labels",
+    "LockLike",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "global_metrics",
+    "histogram",
+    "render_prometheus",
+]

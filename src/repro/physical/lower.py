@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ctalgebra.verify import PlanVerifier
+    from repro.obs.trace import TraceCollector
     from repro.physical.parallel import ParallelSpec
 
 from repro.errors import QueryError
@@ -257,9 +258,16 @@ def execute_physical(
     physical: PhysicalOp,
     tables: Mapping[str, CTable],
     simplify_conditions: bool = False,
+    collector: Optional["TraceCollector"] = None,
 ) -> CTable:
-    """Run a lowered operator tree against bound tables."""
-    context = ExecContext(tables, simplify_conditions=simplify_conditions)
+    """Run a lowered operator tree against bound tables.
+
+    *collector* (EXPLAIN ANALYZE / tracing) receives per-operator
+    actuals; None leaves the execution path untouched.
+    """
+    context = ExecContext(
+        tables, simplify_conditions=simplify_conditions, collector=collector
+    )
     return physical.execute(context).to_ctable()
 
 

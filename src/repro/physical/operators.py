@@ -40,6 +40,7 @@ structurally identical.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -55,6 +56,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.instance import Instance
     from repro.ctalgebra.plan import PlanNode
+    from repro.obs.trace import TraceCollector
 
 from repro.errors import ArityError, QueryError, nearest_name
 from repro.logic.atoms import Const, Term, eq
@@ -73,15 +75,25 @@ _BuildIndex = Tuple[Dict[tuple, List[int]], List[int], List[bool]]
 class ExecContext:
     """Per-execution state: table bindings plus shared memo tables."""
 
-    __slots__ = ("tables", "simplify_conditions", "_scan_batches", "_simplify_memo")
+    __slots__ = (
+        "tables",
+        "simplify_conditions",
+        "collector",
+        "_scan_batches",
+        "_simplify_memo",
+    )
 
     def __init__(
         self,
         tables: Mapping[str, CTable],
         simplify_conditions: bool = False,
+        collector: Optional["TraceCollector"] = None,
     ) -> None:
         self.tables = tables
         self.simplify_conditions = simplify_conditions
+        #: Per-operator actuals sink (EXPLAIN ANALYZE / tracing); None —
+        #: the overwhelmingly common case — keeps execution untouched.
+        self.collector = collector
         self._scan_batches: Dict[str, Batch] = {}
         self._simplify_memo: Dict[Formula, Formula] = {}
 
@@ -179,7 +191,13 @@ class PhysicalOp:
     def execute(self, ctx: ExecContext) -> Batch:
         """Pull the children and process them — the serial path."""
         inputs = tuple(child.execute(ctx) for child in self.children())
-        return self.compute(ctx, inputs)
+        collector = ctx.collector
+        if collector is None:
+            return self.compute(ctx, inputs)
+        started = perf_counter()
+        output = self.compute(ctx, inputs)
+        collector.record(self, inputs, output, perf_counter() - started)
+        return output
 
     def compute(self, ctx: ExecContext, inputs: Tuple[Batch, ...]) -> Batch:
         """Process already-materialized input batches."""

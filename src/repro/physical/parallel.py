@@ -49,6 +49,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -65,6 +66,7 @@ from repro.tables.ctable import CTable
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ctalgebra.plan import PlanNode, TableStats
     from repro.ctalgebra.verify import PlanVerifier
+    from repro.obs.trace import OperatorRecord, TraceCollector
 from repro.physical.batch import Batch
 from repro.physical.operators import (
     DifferenceOp,
@@ -169,7 +171,7 @@ class MorselScheduler:
     else falls through to the operator's own serial ``compute``.
     """
 
-    __slots__ = ("context", "pool", "morsel_size")
+    __slots__ = ("context", "pool", "morsel_size", "_record")
 
     def __init__(
         self,
@@ -182,6 +184,10 @@ class MorselScheduler:
         self.context = context
         self.pool = pool
         self.morsel_size = morsel_size
+        #: The collector record of the operator currently being computed
+        #: on this (scheduling) thread — lets ``_map`` attribute morsels
+        #: and workers without threading it through every handler.
+        self._record: Optional["OperatorRecord"] = None
 
     # ------------------------------------------------------------------
     # Tree walk
@@ -189,6 +195,18 @@ class MorselScheduler:
 
     def execute(self, op: PhysicalOp) -> Batch:
         inputs = tuple(self.execute(child) for child in op.children())
+        collector = self.context.collector
+        if collector is None:
+            return self._compute(op, inputs)
+        previous = self._record
+        self._record = collector.open(op)
+        started = perf_counter()
+        output = self._compute(op, inputs)
+        collector.record(op, inputs, output, perf_counter() - started)
+        self._record = previous
+        return output
+
+    def _compute(self, op: PhysicalOp, inputs: Tuple[Batch, ...]) -> Batch:
         if op.par_decision == "parallel":
             handler = _HANDLERS.get(type(op))
             if handler is not None:
@@ -202,6 +220,20 @@ class MorselScheduler:
         ``num_workers == 1`` plus pool overhead that keeps the common
         two-morsel case from paying a full round trip for both halves.
         """
+        record = self._record
+        if record is not None:
+            collector = self.context.collector
+            assert collector is not None
+            collector.add_morsels(record, len(ranges))
+            # Bind narrowed locals for the closure (worker threads call it).
+            sink, rec, inner = collector, record, kernel
+
+            def traced_kernel(rows: range) -> object:
+                sink.note_worker(rec, threading.current_thread().name)
+                return inner(rows)
+
+            kernel = traced_kernel
+
         futures = [self.pool.submit(kernel, rows) for rows in ranges[1:]]
         results = [kernel(ranges[0])]
         results.extend(future.result() for future in futures)
@@ -333,15 +365,19 @@ def execute_parallel(
     num_workers: int = DEFAULT_NUM_WORKERS,
     morsel_size: int = DEFAULT_MORSEL_SIZE,
     simplify_conditions: bool = False,
+    collector: Optional["TraceCollector"] = None,
 ) -> CTable:
     """Run a lowered operator tree with the morsel-driven scheduler.
 
     The tree should have been lowered with a
     :class:`ParallelSpec` so operators carry their parallel/serial
     decisions; a serially-lowered tree executes correctly but entirely
-    serially (no decision, no morselization).
+    serially (no decision, no morselization).  *collector* receives
+    per-operator actuals (rows, morsels, worker attribution) when given.
     """
-    context = ExecContext(tables, simplify_conditions=simplify_conditions)
+    context = ExecContext(
+        tables, simplify_conditions=simplify_conditions, collector=collector
+    )
     scheduler = MorselScheduler(
         context, worker_pool(num_workers), morsel_size
     )

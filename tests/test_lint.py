@@ -16,6 +16,7 @@ from tools.lint import (
     lint_interning,
     lint_locks,
     lint_mutable_defaults,
+    lint_obs_names,
     lint_typed_core,
     run_linters,
 )
@@ -530,6 +531,105 @@ class TestEnumeration:
             path="src/repro/prob/space.py",
         )
         assert lint_enumeration(source) == []
+
+
+# ----------------------------------------------------------------------
+# OBS001 — metric/span names from the registered constant table
+# ----------------------------------------------------------------------
+
+class TestObsNames:
+    def test_free_function_literal_flagged(self):
+        source = parse(
+            "from repro.obs.metrics import counter\n"
+            "def record():\n"
+            "    counter('queries_total')\n"
+        )
+        findings = lint_obs_names(source)
+        assert codes(findings) == ["OBS001"]
+        assert "queries_total" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_aliased_free_function_flagged(self):
+        source = parse(
+            "from repro.obs.metrics import counter as bump\n"
+            "def record():\n"
+            "    bump('queries_total')\n"
+        )
+        assert codes(lint_obs_names(source)) == ["OBS001"]
+
+    def test_trace_span_literal_flagged(self):
+        source = parse(
+            "from repro.obs.trace import trace_span\n"
+            "def run():\n"
+            "    with trace_span('execute'):\n"
+            "        pass\n"
+        )
+        assert codes(lint_obs_names(source)) == ["OBS001"]
+
+    def test_registry_method_literal_flagged(self):
+        source = parse(
+            "def record(registry):\n"
+            "    registry.histogram('query_seconds', 0.1)\n"
+        )
+        assert codes(lint_obs_names(source)) == ["OBS001"]
+
+    def test_tracer_span_and_event_literals_flagged(self):
+        source = parse(
+            "def run(tracer):\n"
+            "    with tracer.span('plan'):\n"
+            "        tracer.event('parse')\n"
+        )
+        assert codes(lint_obs_names(source)) == ["OBS001", "OBS001"]
+
+    def test_keyword_name_literal_flagged(self):
+        source = parse(
+            "def record(registry):\n"
+            "    registry.counter(name='queries_total')\n"
+        )
+        assert codes(lint_obs_names(source)) == ["OBS001"]
+
+    def test_constant_name_passes(self):
+        source = parse(
+            "from repro.obs.metrics import counter\n"
+            "from repro.obs.names import QUERIES_TOTAL\n"
+            "def record():\n"
+            "    counter(QUERIES_TOTAL)\n"
+        )
+        assert lint_obs_names(source) == []
+
+    def test_registry_method_constant_passes(self):
+        source = parse(
+            "from repro.obs.names import QUERY_SECONDS\n"
+            "def record(registry):\n"
+            "    registry.histogram(QUERY_SECONDS, 0.1)\n"
+        )
+        assert lint_obs_names(source) == []
+
+    def test_unrelated_counter_call_passes(self):
+        # collections.Counter is a constructor call by Name, not an
+        # imported repro.obs function — no findings.
+        source = parse(
+            "from collections import Counter\n"
+            "def tally(rows):\n"
+            "    return Counter(rows)\n"
+        )
+        assert lint_obs_names(source) == []
+
+    def test_waiver(self):
+        source = parse(
+            "from repro.obs.metrics import counter\n"
+            "def record():\n"
+            "    counter('scratch_total')  # obs-name-ok: test probe\n"
+        )
+        assert lint_obs_names(source) == []
+
+    def test_names_registry_module_exempt(self):
+        source = parse(
+            "def build(registry):\n"
+            "    registry.counter('bootstrap_total')\n",
+            path="src/repro/obs/names.py",
+        )
+        assert lint_obs_names(source) == []
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,9 @@ reported.  See the individual modules for the lint rules:
 - :mod:`tools.lint.defaults` — MUT001, mutable default arguments;
 - :mod:`tools.lint.typed` — TYP001, typed-core signature coverage;
 - :mod:`tools.lint.enumeration` — EXP001, world enumeration outside
-  the oracle modules.
+  the oracle modules;
+- :mod:`tools.lint.obs_names` — OBS001, metric/span names outside the
+  registered constant table.
 """
 
 from tools.lint.common import Finding, Source, iter_python_files, run_linters
@@ -20,6 +22,7 @@ from tools.lint.defaults import lint_mutable_defaults
 from tools.lint.enumeration import lint_enumeration
 from tools.lint.interning import lint_interning
 from tools.lint.locks import lint_locks
+from tools.lint.obs_names import lint_obs_names
 from tools.lint.typed import lint_typed_core
 
 ALL_LINTERS = (
@@ -27,6 +30,7 @@ ALL_LINTERS = (
     lint_interning,
     lint_locks,
     lint_mutable_defaults,
+    lint_obs_names,
     lint_typed_core,
 )
 
@@ -39,6 +43,7 @@ __all__ = [
     "lint_interning",
     "lint_locks",
     "lint_mutable_defaults",
+    "lint_obs_names",
     "lint_typed_core",
     "run_linters",
 ]

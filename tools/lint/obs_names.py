@@ -1,0 +1,114 @@
+"""OBS001 — metric and span names must come from the registered table.
+
+Every metric and span name used anywhere in the engine is declared once
+in :mod:`repro.obs.names`.  That registry is what makes the
+observability surface *stable*: dashboards, the Prometheus exposition,
+and the trace-shape tests all key on those strings, so a call site
+inventing a name inline (``counter("query_total")`` — note the typo)
+compiles fine, silently creates a parallel series, and breaks every
+consumer keyed on the registered spelling.  This lint rejects bare
+string literals at instrumentation call sites; the fix is to add (or
+reuse) a constant in ``repro/obs/names.py`` and pass it by name.
+
+Flagged:
+
+- attribute calls ``.counter(...)``, ``.gauge(...)``, ``.histogram(...)``,
+  ``.span(...)``, ``.event(...)`` whose name argument is a string
+  literal — these are the `MetricsRegistry` and `Tracer` recording
+  methods;
+- calls to the `repro.obs` free functions ``counter``/``gauge``/
+  ``histogram``/``trace_span`` (tracked through import aliases) whose
+  name argument is a string literal.
+
+``repro/obs/names.py`` itself is exempt (it *is* the registry).  A
+deliberate literal — e.g. a unit test probing the registry with a
+throwaway series — is waived with an ``# obs-name-ok: <reason>``
+comment on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from tools.lint.common import Finding, Source
+
+#: Recording methods on MetricsRegistry / Tracer whose first argument is
+#: a metric or span name.
+OBS_METHODS = frozenset({"counter", "gauge", "histogram", "span", "event"})
+
+#: Module-level instrumentation entry points in ``repro.obs``.
+OBS_FUNCTIONS = frozenset({"counter", "gauge", "histogram", "trace_span"})
+
+#: The registry module itself — the one place literals belong.
+_EXEMPT_FRAGMENTS = ("repro/obs/names",)
+
+
+def _is_exempt(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in _EXEMPT_FRAGMENTS)
+
+
+def _literal_name(call: ast.Call) -> Optional[str]:
+    """The name argument when it is a bare string literal, else None."""
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        return None
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value
+            return None
+    return None
+
+
+def lint_obs_names(source: Source) -> List[Finding]:
+    if _is_exempt(source.path):
+        return []
+
+    function_aliases: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module
+            and node.module.startswith("repro.obs")
+        ):
+            for alias in node.names:
+                if alias.name in OBS_FUNCTIONS:
+                    function_aliases.add(alias.asname or alias.name)
+
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in OBS_METHODS:
+            label = f".{func.attr}(...)"
+        elif isinstance(func, ast.Name) and func.id in function_aliases:
+            label = f"{func.id}(...)"
+        else:
+            continue
+        name = _literal_name(node)
+        if name is None:
+            continue
+        if source.comment_on(node.lineno).startswith("obs-name-ok"):
+            continue
+        findings.append(
+            Finding(
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code="OBS001",
+                message=(
+                    f"{label} records under the inline literal {name!r}; "
+                    f"metric and span names must be constants from "
+                    f"repro/obs/names.py so the exported series and trace "
+                    f"shapes stay stable, or waive with "
+                    f"'# obs-name-ok: <reason>'"
+                ),
+            )
+        )
+    return findings

@@ -141,6 +141,19 @@ Three things happen:
      hot loops read back through one ``Engine.metrics_snapshot()``:
      the unified cache stats must show the hits the loops generated.
 
+10. the **incremental-maintenance workloads E43–E45** run (written to
+    ``--ivm-output``, default ``BENCH_pr10.json``), measuring the
+    signed-delta view maintenance of ``maintenance="incremental"``:
+
+    - ``e43_refresh_vs_rerun`` — a standing join refreshed after 1%
+      per-cycle churn: ``refresh()`` vs full re-execution, gated ≥10×
+      on the full run with structural identity asserted on *every*
+      cycle, unconditionally.
+    - ``e44_update_throughput`` — sustained mutate→refresh cycles;
+      delta rows/second read back through ``metrics_snapshot()``.
+    - ``e45_cancellation_fast_path`` — no-op refreshes and
+      insert-then-delete cancellations against the full-rerun price.
+
 The workloads are sized so the full run finishes in a couple of minutes;
 ``--quick`` shrinks them for CI.
 """
@@ -211,6 +224,12 @@ from repro.logic.evaluation import (  # noqa: E402
 )
 from repro.logic.simplify import simplify  # noqa: E402
 from repro.logic.syntax import TOP, interning_stats  # noqa: E402
+from repro.obs.names import (  # noqa: E402
+    IVM_DELTA_ROWS_TOTAL,
+    IVM_MUTATIONS_TOTAL,
+    IVM_REFRESH_SECONDS,
+    IVM_REFRESH_TOTAL,
+)
 from repro.physical.lower import execute_physical  # noqa: E402
 
 
@@ -1683,6 +1702,265 @@ def run_e42_cache_observability(rows: int, iters: int, repeats: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Incremental view maintenance: E43–E45
+# ----------------------------------------------------------------------
+
+def _ivm_tables(rows: int):
+    """Standing-join inputs with a conditioned stripe.
+
+    Same fanout shape as :func:`_obs_join_tables` (``rows // 8`` join
+    keys, ~8× output), but every fourth left row carries a symbolic
+    condition so delta propagation exercises condition composition, not
+    just tuple bookkeeping.
+    """
+    keys = max(1, rows // 8)
+    left = CTable(
+        [
+            (
+                (index, index % keys),
+                eq(Var(f"c{index % 12}"), 1) if index % 4 == 0 else TOP,
+            )
+            for index in range(rows)
+        ],
+        arity=2,
+    )
+    right = CTable(
+        [((index % keys, index), TOP) for index in range(rows)], arity=2
+    )
+    return left, right
+
+
+_IVM_QUERY = proj(sel(prod(rel("L", 2), rel("R", 2)), col_eq(1, 2)), (0, 3))
+
+
+def _ivm_fresh_rows(rows: int, iters: int, changed: int):
+    """Per-iteration insert batches with collision-free ids, fanout kept."""
+    keys = max(1, rows // 8)
+    return [
+        [
+            (
+                (rows * 10 + iteration * changed + offset,
+                 (iteration * changed + offset) % keys),
+                TOP,
+            )
+            for offset in range(changed)
+        ]
+        for iteration in range(iters)
+    ]
+
+
+def run_e43_refresh_vs_rerun(rows: int, iters: int, repeats: int) -> dict:
+    """E43 — incremental refresh vs full re-execution at 1% churn.
+
+    Both arms apply the identical mutation script — each cycle deletes
+    the oldest 1% of the left rows and inserts as many fresh ones — and
+    only the ``refresh()`` call is timed.  The incremental arm folds
+    the signed deltas through the standing view's operator states; the
+    rerun arm re-plans and re-executes.  Structural identity between
+    the two answers is asserted on every cycle, unconditionally: the
+    speedup is only admissible because the answers are *the same* —
+    rows, interned condition objects, and order.
+    """
+    changed = max(1, rows // 100)
+    fresh = _ivm_fresh_rows(rows, iters, changed)
+
+    def run_arm(maintenance: str):
+        left, right = _ivm_tables(rows)
+        engine = Engine(maintenance=maintenance)
+        session = engine.session(L=left, R=right)
+        prepared = session.prepare(_IVM_QUERY)
+        prepared.refresh()  # build the view / warm the caches
+        seconds = 0.0
+        answers = []
+        for iteration in range(iters):
+            session.delete("L", list(session.table("L").rows[:changed]))
+            session.insert("L", fresh[iteration])
+            started = time.perf_counter()
+            answers.append(prepared.refresh())
+            seconds += time.perf_counter() - started
+        return seconds / iters, answers
+
+    refresh_samples = []
+    rerun_samples = []
+    for _ in range(repeats):
+        refresh_seconds, maintained = run_arm("incremental")
+        rerun_seconds, rerun = run_arm("rerun")
+        for iteration, (incremental, full) in enumerate(
+            zip(maintained, rerun)
+        ):
+            _assert_structurally_identical(
+                full, incremental, f"e43 cycle {iteration}"
+            )
+        refresh_samples.append(refresh_seconds)
+        rerun_samples.append(rerun_seconds)
+    refresh_seconds = statistics.median(refresh_samples)
+    rerun_seconds = statistics.median(rerun_samples)
+    return {
+        "rows_per_table": rows,
+        "iterations": iters,
+        "changed_rows_per_cycle": changed,
+        "change_rate": changed / rows,
+        "refresh_seconds": refresh_seconds,
+        "rerun_seconds": rerun_seconds,
+        "speedup": rerun_seconds / refresh_seconds,
+        "equivalent": True,  # every cycle asserted above
+    }
+
+
+def run_e44_update_throughput(rows: int, iters: int, repeats: int) -> dict:
+    """E44 — sustained mutate→refresh throughput, read via the snapshot.
+
+    Runs *iters* delete+insert+refresh cycles against a standing join
+    and reports delta rows per second — with the delta-row and refresh
+    accounting read back through ``Engine.metrics_snapshot()`` rather
+    than locals, so the benchmark doubles as a check that the ``ivm_*``
+    series actually record the traffic.
+    """
+    changed = max(1, rows // 100)
+    best_wall = None
+    snapshot = None
+    for _ in range(repeats):
+        left, right = _ivm_tables(rows)
+        engine = Engine(maintenance="incremental")
+        session = engine.session(L=left, R=right)
+        prepared = session.prepare(_IVM_QUERY)
+        prepared.refresh()
+        fresh = _ivm_fresh_rows(rows, iters, changed)
+        started = time.perf_counter()
+        for iteration in range(iters):
+            session.delete("L", list(session.table("L").rows[:changed]))
+            session.insert("L", fresh[iteration])
+            prepared.refresh()
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            snapshot = engine.metrics_snapshot()
+    counters = snapshot["engine"]["counters"]
+    delta_rows = sum(counters.get(IVM_DELTA_ROWS_TOTAL, {}).values())
+    mutations = sum(counters.get(IVM_MUTATIONS_TOTAL, {}).values())
+    refresh_histogram = snapshot["engine"]["histograms"].get(
+        IVM_REFRESH_SECONDS, {}
+    )
+    delta_series = refresh_histogram.get("mode=delta", {})
+    return {
+        "rows_per_table": rows,
+        "iterations": iters,
+        "changed_rows_per_cycle": changed,
+        "wall_seconds": best_wall,
+        "delta_rows_total": delta_rows,
+        "mutations_total": mutations,
+        "delta_refreshes": delta_series.get("count", 0.0),
+        "delta_refresh_seconds": delta_series.get("sum", 0.0),
+        "delta_rows_per_second": delta_rows / best_wall,
+        "observed_via_snapshot": (
+            delta_rows == 2 * changed * iters
+            and mutations == 2 * iters
+            and delta_series.get("count", 0.0) == iters
+        ),
+    }
+
+
+def run_e45_cancellation_fast_path(rows: int, iters: int, repeats: int) -> dict:
+    """E45 — what no-ops and cancellations cost against a full rerun.
+
+    Three arms over the same standing join: refresh with nothing
+    pending (``noop`` — materialize only), refresh after an
+    insert-then-delete of the same rows (``cancel`` — two signed
+    batches that annihilate), and a full re-execution on an
+    uncached rerun engine as the reference price.  Both fast-path
+    answers must be structurally identical to the pre-mutation answer.
+    """
+    cancel_rows = max(1, rows // 100)
+    left, right = _ivm_tables(rows)
+    engine = Engine(maintenance="incremental")
+    session = engine.session(L=left, R=right)
+    prepared = session.prepare(_IVM_QUERY)
+    baseline = prepared.refresh()
+
+    def noop_loop():
+        for _ in range(iters):
+            prepared.refresh()
+
+    def cancel_loop():
+        for iteration in range(iters):
+            batch = [
+                ((rows * 100 + iteration * cancel_rows + offset, 0), TOP)
+                for offset in range(cancel_rows)
+            ]
+            session.insert("L", batch)
+            session.delete("L", batch)
+            prepared.refresh()
+
+    noop_seconds = _timed(noop_loop, repeats) / iters
+    cancel_seconds = _timed(cancel_loop, repeats) / iters
+    _assert_structurally_identical(baseline, prepared.refresh(), "e45 noop")
+
+    rerun_engine = Engine(maintenance="rerun", result_cache_size=0)
+    rerun_prepared = rerun_engine.session(L=left, R=right).prepare(_IVM_QUERY)
+    rerun_seconds = _timed(rerun_prepared.refresh, repeats)
+    _assert_structurally_identical(
+        rerun_prepared.refresh(), prepared.refresh(), "e45 vs rerun"
+    )
+    noop_refreshes = engine.metrics.counter_value(
+        IVM_REFRESH_TOTAL, {"mode": "noop"}
+    )
+    return {
+        "rows_per_table": rows,
+        "iterations": iters,
+        "cancelled_rows_per_cycle": cancel_rows,
+        "noop_seconds": noop_seconds,
+        "cancel_seconds": cancel_seconds,
+        "rerun_seconds": rerun_seconds,
+        "noop_speedup": rerun_seconds / noop_seconds,
+        "cancel_speedup": rerun_seconds / cancel_seconds,
+        "noop_refreshes_observed": noop_refreshes,
+        "equivalent": True,  # asserted above
+    }
+
+
+def run_ivm_suite(quick: bool, repeats: int) -> dict:
+    workloads = {}
+
+    print("== e43_refresh_vs_rerun (1% churn on a standing join) ==")
+    e43 = run_e43_refresh_vs_rerun(
+        400 if quick else 2400, 3 if quick else 10, repeats
+    )
+    workloads["e43_refresh_vs_rerun"] = e43
+    print(
+        f"   {e43['rows_per_table']} rows/side, "
+        f"{e43['changed_rows_per_cycle']} rows/cycle: "
+        f"rerun {e43['rerun_seconds']*1000:.1f}ms -> "
+        f"refresh {e43['refresh_seconds']*1000:.1f}ms "
+        f"({e43['speedup']:.1f}x), identical every cycle"
+    )
+
+    print("== e44_update_throughput (mutate→refresh via metrics_snapshot) ==")
+    e44 = run_e44_update_throughput(
+        400 if quick else 2400, 5 if quick else 20, repeats
+    )
+    workloads["e44_update_throughput"] = e44
+    print(
+        f"   {e44['delta_rows_total']:.0f} delta rows in "
+        f"{e44['wall_seconds']*1000:.1f}ms "
+        f"({e44['delta_rows_per_second']:.0f} rows/s), "
+        f"observed_via_snapshot={e44['observed_via_snapshot']}"
+    )
+
+    print("== e45_cancellation_fast_path (noop/cancel vs full rerun) ==")
+    e45 = run_e45_cancellation_fast_path(
+        400 if quick else 2400, 3 if quick else 10, repeats
+    )
+    workloads["e45_cancellation_fast_path"] = e45
+    print(
+        f"   noop {e45['noop_seconds']*1000:.2f}ms "
+        f"({e45['noop_speedup']:.1f}x vs rerun), "
+        f"cancel {e45['cancel_seconds']*1000:.2f}ms "
+        f"({e45['cancel_speedup']:.1f}x)"
+    )
+    return workloads
+
+
 def run_probability_suite(quick: bool, repeats: int) -> dict:
     workloads = {}
 
@@ -1915,6 +2193,11 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pr9.json"),
         help="where to write the observability (E40–E42) JSON report",
     )
+    parser.add_argument(
+        "--ivm-output",
+        default=str(REPO_ROOT / "BENCH_pr10.json"),
+        help="where to write the view-maintenance (E43–E45) JSON report",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -2032,6 +2315,15 @@ def main(argv=None) -> int:
         "workloads": run_obs_suite(args.quick, repeats),
     }
 
+    ivm_report = {
+        "meta": {
+            "label": Path(args.ivm_output).stem,
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+        },
+        "workloads": run_ivm_suite(args.quick, repeats),
+    }
+
     if not args.skip_suite:
         print("== E01–E20 suite ==")
         suite = run_suite(args.quick)
@@ -2075,6 +2367,10 @@ def main(argv=None) -> int:
     obs_output = Path(args.obs_output)
     obs_output.write_text(json.dumps(obs_report, indent=2) + "\n")
     print(f"wrote {obs_output}")
+
+    ivm_output = Path(args.ivm_output)
+    ivm_output.write_text(json.dumps(ivm_report, indent=2) + "\n")
+    print(f"wrote {ivm_output}")
 
     planner_workloads = planner_report["workloads"].values()
     best_planner_speedup = max(
@@ -2156,6 +2452,23 @@ def main(argv=None) -> int:
         and e41["shows_estimates"]
         and e42["observed_hot"]
     )
+    # E43–E45: incremental refresh must beat full rerun ≥10× at 1%
+    # churn on the full-size run (identity was asserted on every cycle
+    # inside the workload), the delta/refresh traffic must be visible
+    # through metrics_snapshot(), and the no-op/cancellation fast paths
+    # must stay cheaper than a rerun.
+    e43 = ivm_report["workloads"]["e43_refresh_vs_rerun"]
+    e44 = ivm_report["workloads"]["e44_update_throughput"]
+    e45 = ivm_report["workloads"]["e45_cancellation_fast_path"]
+    ivm_ok = (
+        e43["equivalent"]
+        and e43["speedup"] >= (1.0 if args.quick else 10.0)
+        and e44["observed_via_snapshot"]
+        and e44["delta_rows_per_second"] > 0
+        and e45["equivalent"]
+        and e45["noop_speedup"] >= 1.0
+        and e45["cancel_speedup"] >= 1.0
+    )
     failed = (
         report["suite"].get("exit_code", 0) != 0
         or report["workloads"]["join_heavy"]["speedup"] < 1.0
@@ -2175,6 +2488,7 @@ def main(argv=None) -> int:
         or not symbolic_at_scale
         or not probability_at_scale
         or not observability_ok
+        or not ivm_ok
     )
     return 1 if failed else 0
 

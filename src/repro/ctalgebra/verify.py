@@ -76,6 +76,7 @@ from repro.ctalgebra.plan import (
     IntersectionNode,
     JoinNode,
     PlanNode,
+    ProductNode,
     ProjectNode,
     Scan,
     SelectNode,
@@ -236,6 +237,120 @@ class PlanVerifier:
             self._verify_node(node, rule)
         if self._stats is not None:
             self._verify_estimates(plan, rule)
+
+    # ------------------------------------------------------------------
+    # Maintained views (delta-plan shapes)
+    # ------------------------------------------------------------------
+
+    def verify_view(self, plan: PlanNode, view: object) -> None:
+        """Check a maintained view's state tree against its plan.
+
+        The incremental-maintenance layer (:mod:`repro.ivm.view`)
+        shadows each plan position with an operator state; this check
+        pins the shape invariants the delta rules rely on: the state
+        tree is node-for-node isomorphic to the plan, every state's
+        arity matches its plan node, and every state's maintained sort
+        order is strictly increasing over exactly its row keys (the
+        positional backbone of the rerun-order guarantee).
+        """
+        from repro.ivm.view import (  # local: ivm sits above ctalgebra
+            MaterializedView,
+            _JoinState,
+            _ProjectState,
+            _ScanState,
+            _SelectState,
+            _SetOpState,
+            _State,
+            _StaticState,
+            _UnionState,
+        )
+
+        if not isinstance(view, MaterializedView):
+            raise PlanVerificationError(
+                "view", f"expected a MaterializedView, got {type(view).__name__}"
+            )
+        root = view.root
+        if root is None:
+            return  # Unsupported-plan fallback maintains no state tree.
+        expected = {
+            Scan: _ScanState,
+            ConstScan: _StaticState,
+            EmptyNode: _StaticState,
+            SelectNode: _SelectState,
+            ProjectNode: _ProjectState,
+            JoinNode: _JoinState,
+            ProductNode: _JoinState,
+            UnionNode: _UnionState,
+            DifferenceNode: _SetOpState,
+            IntersectionNode: _SetOpState,
+        }
+
+        def check(node: PlanNode, state: "_State") -> None:
+            wanted = expected.get(type(node))
+            if wanted is None or not isinstance(state, wanted):
+                raise PlanVerificationError(
+                    "view",
+                    f"plan node {node.label()} is shadowed by "
+                    f"{type(state).__name__}, expected "
+                    f"{wanted.__name__ if wanted else '?'}",
+                    node=node,
+                )
+            if state.arity != node.arity:
+                raise PlanVerificationError(
+                    "view",
+                    f"state arity {state.arity} != plan arity "
+                    f"{node.arity} at {node.label()}",
+                    node=node,
+                )
+            if isinstance(node, Scan) and state.name != node.name:  # type: ignore[attr-defined]
+                raise PlanVerificationError(
+                    "view",
+                    f"scan state reads {state.name!r}, plan scans "  # type: ignore[attr-defined]
+                    f"{node.name!r}",
+                    node=node,
+                )
+            order = state.sorted_keys()
+            if any(
+                order[index] >= order[index + 1]
+                for index in range(len(order) - 1)
+            ):
+                raise PlanVerificationError(
+                    "view",
+                    f"maintained order at {node.label()} is not strictly "
+                    "increasing",
+                    node=node,
+                )
+            if set(order) != set(state.rows):
+                raise PlanVerificationError(
+                    "view",
+                    f"maintained order at {node.label()} disagrees with "
+                    "the row keys",
+                    node=node,
+                )
+            ordered = state.ordered_rows()
+            if len(ordered) != len(order) or any(
+                ordered[index] is not state.rows[key]
+                for index, key in enumerate(order)
+            ):
+                raise PlanVerificationError(
+                    "view",
+                    f"maintained row list at {node.label()} disagrees "
+                    "with the keyed rows",
+                    node=node,
+                )
+            children = state.children()
+            plan_children = node.children()
+            if len(children) != len(plan_children):
+                raise PlanVerificationError(
+                    "view",
+                    f"state at {node.label()} has {len(children)} children, "
+                    f"plan has {len(plan_children)}",
+                    node=node,
+                )
+            for child_node, child_state in zip(plan_children, children):
+                check(child_node, child_state)
+
+        check(plan, root)
 
     def _verify_node(self, node: PlanNode, rule: Optional[str]) -> None:
         if isinstance(node, Scan):

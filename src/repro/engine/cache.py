@@ -160,6 +160,14 @@ class ResultCache(PlanCache):
     distinct tables can share, so any new table-mutation path MUST call
     ``invalidate`` like ``Session.register`` does.  Within an unchanged
     registry, c-table immutability makes sharing the cached answer safe.
+
+    The mutation API (``Session.insert``/``delete``/``update``) keeps
+    the same contract but upgrades it: after the per-relation
+    invalidation drops the stale entry, ``maintenance="incremental"``
+    *re-populates* the key in place — the maintained view's refreshed
+    table is ``put`` back under the post-mutation fingerprint — so a
+    standing read loop over mutating data stays a cache hit without
+    ever observing a stale answer.
     """
 
     __slots__ = ()

@@ -35,6 +35,10 @@ executor:
 - ``REPRO_TRACE`` — default for ``trace`` (truthy values as above).
   CI's traced matrix entry runs the whole tier-1 suite with per-query
   tracing on, so the instrumented paths stay continuously exercised.
+- ``REPRO_MAINTENANCE`` — default for ``maintenance``
+  (``rerun`` / ``incremental``).  CI's incremental matrix entry runs
+  the whole tier-1 suite with every prepared query served from a
+  delta-maintained materialized view.
 
 Explicit constructor arguments always win over the environment.
 """
@@ -159,6 +163,18 @@ class ExecutionConfig:
       ``Engine.last_trace()``.  Off by default: the disabled path costs
       one integer comparison per instrumentation point.  The knob never
       changes answers, so it is excluded from result-cache keys.
+    - ``maintenance`` — how a prepared query's answer is kept current as
+      registered tables change through the mutation API
+      (:meth:`repro.engine.session.Session.insert` /
+      :meth:`~repro.engine.session.Session.delete` /
+      :meth:`~repro.engine.session.Session.update`).  ``"rerun"`` (the
+      default) re-executes from scratch on the next read;
+      ``"incremental"`` maintains a materialized view per standing query
+      by propagating signed delta batches through the lifted operators
+      (:mod:`repro.ivm`), and `PreparedQuery.execute()` serves the
+      maintained table.  The maintained result is structurally identical
+      to a full re-execution of the same plan — rows, interned condition
+      objects, and order — so the knob is purely about refresh cost.
     """
 
     optimize: bool = True
@@ -191,6 +207,11 @@ class ExecutionConfig:
     circuit_cache_size: int = 256
     trace: bool = field(
         default_factory=lambda: _env_flag("REPRO_TRACE", False)
+    )
+    maintenance: str = field(
+        default_factory=lambda: _env_choice(
+            "REPRO_MAINTENANCE", "rerun", ("rerun", "incremental")
+        )
     )
 
     def __post_init__(self) -> None:
@@ -233,6 +254,11 @@ class ExecutionConfig:
             raise ValueError(
                 f"circuit_cache_size must be >= 0, got "
                 f"{self.circuit_cache_size}"
+            )
+        if self.maintenance not in ("rerun", "incremental"):
+            raise ValueError(
+                f"maintenance must be 'rerun' or 'incremental', got "
+                f"{self.maintenance!r}"
             )
 
     def with_options(self, **options: object) -> "ExecutionConfig":

@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+from collections import OrderedDict
 from fractions import Fraction
 from time import perf_counter
 from typing import (
@@ -40,8 +41,10 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
+    List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
     Union,
 )
@@ -52,12 +55,12 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.errors import ProbabilityError, QueryError, TableError, nearest_name
 from repro.core.domain import Domain
 from repro.core.instance import Instance, Row
-from repro.logic.syntax import Formula
+from repro.logic.syntax import BOTTOM, Formula
 from repro.algebra.ast import Query
 from repro.algebra.parser import parse_query
 from repro.tables.base import Table
 from repro.tables.codd import CoddTable
-from repro.tables.ctable import CTable, make_row
+from repro.tables.ctable import BooleanCTable, CRow, CTable, make_row
 from repro.tables.convert import ctable_of
 from repro.ctalgebra.plan import (
     PlanNode,
@@ -85,14 +88,21 @@ from repro.engine.config import ExecutionConfig
 from repro.obs.explain import render_analyze
 from repro.obs.metrics import MetricsRegistry, global_metrics, render_prometheus
 from repro.obs.names import (
+    IVM_DELTA_ROWS_TOTAL,
+    IVM_MUTATIONS_TOTAL,
+    IVM_REFRESH_SECONDS,
+    IVM_REFRESH_TOTAL,
     QUERIES_TOTAL,
     QUERY_SECONDS,
     SPAN_EXECUTE,
     SPAN_LOWER,
     SPAN_PARSE,
     SPAN_PLAN,
+    SPAN_REFRESH,
 )
 from repro.obs.trace import TraceCollector, Tracer, current_tracer, trace_span
+from repro.ivm import DeltaBatch, MaterializedView
+from repro.ivm.view import Binding
 
 
 def bind_single_table(query: Query, table: CTable) -> Dict[str, CTable]:
@@ -145,9 +155,19 @@ def _merge_distribution_sources(
 
 
 class _Registered:
-    """One registry entry: the coerced c-table plus cached derived data."""
+    """One registry entry: the coerced c-table plus cached derived data.
 
-    __slots__ = ("source", "ctable", "stats", "accumulator", "distributions")
+    ``row_ids`` aligns one monotonically assigned integer with each row
+    of ``ctable`` (registration numbers the initial rows ``0..n-1``;
+    the mutation API hands out fresh ids from ``next_row_id`` and never
+    recycles them).  Ascending row id *is* the rows' order, which the
+    incremental-maintenance layer relies on to reproduce rerun order.
+    """
+
+    __slots__ = (
+        "source", "ctable", "stats", "accumulator", "distributions",
+        "row_ids", "next_row_id",
+    )
 
     def __init__(
         self,
@@ -162,6 +182,8 @@ class _Registered:
         self.stats = stats
         self.accumulator = accumulator
         self.distributions = distributions
+        self.row_ids: List[int] = list(range(len(ctable.rows)))
+        self.next_row_id = len(ctable.rows)
 
 
 class _PlanEntry:
@@ -524,6 +546,9 @@ class Session:
 
     _ids = itertools.count()
 
+    #: Standing materialized views kept per session (LRU-bounded).
+    _MAX_VIEWS = 32
+
     def __init__(self, engine: Engine) -> None:
         self._engine = engine
         self._registry: Dict[str, _Registered] = {}
@@ -531,6 +556,12 @@ class Session:
             Dict[str, Dict[Hashable, Fraction]]
         ] = None
         self._id = next(Session._ids)
+        # guarded-by: single-threaded like the registry itself; views
+        # are keyed on (query, optimize, simplify_conditions) — the
+        # maintained state is executor-independent.
+        self._views: "OrderedDict[Tuple[object, ...], MaterializedView]" = (
+            OrderedDict()
+        )
 
     @property
     def engine(self) -> Engine:
@@ -611,7 +642,196 @@ class Session:
         self._engine._plan_cache.invalidate(self._id, (name,))
         self._engine._result_cache.invalidate(self._id, (name,))
         self._engine._circuit_cache.invalidate(self._id, (name,))
+        # A re-register is a wholesale replacement, not a delta: any
+        # standing view reading the name rebuilds on its next refresh
+        # (and picks up a freshly planned tree while it is at it).
+        for view in self._views.values():
+            if name in view.relations:
+                view.invalidate()
         return self
+
+    # ------------------------------------------------------------------
+    # Mutation API — signed deltas for incremental view maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, rows: Iterable[object]) -> "Session":
+        """Append *rows* to the registered relation *name*.
+
+        Rows take the same shapes the :class:`~repro.tables.ctable.CTable`
+        constructor accepts — :class:`CRow`, ``(values, condition)``
+        pairs, or bare value tuples.  The mutation rolls the cached
+        statistics forward from the row delta, invalidates exactly the
+        cached plans/answers/circuits that read *name*, and hands every
+        standing materialized view a signed
+        :class:`~repro.ivm.delta.DeltaBatch` (consumed on its next
+        ``refresh``).  The coerced table object changes;
+        :meth:`source` keeps returning the originally registered object.
+        """
+        return self._mutate(name, (), tuple(rows), "insert")
+
+    def delete(self, name: str, rows: Iterable[object]) -> "Session":
+        """Remove *rows* from the registered relation *name*.
+
+        Each given row removes the **last** structurally equal
+        occurrence (same values, same interned condition) — so an
+        insert followed by a delete of the same rows restores the
+        relation byte-identically even when earlier duplicates exist.
+        A row that is not present raises :class:`TableError`.
+        """
+        return self._mutate(name, tuple(rows), (), "delete")
+
+    def update(
+        self, name: str, replacements: Iterable[Tuple[object, object]]
+    ) -> "Session":
+        """Replace rows of *name*: each ``(old, new)`` pair deletes
+        ``old`` and appends ``new``, as one atomic signed delta batch."""
+        olds: List[object] = []
+        news: List[object] = []
+        for old, new in replacements:
+            olds.append(old)
+            news.append(new)
+        return self._mutate(name, tuple(olds), tuple(news), "update")
+
+    @staticmethod
+    def _coerce_rows(rows: Sequence[object]) -> List[CRow]:
+        """Normalize mutation-API rows like the ``CTable`` constructor."""
+        normalized: List[CRow] = []
+        for row in rows:
+            if isinstance(row, CRow):
+                normalized.append(row)
+            elif (
+                isinstance(row, tuple)
+                and len(row) == 2
+                and isinstance(row[1], Formula)
+                and isinstance(row[0], (tuple, list))
+            ):
+                normalized.append(make_row(row[0], row[1]))
+            else:
+                normalized.append(make_row(row))  # type: ignore[arg-type]
+        return normalized
+
+    @staticmethod
+    def _rebuild_table(old: CTable, rows: Sequence[CRow]) -> CTable:
+        """A same-metadata table with the mutated row sequence.
+
+        The constructor re-validates arity and finite-domain coverage,
+        so a malformed mutation raises before any state changes.
+        """
+        if isinstance(old, BooleanCTable):
+            return BooleanCTable(
+                rows, arity=old.arity, global_condition=old.global_condition
+            )
+        return CTable(
+            rows,
+            arity=old.arity,
+            domains=old.domains,
+            global_condition=old.global_condition,
+        )
+
+    def _mutate(
+        self,
+        name: str,
+        deletes: Sequence[object],
+        inserts: Sequence[object],
+        op: str,
+    ) -> "Session":
+        entry = self._entry(name)
+        old_table = entry.ctable
+        delete_rows = self._coerce_rows(deletes)
+        # Rows whose condition is already false can never appear — the
+        # c-table constructor drops them, so the delta must too.
+        insert_rows = [
+            row for row in self._coerce_rows(inserts)
+            if row.condition != BOTTOM
+        ]
+        working = list(old_table.rows)
+        ids = list(entry.row_ids)
+        removed: List[Tuple[int, CRow]] = []
+        for row in delete_rows:
+            for index in range(len(working) - 1, -1, -1):
+                if working[index] == row:
+                    break
+            else:
+                raise TableError(
+                    f"cannot delete from {name!r}: row {row!r} is not present"
+                )
+            working.pop(index)
+            removed.append((ids.pop(index), row))
+        next_id = entry.next_row_id
+        added = [
+            (next_id + offset, row) for offset, row in enumerate(insert_rows)
+        ]
+        new_table = self._rebuild_table(
+            old_table, working + [row for _, row in added]
+        )
+        if self._engine.config.verify_plans:
+            PlanVerifier(mode=self._engine.config.verify_mode).verify_ctable(
+                name, new_table
+            )
+        entry.ctable = new_table
+        entry.row_ids = ids + [row_id for row_id, _ in added]
+        entry.next_row_id = next_id + len(added)
+        entry.accumulator.remove_rows(row for _, row in removed)
+        entry.accumulator.add_rows(insert_rows)
+        entry.stats = entry.accumulator.stats()
+        engine = self._engine
+        engine._plan_cache.invalidate(self._id, (name,))
+        engine._result_cache.invalidate(self._id, (name,))
+        engine._circuit_cache.invalidate(self._id, (name,))
+        batch = DeltaBatch.from_rows(
+            name, new_table, tuple(removed), tuple(added)
+        )
+        for view in self._views.values():
+            if name in view.relations:
+                view.push(batch)
+        engine._metrics.counter(IVM_MUTATIONS_TOTAL, labels={"op": op})
+        if removed:
+            engine._metrics.counter(
+                IVM_DELTA_ROWS_TOTAL, len(removed), labels={"sign": "delete"}
+            )
+        if added:
+            engine._metrics.counter(
+                IVM_DELTA_ROWS_TOTAL, len(added), labels={"sign": "insert"}
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Materialized-view plumbing (maintenance="incremental")
+    # ------------------------------------------------------------------
+
+    def _ivm_bindings(self, query: Query) -> Dict[str, Binding]:
+        bindings: Dict[str, Binding] = {}
+        for name in query.relation_names():
+            entry = self._entry(name)
+            bindings[name] = (entry.ctable, tuple(entry.row_ids))
+        return bindings
+
+    def _maintained_result(
+        self, prepared: "PreparedQuery"
+    ) -> Tuple[CTable, str]:
+        """Serve *prepared* from its maintained view, (re)building it
+        on the current plan when dirty; returns ``(table, mode)``."""
+        config = prepared.config
+        key = (
+            prepared.query,
+            config.optimize,
+            config.simplify_conditions,
+        )
+        view = self._views.get(key)
+        if view is None or view.dirty:
+            view = MaterializedView(
+                prepared.plan(), config.simplify_conditions
+            )
+            self._views[key] = view
+            while len(self._views) > Session._MAX_VIEWS:
+                self._views.popitem(last=False)
+        self._views.move_to_end(key)
+        result, mode = view.refresh(self._ivm_bindings(prepared.query))
+        if config.verify_plans and mode in ("build", "delta"):
+            PlanVerifier(mode=config.verify_mode).verify_view(
+                view.plan, view
+            )
+        return result, mode
 
     def table(self, name: str) -> CTable:
         """The registered table's (cached) c-table embedding."""
@@ -875,6 +1095,44 @@ class PreparedQuery:
             config.executor,
         )
 
+    def refresh(self) -> CTable:
+        """Bring the maintained answer up to date and return it.
+
+        Under ``maintenance="incremental"`` this consumes the signed
+        delta batches pending from :meth:`Session.insert` /
+        :meth:`~Session.delete` / :meth:`~Session.update` calls since
+        the last refresh, folds them through the view's operator
+        states, and re-caches the maintained table under the current
+        result-cache key — the next :meth:`execute` is a cache hit on a
+        never-stale entry.  The returned table is structurally
+        identical (rows, interned condition objects, order) to fully
+        re-executing the view's plan on the mutated tables.
+
+        Under ``maintenance="rerun"`` it simply re-executes.
+        """
+        config = self._config
+        if config.maintenance != "incremental":
+            return self._execute()
+        session = self._session
+        engine = session.engine
+        started = perf_counter()
+        with trace_span(SPAN_REFRESH) as span:
+            result, mode = session._maintained_result(self)
+            if span is not None:
+                span.attrs["mode"] = mode
+        engine._metrics.counter(IVM_REFRESH_TOTAL, labels={"mode": mode})
+        engine._metrics.histogram(
+            IVM_REFRESH_SECONDS, perf_counter() - started,
+            labels={"mode": mode},
+        )
+        engine._result_cache.put(
+            self._result_key(),
+            result,
+            session._id,
+            frozenset(self._query.relation_names()),
+        )
+        return result
+
     def execute(self) -> CTable:
         """Evaluate the plan against the registry's current tables.
 
@@ -883,6 +1141,10 @@ class PreparedQuery:
         executing (or even lowering) any plan; ``register`` invalidates
         per relation name.  With ``trace=True`` in the config, a span
         trace of the execution lands in ``Engine.last_trace()``.
+        Under ``maintenance="incremental"`` the read is served from the
+        query's maintained materialized view (refreshing it first), so
+        repeated reads over mutating tables pay delta-propagation cost
+        instead of full re-execution.
         """
         if not self._config.trace:
             return self._execute()
@@ -918,6 +1180,39 @@ class PreparedQuery:
                         SPAN_EXECUTE, cached=True, executor=config.executor
                     )
                 return answered
+        if (
+            config.maintenance == "incremental"
+            and use_result_cache
+            and collector is None
+            and current_tracer() is None
+        ):
+            # Serve the read from the maintained materialized view.  An
+            # active tracer (or an analyze collector) falls through to
+            # the executor path instead: span traces document an actual
+            # plan execution, and the maintained state has none to show.
+            started = perf_counter()
+            answered, mode = self._session._maintained_result(self)
+            engine._metrics.counter(IVM_REFRESH_TOTAL, labels={"mode": mode})
+            engine._metrics.histogram(
+                IVM_REFRESH_SECONDS, perf_counter() - started,
+                labels={"mode": mode},
+            )
+            engine._metrics.counter(
+                QUERIES_TOTAL,
+                labels={"cached": "false", "executor": config.executor},
+            )
+            engine._metrics.histogram(
+                QUERY_SECONDS,
+                perf_counter() - started,
+                labels={"executor": config.executor},
+            )
+            results.put(
+                key,
+                answered,
+                self._session._id,
+                frozenset(self._query.relation_names()),
+            )
+            return answered
         bindings = self._session._bindings(self._query)
         if (
             collector is None

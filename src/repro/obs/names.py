@@ -32,6 +32,9 @@ SPAN_VERIFY = "verify"
 SPAN_LOWER = "lower"
 #: Physical (or interpreted) execution of the plan.
 SPAN_EXECUTE = "execute"
+#: One incremental refresh of a maintained materialized view
+#: (attrs: mode in {build, delta, fallback, noop}, batches).
+SPAN_REFRESH = "refresh"
 
 # ---------------------------------------------------------------------------
 # Per-Engine metrics.
@@ -41,6 +44,16 @@ SPAN_EXECUTE = "execute"
 QUERIES_TOTAL = "queries_total"
 #: Histogram, labels {executor}: wall seconds per executed (uncached) query.
 QUERY_SECONDS = "query_seconds"
+#: Counter, labels {op in {insert, delete, update}}: mutation-API calls.
+IVM_MUTATIONS_TOTAL = "ivm_mutations_total"
+#: Counter, labels {sign in {insert, delete}}: rows carried by signed
+#: delta batches produced by the mutation API.
+IVM_DELTA_ROWS_TOTAL = "ivm_delta_rows_total"
+#: Counter, labels {mode in {build, delta, fallback, noop}}: refreshes
+#: of maintained materialized views.
+IVM_REFRESH_TOTAL = "ivm_refresh_total"
+#: Histogram, labels {mode}: wall seconds per view refresh.
+IVM_REFRESH_SECONDS = "ivm_refresh_seconds"
 
 # ---------------------------------------------------------------------------
 # Process-wide metrics (module-level subsystems shared by every engine).
@@ -74,8 +87,13 @@ REGISTERED_NAMES = frozenset(
         SPAN_VERIFY,
         SPAN_LOWER,
         SPAN_EXECUTE,
+        SPAN_REFRESH,
         QUERIES_TOTAL,
         QUERY_SECONDS,
+        IVM_MUTATIONS_TOTAL,
+        IVM_DELTA_ROWS_TOTAL,
+        IVM_REFRESH_TOTAL,
+        IVM_REFRESH_SECONDS,
         OPTIMIZER_RULES_TOTAL,
         SAT_SOLVE_TOTAL,
         SAT_ENUMERATE_TOTAL,
@@ -92,6 +110,10 @@ __all__ = [
     "DPLL_RECURSIONS_TOTAL",
     "EQUIV_BDD_TOTAL",
     "EQUIV_SAT_TOTAL",
+    "IVM_DELTA_ROWS_TOTAL",
+    "IVM_MUTATIONS_TOTAL",
+    "IVM_REFRESH_SECONDS",
+    "IVM_REFRESH_TOTAL",
     "OPTIMIZER_RULES_TOTAL",
     "QUERIES_TOTAL",
     "QUERY_SECONDS",
@@ -104,6 +126,7 @@ __all__ = [
     "SPAN_PARSE",
     "SPAN_PLAN",
     "SPAN_QUERY",
+    "SPAN_REFRESH",
     "SPAN_VERIFY",
     "WMC_COUNT_TOTAL",
 ]

@@ -126,6 +126,33 @@ class Batch:
             global_condition=table.global_condition,
         )
 
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Tuple[CRow, ...],
+        arity: int,
+        domains: Optional[Dict[str, tuple]] = None,
+        global_condition: Formula = TOP,
+    ) -> "Batch":
+        """Columnar-ize a bare row sequence under the given metadata.
+
+        Used by the IVM layer (:mod:`repro.ivm.delta`) to carry the
+        signed halves of a delta batch — fragments of a registered table
+        rather than whole tables, so the metadata is supplied by the
+        caller instead of read off a :class:`CTable`.
+        """
+        if rows:
+            columns = tuple(zip(*(row.values for row in rows)))
+        else:
+            columns = tuple(() for _ in range(arity))
+        return cls(
+            columns,
+            tuple(row.condition for row in rows),
+            arity=arity,
+            domains=domains,
+            global_condition=global_condition,
+        )
+
     def to_ctable(self) -> CTable:
         """Materialize the batch as a c-table.
 

@@ -178,6 +178,36 @@ class CTable(Table):
     def _validate(self) -> None:
         """Subclasses override to narrow the admissible rows."""
 
+    @classmethod
+    def from_normalized_rows(
+        cls,
+        rows: Iterable[CRow],
+        arity: int,
+        domains: Optional[Dict[str, Tuple[Hashable, ...]]] = None,
+        global_condition: Formula = TOP,
+    ) -> "CTable":
+        """Fast-path constructor for already-normalized :class:`CRow` rows.
+
+        Skips per-row coercion, arity inference, and domain-coverage
+        validation — the caller vouches that every row is a ``CRow`` of
+        the declared arity with an interned condition, and that
+        *domains* (tuple-valued, or ``None``) already covers the
+        variables.  Rows with a false condition are still dropped, by
+        identity: conditions are hash-consed, so any condition equal to
+        ``BOTTOM`` *is* the interned ``BOTTOM`` object.  Built for hot
+        producers like incremental view materialization whose row
+        sources are prior c-table machinery output.
+        """
+        table = cls.__new__(cls)
+        table._rows = tuple(
+            row for row in rows if row.condition is not BOTTOM
+        )
+        table._arity = arity
+        table._global = global_condition
+        table._vars_cache = None
+        table._domains = domains
+        return table
+
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------

@@ -45,6 +45,7 @@ from repro import (
     col_ne_const,
     conj,
     ctables_equivalent,
+    ctables_equivalent_symbolic,
     diff,
     eq,
     intersect,
@@ -372,6 +373,179 @@ def assert_plan_modes_equivalent(
         f"optimized and verbatim plans diverge at Mod level"
         f"{' [' + context + ']' if context else ''}"
     )
+
+
+# ----------------------------------------------------------------------
+# Update profile: seeded mutation sequences + the delta ≡ rerun contract
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UpdateProfile:
+    """Shape of a seeded insert/delete/update sequence.
+
+    Each step picks one relation uniformly (the touched-relation mix),
+    one operation from the insert/delete/update weights, and a batch of
+    ``min_batch..max_batch`` rows.  Fresh rows draw values and
+    conditions from ``tables`` — the *same* shared variable pool as the
+    initial data, so deltas correlate with standing rows through shared
+    variables, which is exactly what stresses incremental condition
+    composition against the rerun oracle.
+    """
+
+    min_steps: int = 1
+    max_steps: int = 5
+    min_batch: int = 1
+    max_batch: int = 3
+    insert_weight: float = 2.0
+    delete_weight: float = 1.5
+    update_weight: float = 1.0
+    tables: TableProfile = DEFAULT_TABLES
+
+
+DEFAULT_UPDATES = UpdateProfile()
+
+#: Churn-heavy mix: larger batches, deletes and updates dominant, so
+#: cancellation, group rewrites, and set-op recomputation paths fire on
+#: most steps instead of occasionally.
+CHURN_UPDATES = UpdateProfile(
+    max_steps=8, max_batch=5, delete_weight=3.0, update_weight=2.0
+)
+
+
+def random_fresh_row(
+    rng: random.Random, profile: TableProfile = DEFAULT_TABLES
+):
+    """One ``(values, condition)`` pair shaped like the profile's rows."""
+    values = tuple(
+        Var(rng.choice(profile.variables))
+        if rng.random() < profile.variable_density
+        else rng.randrange(profile.constants)
+        for _ in range(profile.arity)
+    )
+    return values, random_condition(rng, profile)
+
+
+def apply_random_updates(
+    rng: random.Random,
+    session,
+    profile: UpdateProfile = DEFAULT_UPDATES,
+    relations: Optional[Sequence[str]] = None,
+):
+    """Drive one seeded mutation sequence through *session*.
+
+    Deletes and updates target rows sampled from the live table by
+    *position* (duplicate rows stay multiset-correct: k sampled
+    positions holding equal rows remove exactly k occurrences); an
+    empty relation falls back to an insert.  Returns the applied steps
+    as ``(operation, relation, batch_size)`` triples for assertion
+    context — the sequence itself is replayable from the rng seed.
+    """
+    if relations is None:
+        relations = session.names()
+    operations = ("insert", "delete", "update")
+    weights = (
+        profile.insert_weight, profile.delete_weight, profile.update_weight
+    )
+    applied = []
+    for _ in range(rng.randint(profile.min_steps, profile.max_steps)):
+        name = relations[rng.randrange(len(relations))]
+        table = session.table(name)
+        operation = rng.choices(operations, weights=weights)[0]
+        if operation != "insert" and not table.rows:
+            operation = "insert"
+        size = rng.randint(profile.min_batch, profile.max_batch)
+        shape = replace(profile.tables, arity=table.arity)
+        if operation == "insert":
+            batch = [random_fresh_row(rng, shape) for _ in range(size)]
+            session.insert(name, batch)
+        elif operation == "delete":
+            positions = rng.sample(
+                range(len(table.rows)), min(size, len(table.rows))
+            )
+            batch = [table.rows[position] for position in positions]
+            session.delete(name, batch)
+        else:
+            positions = rng.sample(
+                range(len(table.rows)), min(size, len(table.rows))
+            )
+            batch = [
+                (table.rows[position], random_fresh_row(rng, shape))
+                for position in positions
+            ]
+            session.update(name, batch)
+        applied.append((operation, name, len(batch)))
+    return applied
+
+
+def assert_delta_equals_rerun(
+    prepared,
+    *,
+    num_workers: int = 2,
+    morsel_size: int = 2,
+    check_mod: bool = True,
+    context: str = "",
+) -> CTable:
+    """``refresh()`` must equal a cold re-execution — structurally.
+
+    The maintained answer is compared, row for row and condition object
+    for condition object, against re-executions of the standing view's
+    *frozen* plan under every executor mode (statistics drift never
+    re-plans a standing view, so the frozen plan is the reference the
+    structural contract is stated against).  When *check_mod*, a
+    freshly planned execution is additionally checked at Mod level via
+    ``ctables_equivalent_symbolic`` — the Theorem-4 guarantee, which
+    must survive even a stats-driven plan change.  Usable like
+    :func:`assert_executors_agree`; returns the maintained table.
+    """
+    session = prepared.session
+    config = prepared.config
+    maintained = prepared.refresh()
+    view = session._views.get(
+        (prepared.query, config.optimize, config.simplify_conditions)
+    )
+    plan = view.plan if view is not None else prepared.plan()
+    tables = {
+        name: session.table(name)
+        for name in prepared.query.relation_names()
+    }
+    note = f"{context} " if context else ""
+    stats = collect_stats(tables)
+    reruns = {
+        "interpreted": execute_plan(
+            plan, tables, simplify_conditions=config.simplify_conditions
+        ),
+        "vectorized": execute_plan_vectorized(
+            plan,
+            tables,
+            simplify_conditions=config.simplify_conditions,
+            stats=stats,
+        ),
+        "parallel": execute_plan_parallel(
+            plan,
+            tables,
+            stats=stats,
+            num_workers=num_workers,
+            morsel_size=morsel_size,
+            simplify_conditions=config.simplify_conditions,
+        ),
+    }
+    for executor, rerun in reruns.items():
+        assert_structurally_identical(
+            rerun, maintained, context=f"{note}refresh vs {executor} rerun"
+        )
+    if check_mod:
+        fresh = evaluate(
+            prepared.query,
+            tables,
+            "interpreted",
+            optimize=config.optimize,
+            simplify_conditions=config.simplify_conditions,
+        )
+        assert ctables_equivalent_symbolic(maintained, fresh), (
+            f"refresh diverges from the fresh plan at Mod level"
+            f"{' [' + context + ']' if context else ''}"
+        )
+    return maintained
 
 
 # ----------------------------------------------------------------------
